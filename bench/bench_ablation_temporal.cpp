@@ -1,0 +1,94 @@
+// Temporal-extension ablation: how much does an *earlier* snapshot help?
+// (core/temporal.hpp — beyond the paper's single-snapshot setting.)
+//
+// For each early-observation cut (MFC steps observed before the snapshot),
+// compares unrestricted RID against candidate-restricted RID on the same
+// final snapshot.
+//
+//   ./bench_ablation_temporal [--scale=0.03] [--trials=3] [--beta=0.5]
+#include <iostream>
+
+#include "core/temporal.hpp"
+#include "diffusion/mfc.hpp"
+#include "gen/profiles.hpp"
+#include "graph/diffusion_network.hpp"
+#include "graph/jaccard.hpp"
+#include "metrics/classification.hpp"
+#include "metrics/summary.hpp"
+#include "util/flags.hpp"
+#include "util/logging.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rid;
+  const auto flags = util::Flags::parse(argc, argv);
+  const double scale = flags.get_double("scale", 0.03);
+  const auto trials = static_cast<std::size_t>(flags.get_int("trials", 3));
+  const double beta = flags.get_double("beta", 0.5);
+  util::ScopedLogLevel quiet(util::LogLevel::kWarn);
+
+  util::AsciiTable table({"early steps", "early infected", "RID F1",
+                          "temporal F1", "RID prec", "temporal prec"});
+  table.set_title("Two-snapshot ablation, Epinions profile (scale=" +
+                  std::to_string(scale) + ", beta=" + std::to_string(beta) +
+                  ")");
+
+  for (const std::uint32_t early_steps : {1u, 2u, 4u, 8u}) {
+    metrics::RunningStat early_size, rid_f1, temporal_f1, rid_p, temporal_p;
+    for (std::size_t t = 0; t < trials; ++t) {
+      util::Rng rng(util::mix_seed(321, t));
+      graph::SignedGraph social =
+          gen::generate_dataset(gen::epinions_profile(), scale, rng);
+      util::Rng wrng = rng.split();
+      graph::apply_jaccard_weights(social, wrng);
+      const graph::SignedGraph diffusion =
+          graph::make_diffusion_network(social);
+
+      const std::size_t want = std::max<std::size_t>(
+          2, static_cast<std::size_t>(1000 * scale));
+      util::Rng seed_rng = rng.split();
+      diffusion::SeedSet seeds;
+      for (const auto v :
+           seed_rng.sample_without_replacement(diffusion.num_nodes(), want)) {
+        seeds.nodes.push_back(static_cast<graph::NodeId>(v));
+        seeds.states.push_back(seed_rng.bernoulli(0.5)
+                                   ? graph::NodeState::kPositive
+                                   : graph::NodeState::kNegative);
+      }
+
+      // Same stream: the early run is an exact prefix of the late run.
+      const std::uint64_t sim_seed = rng.next_u64();
+      diffusion::MfcConfig early_config;
+      early_config.max_steps = early_steps;
+      util::Rng sim_a(sim_seed);
+      const auto early =
+          diffusion::simulate_mfc(diffusion, seeds, early_config, sim_a);
+      util::Rng sim_b(sim_seed);
+      const auto late = diffusion::simulate_mfc(diffusion, seeds, {}, sim_b);
+      early_size.add(static_cast<double>(early.num_infected()));
+
+      core::RidConfig config;
+      config.beta = beta;
+      const auto unrestricted = core::run_rid(diffusion, late.state, config);
+      const auto restricted = core::run_rid_with_early_snapshot(
+          diffusion, early.state, late.state, config);
+
+      const auto u_scores =
+          metrics::score_identities(unrestricted.initiators, seeds.nodes);
+      const auto r_scores =
+          metrics::score_identities(restricted.initiators, seeds.nodes);
+      rid_f1.add(u_scores.f1);
+      temporal_f1.add(r_scores.f1);
+      rid_p.add(u_scores.precision);
+      temporal_p.add(r_scores.precision);
+    }
+    table.row(early_steps, early_size.mean(), rid_f1.mean(),
+              temporal_f1.mean(), rid_p.mean(), temporal_p.mean());
+  }
+  table.render(std::cout);
+  std::cout << "\nReading: the earlier the auxiliary snapshot (fewer early"
+               " steps -> fewer candidates), the more false splits the"
+               " restriction removes and the higher the precision/F1 of"
+               " temporal RID over single-snapshot RID.\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Unknown-state ablation (extension; the paper's '?' states are modeled but
+// not evaluated): masks a growing fraction of the infected nodes' observed
+// opinions and measures how RID's identity and state inference degrade.
+// The imputation path (cascade_extraction.cpp) is what is being stressed.
+//
+//   ./bench_ablation_unknown [--scale=0.03] [--trials=3] [--beta=2.0]
+#include <iostream>
+
+#include "core/rid.hpp"
+#include "metrics/summary.hpp"
+#include "sim/experiment.hpp"
+#include "util/flags.hpp"
+#include "util/logging.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rid;
+  const auto flags = util::Flags::parse(argc, argv);
+  const double scale = flags.get_double("scale", 0.03);
+  const auto trials = static_cast<std::size_t>(flags.get_int("trials", 3));
+  const double beta = flags.get_double("beta", 2.0);
+  util::ScopedLogLevel quiet(util::LogLevel::kWarn);
+
+  util::AsciiTable table({"unknown%", "precision", "recall", "F1",
+                          "state acc", "state MAE"});
+  table.set_title("RID(beta=" + std::to_string(beta) +
+                  ") under masked observations, Epinions profile (scale=" +
+                  std::to_string(scale) + ")");
+
+  for (const double unknown : {0.0, 0.1, 0.2, 0.4, 0.6, 0.8}) {
+    metrics::RunningStat precision, recall, f1, accuracy, mae;
+    for (std::size_t t = 0; t < trials; ++t) {
+      sim::Scenario scenario;
+      scenario.profile = gen::epinions_profile();
+      scenario.scale = scale;
+      scenario.unknown_fraction = unknown;
+      scenario.seed = 42;
+      const sim::Trial trial = sim::make_trial(scenario, t);
+
+      core::RidConfig config;
+      config.beta = beta;
+      config.extraction.likelihood.alpha = scenario.alpha;
+      const auto result = core::run_rid(trial.diffusion, trial.observed, config);
+      const auto scores = sim::score_method("RID", trial, result);
+      precision.add(scores.identity.precision);
+      recall.add(scores.identity.recall);
+      f1.add(scores.identity.f1);
+      if (scores.state.count > 0) {
+        accuracy.add(scores.state.accuracy);
+        mae.add(scores.state.mae);
+      }
+    }
+    table.row(100.0 * unknown, precision.mean(), recall.mean(), f1.mean(),
+              accuracy.mean(), mae.mean());
+  }
+  table.render(std::cout);
+  std::cout << "\nReading: identity metrics should degrade gracefully as the"
+               " snapshot loses observed opinions; state accuracy suffers"
+               " the most because masked initiators get imputed states.\n";
+  return 0;
+}

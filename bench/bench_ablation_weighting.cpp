@@ -1,0 +1,83 @@
+// Link-weighting ablation (extension): the paper fixes Jaccard weights with
+// a U[0, 0.1] fallback; this bench swaps in the alternative schemes from
+// graph/weighting.hpp and measures how the cascade regime and detection
+// quality move. The weight distribution is the single most sensitive knob
+// of the whole pipeline (see EXPERIMENTS.md), so the ablation doubles as a
+// robustness check of the headline comparisons.
+//
+//   ./bench_ablation_weighting [--scale=0.03] [--trials=3] [--beta=2.0]
+#include <iostream>
+
+#include "core/baselines.hpp"
+#include "core/rid.hpp"
+#include "metrics/summary.hpp"
+#include "sim/experiment.hpp"
+#include "util/flags.hpp"
+#include "util/logging.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rid;
+  const auto flags = util::Flags::parse(argc, argv);
+  const double scale = flags.get_double("scale", 0.03);
+  const auto trials = static_cast<std::size_t>(flags.get_int("trials", 3));
+  const double beta = flags.get_double("beta", 2.0);
+  util::ScopedLogLevel quiet(util::LogLevel::kWarn);
+
+  struct SchemeCase {
+    graph::WeightingOptions options;
+  };
+  std::vector<SchemeCase> cases;
+  cases.push_back({{.scheme = graph::WeightScheme::kJaccard}});
+  cases.push_back({{.scheme = graph::WeightScheme::kCommonNeighbors}});
+  cases.push_back({{.scheme = graph::WeightScheme::kAdamicAdar}});
+  cases.push_back(
+      {{.scheme = graph::WeightScheme::kConstant, .constant = 0.1}});
+  cases.push_back(
+      {{.scheme = graph::WeightScheme::kUniformRandom, .constant = 0.2}});
+
+  util::AsciiTable table({"scheme", "infected", "trees", "RID F1",
+                          "RID-Tree F1", "RID prec", "RID rec"});
+  table.set_title("Weighting ablation, Epinions profile (scale=" +
+                  std::to_string(scale) + ", beta=" + std::to_string(beta) +
+                  ")");
+
+  for (const SchemeCase& scheme_case : cases) {
+    metrics::RunningStat infected, trees, rid_f1, tree_f1, rid_p, rid_r;
+    for (std::size_t t = 0; t < trials; ++t) {
+      sim::Scenario scenario;
+      scenario.profile = gen::epinions_profile();
+      scenario.scale = scale;
+      scenario.weighting = scheme_case.options;
+      scenario.seed = 42;
+      const sim::Trial trial = sim::make_trial(scenario, t);
+      infected.add(static_cast<double>(trial.cascade.num_infected()));
+
+      core::RidConfig config;
+      config.beta = beta;
+      config.extraction.likelihood.alpha = scenario.alpha;
+      const auto rid = core::run_rid(trial.diffusion, trial.observed, config);
+      const auto rid_scores = sim::score_method("RID", trial, rid);
+      rid_f1.add(rid_scores.identity.f1);
+      rid_p.add(rid_scores.identity.precision);
+      rid_r.add(rid_scores.identity.recall);
+      trees.add(static_cast<double>(rid.num_trees));
+
+      const auto tree = core::run_rid_tree(
+          trial.diffusion, trial.observed,
+          {.extraction = config.extraction});
+      tree_f1.add(
+          sim::score_method("RID-Tree", trial, tree).identity.f1);
+    }
+    table.row(graph::to_string(scheme_case.options.scheme), infected.mean(),
+              trees.mean(), rid_f1.mean(), tree_f1.mean(), rid_p.mean(),
+              rid_r.mean());
+  }
+  table.render(std::cout);
+  std::cout << "\nReading: Jaccard keeps activation probabilities sparse, so"
+               " cascades stay compact and the tree likelihood stays"
+               " discriminative; max-normalized similarity schemes and flat"
+               " weights saturate the boosted probabilities, exploding the"
+               " cascades and washing out both detectors.\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Figure 4 reproduction: precision / recall / F1 of RID(0.09), RID(0.1),
+// RID-Tree and RID-Positive on the Epinions-like and Slashdot-like
+// networks (paper setting: N = 1000 seeds at full scale, theta = 0.5,
+// alpha = 3, Jaccard weights with U[0, 0.1] fallback).
+//
+// Expected shape (paper): RID-Tree ~100% precision but low recall;
+// RID-Positive low precision; RID variants the best F1 by a wide margin.
+// Note: per-trial variance at reduced scales is substantial (a handful of
+// merged components dominate the scores); the ordering stabilizes toward
+// --full, which is the setting EXPERIMENTS.md reports.
+//
+//   ./bench_fig4_comparison [--scale=0.05] [--trials=3] [--full]
+//                           [--rumor-centrality] [--csv-prefix=fig4]
+#include <fstream>
+#include <iostream>
+
+#include "sim/reporting.hpp"
+#include "sim/sweep.hpp"
+#include "util/flags.hpp"
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rid;
+  const auto flags = util::Flags::parse(argc, argv);
+  const double scale =
+      flags.get_bool("full", false) ? 1.0 : flags.get_double("scale", 0.2);
+  const auto trials = static_cast<std::size_t>(flags.get_int("trials", 3));
+  // 0.09 / 0.1 are the paper's operating points; 2.0 is the calibrated
+  // equivalent on the synthetic substrate, whose per-node probabilities sit
+  // lower than on the SNAP data (see EXPERIMENTS.md).
+  const std::vector<double> betas{0.09, 0.1, 2.0};
+
+  util::ScopedLogLevel quiet(util::LogLevel::kWarn);
+  for (const auto& profile :
+       {gen::epinions_profile(), gen::slashdot_profile()}) {
+    sim::Scenario scenario;
+    scenario.profile = profile;
+    scenario.scale = scale;
+    scenario.num_initiators = 1000;
+    scenario.theta = 0.5;
+    scenario.alpha = 3.0;
+    scenario.seed = 42;
+
+    std::cout << "\nscenario: " << sim::to_string(scenario) << " trials="
+              << trials << "\n";
+    util::Timer timer;
+    const auto methods = sim::standard_methods(
+        betas, scenario.alpha, flags.get_bool("rumor-centrality", false));
+    const auto threads =
+        static_cast<std::size_t>(flags.get_int("threads", 1));
+    const auto aggregates =
+        sim::run_comparison(scenario, methods, trials, threads);
+    sim::print_comparison(
+        std::cout, "Figure 4: " + profile.name + " (mean ± std)", aggregates);
+    std::cout << "elapsed: " << util::format_duration(timer.seconds()) << "\n";
+
+    const std::string prefix = flags.get_string("csv-prefix", "");
+    if (!prefix.empty()) {
+      const std::string path = prefix + "_" + profile.name + ".csv";
+      std::ofstream out(path);
+      sim::write_comparison_csv(out, aggregates);
+      std::cout << "wrote " << path << "\n";
+    }
+  }
+  return 0;
+}

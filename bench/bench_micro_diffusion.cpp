@@ -1,0 +1,110 @@
+// google-benchmark throughput of the diffusion simulators (MFC vs IC vs LT
+// vs SIR) on Epinions-like topologies.
+#include <benchmark/benchmark.h>
+
+#include "diffusion/independent_cascade.hpp"
+#include "diffusion/linear_threshold.hpp"
+#include "diffusion/mfc.hpp"
+#include "diffusion/sir.hpp"
+#include "gen/profiles.hpp"
+#include "graph/diffusion_network.hpp"
+#include "graph/jaccard.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace rid;
+
+struct Fixture {
+  graph::SignedGraph diffusion;
+  diffusion::SeedSet seeds;
+};
+
+Fixture make_fixture(double scale) {
+  util::Rng rng(21);
+  graph::SignedGraph social =
+      gen::generate_dataset(gen::epinions_profile(), scale, rng);
+  graph::apply_jaccard_weights(social, rng);
+  Fixture f{graph::make_diffusion_network(social), {}};
+  const auto want = std::max<std::size_t>(
+      1, static_cast<std::size_t>(1000 * scale));
+  for (const auto v :
+       rng.sample_without_replacement(f.diffusion.num_nodes(), want)) {
+    f.seeds.nodes.push_back(static_cast<graph::NodeId>(v));
+    f.seeds.states.push_back(rng.bernoulli(0.5)
+                                 ? graph::NodeState::kPositive
+                                 : graph::NodeState::kNegative);
+  }
+  return f;
+}
+
+const Fixture& fixture() {
+  static const Fixture f = make_fixture(0.05);
+  return f;
+}
+
+void BM_Mfc(benchmark::State& state) {
+  const Fixture& f = fixture();
+  std::uint64_t seed = 0;
+  std::size_t infected = 0;
+  for (auto _ : state) {
+    util::Rng rng(seed++);
+    const auto cascade =
+        diffusion::simulate_mfc(f.diffusion, f.seeds, {}, rng);
+    infected += cascade.num_infected();
+    benchmark::DoNotOptimize(cascade.infected.data());
+  }
+  state.counters["infected/run"] =
+      static_cast<double>(infected) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_Mfc);
+
+void BM_MfcNoFlip(benchmark::State& state) {
+  const Fixture& f = fixture();
+  diffusion::MfcConfig config;
+  config.allow_flipping = false;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    util::Rng rng(seed++);
+    benchmark::DoNotOptimize(
+        diffusion::simulate_mfc(f.diffusion, f.seeds, config, rng));
+  }
+}
+BENCHMARK(BM_MfcNoFlip);
+
+void BM_Ic(benchmark::State& state) {
+  const Fixture& f = fixture();
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    util::Rng rng(seed++);
+    benchmark::DoNotOptimize(
+        diffusion::simulate_ic(f.diffusion, f.seeds, {}, rng));
+  }
+}
+BENCHMARK(BM_Ic);
+
+void BM_Lt(benchmark::State& state) {
+  const Fixture& f = fixture();
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    util::Rng rng(seed++);
+    benchmark::DoNotOptimize(
+        diffusion::simulate_lt(f.diffusion, f.seeds, {}, rng));
+  }
+}
+BENCHMARK(BM_Lt);
+
+void BM_Sir(benchmark::State& state) {
+  const Fixture& f = fixture();
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    util::Rng rng(seed++);
+    benchmark::DoNotOptimize(
+        diffusion::simulate_sir(f.diffusion, f.seeds, {}, rng));
+  }
+}
+BENCHMARK(BM_Sir);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// google-benchmark microbenchmarks of the graph substrate: CSR build,
+// reversal, Jaccard weighting, connected components, BFS.
+#include <benchmark/benchmark.h>
+
+#include "algo/components.hpp"
+#include "algo/traversal.hpp"
+#include "gen/sign_assigner.hpp"
+#include "gen/topologies.hpp"
+#include "graph/jaccard.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace rid;
+
+gen::EdgeList make_topology(std::int64_t nodes) {
+  util::Rng rng(7);
+  return gen::erdos_renyi(static_cast<graph::NodeId>(nodes),
+                          static_cast<std::size_t>(nodes) * 8, rng);
+}
+
+void BM_GraphBuild(benchmark::State& state) {
+  const gen::EdgeList el = make_topology(state.range(0));
+  for (auto _ : state) {
+    graph::SignedGraphBuilder builder(el.num_nodes);
+    for (const auto& [u, v] : el.edges)
+      builder.add_edge(u, v, graph::Sign::kPositive, 0.5);
+    benchmark::DoNotOptimize(builder.build());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(el.edges.size()));
+}
+BENCHMARK(BM_GraphBuild)->Arg(1 << 10)->Arg(1 << 13)->Arg(1 << 16);
+
+void BM_GraphReverse(benchmark::State& state) {
+  util::Rng rng(7);
+  const gen::EdgeList el = make_topology(state.range(0));
+  const graph::SignedGraph g =
+      gen::assign_signs_uniform(el, {.positive_probability = 0.8}, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(g.reversed());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_GraphReverse)->Arg(1 << 10)->Arg(1 << 13)->Arg(1 << 16);
+
+void BM_JaccardWeights(benchmark::State& state) {
+  util::Rng rng(7);
+  const gen::EdgeList el = make_topology(state.range(0));
+  graph::SignedGraph g =
+      gen::assign_signs_uniform(el, {.positive_probability = 0.8}, rng);
+  for (auto _ : state) {
+    util::Rng wrng(11);
+    benchmark::DoNotOptimize(graph::apply_jaccard_weights(g, wrng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_JaccardWeights)->Arg(1 << 10)->Arg(1 << 13)->Arg(1 << 16);
+
+void BM_WeaklyConnectedComponents(benchmark::State& state) {
+  util::Rng rng(7);
+  const gen::EdgeList el = make_topology(state.range(0));
+  const graph::SignedGraph g =
+      gen::assign_signs_uniform(el, {.positive_probability = 0.8}, rng);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(algo::weakly_connected_components(g));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_WeaklyConnectedComponents)->Arg(1 << 10)->Arg(1 << 13)->Arg(1 << 16);
+
+void BM_Bfs(benchmark::State& state) {
+  util::Rng rng(7);
+  const gen::EdgeList el = make_topology(state.range(0));
+  const graph::SignedGraph g =
+      gen::assign_signs_uniform(el, {.positive_probability = 0.8}, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(algo::bfs_distances(g, 0));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_Bfs)->Arg(1 << 10)->Arg(1 << 13)->Arg(1 << 16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+// Detect rumor initiators on your own SNAP-format signed edge list.
+//
+//   ./examples/custom_network path/to/soc-sign-epinions.txt ...
+//       [--weighted] [--beta=0.1] [--alpha=3] [--infect=0.3] [--seed=1]
+//
+// The file holds "src dst sign" rows ('#' comments allowed); --weighted
+// expects a fourth weight column instead of Jaccard weighting. Because a raw
+// edge list carries no infection snapshot, the tool simulates one (MFC from
+// --seeds random initiators) and then runs the detectors against it — drop
+// in the real SNAP dumps to reproduce the paper's setting end to end.
+//
+// Without a path argument, a small demo network is written to /tmp and used.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "core/baselines.hpp"
+#include "core/rid.hpp"
+#include "diffusion/mfc.hpp"
+#include "graph/diffusion_network.hpp"
+#include "graph/graph_io.hpp"
+#include "graph/jaccard.hpp"
+#include "graph/stats.hpp"
+#include "metrics/classification.hpp"
+#include "util/flags.hpp"
+
+namespace {
+
+std::string write_demo_file() {
+  const char* path = "/tmp/ridnet_demo_network.txt";
+  std::ofstream out(path);
+  out << "# demo signed network (src dst sign)\n";
+  // A trust clique with one distrusted outsider.
+  const int edges[][3] = {{0, 1, 1},  {1, 0, 1},  {1, 2, 1},  {2, 0, 1},
+                          {3, 0, -1}, {3, 4, 1},  {4, 5, 1},  {5, 3, 1},
+                          {2, 6, 1},  {6, 7, -1}, {7, 8, 1},  {8, 6, 1},
+                          {0, 9, 1},  {9, 2, 1},  {5, 9, -1}, {8, 4, 1}};
+  for (const auto& e : edges) out << e[0] << ' ' << e[1] << ' ' << e[2] << '\n';
+  return path;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rid;
+  const auto flags = util::Flags::parse(argc, argv);
+  const std::string path = flags.positional().empty() ? write_demo_file()
+                                                      : flags.positional()[0];
+  util::Rng rng(static_cast<std::uint64_t>(flags.get_int("seed", 1)));
+
+  graph::LoadedGraph loaded = flags.get_bool("weighted", false)
+                                  ? graph::load_weighted_file(path)
+                                  : graph::load_snap_file(path);
+  std::cout << "loaded " << path << ": "
+            << graph::to_string(graph::compute_stats(loaded.graph)) << "\n";
+
+  if (!flags.get_bool("weighted", false)) {
+    graph::apply_jaccard_weights(loaded.graph, rng);
+  }
+  const graph::SignedGraph diffusion =
+      graph::make_diffusion_network(loaded.graph);
+
+  // Simulate an infection to obtain a snapshot.
+  const auto num_seeds = static_cast<std::size_t>(flags.get_int(
+      "seeds", std::max<std::int64_t>(1, diffusion.num_nodes() / 100)));
+  diffusion::SeedSet seeds;
+  for (const auto v :
+       rng.sample_without_replacement(diffusion.num_nodes(), num_seeds)) {
+    seeds.nodes.push_back(static_cast<graph::NodeId>(v));
+    seeds.states.push_back(rng.bernoulli(0.5) ? graph::NodeState::kPositive
+                                              : graph::NodeState::kNegative);
+  }
+  diffusion::MfcConfig mfc;
+  mfc.alpha = flags.get_double("alpha", 3.0);
+  const diffusion::Cascade cascade =
+      diffusion::simulate_mfc(diffusion, seeds, mfc, rng);
+  std::cout << "simulated cascade: " << cascade.num_infected()
+            << " infected from " << num_seeds << " seeds\n";
+
+  core::RidConfig config;
+  config.beta = flags.get_double("beta", 0.1);
+  config.extraction.likelihood.alpha = mfc.alpha;
+  const core::DetectionResult rid = core::run_rid(diffusion, cascade.state, config);
+  const core::DetectionResult tree =
+      core::run_rid_tree(diffusion, cascade.state, {});
+
+  const auto report = [&](const char* name,
+                          const core::DetectionResult& result) {
+    const auto scores = metrics::score_identities(result.initiators,
+                                                  seeds.nodes);
+    std::printf("%-12s detected=%4zu precision=%.3f recall=%.3f F1=%.3f\n",
+                name, result.initiators.size(), scores.precision,
+                scores.recall, scores.f1);
+  };
+  report("RID", rid);
+  report("RID-Tree", tree);
+
+  // Report detected ids in the file's original labels.
+  std::cout << "RID initiators (original file ids):";
+  for (std::size_t i = 0; i < rid.initiators.size() && i < 25; ++i)
+    std::cout << ' ' << loaded.original_label[rid.initiators[i]];
+  if (rid.initiators.size() > 25) std::cout << " ...";
+  std::cout << "\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Full paper pipeline on the Epinions-like dataset profile: generate the
+// calibrated network, run the paper's experimental setup (N seeds, theta,
+// alpha, Jaccard weights) and compare all detectors on one trial.
+//
+//   ./examples/epinions_pipeline [--scale=0.05] [--n=1000] [--theta=0.5]
+//                                [--alpha=3] [--trial=0] [--slashdot]
+#include <iostream>
+
+#include "sim/experiment.hpp"
+#include "sim/reporting.hpp"
+#include "sim/sweep.hpp"
+#include "util/flags.hpp"
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rid;
+  const auto flags = util::Flags::parse(argc, argv);
+
+  sim::Scenario scenario;
+  scenario.profile = flags.get_bool("slashdot", false)
+                         ? gen::slashdot_profile()
+                         : gen::epinions_profile();
+  scenario.scale = flags.get_double("scale", 0.05);
+  scenario.num_initiators =
+      static_cast<std::size_t>(flags.get_int("n", 1000));
+  scenario.theta = flags.get_double("theta", 0.5);
+  scenario.alpha = flags.get_double("alpha", 3.0);
+  scenario.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  const auto trial_index =
+      static_cast<std::uint64_t>(flags.get_int("trial", 0));
+
+  std::cout << "scenario: " << sim::to_string(scenario) << "\n";
+  util::Timer timer;
+  const sim::Trial trial = sim::make_trial(scenario, trial_index);
+  std::cout << "network+cascade built in "
+            << util::format_duration(timer.seconds()) << ": "
+            << trial.cascade.num_infected() << " infected, "
+            << trial.cascade.num_flips << " flips, "
+            << trial.cascade.num_steps << " steps\n\n";
+
+  const std::vector<double> betas{0.09, 0.1};
+  const auto methods =
+      sim::standard_methods(betas, scenario.alpha, /*rumor_centrality=*/true);
+  const auto scores = sim::run_methods(trial, methods);
+
+  std::vector<sim::AggregateScores> aggregates(scores.size());
+  for (std::size_t i = 0; i < scores.size(); ++i) aggregates[i].add(scores[i]);
+  sim::print_comparison(std::cout,
+                        scenario.profile.name + " single-trial comparison",
+                        aggregates);
+
+  // RID also infers initiator states; report them for the first RID method.
+  std::cout << "\nRID(0.09) state inference over correctly identified "
+               "initiators: accuracy="
+            << scores[0].state.accuracy << " MAE=" << scores[0].state.mae
+            << " R2=" << scores[0].state.r2 << " (" << scores[0].state.count
+            << " compared)\n";
+  return 0;
+}

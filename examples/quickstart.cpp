@@ -1,0 +1,72 @@
+// Quickstart: build a small signed network, spread a rumor with MFC, then
+// recover the initiators with RID.
+//
+//   ./examples/quickstart [--nodes=300] [--edges=1800] [--seeds=5]
+//                         [--beta=0.1] [--seed=42]
+#include <cstdio>
+
+#include "core/rid.hpp"
+#include "diffusion/mfc.hpp"
+#include "graph/diffusion_network.hpp"
+#include "gen/sign_assigner.hpp"
+#include "gen/topologies.hpp"
+#include "graph/jaccard.hpp"
+#include "metrics/classification.hpp"
+#include "util/flags.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rid;
+  const auto flags = util::Flags::parse(argc, argv);
+  const auto n = static_cast<graph::NodeId>(flags.get_int("nodes", 300));
+  const auto m = static_cast<std::size_t>(flags.get_int("edges", 1800));
+  const auto num_seeds = static_cast<std::size_t>(flags.get_int("seeds", 5));
+  const double beta = flags.get_double("beta", 0.1);
+  util::Rng rng(static_cast<std::uint64_t>(flags.get_int("seed", 42)));
+
+  // 1. A signed social network: random topology, 80% trust links.
+  const gen::EdgeList topology = gen::erdos_renyi(n, m, rng);
+  graph::SignedGraph social =
+      gen::assign_signs_uniform(topology, {.positive_probability = 0.8}, rng);
+
+  // 2. Paper-style weighting (Jaccard + uniform fallback), then reverse into
+  //    the diffusion network: information flows from trusted to truster.
+  graph::apply_jaccard_weights(social, rng);
+  const graph::SignedGraph diffusion = graph::make_diffusion_network(social);
+
+  // 3. Seed a rumor: half the initiators believe it, half deny it.
+  diffusion::SeedSet seeds;
+  for (const auto v : rng.sample_without_replacement(n, num_seeds)) {
+    seeds.nodes.push_back(static_cast<graph::NodeId>(v));
+    seeds.states.push_back(seeds.nodes.size() % 2 == 0
+                               ? graph::NodeState::kNegative
+                               : graph::NodeState::kPositive);
+  }
+  const diffusion::Cascade cascade =
+      diffusion::simulate_mfc(diffusion, seeds, diffusion::MfcConfig{}, rng);
+  std::printf("MFC infected %zu/%u nodes in %u steps (%zu flips)\n",
+              cascade.num_infected(), n, cascade.num_steps,
+              cascade.num_flips);
+
+  // 4. Detect the initiators from the snapshot alone.
+  core::RidConfig config;
+  config.beta = beta;
+  const core::DetectionResult result =
+      core::run_rid(diffusion, cascade.state, config);
+
+  const metrics::IdentityScores scores =
+      metrics::score_identities(result.initiators, seeds.nodes);
+  std::printf("RID(beta=%.2f): %zu components, %zu trees, %zu detected\n",
+              beta, result.num_components, result.num_trees,
+              result.initiators.size());
+  std::printf("precision=%.3f recall=%.3f F1=%.3f\n", scores.precision,
+              scores.recall, scores.f1);
+
+  std::printf("detected initiators (id:state):");
+  for (std::size_t i = 0; i < result.initiators.size() && i < 20; ++i) {
+    std::printf(" %u:%s", result.initiators[i],
+                graph::to_string(result.states[i]).c_str());
+  }
+  if (result.initiators.size() > 20) std::printf(" ...");
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,267 @@
+// ridnet_cli — end-to-end command-line front end for the library.
+//
+//   ridnet_cli generate  --profile=epinions --scale=0.05 --out=graph.txt
+//   ridnet_cli simulate  --graph=graph.txt --n=50 --theta=0.5 ...
+//                        --snapshot=snap.txt --truth=truth.txt
+//   ridnet_cli detect    --graph=graph.txt --snapshot=snap.txt ...
+//                        --method=rid --beta=2.0 --out=detected.txt
+//   ridnet_cli evaluate  --graph=graph.txt --detected=detected.txt ...
+//                        --truth=truth.txt
+//   ridnet_cli pipeline  --profile=slashdot --scale=0.05 --n=50 --beta=2.0
+//
+// Graph files are the library's weighted signed edge-list format
+// ("src dst sign weight"; see graph/graph_io.hpp) holding the *social*
+// network; snapshots/truth/detections are "node state" files
+// (core/snapshot_io.hpp). `generate` already applies Jaccard weighting, so
+// `simulate`/`detect` only reverse into the diffusion network.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "core/baselines.hpp"
+#include "core/jordan_center.hpp"
+#include "core/rid.hpp"
+#include "core/rumor_centrality.hpp"
+#include "core/temporal.hpp"
+#include "core/snapshot_io.hpp"
+#include "diffusion/mfc.hpp"
+#include "gen/profiles.hpp"
+#include "graph/diffusion_network.hpp"
+#include "graph/graph_io.hpp"
+#include "graph/jaccard.hpp"
+#include "graph/stats.hpp"
+#include "metrics/classification.hpp"
+#include "metrics/states.hpp"
+#include "util/flags.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+using namespace rid;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: ridnet_cli <generate|simulate|detect|evaluate|"
+               "pipeline> [--flags]\n"
+               "run with a subcommand and no flags for its defaults; see the "
+               "header of examples/ridnet_cli.cpp for details\n");
+  return 2;
+}
+
+gen::DatasetProfile profile_by_name(const std::string& name) {
+  if (name == "epinions" || name == "Epinions") return gen::epinions_profile();
+  if (name == "slashdot" || name == "Slashdot") return gen::slashdot_profile();
+  throw std::invalid_argument("unknown profile: " + name +
+                              " (use epinions or slashdot)");
+}
+
+graph::SignedGraph generate_graph(const util::Flags& flags) {
+  util::Rng rng(static_cast<std::uint64_t>(flags.get_int("seed", 42)));
+  graph::SignedGraph social = gen::generate_dataset(
+      profile_by_name(flags.get_string("profile", "epinions")),
+      flags.get_double("scale", 0.05), rng);
+  util::Rng wrng = rng.split();
+  graph::apply_jaccard_weights(social, wrng,
+                               {.zero_fill_max = flags.get_double("jc-fill", 0.1)});
+  return social;
+}
+
+int cmd_generate(const util::Flags& flags) {
+  const graph::SignedGraph social = generate_graph(flags);
+  const std::string out = flags.get_string("out", "graph.txt");
+  graph::save_weighted_file(social, out);
+  std::cout << "wrote " << out << ": "
+            << graph::to_string(graph::compute_stats(social)) << "\n";
+  return 0;
+}
+
+diffusion::Cascade simulate_on(const graph::SignedGraph& diffusion,
+                               diffusion::SeedSet& seeds,
+                               const util::Flags& flags) {
+  util::Rng rng(static_cast<std::uint64_t>(flags.get_int("sim-seed", 7)));
+  const auto n = diffusion.num_nodes();
+  const auto want = std::min<std::size_t>(
+      static_cast<std::size_t>(flags.get_int("n", 50)), n);
+  const double theta = flags.get_double("theta", 0.5);
+  const auto picks = rng.sample_without_replacement(n, want);
+  seeds.nodes.assign(picks.begin(), picks.end());
+  seeds.states.clear();
+  for (std::size_t i = 0; i < want; ++i) {
+    seeds.states.push_back(i < theta * static_cast<double>(want)
+                               ? graph::NodeState::kPositive
+                               : graph::NodeState::kNegative);
+  }
+  diffusion::MfcConfig mfc;
+  mfc.alpha = flags.get_double("alpha", 3.0);
+  mfc.allow_flipping = flags.get_bool("flipping", true);
+  return diffusion::simulate_mfc(diffusion, seeds, mfc, rng);
+}
+
+int cmd_simulate(const util::Flags& flags) {
+  const auto loaded =
+      graph::load_weighted_file(flags.get_string("graph", "graph.txt"));
+  const graph::SignedGraph diffusion =
+      graph::make_diffusion_network(loaded.graph);
+  diffusion::SeedSet seeds;
+  const diffusion::Cascade cascade = simulate_on(diffusion, seeds, flags);
+
+  const std::string snapshot_path = flags.get_string("snapshot", "snap.txt");
+  core::save_snapshot_file(cascade.state, snapshot_path);
+  std::cout << "wrote " << snapshot_path << " (" << cascade.num_infected()
+            << " infected from " << seeds.nodes.size() << " seeds, "
+            << cascade.num_flips << " flips)\n";
+
+  const std::string truth_path = flags.get_string("truth", "truth.txt");
+  std::vector<graph::NodeState> truth(diffusion.num_nodes(),
+                                      graph::NodeState::kInactive);
+  for (std::size_t i = 0; i < seeds.nodes.size(); ++i)
+    truth[seeds.nodes[i]] = seeds.states[i];
+  core::save_snapshot_file(truth, truth_path);
+  std::cout << "wrote " << truth_path << "\n";
+  return 0;
+}
+
+core::DetectionResult detect_on(const graph::SignedGraph& diffusion,
+                                std::span<const graph::NodeState> snapshot,
+                                const util::Flags& flags) {
+  const std::string method = flags.get_string("method", "rid");
+  if (method == "rid") {
+    core::RidConfig config;
+    config.beta = flags.get_double("beta", 2.0);
+    config.extraction.likelihood.alpha = flags.get_double("alpha", 3.0);
+    config.num_threads =
+        static_cast<std::size_t>(flags.get_int("threads", 1));
+    // --early=<snapshot file>: two-snapshot temporal detection.
+    const std::string early_path = flags.get_string("early", "");
+    if (!early_path.empty()) {
+      const auto early =
+          core::load_snapshot_file(early_path, diffusion.num_nodes());
+      return core::run_rid_with_early_snapshot(diffusion, early, snapshot,
+                                               config);
+    }
+    return core::run_rid(diffusion, snapshot, config);
+  }
+  core::BaselineConfig base;
+  base.extraction.likelihood.alpha = flags.get_double("alpha", 3.0);
+  if (method == "rid-tree") return core::run_rid_tree(diffusion, snapshot, base);
+  if (method == "rid-positive")
+    return core::run_rid_positive(diffusion, snapshot, base);
+  if (method == "rumor-centrality")
+    return core::run_rumor_centrality(diffusion, snapshot, base);
+  if (method == "jordan")
+    return core::run_jordan_center(diffusion, snapshot, base);
+  throw std::invalid_argument(
+      "unknown method: " + method +
+      " (rid|rid-tree|rid-positive|rumor-centrality|jordan)");
+}
+
+int cmd_detect(const util::Flags& flags) {
+  const auto loaded =
+      graph::load_weighted_file(flags.get_string("graph", "graph.txt"));
+  const graph::SignedGraph diffusion =
+      graph::make_diffusion_network(loaded.graph);
+  const auto snapshot = core::load_snapshot_file(
+      flags.get_string("snapshot", "snap.txt"), diffusion.num_nodes());
+  const core::DetectionResult result = detect_on(diffusion, snapshot, flags);
+
+  std::vector<graph::NodeState> detected(diffusion.num_nodes(),
+                                         graph::NodeState::kInactive);
+  for (std::size_t i = 0; i < result.initiators.size(); ++i) {
+    detected[result.initiators[i]] =
+        graph::is_opinion(result.states[i]) ? result.states[i]
+                                            : graph::NodeState::kUnknown;
+  }
+  const std::string out = flags.get_string("out", "detected.txt");
+  core::save_snapshot_file(detected, out);
+  std::cout << "wrote " << out << " (" << result.initiators.size()
+            << " initiators from " << result.num_trees << " trees, "
+            << result.num_components << " components)\n";
+  return 0;
+}
+
+struct LabeledStates {
+  std::vector<graph::NodeId> ids;
+  std::vector<graph::NodeState> states;
+};
+
+LabeledStates active_entries(std::span<const graph::NodeState> states) {
+  LabeledStates out;
+  for (std::size_t v = 0; v < states.size(); ++v) {
+    if (graph::is_active(states[v])) {
+      out.ids.push_back(static_cast<graph::NodeId>(v));
+      out.states.push_back(states[v]);
+    }
+  }
+  return out;
+}
+
+int cmd_evaluate(const util::Flags& flags) {
+  const auto loaded =
+      graph::load_weighted_file(flags.get_string("graph", "graph.txt"));
+  const auto n = loaded.graph.num_nodes();
+  const auto detected_states =
+      core::load_snapshot_file(flags.get_string("detected", "detected.txt"), n);
+  const auto truth_states =
+      core::load_snapshot_file(flags.get_string("truth", "truth.txt"), n);
+  const LabeledStates detected = active_entries(detected_states);
+  const LabeledStates truth = active_entries(truth_states);
+
+  const auto identity = metrics::score_identities(detected.ids, truth.ids);
+  std::printf("identities: detected=%zu actual=%zu precision=%.4f "
+              "recall=%.4f F1=%.4f\n",
+              identity.detected, identity.actual, identity.precision,
+              identity.recall, identity.f1);
+
+  // State metrics over the correctly identified initiators.
+  const auto both = metrics::intersect_ids(detected.ids, truth.ids);
+  std::vector<graph::NodeState> predicted;
+  std::vector<graph::NodeState> actual;
+  for (const graph::NodeId v : both) {
+    predicted.push_back(detected_states[v]);
+    actual.push_back(truth_states[v]);
+  }
+  const auto state_scores = metrics::score_states(predicted, actual);
+  std::printf("states (over %zu hits): accuracy=%.4f MAE=%.4f R2=%.4f\n",
+              state_scores.count, state_scores.accuracy, state_scores.mae,
+              state_scores.r2);
+  return 0;
+}
+
+int cmd_pipeline(const util::Flags& flags) {
+  const graph::SignedGraph social = generate_graph(flags);
+  std::cout << "generated: " << graph::to_string(graph::compute_stats(social))
+            << "\n";
+  const graph::SignedGraph diffusion = graph::make_diffusion_network(social);
+  diffusion::SeedSet seeds;
+  const diffusion::Cascade cascade = simulate_on(diffusion, seeds, flags);
+  std::cout << "simulated: " << cascade.num_infected() << " infected from "
+            << seeds.nodes.size() << " seeds\n";
+  const core::DetectionResult result =
+      detect_on(diffusion, cascade.state, flags);
+  const auto identity =
+      metrics::score_identities(result.initiators, seeds.nodes);
+  std::printf("%s: detected=%zu precision=%.4f recall=%.4f F1=%.4f\n",
+              flags.get_string("method", "rid").c_str(),
+              result.initiators.size(), identity.precision, identity.recall,
+              identity.f1);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const auto flags = rid::util::Flags::parse(argc - 1, argv + 1);
+  try {
+    if (command == "generate") return cmd_generate(flags);
+    if (command == "simulate") return cmd_simulate(flags);
+    if (command == "detect") return cmd_detect(flags);
+    if (command == "evaluate") return cmd_evaluate(flags);
+    if (command == "pipeline") return cmd_pipeline(flags);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "ridnet_cli %s: %s\n", command.c_str(), error.what());
+    return 1;
+  }
+  return usage();
+}

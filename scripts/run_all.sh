@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Full verification sweep: configure, build, run the test suite, then every
+# bench binary. Outputs are tee'd next to the repo root so results can be
+# inspected (and diffed) after the run.
+#
+#   scripts/run_all.sh [build-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+
+cmake -B "$BUILD" -G Ninja
+cmake --build "$BUILD"
+
+ctest --test-dir "$BUILD" 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in "$BUILD"/bench/bench_*; do
+  [ -x "$b" ] || continue
+  echo "==== $b ====" | tee -a bench_output.txt
+  "$b" 2>&1 | tee -a bench_output.txt
+done
+
+echo "done: test_output.txt, bench_output.txt"

@@ -1,0 +1,128 @@
+#include "algo/binary_transform.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "algo/forest.hpp"
+
+namespace rid::algo {
+
+namespace {
+
+class Binarizer {
+ public:
+  Binarizer(const RootedForest& forest, std::span<const double> in_value,
+            double identity)
+      : forest_(forest), in_value_(in_value), identity_(identity) {}
+
+  BinarizedTree run(graph::NodeId root) {
+    out_.root = add_node(root, identity_);
+    // Iterative expansion: each work item binds an emitted slot to the
+    // original node whose children still need attaching.
+    struct Work {
+      std::int32_t slot;
+      graph::NodeId original;
+    };
+    std::vector<Work> stack{{out_.root, root}};
+    while (!stack.empty()) {
+      const Work w = stack.back();
+      stack.pop_back();
+      const auto children = forest_.children(w.original);
+      attach(w.slot, children, stack);
+    }
+    return std::move(out_);
+  }
+
+ private:
+  template <typename Stack>
+  void attach(std::int32_t slot, std::span<const graph::NodeId> children,
+              Stack& stack) {
+    if (children.empty()) return;
+    if (children.size() <= 2) {
+      out_.left[slot] = emit_child(children[0], stack);
+      if (children.size() == 2)
+        out_.right[slot] = emit_child(children[1], stack);
+      return;
+    }
+    // Balanced dummy fan: split the children between two subtrees.
+    const std::size_t half = (children.size() + 1) / 2;
+    out_.left[slot] = emit_group(children.subspan(0, half), stack);
+    out_.right[slot] = emit_group(children.subspan(half), stack);
+  }
+
+  /// Emits a subtree holding `group` (>= 1 children). A single child is
+  /// emitted directly; otherwise a dummy internal node is created.
+  template <typename Stack>
+  std::int32_t emit_group(std::span<const graph::NodeId> group, Stack& stack) {
+    if (group.size() == 1) return emit_child(group[0], stack);
+    const std::int32_t dummy = add_dummy();
+    if (group.size() == 2) {
+      out_.left[dummy] = emit_child(group[0], stack);
+      out_.right[dummy] = emit_child(group[1], stack);
+    } else {
+      const std::size_t half = (group.size() + 1) / 2;
+      out_.left[dummy] = emit_group(group.subspan(0, half), stack);
+      out_.right[dummy] = emit_group(group.subspan(half), stack);
+    }
+    return dummy;
+  }
+
+  template <typename Stack>
+  std::int32_t emit_child(graph::NodeId child, Stack& stack) {
+    const std::int32_t slot = add_node(child, in_value_[child]);
+    stack.push_back({slot, child});
+    return slot;
+  }
+
+  std::int32_t add_node(graph::NodeId original, double in_value) {
+    out_.left.push_back(-1);
+    out_.right.push_back(-1);
+    out_.original.push_back(original);
+    out_.in_value.push_back(in_value);
+    ++out_.num_real;
+    return static_cast<std::int32_t>(out_.left.size() - 1);
+  }
+
+  std::int32_t add_dummy() {
+    out_.left.push_back(-1);
+    out_.right.push_back(-1);
+    out_.original.push_back(graph::kInvalidNode);
+    out_.in_value.push_back(identity_);
+    return static_cast<std::int32_t>(out_.left.size() - 1);
+  }
+
+  const RootedForest& forest_;
+  std::span<const double> in_value_;
+  double identity_;
+  BinarizedTree out_;
+};
+
+}  // namespace
+
+BinarizedTree binarize_tree(std::span<const graph::NodeId> parent,
+                            std::span<const double> in_value,
+                            double identity) {
+  if (parent.size() != in_value.size())
+    throw std::invalid_argument("binarize_tree: size mismatch");
+  const RootedForest forest(
+      std::vector<graph::NodeId>(parent.begin(), parent.end()));
+  if (forest.roots().size() != 1)
+    throw std::invalid_argument("binarize_tree: expected exactly one root");
+  return Binarizer(forest, in_value, identity).run(forest.roots()[0]);
+}
+
+std::uint32_t binarized_depth(const BinarizedTree& tree) {
+  if (tree.root < 0) return 0;
+  std::uint32_t max_depth = 0;
+  std::vector<std::pair<std::int32_t, std::uint32_t>> stack{{tree.root, 0u}};
+  while (!stack.empty()) {
+    const auto [v, d] = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, d);
+    if (tree.left[v] >= 0) stack.emplace_back(tree.left[v], d + 1);
+    if (tree.right[v] >= 0) stack.emplace_back(tree.right[v], d + 1);
+  }
+  return max_depth;
+}
+
+}  // namespace rid::algo

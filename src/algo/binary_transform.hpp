@@ -1,0 +1,47 @@
+// Binary-tree transformation (paper Figure 3).
+//
+// The k-ISOMIT-BT dynamic program is defined on binary trees; general
+// cascade trees are binarized by inserting *dummy* nodes between a node and
+// its >2 children (a balanced fan of ceil(log2 c) layers). Dummy nodes carry
+// an identity edge value, contribute nothing to the objective, and can never
+// be selected as initiators, so the transformation preserves the optimum —
+// a property the test suite asserts against the direct general-tree DP.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace rid::algo {
+
+struct BinarizedTree {
+  /// Children indices (into this struct's arrays) or -1.
+  std::vector<std::int32_t> left;
+  std::vector<std::int32_t> right;
+  /// Original node id, or kInvalidNode for dummy nodes.
+  std::vector<graph::NodeId> original;
+  /// Value attached to the edge from the parent (identity for the root and
+  /// for edges into dummy nodes).
+  std::vector<double> in_value;
+  std::int32_t root = -1;
+  std::size_t num_real = 0;
+
+  std::size_t size() const noexcept { return left.size(); }
+  bool is_dummy(std::int32_t v) const noexcept {
+    return original[v] == graph::kInvalidNode;
+  }
+};
+
+/// Binarizes the tree given as a parent array (exactly one root expected;
+/// throws std::invalid_argument otherwise). `in_value[v]` is the payload of
+/// the edge parent(v) -> v (ignored for the root); `identity` is the payload
+/// placed on dummy pass-through edges (1.0 for probability products).
+BinarizedTree binarize_tree(std::span<const graph::NodeId> parent,
+                            std::span<const double> in_value, double identity);
+
+/// Maximum root-to-leaf depth of the binarized tree (root depth = 0).
+std::uint32_t binarized_depth(const BinarizedTree& tree);
+
+}  // namespace rid::algo

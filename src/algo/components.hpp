@@ -1,0 +1,31 @@
+// Weakly-connected components (paper Definition 6 / Section III-E1):
+// connectivity of the directed graph with edge directions ignored.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/signed_graph.hpp"
+
+namespace rid::algo {
+
+struct Components {
+  /// label[v] = component index in [0, count), or kInvalidNode for nodes
+  /// excluded from the restriction set.
+  std::vector<graph::NodeId> label;
+  graph::NodeId count = 0;
+
+  /// Members of each component, grouped (ascending node ids per group).
+  std::vector<std::vector<graph::NodeId>> groups() const;
+};
+
+/// Components over all nodes.
+Components weakly_connected_components(const graph::SignedGraph& graph);
+
+/// Components of the subgraph induced by `restrict_to` (edges between
+/// selected nodes only). Nodes outside the set get label kInvalidNode.
+Components weakly_connected_components(const graph::SignedGraph& graph,
+                                       std::span<const graph::NodeId>
+                                           restrict_to);
+
+}  // namespace rid::algo

@@ -1,0 +1,65 @@
+#include "algo/forest.hpp"
+
+#include <stdexcept>
+
+namespace rid::algo {
+
+RootedForest::RootedForest(std::vector<graph::NodeId> parent)
+    : parent_(std::move(parent)) {
+  const auto n = static_cast<graph::NodeId>(parent_.size());
+  child_offsets_.assign(n + 1, 0);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    const graph::NodeId p = parent_[v];
+    if (p == graph::kInvalidNode) {
+      roots_.push_back(v);
+    } else if (p >= n || p == v) {
+      throw std::invalid_argument("RootedForest: bad parent pointer");
+    } else {
+      ++child_offsets_[p + 1];
+    }
+  }
+  for (graph::NodeId v = 0; v < n; ++v)
+    child_offsets_[v + 1] += child_offsets_[v];
+  child_.resize(n - roots_.size());
+  std::vector<std::size_t> cursor(child_offsets_.begin(),
+                                  child_offsets_.end() - 1);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (parent_[v] != graph::kInvalidNode) child_[cursor[parent_[v]]++] = v;
+  }
+
+  // BFS from roots; if some node is never reached the parent pointers cycle.
+  topo_.reserve(n);
+  topo_.assign(roots_.begin(), roots_.end());
+  for (std::size_t head = 0; head < topo_.size(); ++head) {
+    for (const graph::NodeId c : children(topo_[head])) topo_.push_back(c);
+  }
+  if (topo_.size() != n)
+    throw std::invalid_argument("RootedForest: parent pointers form a cycle");
+}
+
+std::vector<std::uint32_t> RootedForest::depths() const {
+  std::vector<std::uint32_t> depth(num_nodes(), 0);
+  for (const graph::NodeId v : topo_) {
+    if (!is_root(v)) depth[v] = depth[parent_[v]] + 1;
+  }
+  return depth;
+}
+
+std::vector<std::uint32_t> RootedForest::subtree_sizes() const {
+  std::vector<std::uint32_t> size(num_nodes(), 1);
+  for (auto it = topo_.rbegin(); it != topo_.rend(); ++it) {
+    if (!is_root(*it)) size[parent_[*it]] += size[*it];
+  }
+  return size;
+}
+
+std::vector<graph::NodeId> RootedForest::tree_labels() const {
+  std::vector<graph::NodeId> label(num_nodes(), graph::kInvalidNode);
+  for (graph::NodeId i = 0; i < roots_.size(); ++i) label[roots_[i]] = i;
+  for (const graph::NodeId v : topo_) {
+    if (!is_root(v)) label[v] = label[parent_[v]];
+  }
+  return label;
+}
+
+}  // namespace rid::algo

@@ -1,0 +1,59 @@
+// RootedForest: an immutable parent-array forest with children adjacency and
+// ordering helpers. The cascade-extraction step emits one of these per
+// infected component; the DP walks it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace rid::algo {
+
+class RootedForest {
+ public:
+  /// parent[v] = parent node or kInvalidNode for roots. Throws
+  /// std::invalid_argument if the parent pointers contain a cycle or an
+  /// out-of-range id.
+  explicit RootedForest(std::vector<graph::NodeId> parent);
+
+  graph::NodeId num_nodes() const noexcept {
+    return static_cast<graph::NodeId>(parent_.size());
+  }
+  graph::NodeId parent(graph::NodeId v) const noexcept { return parent_[v]; }
+  bool is_root(graph::NodeId v) const noexcept {
+    return parent_[v] == graph::kInvalidNode;
+  }
+  std::span<const graph::NodeId> roots() const noexcept { return roots_; }
+  std::span<const graph::NodeId> children(graph::NodeId v) const noexcept {
+    return {child_.data() + child_offsets_[v],
+            child_offsets_[v + 1] - child_offsets_[v]};
+  }
+  std::size_t num_children(graph::NodeId v) const noexcept {
+    return child_offsets_[v + 1] - child_offsets_[v];
+  }
+
+  /// Nodes ordered parents-before-children (BFS from roots).
+  std::span<const graph::NodeId> topological() const noexcept {
+    return topo_;
+  }
+
+  /// Depth of each node (roots have depth 0).
+  std::vector<std::uint32_t> depths() const;
+
+  /// Size of each node's subtree (node itself included).
+  std::vector<std::uint32_t> subtree_sizes() const;
+
+  /// Component/tree index of each node (trees numbered by root order).
+  std::vector<graph::NodeId> tree_labels() const;
+
+ private:
+  std::vector<graph::NodeId> parent_;
+  std::vector<graph::NodeId> roots_;
+  std::vector<std::size_t> child_offsets_;
+  std::vector<graph::NodeId> child_;
+  std::vector<graph::NodeId> topo_;
+};
+
+}  // namespace rid::algo

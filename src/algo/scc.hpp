@@ -1,0 +1,27 @@
+// Strongly connected components (iterative Tarjan).
+//
+// Used by the NP-hardness analysis: the minimum number of seeds that
+// certainly activate an entire graph equals the number of source components
+// in the condensation of its certainty subgraph.
+#pragma once
+
+#include <vector>
+
+#include "graph/signed_graph.hpp"
+
+namespace rid::algo {
+
+struct SccResult {
+  /// component[v] = SCC index; components are numbered in reverse
+  /// topological order of the condensation (Tarjan's natural order).
+  std::vector<graph::NodeId> component;
+  graph::NodeId count = 0;
+};
+
+SccResult strongly_connected_components(const graph::SignedGraph& graph);
+
+/// Number of condensation components with no incoming inter-component edge.
+std::size_t count_source_components(const graph::SignedGraph& graph,
+                                    const SccResult& scc);
+
+}  // namespace rid::algo

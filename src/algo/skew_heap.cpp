@@ -1,0 +1,54 @@
+#include "algo/skew_heap.hpp"
+
+#include <utility>
+
+namespace rid::algo {
+
+SkewHeapPool::Handle SkewHeapPool::make(double key, std::uint32_t payload) {
+  nodes_.push_back(Node{key, 0.0, kEmpty, kEmpty, payload});
+  return static_cast<Handle>(nodes_.size() - 1);
+}
+
+void SkewHeapPool::prop(Handle h) {
+  Node& node = nodes_[h];
+  if (node.delta == 0.0) return;
+  node.key += node.delta;
+  if (node.left != kEmpty) nodes_[node.left].delta += node.delta;
+  if (node.right != kEmpty) nodes_[node.right].delta += node.delta;
+  node.delta = 0.0;
+}
+
+SkewHeapPool::Handle SkewHeapPool::meld(Handle a, Handle b) {
+  if (a == kEmpty) return b;
+  if (b == kEmpty) return a;
+  prop(a);
+  prop(b);
+  if (nodes_[a].key > nodes_[b].key) std::swap(a, b);
+  // Skew step: swap children and meld into the (new) left slot.
+  Node& root = nodes_[a];
+  const Handle merged = meld(b, root.right);
+  root.right = root.left;
+  root.left = merged;
+  return a;
+}
+
+void SkewHeapPool::add_all(Handle h, double delta) {
+  if (h != kEmpty) nodes_[h].delta += delta;
+}
+
+double SkewHeapPool::top_key(Handle h) {
+  prop(h);
+  return nodes_[h].key;
+}
+
+std::uint32_t SkewHeapPool::top_payload(Handle h) {
+  prop(h);
+  return nodes_[h].payload;
+}
+
+SkewHeapPool::Handle SkewHeapPool::pop(Handle h) {
+  prop(h);
+  return meld(nodes_[h].left, nodes_[h].right);
+}
+
+}  // namespace rid::algo

@@ -1,0 +1,56 @@
+// Pool-backed skew heap with lazy bulk-add, the priority queue inside the
+// fast Edmonds solver. Melding two heaps is O(log n) amortized; add_all
+// applies a delta to every key in a heap in O(1) (lazily propagated).
+//
+// Min-heap over (key + pending deltas); payload is an opaque 32-bit tag.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rid::algo {
+
+class SkewHeapPool {
+ public:
+  /// Heap handle; kEmpty is the empty heap.
+  using Handle = std::int32_t;
+  static constexpr Handle kEmpty = -1;
+
+  void reserve(std::size_t n) { nodes_.reserve(n); }
+
+  /// Creates a singleton heap.
+  Handle make(double key, std::uint32_t payload);
+
+  /// Melds two heaps (either may be kEmpty); returns the merged root.
+  Handle meld(Handle a, Handle b);
+
+  /// Adds `delta` to every key in the heap (lazy).
+  void add_all(Handle h, double delta);
+
+  bool empty(Handle h) const { return h == kEmpty; }
+
+  /// Current minimum key (propagates pending deltas on the root).
+  double top_key(Handle h);
+  std::uint32_t top_payload(Handle h);
+
+  /// Removes the minimum; returns the new root handle.
+  Handle pop(Handle h);
+
+  std::size_t size_allocated() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    double key;
+    double delta;  // pending addition for this node's subtree (self included
+                   // in key already after prop)
+    Handle left;
+    Handle right;
+    std::uint32_t payload;
+  };
+
+  void prop(Handle h);
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace rid::algo

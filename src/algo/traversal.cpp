@@ -1,0 +1,108 @@
+#include "algo/traversal.hpp"
+
+#include <stdexcept>
+
+namespace rid::algo {
+
+std::vector<graph::NodeId> bfs_order(const graph::SignedGraph& graph,
+                                     graph::NodeId source) {
+  std::vector<graph::NodeId> order;
+  std::vector<bool> visited(graph.num_nodes(), false);
+  order.push_back(source);
+  visited[source] = true;
+  for (std::size_t head = 0; head < order.size(); ++head) {
+    const graph::NodeId u = order[head];
+    for (const graph::NodeId v : graph.out_neighbors(u)) {
+      if (!visited[v]) {
+        visited[v] = true;
+        order.push_back(v);
+      }
+    }
+  }
+  return order;
+}
+
+std::vector<std::uint32_t> bfs_distances(const graph::SignedGraph& graph,
+                                         graph::NodeId source) {
+  std::vector<std::uint32_t> dist(graph.num_nodes(), kUnreachable);
+  std::vector<graph::NodeId> frontier{source};
+  dist[source] = 0;
+  for (std::size_t head = 0; head < frontier.size(); ++head) {
+    const graph::NodeId u = frontier[head];
+    for (const graph::NodeId v : graph.out_neighbors(u)) {
+      if (dist[v] == kUnreachable) {
+        dist[v] = dist[u] + 1;
+        frontier.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<graph::NodeId> dfs_preorder(const graph::SignedGraph& graph,
+                                        graph::NodeId source) {
+  std::vector<graph::NodeId> order;
+  std::vector<bool> visited(graph.num_nodes(), false);
+  std::vector<graph::NodeId> stack{source};
+  while (!stack.empty()) {
+    const graph::NodeId u = stack.back();
+    stack.pop_back();
+    if (visited[u]) continue;
+    visited[u] = true;
+    order.push_back(u);
+    // Push in reverse so the smallest neighbor is explored first.
+    const auto neighbors = graph.out_neighbors(u);
+    for (std::size_t i = neighbors.size(); i > 0; --i) {
+      if (!visited[neighbors[i - 1]]) stack.push_back(neighbors[i - 1]);
+    }
+  }
+  return order;
+}
+
+bool has_directed_cycle(const graph::SignedGraph& graph) {
+  enum : std::uint8_t { kWhite = 0, kGray = 1, kBlack = 2 };
+  std::vector<std::uint8_t> color(graph.num_nodes(), kWhite);
+  // Each stack frame is (node, next out-edge offset to explore).
+  std::vector<std::pair<graph::NodeId, std::size_t>> stack;
+  for (graph::NodeId start = 0; start < graph.num_nodes(); ++start) {
+    if (color[start] != kWhite) continue;
+    stack.emplace_back(start, 0);
+    color[start] = kGray;
+    while (!stack.empty()) {
+      auto& [u, next] = stack.back();
+      const auto neighbors = graph.out_neighbors(u);
+      if (next < neighbors.size()) {
+        const graph::NodeId v = neighbors[next++];
+        if (color[v] == kGray) return true;
+        if (color[v] == kWhite) {
+          color[v] = kGray;
+          stack.emplace_back(v, 0);
+        }
+      } else {
+        color[u] = kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<graph::NodeId> topological_order(const graph::SignedGraph& graph) {
+  const graph::NodeId n = graph.num_nodes();
+  std::vector<std::size_t> in_degree(n);
+  for (graph::NodeId v = 0; v < n; ++v) in_degree[v] = graph.in_degree(v);
+  std::vector<graph::NodeId> order;
+  order.reserve(n);
+  for (graph::NodeId v = 0; v < n; ++v)
+    if (in_degree[v] == 0) order.push_back(v);
+  for (std::size_t head = 0; head < order.size(); ++head) {
+    for (const graph::NodeId v : graph.out_neighbors(order[head])) {
+      if (--in_degree[v] == 0) order.push_back(v);
+    }
+  }
+  if (order.size() != n)
+    throw std::invalid_argument("topological_order: graph has a cycle");
+  return order;
+}
+
+}  // namespace rid::algo

@@ -1,0 +1,35 @@
+// Graph traversals (paper Section III-E1 uses BFS/DFS for component
+// detection; the library also uses them for validation and diagnostics).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/signed_graph.hpp"
+
+namespace rid::algo {
+
+inline constexpr std::uint32_t kUnreachable = 0xffffffffu;
+
+/// Nodes reachable from `source` following out-edges, in BFS order
+/// (including the source).
+std::vector<graph::NodeId> bfs_order(const graph::SignedGraph& graph,
+                                     graph::NodeId source);
+
+/// Hop distance from `source` along out-edges; kUnreachable if not reachable.
+std::vector<std::uint32_t> bfs_distances(const graph::SignedGraph& graph,
+                                         graph::NodeId source);
+
+/// Iterative DFS preorder from `source` following out-edges.
+std::vector<graph::NodeId> dfs_preorder(const graph::SignedGraph& graph,
+                                        graph::NodeId source);
+
+/// True if the directed graph contains a cycle (iterative three-color DFS).
+bool has_directed_cycle(const graph::SignedGraph& graph);
+
+/// Topological order of a DAG (Kahn). Throws std::invalid_argument if the
+/// graph has a cycle.
+std::vector<graph::NodeId> topological_order(const graph::SignedGraph& graph);
+
+}  // namespace rid::algo

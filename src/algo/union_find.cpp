@@ -1,0 +1,62 @@
+#include "algo/union_find.hpp"
+
+#include <numeric>
+#include <utility>
+
+namespace rid::algo {
+
+UnionFind::UnionFind(std::size_t n)
+    : parent_(n), size_(n, 1), num_sets_(n) {
+  std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+}
+
+std::size_t UnionFind::find(std::size_t x) noexcept {
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // path halving
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool UnionFind::unite(std::size_t a, std::size_t b) noexcept {
+  a = find(a);
+  b = find(b);
+  if (a == b) return false;
+  if (size_[a] < size_[b]) std::swap(a, b);
+  parent_[b] = a;
+  size_[a] += size_[b];
+  --num_sets_;
+  return true;
+}
+
+RollbackUnionFind::RollbackUnionFind(std::size_t n)
+    : parent_(n), size_(n, 1) {
+  std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+}
+
+std::size_t RollbackUnionFind::find(std::size_t x) const noexcept {
+  while (parent_[x] != x) x = parent_[x];
+  return x;
+}
+
+bool RollbackUnionFind::unite(std::size_t a, std::size_t b) noexcept {
+  a = find(a);
+  b = find(b);
+  if (a == b) return false;
+  if (size_[a] < size_[b]) std::swap(a, b);
+  parent_[b] = a;
+  size_[a] += size_[b];
+  history_.push_back(b);
+  return true;
+}
+
+void RollbackUnionFind::rollback(std::size_t t) noexcept {
+  while (history_.size() > t) {
+    const std::size_t b = history_.back();
+    history_.pop_back();
+    size_[parent_[b]] -= size_[b];
+    parent_[b] = b;
+  }
+}
+
+}  // namespace rid::algo

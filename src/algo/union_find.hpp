@@ -1,0 +1,54 @@
+// Disjoint-set union structures.
+//
+// UnionFind: path-halving + union by size (near-constant amortized ops);
+// used for weakly-connected components.
+// RollbackUnionFind: union by size without path compression, supporting
+// rollback to an earlier time point; required by the fast Edmonds solver,
+// which contracts cycles and later unwinds the contractions to reconstruct
+// the chosen arcs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace rid::algo {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n);
+
+  std::size_t find(std::size_t x) noexcept;
+  /// Merges the sets of a and b; returns false if already joined.
+  bool unite(std::size_t a, std::size_t b) noexcept;
+  bool same(std::size_t a, std::size_t b) noexcept { return find(a) == find(b); }
+  std::size_t size_of(std::size_t x) noexcept { return size_[find(x)]; }
+  std::size_t num_sets() const noexcept { return num_sets_; }
+  std::size_t num_elements() const noexcept { return parent_.size(); }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+  std::size_t num_sets_;
+};
+
+/// Union-find with history; find() has O(log n) worst case (no compression).
+class RollbackUnionFind {
+ public:
+  explicit RollbackUnionFind(std::size_t n);
+
+  std::size_t find(std::size_t x) const noexcept;
+  bool unite(std::size_t a, std::size_t b) noexcept;
+  /// Number of unite() calls that succeeded so far — a "time" token.
+  std::size_t time() const noexcept { return history_.size(); }
+  /// Undoes successful unites until time() == t. Requires t <= time().
+  void rollback(std::size_t t) noexcept;
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+  std::vector<std::size_t> history_;  // roots absorbed, in order
+};
+
+}  // namespace rid::algo

@@ -1,0 +1,42 @@
+#include "core/baselines.hpp"
+
+#include <algorithm>
+
+#include "graph/subgraph.hpp"
+
+namespace rid::core {
+
+namespace {
+
+DetectionResult roots_of_forest(const CascadeForest& forest) {
+  DetectionResult out;
+  out.num_components = forest.num_components;
+  out.num_trees = forest.trees.size();
+  for (const CascadeTree& tree : forest.trees)
+    out.initiators.push_back(tree.global[tree.root]);
+  std::sort(out.initiators.begin(), out.initiators.end());
+  // These baselines identify identities only (paper IV-B2).
+  out.states.assign(out.initiators.size(), graph::NodeState::kUnknown);
+  return out;
+}
+
+}  // namespace
+
+DetectionResult run_rid_tree(const graph::SignedGraph& diffusion,
+                             std::span<const graph::NodeState> states,
+                             const BaselineConfig& config) {
+  const CascadeForest forest =
+      extract_cascade_forest(diffusion, states, config.extraction);
+  return roots_of_forest(forest);
+}
+
+DetectionResult run_rid_positive(const graph::SignedGraph& diffusion,
+                                 std::span<const graph::NodeState> states,
+                                 const BaselineConfig& config) {
+  const graph::SignedGraph positive_only = graph::positive_subgraph(diffusion);
+  const CascadeForest forest =
+      extract_cascade_forest(positive_only, states, config.extraction);
+  return roots_of_forest(forest);
+}
+
+}  // namespace rid::core

@@ -1,0 +1,34 @@
+// Baseline detectors from the paper's experiment section (IV-B1).
+//
+// RID-Tree: steps 1-2 of RID only (component detection + maximum-likelihood
+// cascade-tree extraction); the tree roots are reported as initiators. This
+// is the signed-network generalization of the Lappas et al. effector-tree
+// approach, using Chu-Liu/Edmonds. It does not infer initiator states
+// (reported as kUnknown).
+//
+// RID-Positive: discards all negative links, extracts diffusion trees on
+// the positive-only subgraph with the unsigned method, and reports the
+// roots. Nodes whose only incoming links are negative become spurious
+// roots, which is why its precision collapses on distrust-heavy networks.
+#pragma once
+
+#include <span>
+
+#include "core/cascade_extraction.hpp"
+#include "core/isomit.hpp"
+
+namespace rid::core {
+
+struct BaselineConfig {
+  ExtractionConfig extraction;
+};
+
+DetectionResult run_rid_tree(const graph::SignedGraph& diffusion,
+                             std::span<const graph::NodeState> states,
+                             const BaselineConfig& config);
+
+DetectionResult run_rid_positive(const graph::SignedGraph& diffusion,
+                                 std::span<const graph::NodeState> states,
+                                 const BaselineConfig& config);
+
+}  // namespace rid::core

@@ -1,0 +1,193 @@
+#include "core/cascade_extraction.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "algo/arborescence.hpp"
+#include "algo/components.hpp"
+#include "algo/forest.hpp"
+#include "core/isomit.hpp"
+#include "util/logging.hpp"
+
+namespace rid::core {
+
+namespace {
+
+/// Arc score before log: either the raw weight or the g-factor. Unknown
+/// states are treated optimistically (as if consistent) because imputation
+/// will later choose the consistent interpretation.
+double raw_arc_score(const graph::SignedGraph& diffusion, graph::EdgeId e,
+                     std::span<const graph::NodeState> states,
+                     const ExtractionConfig& config) {
+  if (config.arc_score == ArcScore::kRawWeight) return diffusion.edge_weight(e);
+  const graph::NodeState sx = states[diffusion.edge_src(e)];
+  const graph::NodeState sy = states[diffusion.edge_dst(e)];
+  const double w = diffusion.edge_weight(e);
+  if (sx == graph::NodeState::kUnknown || sy == graph::NodeState::kUnknown) {
+    // Optimistic consistent interpretation.
+    if (diffusion.edge_sign(e) == graph::Sign::kPositive)
+      return std::min(1.0, config.likelihood.alpha * w);
+    return w;
+  }
+  return diffusion::g_factor(sx, diffusion.edge_sign(e), sy, w,
+                             config.likelihood);
+}
+
+}  // namespace
+
+void annotate_g_factors(CascadeTree& tree, const graph::SignedGraph& diffusion,
+                        const diffusion::LikelihoodConfig& config) {
+  for (std::size_t v = 0; v < tree.size(); ++v) {
+    if (tree.parent[v] == graph::kInvalidNode) {
+      tree.in_g[v] = 1.0;
+      continue;
+    }
+    const graph::EdgeId e = tree.parent_edge[v];
+    tree.in_g[v] =
+        diffusion::g_factor(tree.state[tree.parent[v]], diffusion.edge_sign(e),
+                            tree.state[v], diffusion.edge_weight(e), config);
+  }
+}
+
+void apply_candidate_mask(CascadeForest& forest,
+                          const std::vector<bool>& candidates) {
+  for (CascadeTree& tree : forest.trees) {
+    tree.can_initiate.assign(tree.size(), true);
+    for (std::size_t v = 0; v < tree.size(); ++v) {
+      const graph::NodeId global = tree.global[v];
+      if (global >= candidates.size())
+        throw std::invalid_argument(
+            "apply_candidate_mask: candidates smaller than node universe");
+      tree.can_initiate[v] = candidates[global];
+    }
+  }
+}
+
+CascadeForest extract_cascade_forest(const graph::SignedGraph& diffusion,
+                                     std::span<const graph::NodeState> states,
+                                     const ExtractionConfig& config) {
+  validate_snapshot(diffusion, states);
+  if (config.score_floor <= 0.0 || config.score_floor >= 1.0)
+    throw std::invalid_argument(
+        "extract_cascade_forest: score_floor outside (0, 1)");
+
+  CascadeForest out;
+  const std::vector<graph::NodeId> infected = infected_nodes(states);
+  if (infected.empty()) return out;
+
+  const algo::Components comps =
+      algo::weakly_connected_components(diffusion, infected);
+  out.num_components = comps.count;
+  const auto groups = comps.groups();
+
+  // Scratch local-index map, reset per component (avoids O(n) per group).
+  std::vector<graph::NodeId> to_local(diffusion.num_nodes(),
+                                      graph::kInvalidNode);
+  for (const std::vector<graph::NodeId>& members : groups) {
+    for (graph::NodeId i = 0; i < members.size(); ++i)
+      to_local[members[i]] = i;
+
+    // Candidate activation arcs: every diffusion edge inside the component.
+    std::vector<algo::WeightedArc> arcs;
+    for (graph::NodeId i = 0; i < members.size(); ++i) {
+      const graph::NodeId u = members[i];
+      for (const graph::EdgeId e : diffusion.out_edge_ids(u)) {
+        const graph::NodeId v = diffusion.edge_dst(e);
+        if (to_local[v] == graph::kInvalidNode) continue;
+        const double score = raw_arc_score(diffusion, e, states, config);
+        arcs.push_back({i, to_local[v],
+                        std::log(std::max(score, config.score_floor)), e});
+      }
+    }
+    out.num_candidate_arcs += arcs.size();
+
+    const algo::Branching branching =
+        config.use_fast_solver
+            ? algo::max_branching_fast(
+                  static_cast<graph::NodeId>(members.size()), arcs)
+            : algo::max_branching_simple(
+                  static_cast<graph::NodeId>(members.size()), arcs);
+
+    // Split the branching into trees.
+    const algo::RootedForest forest(branching.parent);
+    const auto tree_label = forest.tree_labels();
+    const std::size_t num_trees = forest.roots().size();
+
+    std::vector<CascadeTree> trees(num_trees);
+    std::vector<graph::NodeId> tree_local(members.size(),
+                                          graph::kInvalidNode);
+    // Assign tree-local ids in topological (parent-first) order so the root
+    // always gets local index 0 and parents precede children.
+    for (const graph::NodeId v : forest.topological()) {
+      CascadeTree& tree = trees[tree_label[v]];
+      tree_local[v] = static_cast<graph::NodeId>(tree.global.size());
+      tree.global.push_back(members[v]);
+      if (forest.is_root(v)) {
+        tree.parent.push_back(graph::kInvalidNode);
+        tree.parent_edge.push_back(graph::kInvalidEdge);
+      } else {
+        tree.parent.push_back(tree_local[forest.parent(v)]);
+        tree.parent_edge.push_back(arcs[branching.parent_arc[v]].id);
+      }
+      tree.state.push_back(states[members[v]]);
+    }
+
+    for (CascadeTree& tree : trees) {
+      tree.root = 0;
+      tree.in_g.assign(tree.size(), 1.0);
+      // Impute unknown states top-down: pick the sign-consistent state given
+      // the parent; unknown roots default to +1.
+      for (std::size_t v = 0; v < tree.size(); ++v) {
+        if (tree.state[v] != graph::NodeState::kUnknown) continue;
+        if (tree.parent[v] == graph::kInvalidNode) {
+          tree.state[v] = graph::NodeState::kPositive;
+        } else {
+          const graph::EdgeId e = tree.parent_edge[v];
+          tree.state[v] = graph::propagate_state(tree.state[tree.parent[v]],
+                                                 diffusion.edge_sign(e));
+        }
+      }
+      annotate_g_factors(tree, diffusion, config.likelihood);
+
+      // Side-evidence factors (see CascadeTree::side_q): every non-tree,
+      // sign-consistent in-edge from an infected node contributes (1 - g).
+      tree.side_q.assign(tree.size(), 1.0);
+      if (config.side_evidence) {
+        for (std::size_t v = 0; v < tree.size(); ++v) {
+          const graph::NodeId gu = tree.global[v];
+          for (const graph::EdgeId e : diffusion.in_edge_ids(gu)) {
+            if (e == tree.parent_edge[v]) continue;
+            const graph::NodeId src = diffusion.edge_src(e);
+            const graph::NodeState src_state = states[src];
+            if (!graph::is_active(src_state)) continue;
+            double g;
+            if (graph::is_opinion(src_state)) {
+              g = diffusion::g_factor(src_state, diffusion.edge_sign(e),
+                                      tree.state[v], diffusion.edge_weight(e),
+                                      config.likelihood);
+            } else {
+              // Unknown-state source: optimistic consistent interpretation.
+              const double w = diffusion.edge_weight(e);
+              g = diffusion.edge_sign(e) == graph::Sign::kPositive
+                      ? std::min(1.0, config.likelihood.alpha * w)
+                      : w;
+            }
+            tree.side_q[v] *= 1.0 - g;
+          }
+        }
+      }
+      out.trees.push_back(std::move(tree));
+    }
+
+    for (const graph::NodeId v : members) to_local[v] = graph::kInvalidNode;
+  }
+
+  util::log_debug("extract_cascade_forest: ", infected.size(),
+                  " infected nodes, ", out.num_components, " components, ",
+                  out.trees.size(), " trees, ", out.num_candidate_arcs,
+                  " candidate arcs");
+  return out;
+}
+
+}  // namespace rid::core

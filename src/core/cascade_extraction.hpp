@@ -1,0 +1,101 @@
+// Infected cascade forest extraction (paper Section III-E1/E2,
+// Algorithms 2-4).
+//
+// Pipeline per snapshot:
+//  1. restrict the diffusion network to the infected nodes;
+//  2. split into weakly-connected components (Definition 6);
+//  3. per component, extract the maximum-likelihood spanning cascade forest
+//     with Chu-Liu/Edmonds over log arc scores (L(T) = prod score(u, v));
+//  4. each root of the resulting branching starts one CascadeTree; unknown
+//     ('?') states are imputed top-down along tree edges; each tree edge is
+//     annotated with its g-factor, which is what the DP consumes.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "diffusion/likelihood.hpp"
+#include "graph/signed_graph.hpp"
+
+namespace rid::core {
+
+/// One extracted cascade tree over diffusion-network nodes.
+struct CascadeTree {
+  /// tree-local index -> diffusion-network node id.
+  std::vector<graph::NodeId> global;
+  /// tree-local parent index, or kInvalidNode for the root.
+  std::vector<graph::NodeId> parent;
+  /// Diffusion EdgeId realized by the parent link (kInvalidEdge for root).
+  std::vector<graph::EdgeId> parent_edge;
+  /// g-factor of the parent link under the observed/imputed states
+  /// (1.0 for the root). Zero marks a sign-inconsistent activation link.
+  std::vector<double> in_g;
+  /// Observed opinion per node; '?' states already imputed to +1/-1.
+  std::vector<graph::NodeState> state;
+  /// Side-evidence factor Q(u) = prod over *non-tree* sign-consistent
+  /// infected in-edges of (1 - g). The paper's P(u, s(u)|I, S) ranges over
+  /// all influence paths; inside a merged infected component every
+  /// consistent infected in-neighbor terminates such a path, so the DP
+  /// scores P(u | nearest initiator at distance j)
+  ///   = 1 - (1 - pathprod(u, j)) * Q(u),
+  /// a tractable one-hop lower bound on the full path-union formula.
+  /// Q = 1 (no side evidence) recovers the pure tree objective.
+  std::vector<double> side_q;
+  /// Optional per-node initiator eligibility (empty = everyone eligible).
+  /// Ineligible nodes are treated like binarization dummies by the DP: they
+  /// still carry likelihood but can never be selected. Used for
+  /// candidate-restricted detection (e.g. only users active in an earlier
+  /// snapshot can be initiators).
+  std::vector<bool> can_initiate;
+  /// tree-local root index (always 0 by construction).
+  graph::NodeId root = 0;
+
+  std::size_t size() const noexcept { return global.size(); }
+};
+
+/// How candidate activation arcs are scored during tree extraction.
+enum class ArcScore {
+  /// Raw diffusion weight w(u, v) — the paper's L(T) = prod w(u, v).
+  kRawWeight,
+  /// The MFC-aware g-factor (boosted positives, zero for inconsistent
+  /// links, clamped to a small floor so log stays finite). Extension mode.
+  kGFactor,
+};
+
+struct ExtractionConfig {
+  ArcScore arc_score = ArcScore::kRawWeight;
+  diffusion::LikelihoodConfig likelihood;
+  /// Fill CascadeTree::side_q from the non-tree consistent infected
+  /// in-edges (see CascadeTree::side_q). When false, side_q is all 1.0 and
+  /// the DP reduces to the pure tree-path objective.
+  bool side_evidence = true;
+  /// Floor applied before log() so zero-probability arcs stay representable
+  /// (they are only chosen when a node would otherwise be uncovered).
+  double score_floor = 1e-12;
+  /// Use the O(E log V) solver (true) or the paper-faithful recursive
+  /// contraction solver (false). Results have equal total weight.
+  bool use_fast_solver = true;
+};
+
+struct CascadeForest {
+  std::vector<CascadeTree> trees;
+  std::size_t num_components = 0;
+  std::size_t num_candidate_arcs = 0;
+};
+
+/// Runs steps 1-4 for the whole snapshot.
+CascadeForest extract_cascade_forest(const graph::SignedGraph& diffusion,
+                                     std::span<const graph::NodeState> states,
+                                     const ExtractionConfig& config);
+
+/// Recomputes in_g for a tree after state changes (used by tests).
+void annotate_g_factors(CascadeTree& tree, const graph::SignedGraph& diffusion,
+                        const diffusion::LikelihoodConfig& config);
+
+/// Restricts initiator eligibility across the forest: candidates[v] must be
+/// true for diffusion-network node v to remain selectable. Throws
+/// std::invalid_argument on a size mismatch with the forest's node universe.
+void apply_candidate_mask(CascadeForest& forest,
+                          const std::vector<bool>& candidates);
+
+}  // namespace rid::core

@@ -1,0 +1,62 @@
+#include "core/ensemble.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace rid::core {
+
+EnsembleResult run_rid_ensemble(const graph::SignedGraph& diffusion,
+                                std::span<const graph::NodeState> states,
+                                const EnsembleConfig& config, util::Rng& rng) {
+  if (config.num_replicas == 0)
+    throw std::invalid_argument("run_rid_ensemble: num_replicas == 0");
+  if (config.weight_jitter < 0.0 || config.weight_jitter >= 1.0)
+    throw std::invalid_argument(
+        "run_rid_ensemble: weight_jitter outside [0, 1)");
+
+  struct Votes {
+    std::size_t count = 0;
+    int state_sum = 0;  // +1 per positive vote, -1 per negative
+  };
+  std::map<graph::NodeId, Votes> votes;
+
+  for (std::size_t replica = 0; replica < config.num_replicas; ++replica) {
+    DetectionResult result;
+    if (replica == 0 || config.weight_jitter == 0.0) {
+      result = run_rid(diffusion, states, config.rid);
+    } else {
+      graph::SignedGraph jittered = diffusion;
+      util::Rng jitter_rng = rng.split();
+      for (graph::EdgeId e = 0; e < jittered.num_edges(); ++e) {
+        const double factor = jitter_rng.uniform(1.0 - config.weight_jitter,
+                                                 1.0 + config.weight_jitter);
+        jittered.set_edge_weight(
+            e, std::clamp(jittered.edge_weight(e) * factor, 0.0, 1.0));
+      }
+      result = run_rid(jittered, states, config.rid);
+    }
+    for (std::size_t i = 0; i < result.initiators.size(); ++i) {
+      Votes& entry = votes[result.initiators[i]];
+      ++entry.count;
+      if (graph::is_opinion(result.states[i]))
+        entry.state_sum += graph::state_value(result.states[i]);
+    }
+  }
+
+  EnsembleResult out;
+  out.candidates_seen = votes.size();
+  const double denom = static_cast<double>(config.num_replicas);
+  for (const auto& [node, entry] : votes) {
+    const double support = static_cast<double>(entry.count) / denom;
+    if (support + 1e-12 < config.support_threshold) continue;
+    out.consensus.initiators.push_back(node);
+    out.consensus.states.push_back(entry.state_sum >= 0
+                                       ? graph::NodeState::kPositive
+                                       : graph::NodeState::kNegative);
+    out.support.push_back(support);
+  }
+  return out;
+}
+
+}  // namespace rid::core

@@ -1,0 +1,47 @@
+// Ensemble (bootstrap) rumor initiator detection — an extension.
+//
+// The extracted cascade forest is sensitive to small weight differences
+// (near-ties in the Edmonds selection). Re-running RID under small
+// multiplicative weight jitter and keeping the nodes detected in a large
+// fraction of the replicas yields (a) a stability-filtered initiator set
+// and (b) a per-initiator support score that is often better calibrated
+// than any single run.
+#pragma once
+
+#include <span>
+
+#include "core/rid.hpp"
+#include "util/rng.hpp"
+
+namespace rid::core {
+
+struct EnsembleConfig {
+  RidConfig rid;
+  /// Number of jittered replicas (>= 1). replica 0 always uses the
+  /// unperturbed weights.
+  std::size_t num_replicas = 10;
+  /// Multiplicative jitter: each replica's edge weight is
+  /// clamp(w * U[1-jitter, 1+jitter], 0, 1).
+  double weight_jitter = 0.1;
+  /// Keep initiators detected in at least this fraction of replicas.
+  double support_threshold = 0.5;
+};
+
+struct EnsembleResult {
+  /// Stability-filtered detection (support >= threshold), sorted by id;
+  /// states are the majority vote across supporting replicas.
+  DetectionResult consensus;
+  /// Support of each consensus initiator (fraction of replicas), aligned
+  /// with consensus.initiators.
+  std::vector<double> support;
+  /// Total distinct nodes detected by any replica.
+  std::size_t candidates_seen = 0;
+};
+
+/// Runs `num_replicas` jittered RID detections and aggregates them.
+/// Deterministic given `rng`'s seed.
+EnsembleResult run_rid_ensemble(const graph::SignedGraph& diffusion,
+                                std::span<const graph::NodeState> states,
+                                const EnsembleConfig& config, util::Rng& rng);
+
+}  // namespace rid::core

@@ -1,0 +1,20 @@
+// Direct dynamic program on the *non-binarized* cascade tree.
+//
+// Mathematically identical to BinarizedTreeDp (the binarization dummies are
+// pure pass-throughs); children are combined with a sequential exact-k
+// knapsack instead of the binary split. Exposed primarily so the test suite
+// can assert opt-curve equality between the two formulations — the paper's
+// Figure-3 transformation is thereby verified to be lossless.
+#pragma once
+
+#include <vector>
+
+#include "core/cascade_extraction.hpp"
+
+namespace rid::core {
+
+/// opt[k] (exact-k, k = 1..k_max; index 0 = -inf) for the tree.
+std::vector<double> general_tree_opt_curve(const CascadeTree& tree,
+                                           std::uint32_t k_max);
+
+}  // namespace rid::core

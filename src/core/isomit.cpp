@@ -1,0 +1,23 @@
+#include "core/isomit.hpp"
+
+#include <stdexcept>
+
+namespace rid::core {
+
+std::vector<graph::NodeId> infected_nodes(
+    std::span<const graph::NodeState> states) {
+  std::vector<graph::NodeId> out;
+  for (std::size_t v = 0; v < states.size(); ++v) {
+    if (graph::is_active(states[v])) out.push_back(static_cast<graph::NodeId>(v));
+  }
+  return out;
+}
+
+void validate_snapshot(const graph::SignedGraph& diffusion,
+                       std::span<const graph::NodeState> states) {
+  if (states.size() != diffusion.num_nodes())
+    throw std::invalid_argument(
+        "validate_snapshot: states size != num_nodes");
+}
+
+}  // namespace rid::core

@@ -1,0 +1,40 @@
+// ISOMIT problem vocabulary (paper Section II-B).
+//
+// Input: a diffusion network plus a snapshot of per-node states in
+// {+1, -1, 0, ?}. Output: the inferred rumor initiators — number,
+// identities, and initial states.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/signed_graph.hpp"
+
+namespace rid::core {
+
+/// Output of every detector (RID and the baselines).
+struct DetectionResult {
+  /// Detected initiator node ids (diffusion-network ids), sorted ascending.
+  std::vector<graph::NodeId> initiators;
+  /// Inferred initial states aligned with `initiators`; kUnknown for
+  /// methods that do not infer states (RID-Tree, RID-Positive).
+  std::vector<graph::NodeState> states;
+
+  // Diagnostics.
+  std::size_t num_components = 0;  // infected connected components
+  std::size_t num_trees = 0;       // extracted cascade trees
+  double total_opt = 0.0;          // sum of per-tree OPT values (RID only)
+  double total_objective = 0.0;    // sum of per-tree penalized objectives
+};
+
+/// The infected node set of a snapshot: every node whose state is active
+/// (+1, -1 or ?).
+std::vector<graph::NodeId> infected_nodes(
+    std::span<const graph::NodeState> states);
+
+/// Validates a snapshot: state vector sized to the graph; throws
+/// std::invalid_argument otherwise.
+void validate_snapshot(const graph::SignedGraph& diffusion,
+                       std::span<const graph::NodeState> states);
+
+}  // namespace rid::core

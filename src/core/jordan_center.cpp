@@ -1,0 +1,96 @@
+#include "core/jordan_center.hpp"
+
+#include <algorithm>
+
+#include "algo/forest.hpp"
+
+namespace rid::core {
+
+namespace {
+
+/// BFS over the undirected tree from `start`; returns (distances, farthest
+/// node, parent pointers of the BFS tree).
+struct BfsResult {
+  std::vector<std::uint32_t> dist;
+  std::vector<graph::NodeId> parent;
+  graph::NodeId farthest;
+};
+
+BfsResult tree_bfs(const algo::RootedForest& forest, graph::NodeId start) {
+  const graph::NodeId n = forest.num_nodes();
+  BfsResult out;
+  out.dist.assign(n, 0xffffffffu);
+  out.parent.assign(n, graph::kInvalidNode);
+  std::vector<graph::NodeId> queue{start};
+  out.dist[start] = 0;
+  out.farthest = start;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const graph::NodeId u = queue[head];
+    const auto visit = [&](graph::NodeId v) {
+      if (v == graph::kInvalidNode || out.dist[v] != 0xffffffffu) return;
+      out.dist[v] = out.dist[u] + 1;
+      out.parent[v] = u;
+      queue.push_back(v);
+    };
+    visit(forest.parent(u));
+    for (const graph::NodeId c : forest.children(u)) visit(c);
+    if (out.dist[queue[head]] > out.dist[out.farthest])
+      out.farthest = queue[head];
+  }
+  // farthest: last max encountered; recompute deterministically (smallest id
+  // among maxima).
+  graph::NodeId best = start;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (out.dist[v] != 0xffffffffu && out.dist[v] > out.dist[best]) best = v;
+  }
+  out.farthest = best;
+  return out;
+}
+
+}  // namespace
+
+std::vector<graph::NodeId> jordan_centers(const CascadeTree& tree) {
+  if (tree.size() == 0) return {};
+  if (tree.size() == 1) return {0};
+  const algo::RootedForest forest(tree.parent);
+
+  // Double-BFS: endpoints of a diameter path, then walk to its middle.
+  const BfsResult from_root = tree_bfs(forest, tree.root);
+  const graph::NodeId a = from_root.farthest;
+  const BfsResult from_a = tree_bfs(forest, a);
+  const graph::NodeId b = from_a.farthest;
+  const std::uint32_t diameter = from_a.dist[b];
+
+  // Path b -> a via BFS parents; the center sits diameter/2 from b.
+  std::vector<graph::NodeId> path;
+  for (graph::NodeId v = b; v != graph::kInvalidNode; v = from_a.parent[v])
+    path.push_back(v);
+  std::vector<graph::NodeId> centers;
+  if (diameter % 2 == 0) {
+    centers.push_back(path[diameter / 2]);
+  } else {
+    centers.push_back(path[diameter / 2]);
+    centers.push_back(path[diameter / 2 + 1]);
+    std::sort(centers.begin(), centers.end());
+  }
+  return centers;
+}
+
+DetectionResult run_jordan_center(const graph::SignedGraph& diffusion,
+                                  std::span<const graph::NodeState> states,
+                                  const BaselineConfig& config) {
+  const CascadeForest forest =
+      extract_cascade_forest(diffusion, states, config.extraction);
+  DetectionResult out;
+  out.num_components = forest.num_components;
+  out.num_trees = forest.trees.size();
+  for (const CascadeTree& tree : forest.trees) {
+    const auto centers = jordan_centers(tree);
+    if (!centers.empty()) out.initiators.push_back(tree.global[centers[0]]);
+  }
+  std::sort(out.initiators.begin(), out.initiators.end());
+  out.states.assign(out.initiators.size(), graph::NodeState::kUnknown);
+  return out;
+}
+
+}  // namespace rid::core

@@ -1,0 +1,30 @@
+// Jordan-center baseline (extension; not part of the paper's evaluation).
+//
+// The Jordan center — the node minimizing the maximum distance to every
+// other infected node — is the other classical single-source estimator in
+// the epidemic source-detection literature (alongside Shah-Zaman rumor
+// centrality). We compute it per extracted cascade tree on the undirected
+// tree metric, where it is the midpoint of a longest path (diameter) and
+// costs two BFS traversals.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/baselines.hpp"
+
+namespace rid::core {
+
+/// Eccentricity-minimizing node(s) of the tree (undirected view). Returns
+/// one or two tree-local indices (a tree's center is a vertex or an edge);
+/// the smaller id first.
+std::vector<graph::NodeId> jordan_centers(const CascadeTree& tree);
+
+/// Extracts the cascade forest and reports each tree's Jordan center (ties
+/// broken toward the smaller node id). One initiator per tree; states are
+/// not inferred.
+DetectionResult run_jordan_center(const graph::SignedGraph& diffusion,
+                                  std::span<const graph::NodeState> states,
+                                  const BaselineConfig& config);
+
+}  // namespace rid::core

@@ -1,0 +1,98 @@
+#include "core/rid.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rid::core {
+
+DetectionResult run_rid_on_forest(const CascadeForest& forest,
+                                  const RidConfig& config) {
+  DetectionResult out;
+  out.num_components = forest.num_components;
+  out.num_trees = forest.trees.size();
+
+  // Trees are independent; solve them (optionally) in parallel and merge
+  // the per-tree solutions in deterministic tree order.
+  std::vector<TreeSolution> solutions(forest.trees.size());
+  util::parallel_for_each(
+      forest.trees.size(), config.num_threads, [&](std::size_t i) {
+        solutions[i] = solve_tree(forest.trees[i], config.beta, config.dp);
+      });
+
+  std::vector<std::pair<graph::NodeId, graph::NodeState>> found;
+  for (std::size_t t = 0; t < forest.trees.size(); ++t) {
+    const CascadeTree& tree = forest.trees[t];
+    const TreeSolution& solution = solutions[t];
+    out.total_opt += solution.opt;
+    out.total_objective += solution.objective;
+    for (std::size_t i = 0; i < solution.initiators.size(); ++i) {
+      found.emplace_back(tree.global[solution.initiators[i]],
+                         solution.states[i]);
+    }
+  }
+  std::sort(found.begin(), found.end());
+  out.initiators.reserve(found.size());
+  out.states.reserve(found.size());
+  for (const auto& [node, state] : found) {
+    out.initiators.push_back(node);
+    out.states.push_back(state);
+  }
+  return out;
+}
+
+std::vector<DetectionResult> run_rid_betas(const CascadeForest& forest,
+                                            std::span<const double> betas,
+                                            const RidConfig& config) {
+  std::vector<DetectionResult> out(betas.size());
+  for (DetectionResult& result : out) {
+    result.num_components = forest.num_components;
+    result.num_trees = forest.trees.size();
+  }
+  // Per-tree multi-beta solves (optionally parallel over trees), merged in
+  // deterministic tree order per beta.
+  std::vector<std::vector<TreeSolution>> solutions(forest.trees.size());
+  util::parallel_for_each(
+      forest.trees.size(), config.num_threads, [&](std::size_t i) {
+        solutions[i] = solve_tree_betas(forest.trees[i], betas, config.dp);
+      });
+
+  for (std::size_t b = 0; b < betas.size(); ++b) {
+    std::vector<std::pair<graph::NodeId, graph::NodeState>> found;
+    for (std::size_t t = 0; t < forest.trees.size(); ++t) {
+      const CascadeTree& tree = forest.trees[t];
+      const TreeSolution& solution = solutions[t][b];
+      out[b].total_opt += solution.opt;
+      out[b].total_objective += solution.objective;
+      for (std::size_t i = 0; i < solution.initiators.size(); ++i) {
+        found.emplace_back(tree.global[solution.initiators[i]],
+                           solution.states[i]);
+      }
+    }
+    std::sort(found.begin(), found.end());
+    out[b].initiators.reserve(found.size());
+    out[b].states.reserve(found.size());
+    for (const auto& [node, state] : found) {
+      out[b].initiators.push_back(node);
+      out[b].states.push_back(state);
+    }
+  }
+  return out;
+}
+
+DetectionResult run_rid(const graph::SignedGraph& diffusion,
+                        std::span<const graph::NodeState> states,
+                        const RidConfig& config) {
+  CascadeForest forest =
+      extract_cascade_forest(diffusion, states, config.extraction);
+  if (!config.candidates.empty())
+    apply_candidate_mask(forest, config.candidates);
+  DetectionResult result = run_rid_on_forest(forest, config);
+  util::log_debug("run_rid(beta=", config.beta, "): ", result.initiators.size(),
+                  " initiators from ", result.num_trees, " trees");
+  return result;
+}
+
+}  // namespace rid::core

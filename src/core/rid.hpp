@@ -1,0 +1,51 @@
+// RID — the full Rumor Initiator Detector pipeline (paper Section III-E).
+//
+//   snapshot -> infected components -> cascade trees (Chu-Liu/Edmonds)
+//            -> binarized k-ISOMIT-BT DP with beta penalty per tree
+//            -> initiators (number + identities + initial states).
+#pragma once
+
+#include <span>
+
+#include "core/cascade_extraction.hpp"
+#include "core/isomit.hpp"
+#include "core/tree_dp.hpp"
+
+namespace rid::core {
+
+struct RidConfig {
+  /// Penalty per extra initiator beyond each tree's root (paper beta;
+  /// evaluated at 0.09 and 0.1 in Figure 4, swept in Figures 5-6).
+  double beta = 0.1;
+  ExtractionConfig extraction;
+  TreeDpOptions dp;
+  /// Optional initiator candidate mask over diffusion-network node ids
+  /// (empty = every infected node is a candidate). Nodes outside the mask
+  /// keep their likelihood role but can never be reported as initiators —
+  /// see core/temporal.hpp for the early-snapshot use case.
+  std::vector<bool> candidates;
+  /// Worker threads for solving independent cascade trees (1 = serial).
+  /// Results are identical regardless of thread count (trees are
+  /// independent and assembled in deterministic order).
+  std::size_t num_threads = 1;
+};
+
+/// Runs RID on a snapshot of the diffusion network. States vector must have
+/// one entry per node; inactive nodes are ignored.
+DetectionResult run_rid(const graph::SignedGraph& diffusion,
+                        std::span<const graph::NodeState> states,
+                        const RidConfig& config);
+
+/// Runs RID on an already-extracted cascade forest (lets sweeps over beta
+/// reuse one extraction — the forest does not depend on beta).
+DetectionResult run_rid_on_forest(const CascadeForest& forest,
+                                  const RidConfig& config);
+
+/// Runs RID for several beta values over one forest, computing each tree's
+/// DP table once (see core::solve_tree_betas). Results align with `betas`
+/// and match per-beta run_rid_on_forest calls exactly.
+std::vector<DetectionResult> run_rid_betas(const CascadeForest& forest,
+                                           std::span<const double> betas,
+                                           const RidConfig& config);
+
+}  // namespace rid::core

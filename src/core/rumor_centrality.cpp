@@ -1,0 +1,59 @@
+#include "core/rumor_centrality.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "algo/forest.hpp"
+
+namespace rid::core {
+
+std::vector<double> log_rumor_centralities(const CascadeTree& tree) {
+  const auto n = static_cast<graph::NodeId>(tree.size());
+  const algo::RootedForest forest(tree.parent);
+  const auto topo = forest.topological();
+  const auto sizes = forest.subtree_sizes();
+  const graph::NodeId root = forest.roots()[0];
+
+  // log R(root) = log (N-1)! - sum_{u != root} log t_u  (equivalently
+  // log N! - sum_u log t_u with t_root = N).
+  double log_factorial = 0.0;
+  for (graph::NodeId i = 2; i <= n; ++i)
+    log_factorial += std::log(static_cast<double>(i));
+  double log_r_root = log_factorial;
+  for (graph::NodeId v = 0; v < n; ++v)
+    log_r_root -= std::log(static_cast<double>(sizes[v]));
+
+  std::vector<double> out(n, 0.0);
+  out[root] = log_r_root;
+  // Reroot in topological (parent-first) order.
+  for (const graph::NodeId v : topo) {
+    if (v == root) continue;
+    const graph::NodeId p = tree.parent[v];
+    out[v] = out[p] + std::log(static_cast<double>(sizes[v])) -
+             std::log(static_cast<double>(n - sizes[v]));
+  }
+  return out;
+}
+
+DetectionResult run_rumor_centrality(const graph::SignedGraph& diffusion,
+                                     std::span<const graph::NodeState> states,
+                                     const BaselineConfig& config) {
+  const CascadeForest forest =
+      extract_cascade_forest(diffusion, states, config.extraction);
+  DetectionResult out;
+  out.num_components = forest.num_components;
+  out.num_trees = forest.trees.size();
+  for (const CascadeTree& tree : forest.trees) {
+    const std::vector<double> centrality = log_rumor_centralities(tree);
+    graph::NodeId best = 0;
+    for (graph::NodeId v = 1; v < centrality.size(); ++v) {
+      if (centrality[v] > centrality[best]) best = v;
+    }
+    out.initiators.push_back(tree.global[best]);
+  }
+  std::sort(out.initiators.begin(), out.initiators.end());
+  out.states.assign(out.initiators.size(), graph::NodeState::kUnknown);
+  return out;
+}
+
+}  // namespace rid::core

@@ -1,0 +1,30 @@
+// Rumor-centrality baseline (Shah & Zaman, "Rumors in a network: Who's the
+// culprit?") — cited by the paper as the classical single-source detector;
+// included as an extension baseline so RID can be compared against the
+// rumor-center of each extracted cascade tree.
+//
+// For a tree with N nodes, R(v) = N! / prod_u T_u^v, where T_u^v is the size
+// of the subtree rooted at u when the tree is rooted at v. Computed in log
+// space with the standard O(N) rerooting recurrence
+//     R(child) = R(parent) * T_child / (N - T_child).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/baselines.hpp"
+
+namespace rid::core {
+
+/// log R(v) for every tree-local node (tree treated as undirected, per
+/// Shah-Zaman).
+std::vector<double> log_rumor_centralities(const CascadeTree& tree);
+
+/// Extracts the cascade forest and reports each tree's rumor center (the
+/// argmax-centrality node; ties broken toward the smaller node id). One
+/// initiator per tree; states are not inferred.
+DetectionResult run_rumor_centrality(const graph::SignedGraph& diffusion,
+                                     std::span<const graph::NodeState> states,
+                                     const BaselineConfig& config);
+
+}  // namespace rid::core

@@ -1,0 +1,79 @@
+#include "core/snapshot_io.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rid::core {
+
+namespace {
+[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
+  throw std::runtime_error("snapshot_io: line " + std::to_string(line_no) +
+                           ": " + what);
+}
+}  // namespace
+
+void save_snapshot(std::span<const graph::NodeState> states,
+                   std::ostream& out) {
+  out << "# node state   (state in {+1, -1, ?}; inactive nodes omitted)\n";
+  for (std::size_t v = 0; v < states.size(); ++v) {
+    if (states[v] == graph::NodeState::kInactive) continue;
+    out << v << ' ' << graph::to_string(states[v]) << '\n';
+  }
+}
+
+void save_snapshot_file(std::span<const graph::NodeState> states,
+                        const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("snapshot_io: cannot open " + path);
+  save_snapshot(states, out);
+}
+
+std::vector<graph::NodeState> load_snapshot(std::istream& in,
+                                            graph::NodeId num_nodes) {
+  std::vector<graph::NodeState> states(num_nodes,
+                                       graph::NodeState::kInactive);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream row(line);
+    std::string id_token;
+    std::string state_token;
+    if (!(row >> id_token)) continue;           // blank line
+    if (id_token[0] == '#' || id_token[0] == '%') continue;
+    if (!(row >> state_token)) fail(line_no, "missing state column");
+
+    std::uint64_t id = 0;
+    const auto res = std::from_chars(
+        id_token.data(), id_token.data() + id_token.size(), id);
+    if (res.ec != std::errc{} || res.ptr != id_token.data() + id_token.size())
+      fail(line_no, "bad node id '" + id_token + "'");
+    if (id >= num_nodes) fail(line_no, "node id out of range");
+
+    graph::NodeState state;
+    if (state_token == "+1" || state_token == "1") {
+      state = graph::NodeState::kPositive;
+    } else if (state_token == "-1") {
+      state = graph::NodeState::kNegative;
+    } else if (state_token == "?") {
+      state = graph::NodeState::kUnknown;
+    } else if (state_token == "0") {
+      state = graph::NodeState::kInactive;
+    } else {
+      fail(line_no, "bad state '" + state_token + "'");
+    }
+    states[static_cast<std::size_t>(id)] = state;
+  }
+  return states;
+}
+
+std::vector<graph::NodeState> load_snapshot_file(const std::string& path,
+                                                 graph::NodeId num_nodes) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("snapshot_io: cannot open " + path);
+  return load_snapshot(in, num_nodes);
+}
+
+}  // namespace rid::core

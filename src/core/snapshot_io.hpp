@@ -1,0 +1,32 @@
+// Persistence for infected-network snapshots.
+//
+// A snapshot file pairs node ids with their observed states so that a
+// detection run can be decoupled from the simulation (or fed from real
+// observations). Format: '#' comments, then "node state" rows where state
+// is one of {+1, -1, 0, ?}; nodes omitted from the file are inactive.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace rid::core {
+
+/// Writes every non-inactive node as a "node state" row.
+void save_snapshot(std::span<const graph::NodeState> states,
+                   std::ostream& out);
+void save_snapshot_file(std::span<const graph::NodeState> states,
+                        const std::string& path);
+
+/// Reads a snapshot for a graph with `num_nodes` nodes. Throws
+/// std::runtime_error (with line numbers) on malformed input or
+/// out-of-range node ids.
+std::vector<graph::NodeState> load_snapshot(std::istream& in,
+                                            graph::NodeId num_nodes);
+std::vector<graph::NodeState> load_snapshot_file(const std::string& path,
+                                                 graph::NodeId num_nodes);
+
+}  // namespace rid::core

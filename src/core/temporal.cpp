@@ -1,0 +1,21 @@
+#include "core/temporal.hpp"
+
+#include <stdexcept>
+
+namespace rid::core {
+
+DetectionResult run_rid_with_early_snapshot(
+    const graph::SignedGraph& diffusion,
+    std::span<const graph::NodeState> early,
+    std::span<const graph::NodeState> late, const RidConfig& config) {
+  validate_snapshot(diffusion, early);
+  validate_snapshot(diffusion, late);
+  RidConfig restricted = config;
+  restricted.candidates.assign(diffusion.num_nodes(), false);
+  for (graph::NodeId v = 0; v < diffusion.num_nodes(); ++v) {
+    if (graph::is_active(early[v])) restricted.candidates[v] = true;
+  }
+  return run_rid(diffusion, late, restricted);
+}
+
+}  // namespace rid::core

@@ -1,0 +1,27 @@
+// Temporal (two-snapshot) rumor initiator detection — an extension beyond
+// the paper's single-snapshot setting.
+//
+// When an additional, *earlier* snapshot of the infection is available,
+// every true initiator must already be active in it (initiators are active
+// from step 0). Restricting the candidate set to early-active nodes prunes
+// the vast majority of false splits for free: late-infected nodes keep
+// their role in the likelihood but can no longer be selected.
+#pragma once
+
+#include <span>
+
+#include "core/rid.hpp"
+
+namespace rid::core {
+
+/// Runs RID on the late snapshot with initiator candidates restricted to
+/// nodes active in the early snapshot. Both snapshots must be sized to the
+/// diffusion network. Nodes active in `early` but no longer active in
+/// `late` (impossible under MFC, possible with noisy observations) are
+/// still allowed as candidates of the trees they appear in.
+DetectionResult run_rid_with_early_snapshot(
+    const graph::SignedGraph& diffusion,
+    std::span<const graph::NodeState> early,
+    std::span<const graph::NodeState> late, const RidConfig& config);
+
+}  // namespace rid::core

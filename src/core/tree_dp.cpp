@@ -1,0 +1,421 @@
+#include "core/tree_dp.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "algo/binary_transform.hpp"
+#include "algo/forest.hpp"
+
+namespace rid::core {
+
+namespace {
+
+constexpr std::uint32_t kRowZ = 0xffffffffu;  // symbolic "zero coverage" j
+
+/// Safety limit on the choice table (entries, 4 bytes each).
+constexpr std::size_t kMaxTableEntries = 120'000'000;
+
+}  // namespace
+
+BinarizedTreeDp::BinarizedTreeDp(const CascadeTree& tree,
+                                 std::uint32_t max_reach) {
+  if (max_reach == 0)
+    throw std::invalid_argument("BinarizedTreeDp: max_reach must be >= 1");
+  tree_ = algo::binarize_tree(tree.parent, tree.in_g, /*identity=*/1.0);
+  num_real_ = static_cast<std::uint32_t>(tree.size());
+  // Side-evidence factor and initiator eligibility per binarized node
+  // (dummies: q = 1, never eligible).
+  side_q_.assign(tree_.size(), 1.0);
+  eligible_.assign(tree_.size(), true);
+  for (std::size_t v = 0; v < tree_.size(); ++v) {
+    if (tree_.is_dummy(static_cast<std::int32_t>(v))) {
+      eligible_[v] = false;
+      continue;
+    }
+    const graph::NodeId original = tree_.original[v];
+    if (!tree.side_q.empty()) side_q_[v] = tree.side_q[original];
+    if (!tree.can_initiate.empty()) eligible_[v] = tree.can_initiate[original];
+  }
+
+  const auto n = static_cast<std::int32_t>(tree_.size());
+  parent_.assign(n, -1);
+  for (std::int32_t v = 0; v < n; ++v) {
+    if (tree_.left[v] >= 0) parent_[tree_.left[v]] = v;
+    if (tree_.right[v] >= 0) parent_[tree_.right[v]] = v;
+  }
+
+  // Preorder via stack; reversed it gives children-before-parents.
+  std::vector<std::int32_t> preorder;
+  preorder.reserve(n);
+  std::vector<std::int32_t> stack{tree_.root};
+  while (!stack.empty()) {
+    const std::int32_t v = stack.back();
+    stack.pop_back();
+    preorder.push_back(v);
+    if (tree_.left[v] >= 0) stack.push_back(tree_.left[v]);
+    if (tree_.right[v] >= 0) stack.push_back(tree_.right[v]);
+  }
+  postorder_.assign(preorder.rbegin(), preorder.rend());
+
+  depth_.assign(n, 0);
+  zrun_.assign(n, 0);
+  pathprod_.resize(n);
+  layout_.resize(n);
+  for (const std::int32_t v : preorder) {
+    if (parent_[v] < 0) {
+      depth_[v] = 0;
+      zrun_[v] = 0;
+    } else {
+      depth_[v] = depth_[parent_[v]] + 1;
+      zrun_[v] = tree_.in_value[v] > 0.0 ? zrun_[parent_[v]] + 1 : 0;
+    }
+    const std::uint32_t reach =
+        std::min({depth_[v], zrun_[v], max_reach});
+    layout_[v].reach = reach;
+    layout_[v].rows = reach + 2;  // row 0 + rows 1..reach + Z row
+    pathprod_[v].assign(reach + 1, 1.0);
+    for (std::uint32_t j = 1; j <= reach; ++j)
+      pathprod_[v][j] = tree_.in_value[v] * pathprod_[parent_[v]][j - 1];
+  }
+
+  for (const std::int32_t v : postorder_) {
+    layout_[v].real_count = tree_.is_dummy(v) ? 0 : 1;
+    if (tree_.left[v] >= 0)
+      layout_[v].real_count += layout_[tree_.left[v]].real_count;
+    if (tree_.right[v] >= 0)
+      layout_[v].real_count += layout_[tree_.right[v]].real_count;
+  }
+}
+
+std::uint32_t BinarizedTreeDp::child_row(std::int32_t child,
+                                         std::uint32_t child_j) const {
+  // child_j is the symbolic distance-to-initiator for the child (kRowZ for
+  // "zero coverage"); map it into the child's compact row space. Distances
+  // that stay within the child's non-zero run but exceed its (depth/reach
+  // capped) rows clamp to the deepest row; distances crossing a zero-g edge
+  // collapse to Z.
+  const std::uint32_t z_row = layout_[child].reach + 1;
+  if (child_j == kRowZ || child_j > zrun_[child]) return z_row;
+  return std::min(child_j, layout_[child].reach);
+}
+
+const std::vector<double>& BinarizedTreeDp::compute(std::uint32_t k_max,
+                                                    bool force_root) {
+  // A root that is masked out of the candidate set cannot be forced.
+  force_root_ = force_root && eligible_[tree_.root];
+  k_max_ = std::min(k_max, num_real_);
+  if (k_max_ == 0) k_max_ = 1;
+  const std::uint32_t cols = k_max_ + 1;
+
+  std::size_t total = 0;
+  for (auto& nl : layout_) {
+    nl.offset = total;
+    total += static_cast<std::size_t>(nl.rows) * cols;
+  }
+  if (total > kMaxTableEntries)
+    throw std::runtime_error(
+        "BinarizedTreeDp: table too large (tree too deep for this k cap)");
+  values_.assign(tree_.size(), {});
+  choices_.assign(total, Choice{});
+
+  for (const std::int32_t v : postorder_) {
+    const NodeLayout& nl = layout_[v];
+    const bool dummy = tree_.is_dummy(v);
+    const std::int32_t lc = tree_.left[v];
+    const std::int32_t rc = tree_.right[v];
+    const std::uint32_t z_row = nl.reach + 1;
+    values_[v].assign(static_cast<std::size_t>(nl.rows) * cols, kNegInf);
+
+    for (std::uint32_t row = 0; row < nl.rows; ++row) {
+      if (row == 0 && !eligible_[v]) continue;  // dummies/masked nodes
+      // Contribution of v itself and the symbolic j seen by the children.
+      // Non-initiators score P = 1 - (1 - treepath) * Q(v); Q = 1 recovers
+      // the pure tree objective.
+      double contrib;
+      std::uint32_t child_j;
+      if (row == 0) {
+        contrib = 1.0;
+        child_j = 1;
+      } else if (row == z_row) {
+        contrib = dummy ? 0.0 : 1.0 - side_q_[v];
+        child_j = kRowZ;
+      } else {
+        contrib =
+            dummy ? 0.0 : 1.0 - (1.0 - pathprod_[v][row]) * side_q_[v];
+        child_j = row + 1;
+      }
+
+      const std::uint32_t lrow = lc >= 0 ? child_row(lc, child_j) : 0;
+      const std::uint32_t rrow = rc >= 0 ? child_row(rc, child_j) : 0;
+
+      for (std::uint32_t k = 0; k <= k_max_; ++k) {
+        if (row == 0 && k == 0) continue;  // initiator needs budget
+        const std::uint32_t kk = row == 0 ? k - 1 : k;
+        double best = kNegInf;
+        Choice choice;
+        if (lc < 0 && rc < 0) {
+          if (kk == 0) best = 0.0;
+        } else if (rc < 0) {
+          // Single (left) child takes the whole budget.
+          const double covered = value(lc, lrow, kk);
+          const double as_init = value(lc, 0, kk);
+          best = std::max(covered, as_init);
+          choice.left_budget = static_cast<std::uint16_t>(kk);
+          if (as_init > covered) choice.flags |= 1;
+        } else {
+          for (std::uint32_t a = 0; a <= kk; ++a) {
+            const double lcov = value(lc, lrow, a);
+            const double lini = value(lc, 0, a);
+            const double lbest = std::max(lcov, lini);
+            if (lbest == kNegInf) continue;
+            const std::uint32_t b = kk - a;
+            const double rcov = value(rc, rrow, b);
+            const double rini = value(rc, 0, b);
+            const double rbest = std::max(rcov, rini);
+            if (rbest == kNegInf) continue;
+            if (lbest + rbest > best) {
+              best = lbest + rbest;
+              choice.left_budget = static_cast<std::uint16_t>(a);
+              choice.flags = 0;
+              if (lini > lcov) choice.flags |= 1;
+              if (rini > rcov) choice.flags |= 2;
+            }
+          }
+        }
+        if (best == kNegInf) continue;
+        values_[v][static_cast<std::size_t>(row) * cols + k] =
+            contrib + best;
+        choices_[nl.offset + static_cast<std::size_t>(row) * cols + k] =
+            choice;
+      }
+    }
+    // The children's value tables have been fully consumed.
+    if (lc >= 0) std::vector<double>().swap(values_[lc]);
+    if (rc >= 0) std::vector<double>().swap(values_[rc]);
+  }
+
+  opt_.assign(cols, kNegInf);
+  const std::int32_t root = tree_.root;
+  const std::uint32_t root_z = layout_[root].reach + 1;
+  for (std::uint32_t k = 1; k <= k_max_; ++k) {
+    opt_[k] = force_root_
+                  ? value(root, 0, k)
+                  : std::max(value(root, 0, k), value(root, root_z, k));
+  }
+  return opt_;
+}
+
+std::vector<graph::NodeId> BinarizedTreeDp::extract(std::uint32_t k) const {
+  if (k > k_max_ || k == 0 || opt_.empty() || opt_[k] == kNegInf)
+    throw std::invalid_argument("BinarizedTreeDp::extract: bad k");
+  const std::uint32_t cols = k_max_ + 1;
+  std::vector<graph::NodeId> initiators;
+
+  struct Frame {
+    std::int32_t node;
+    std::uint32_t row;
+    std::uint32_t k;
+  };
+  const std::int32_t root = tree_.root;
+  const std::uint32_t root_z = layout_[root].reach + 1;
+  const std::uint32_t root_row =
+      force_root_ || value(root, 0, k) >= value(root, root_z, k) ? 0 : root_z;
+  std::vector<Frame> stack{{root, root_row, k}};
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    const NodeLayout& nl = layout_[f.node];
+    const std::size_t idx =
+        nl.offset + static_cast<std::size_t>(f.row) * cols + f.k;
+    const Choice choice = choices_[idx];
+    std::uint32_t child_j;
+    std::uint32_t kk = f.k;
+    if (f.row == 0) {
+      initiators.push_back(tree_.original[f.node]);
+      child_j = 1;
+      kk = f.k - 1;
+    } else if (f.row == nl.reach + 1) {
+      child_j = kRowZ;
+    } else {
+      child_j = f.row + 1;
+    }
+    const std::int32_t lc = tree_.left[f.node];
+    const std::int32_t rc = tree_.right[f.node];
+    if (lc >= 0) {
+      const std::uint32_t a = choice.left_budget;
+      const std::uint32_t lrow =
+          (choice.flags & 1) ? 0 : child_row(lc, child_j);
+      stack.push_back({lc, lrow, a});
+      if (rc >= 0) {
+        const std::uint32_t rrow =
+            (choice.flags & 2) ? 0 : child_row(rc, child_j);
+        stack.push_back({rc, rrow, kk - a});
+      }
+    }
+  }
+  std::sort(initiators.begin(), initiators.end());
+  return initiators;
+}
+
+double evaluate_initiators(const CascadeTree& tree,
+                           std::span<const graph::NodeId> initiators) {
+  std::vector<bool> is_init(tree.size(), false);
+  for (const graph::NodeId v : initiators) {
+    if (v >= tree.size())
+      throw std::out_of_range("evaluate_initiators: id out of range");
+    is_init[v] = true;
+  }
+  // Nodes are stored parents-before-children (extraction guarantees this),
+  // so a single forward pass suffices.
+  std::vector<double> run(tree.size(), 0.0);   // product since nearest init
+  std::vector<bool> covered(tree.size(), false);
+  double total = 0.0;
+  for (std::size_t v = 0; v < tree.size(); ++v) {
+    const double q = tree.side_q.empty() ? 1.0 : tree.side_q[v];
+    if (is_init[v]) {
+      run[v] = 1.0;
+      covered[v] = true;
+      total += 1.0;
+      continue;
+    }
+    const graph::NodeId p = tree.parent[v];
+    if (p == graph::kInvalidNode || !covered[p]) {
+      covered[v] = false;
+      total += 1.0 - q;  // side evidence only (tree path contributes 0)
+      continue;
+    }
+    covered[v] = true;
+    run[v] = run[p] * tree.in_g[v];
+    total += 1.0 - (1.0 - run[v]) * q;
+  }
+  return total;
+}
+
+TreeSolution solve_tree(const CascadeTree& tree, double beta,
+                        const TreeDpOptions& options) {
+  if (tree.size() == 0)
+    throw std::invalid_argument("solve_tree: empty tree");
+  BinarizedTreeDp dp(tree, options.max_reach);
+  const std::uint32_t n_real = dp.num_real();
+  std::uint32_t cap = std::max<std::uint32_t>(
+      1, std::min({options.initial_k_cap, options.hard_k_cap, n_real}));
+
+  const auto objective = [&](const std::vector<double>& opt,
+                             std::uint32_t k) {
+    return -opt[k] + static_cast<double>(k - 1) * beta;
+  };
+
+  while (true) {
+    const std::vector<double>& opt = dp.compute(cap, options.force_root);
+    std::uint32_t best_k = 1;
+    if (options.greedy_stop) {
+      while (best_k + 1 <= cap &&
+             objective(opt, best_k + 1) < objective(opt, best_k)) {
+        ++best_k;
+      }
+    } else {
+      for (std::uint32_t k = 2; k <= cap; ++k) {
+        if (objective(opt, k) < objective(opt, best_k)) best_k = k;
+      }
+    }
+    const bool hit_cap = best_k == cap;
+    if (hit_cap && cap < std::min<std::uint32_t>(n_real, options.hard_k_cap)) {
+      cap = std::min({cap * 2, n_real, options.hard_k_cap});
+      continue;
+    }
+    if (opt[best_k] == kNegInf) {
+      // No eligible initiator in this tree (fully masked): empty solution.
+      return TreeSolution{};
+    }
+    TreeSolution solution;
+    solution.k = best_k;
+    solution.opt = opt[best_k];
+    solution.objective = objective(opt, best_k);
+    solution.initiators = dp.extract(best_k);
+    solution.states.reserve(solution.initiators.size());
+    for (const graph::NodeId v : solution.initiators)
+      solution.states.push_back(tree.state[v]);
+    if (options.rank_initiators) rank_initiators(dp, solution);
+    return solution;
+  }
+}
+
+void rank_initiators(const BinarizedTreeDp& dp, TreeSolution& solution) {
+  solution.entry_k.assign(solution.initiators.size(), solution.k);
+  // Map tree-local id -> position in the solution's initiator list.
+  std::unordered_map<graph::NodeId, std::size_t> position;
+  for (std::size_t i = 0; i < solution.initiators.size(); ++i)
+    position.emplace(solution.initiators[i], i);
+  for (std::uint32_t k = 1; k < solution.k; ++k) {
+    for (const graph::NodeId v : dp.extract(k)) {
+      const auto it = position.find(v);
+      if (it != position.end() && solution.entry_k[it->second] > k)
+        solution.entry_k[it->second] = k;
+    }
+  }
+}
+
+std::vector<TreeSolution> solve_tree_betas(const CascadeTree& tree,
+                                           std::span<const double> betas,
+                                           const TreeDpOptions& options) {
+  if (tree.size() == 0)
+    throw std::invalid_argument("solve_tree_betas: empty tree");
+  std::vector<TreeSolution> out(betas.size());
+  if (betas.empty()) return out;
+
+  BinarizedTreeDp dp(tree, options.max_reach);
+  const std::uint32_t n_real = dp.num_real();
+  std::uint32_t cap = std::max<std::uint32_t>(
+      1, std::min({options.initial_k_cap, options.hard_k_cap, n_real}));
+
+  const auto objective = [](const std::vector<double>& opt, std::uint32_t k,
+                            double beta) {
+    return -opt[k] + static_cast<double>(k - 1) * beta;
+  };
+  const auto pick_k = [&](const std::vector<double>& opt, double beta) {
+    std::uint32_t best_k = 1;
+    if (options.greedy_stop) {
+      while (best_k + 1 <= cap && objective(opt, best_k + 1, beta) <
+                                      objective(opt, best_k, beta)) {
+        ++best_k;
+      }
+    } else {
+      for (std::uint32_t k = 2; k <= cap; ++k) {
+        if (objective(opt, k, beta) < objective(opt, best_k, beta))
+          best_k = k;
+      }
+    }
+    return best_k;
+  };
+
+  // Grow the shared cap until no beta's optimum is clipped by it.
+  while (true) {
+    const std::vector<double>& opt = dp.compute(cap, options.force_root);
+    bool clipped = false;
+    for (const double beta : betas) {
+      if (pick_k(opt, beta) == cap &&
+          cap < std::min<std::uint32_t>(n_real, options.hard_k_cap)) {
+        clipped = true;
+        break;
+      }
+    }
+    if (!clipped) {
+      for (std::size_t i = 0; i < betas.size(); ++i) {
+        const std::uint32_t k = pick_k(opt, betas[i]);
+        if (opt[k] == kNegInf) continue;  // fully masked tree: empty
+        out[i].k = k;
+        out[i].opt = opt[k];
+        out[i].objective = objective(opt, k, betas[i]);
+        out[i].initiators = dp.extract(k);
+        out[i].states.reserve(k);
+        for (const graph::NodeId v : out[i].initiators)
+          out[i].states.push_back(tree.state[v]);
+      }
+      return out;
+    }
+    cap = std::min({cap * 2, n_real, options.hard_k_cap});
+  }
+}
+
+}  // namespace rid::core

@@ -1,0 +1,162 @@
+// k-ISOMIT-BT dynamic program (paper Section III-D) and the beta-penalized
+// initiator selection built on it (Section III-E3).
+//
+// Objective. For a cascade tree T with observed states, an initiator set I
+// (with assigned states equal to the observed ones) scores
+//     OPT(T, I) = sum_{u in T} P(u, s(u) | I)
+// where P(u) = 1 if u in I, and otherwise the product of per-link g-factors
+// along the path from u's nearest ancestor in I (0 if no ancestor is in I or
+// the path crosses a sign-inconsistent link under the default likelihood
+// config). This follows the paper's recursive OPT, which accumulates
+// P(u, s(u) | I, S) node by node; since all per-link g <= 1, the nearest
+// ancestor initiator dominates any farther one.
+//
+// The DP runs on the Figure-3 binarized tree. State per node u:
+//   row 0         — u is an initiator (contribution 1; k budget spent);
+//   row j >= 1    — nearest initiator is the ancestor j levels up
+//                   (contribution = product of in_g over those j edges);
+//   row Z         — that product is 0 (an inconsistent link intervenes), so
+//                   contribution is 0 regardless of distance. Because g <= 1
+//                   and a zero g annihilates all longer paths, rows with j
+//                   beyond the first zero edge collapse into Z, keeping the
+//                   table small on trees with many inconsistent links.
+// Budgets are exact-k (value -inf when k initiators cannot be placed), so
+// the extracted set size always equals the k being scored.
+//
+// Dummy (binarization) nodes contribute nothing, cannot be initiators, and
+// carry pass-through edges with g = 1 — the equivalence with the direct
+// general-tree DP (general_tree_dp.hpp) is property-tested.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "algo/binary_transform.hpp"
+#include "core/cascade_extraction.hpp"
+
+namespace rid::core {
+
+inline constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+struct TreeDpOptions {
+  /// Initial cap on k; doubled adaptively while the optimum keeps hitting it.
+  std::uint32_t initial_k_cap = 8;
+  /// Cap on the per-node distance rows. Distances beyond the cap reuse the
+  /// capped row's path product (exact for saturated g = 1 chains, a tight
+  /// overestimate for decayed ones) unless a zero-g edge intervenes, which
+  /// still collapses to the Z row. Bounds table memory on deep trees.
+  std::uint32_t max_reach = 48;
+  /// Absolute cap on k per tree (safety valve for pathological trees).
+  std::uint32_t hard_k_cap = 256;
+  /// Paper stopping rule: grow k from 1 and stop at the first k whose
+  /// successor does not improve the penalized objective. When false, the
+  /// global minimum over all computed k is taken.
+  bool greedy_stop = true;
+  /// Fill TreeSolution::entry_k (see rank_initiators); costs one extra
+  /// extraction pass per budget up to the selected k.
+  bool rank_initiators = false;
+  /// Always include the tree root in the initiator set (the paper counts
+  /// "(k-1) extra initiators besides the original root", implying the root
+  /// is one). When false the DP may leave the root uncovered if an interior
+  /// initiator explains the tree better.
+  bool force_root = true;
+};
+
+/// Solution for one cascade tree.
+struct TreeSolution {
+  std::uint32_t k = 0;          // number of initiators selected
+  double opt = 0.0;             // OPT value for that k
+  double objective = 0.0;       // -opt + (k-1)*beta
+  /// Tree-local indices of the selected initiators (root always included).
+  std::vector<graph::NodeId> initiators;
+  /// Inferred initial states, aligned with `initiators` (== observed).
+  std::vector<graph::NodeState> states;
+  /// Entry budget of each initiator: the smallest k' at which the node is
+  /// part of the optimal exact-k' set (filled by rank_initiators; 0 until
+  /// then). Lower entry = more fundamental detection.
+  std::vector<std::uint32_t> entry_k;
+};
+
+/// Exact DP over the binarized tree: opt[k] for k = 1..k_max (index 0
+/// unused, set to -inf). Values are exact-k.
+class BinarizedTreeDp {
+ public:
+  explicit BinarizedTreeDp(const CascadeTree& tree,
+                           std::uint32_t max_reach = 48);
+
+  /// Number of real (non-dummy) nodes == tree.size().
+  std::uint32_t num_real() const noexcept { return num_real_; }
+
+  /// Computes the table for budgets up to k_max (clamped to num_real()).
+  /// Returns opt indexed by k (size k_max+1, [0] = -inf). With `force_root`
+  /// the root is required to be an initiator.
+  const std::vector<double>& compute(std::uint32_t k_max,
+                                     bool force_root = true);
+
+  /// Tree-local initiator indices of the optimal exact-k solution.
+  /// Requires compute(k_max >= k) first and opt[k] > -inf.
+  std::vector<graph::NodeId> extract(std::uint32_t k) const;
+
+ private:
+  struct NodeLayout {
+    std::uint32_t rows = 0;       // 1 (initiator) + R + 1 (Z row)
+    std::uint32_t reach = 0;      // R = min(depth, run of non-zero in_g)
+    std::size_t offset = 0;       // into values_/choices_ (rows * (k+1))
+    std::uint32_t real_count = 0; // real nodes in subtree (incl. self)
+  };
+  struct Choice {
+    std::uint16_t left_budget = 0;
+    std::uint8_t flags = 0;  // bit0: left child initiator; bit1: right child
+  };
+
+  double value(std::int32_t node, std::uint32_t row, std::uint32_t k) const {
+    return values_[node][row * (k_max_ + 1) + k];
+  }
+  /// Maps a symbolic distance-to-initiator onto the child's compact rows.
+  std::uint32_t child_row(std::int32_t child, std::uint32_t child_j) const;
+
+  algo::BinarizedTree tree_;
+  std::vector<double> side_q_;           // per binarized node (1 for dummies)
+  std::vector<bool> eligible_;           // initiator eligibility per node
+  std::vector<std::int32_t> parent_;     // binarized parent indices
+  std::vector<std::uint32_t> depth_;
+  std::vector<std::uint32_t> zrun_;      // consecutive non-zero in_g above
+  std::vector<std::vector<double>> pathprod_;  // per node, j=1..reach
+  std::vector<NodeLayout> layout_;
+  std::vector<std::int32_t> postorder_;
+  std::uint32_t num_real_ = 0;
+
+  std::uint32_t k_max_ = 0;
+  bool force_root_ = true;
+  /// Per-node value tables, freed once the parent has consumed them (only
+  /// the root's survives compute()); choices_ stays resident for extract().
+  std::vector<std::vector<double>> values_;
+  std::vector<Choice> choices_;
+  std::vector<double> opt_;
+};
+
+/// Fills solution.entry_k by re-extracting the optimal sets for
+/// k' = 1..solution.k from the solver's table. Initiators absent from every
+/// smaller set get entry_k == solution.k. Requires `dp` to have computed at
+/// least solution.k budgets (solve_tree guarantees it).
+void rank_initiators(const BinarizedTreeDp& dp, TreeSolution& solution);
+
+/// Full per-tree solve: adaptive k growth + beta-penalized selection.
+TreeSolution solve_tree(const CascadeTree& tree, double beta,
+                        const TreeDpOptions& options);
+
+/// Solves one tree for several beta values while computing the DP table
+/// only once (the opt curve is beta-independent; only the k selection and
+/// extraction differ). Equivalent to calling solve_tree per beta, but this
+/// is what makes dense Figure-5/6 sweeps cheap. Results align with `betas`.
+std::vector<TreeSolution> solve_tree_betas(const CascadeTree& tree,
+                                           std::span<const double> betas,
+                                           const TreeDpOptions& options);
+
+/// Scores an explicit initiator set on a tree (independent of the DP; used
+/// for cross-validation in tests). `initiators` holds tree-local indices.
+double evaluate_initiators(const CascadeTree& tree,
+                           std::span<const graph::NodeId> initiators);
+
+}  // namespace rid::core

@@ -1,0 +1,23 @@
+#include "diffusion/cascade.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace rid::diffusion {
+
+void validate_seed_set(const SeedSet& seeds, graph::NodeId num_nodes) {
+  if (seeds.nodes.size() != seeds.states.size())
+    throw std::invalid_argument("SeedSet: nodes/states size mismatch");
+  std::unordered_set<graph::NodeId> unique;
+  unique.reserve(seeds.nodes.size());
+  for (std::size_t i = 0; i < seeds.nodes.size(); ++i) {
+    if (seeds.nodes[i] >= num_nodes)
+      throw std::invalid_argument("SeedSet: node id out of range");
+    if (!unique.insert(seeds.nodes[i]).second)
+      throw std::invalid_argument("SeedSet: duplicate seed node");
+    if (!graph::is_opinion(seeds.states[i]))
+      throw std::invalid_argument("SeedSet: seed state must be +1 or -1");
+  }
+}
+
+}  // namespace rid::diffusion

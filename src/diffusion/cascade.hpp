@@ -1,0 +1,55 @@
+// Common output type of the diffusion simulators.
+//
+// A cascade records, per node, the final opinion state, the *activation
+// link* (paper Definition 4: the unique last in-link through which the node
+// was activated or flipped), and the discrete step at which that happened.
+// The activation links of all infected nodes form a forest whose roots are
+// the seeds — exactly the paper's "infected cascade trees".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/signed_graph.hpp"
+
+namespace rid::diffusion {
+
+struct Cascade {
+  /// Final state of every node (kInactive if never activated).
+  std::vector<graph::NodeState> state;
+  /// Last successful activator of each node (kInvalidNode for seeds and
+  /// untouched nodes).
+  std::vector<graph::NodeId> activator;
+  /// Diffusion-network edge of the last successful activation.
+  std::vector<graph::EdgeId> activation_edge;
+  /// Step at which the node reached its final state (seeds = 0).
+  std::vector<std::uint32_t> step;
+  /// All nodes that were ever activated, in activation order (seeds first).
+  std::vector<graph::NodeId> infected;
+
+  // Aggregate statistics.
+  std::size_t num_flips = 0;     // re-activations of already-active nodes
+  std::size_t num_attempts = 0;  // activation attempts made
+  std::uint32_t num_steps = 0;   // rounds until quiescence
+
+  std::size_t num_infected() const noexcept { return infected.size(); }
+
+  /// The activation forest as a parent array over all nodes (kInvalidNode
+  /// for seeds and untouched nodes).
+  const std::vector<graph::NodeId>& activation_parents() const noexcept {
+    return activator;
+  }
+};
+
+/// Seed specification shared by all models.
+struct SeedSet {
+  std::vector<graph::NodeId> nodes;
+  /// Initial opinions, aligned with `nodes` (must be +1/-1 for MFC/IC).
+  std::vector<graph::NodeState> states;
+};
+
+/// Throws std::invalid_argument if the seed set is malformed (size mismatch,
+/// duplicate nodes, out-of-range ids, or non-opinion states).
+void validate_seed_set(const SeedSet& seeds, graph::NodeId num_nodes);
+
+}  // namespace rid::diffusion

@@ -1,0 +1,89 @@
+#include "diffusion/cascade_stats.hpp"
+
+#include <algorithm>
+
+namespace rid::diffusion {
+
+std::vector<std::size_t> infected_per_step(const Cascade& cascade) {
+  std::vector<std::size_t> counts;
+  for (const graph::NodeId v : cascade.infected) {
+    const std::uint32_t step = cascade.step[v];
+    if (step >= counts.size()) counts.resize(step + 1, 0);
+    ++counts[step];
+  }
+  return counts;
+}
+
+std::vector<std::size_t> cumulative_infected(const Cascade& cascade) {
+  std::vector<std::size_t> cumulative = infected_per_step(cascade);
+  for (std::size_t t = 1; t < cumulative.size(); ++t)
+    cumulative[t] += cumulative[t - 1];
+  return cumulative;
+}
+
+OpinionBalance opinion_balance(const Cascade& cascade) {
+  OpinionBalance out;
+  for (const graph::NodeId v : cascade.infected) {
+    switch (cascade.state[v]) {
+      case graph::NodeState::kPositive:
+        ++out.positive;
+        break;
+      case graph::NodeState::kNegative:
+        ++out.negative;
+        break;
+      default:
+        ++out.unknown;
+        break;
+    }
+  }
+  const std::size_t opinions = out.positive + out.negative;
+  if (opinions > 0)
+    out.positive_fraction =
+        static_cast<double>(out.positive) / static_cast<double>(opinions);
+  return out;
+}
+
+std::vector<std::uint32_t> activation_depths(const Cascade& cascade) {
+  const std::size_t n = cascade.state.size();
+  std::vector<std::uint32_t> depth(n, kInvalidDepth);
+  // Iterative resolution with cycle detection via a visiting stack.
+  std::vector<graph::NodeId> chain;
+  for (const graph::NodeId start : cascade.infected) {
+    if (depth[start] != kInvalidDepth) continue;
+    chain.clear();
+    graph::NodeId u = start;
+    // Walk up until a resolved node, a seed, or a cycle.
+    std::uint32_t base = kInvalidDepth;
+    while (true) {
+      if (cascade.activator[u] == graph::kInvalidNode) {
+        base = 0;  // seed
+        break;
+      }
+      if (depth[u] != kInvalidDepth) {
+        base = depth[u];
+        break;
+      }
+      if (std::find(chain.begin(), chain.end(), u) != chain.end()) {
+        base = kInvalidDepth;  // flip cycle: unresolvable chain
+        break;
+      }
+      chain.push_back(u);
+      u = cascade.activator[u];
+    }
+    if (base == kInvalidDepth) {
+      for (const graph::NodeId v : chain) depth[v] = kInvalidDepth;
+      continue;
+    }
+    // Unwind: chain holds the path from start (front) down to u's child.
+    std::uint32_t d = base;
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) depth[*it] = ++d;
+    if (chain.empty()) depth[start] = base;
+  }
+  // Seeds themselves.
+  for (const graph::NodeId v : cascade.infected) {
+    if (cascade.activator[v] == graph::kInvalidNode) depth[v] = 0;
+  }
+  return depth;
+}
+
+}  // namespace rid::diffusion

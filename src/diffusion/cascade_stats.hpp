@@ -1,0 +1,36 @@
+// Post-hoc analytics over a simulated cascade: growth curves, opinion
+// balance, and flip accounting. Used by the examples and the ablation
+// benches to characterize MFC runs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "diffusion/cascade.hpp"
+
+namespace rid::diffusion {
+
+/// counts[t] = number of nodes whose final activation step is t (seeds are
+/// step 0). Sums to the infected count.
+std::vector<std::size_t> infected_per_step(const Cascade& cascade);
+
+/// cumulative[t] = nodes active by the end of step t (non-decreasing).
+std::vector<std::size_t> cumulative_infected(const Cascade& cascade);
+
+struct OpinionBalance {
+  std::size_t positive = 0;
+  std::size_t negative = 0;
+  std::size_t unknown = 0;
+  double positive_fraction = 0.0;  // positive / (positive + negative)
+};
+
+/// Final opinion split over the infected nodes.
+OpinionBalance opinion_balance(const Cascade& cascade);
+
+/// Depth (#hops from its seed through activation links) of each infected
+/// node; kInvalidDepth for untouched nodes and for nodes whose activation
+/// chain is cyclic (possible under flipping). Seeds have depth 0.
+inline constexpr std::uint32_t kInvalidDepth = 0xffffffffu;
+std::vector<std::uint32_t> activation_depths(const Cascade& cascade);
+
+}  // namespace rid::diffusion

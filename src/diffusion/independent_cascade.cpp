@@ -1,0 +1,52 @@
+#include "diffusion/independent_cascade.hpp"
+
+namespace rid::diffusion {
+
+Cascade simulate_ic(const graph::SignedGraph& diffusion, const SeedSet& seeds,
+                    const IcConfig& config, util::Rng& rng) {
+  validate_seed_set(seeds, diffusion.num_nodes());
+
+  const graph::NodeId n = diffusion.num_nodes();
+  Cascade out;
+  out.state.assign(n, graph::NodeState::kInactive);
+  out.activator.assign(n, graph::kInvalidNode);
+  out.activation_edge.assign(n, graph::kInvalidEdge);
+  out.step.assign(n, 0);
+
+  std::vector<graph::NodeId> recent;
+  std::vector<graph::NodeId> next;
+  for (std::size_t i = 0; i < seeds.nodes.size(); ++i) {
+    out.state[seeds.nodes[i]] = seeds.states[i];
+    out.infected.push_back(seeds.nodes[i]);
+    recent.push_back(seeds.nodes[i]);
+  }
+
+  std::uint32_t step = 0;
+  while (!recent.empty()) {
+    ++step;
+    if (config.max_steps != 0 && step > config.max_steps) break;
+    next.clear();
+    for (const graph::NodeId u : recent) {
+      for (const graph::EdgeId e : diffusion.out_edge_ids(u)) {
+        const graph::NodeId v = diffusion.edge_dst(e);
+        if (out.state[v] != graph::NodeState::kInactive) continue;
+        ++out.num_attempts;
+        if (!rng.bernoulli(diffusion.edge_weight(e))) continue;
+        out.state[v] = config.propagate_signed_state
+                           ? graph::propagate_state(out.state[u],
+                                                    diffusion.edge_sign(e))
+                           : out.state[u];
+        out.activator[v] = u;
+        out.activation_edge[v] = e;
+        out.step[v] = step;
+        out.infected.push_back(v);
+        next.push_back(v);
+      }
+    }
+    std::swap(recent, next);
+  }
+  out.num_steps = step;
+  return out;
+}
+
+}  // namespace rid::diffusion

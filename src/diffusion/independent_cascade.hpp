@@ -1,0 +1,27 @@
+// Classic Independent Cascade (Kempe-Kleinberg-Tardos) — the unsigned
+// baseline MFC generalizes. Signs on links are ignored for the activation
+// probability, but the propagated state still follows s(v) = s(u)·s(u, v) so
+// the model slots into the same signed evaluation harness.
+//
+// Attempt order and RNG usage are identical to simulate_mfc, so with
+// alpha = 1, flipping off, and all-positive links the two models produce
+// bit-identical cascades from the same Rng (property-tested).
+#pragma once
+
+#include "diffusion/cascade.hpp"
+#include "util/rng.hpp"
+
+namespace rid::diffusion {
+
+struct IcConfig {
+  /// Hard cap on rounds; 0 = run to quiescence.
+  std::uint32_t max_steps = 0;
+  /// If true (default), an activated node adopts s(u)·s(u,v); if false all
+  /// activated nodes copy the activator's state (pure unsigned IC).
+  bool propagate_signed_state = true;
+};
+
+Cascade simulate_ic(const graph::SignedGraph& diffusion, const SeedSet& seeds,
+                    const IcConfig& config, util::Rng& rng);
+
+}  // namespace rid::diffusion

@@ -1,0 +1,48 @@
+#include "diffusion/likelihood.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rid::diffusion {
+
+bool is_sign_consistent(graph::NodeState upstream, graph::Sign link_sign,
+                        graph::NodeState downstream) {
+  return graph::state_value(upstream) * graph::sign_value(link_sign) ==
+         graph::state_value(downstream);
+}
+
+double g_factor(graph::NodeState upstream, graph::Sign link_sign,
+                graph::NodeState downstream, double weight,
+                const LikelihoodConfig& config) {
+  if (!graph::is_opinion(upstream) || !graph::is_opinion(downstream))
+    throw std::invalid_argument("g_factor: states must be +1/-1");
+  if (!is_sign_consistent(upstream, link_sign, downstream))
+    return config.inconsistent_value;
+  if (link_sign == graph::Sign::kPositive)
+    return std::min(1.0, config.alpha * weight);
+  return weight;
+}
+
+double path_probability(const graph::SignedGraph& diffusion,
+                        std::span<const graph::EdgeId> path,
+                        std::span<const graph::NodeState> states,
+                        const LikelihoodConfig& config) {
+  double product = 1.0;
+  for (const graph::EdgeId e : path) {
+    const graph::NodeId x = diffusion.edge_src(e);
+    const graph::NodeId y = diffusion.edge_dst(e);
+    product *= g_factor(states[x], diffusion.edge_sign(e), states[y],
+                        diffusion.edge_weight(e), config);
+    if (product == 0.0) break;
+  }
+  return product;
+}
+
+double tree_weight_likelihood(const graph::SignedGraph& diffusion,
+                              std::span<const graph::EdgeId> tree_edges) {
+  double product = 1.0;
+  for (const graph::EdgeId e : tree_edges) product *= diffusion.edge_weight(e);
+  return product;
+}
+
+}  // namespace rid::diffusion

@@ -1,0 +1,81 @@
+#include "diffusion/linear_threshold.hpp"
+
+#include <cmath>
+
+namespace rid::diffusion {
+
+Cascade simulate_lt(const graph::SignedGraph& diffusion, const SeedSet& seeds,
+                    const LtConfig& config, util::Rng& rng) {
+  validate_seed_set(seeds, diffusion.num_nodes());
+  const graph::NodeId n = diffusion.num_nodes();
+
+  // Thresholds are drawn for every node up front (uniform, as in KKT).
+  std::vector<double> threshold(n);
+  for (double& t : threshold) t = rng.next_double();
+
+  std::vector<double> in_weight_sum(n, 0.0);
+  if (config.normalize_weights) {
+    for (graph::EdgeId e = 0; e < diffusion.num_edges(); ++e)
+      in_weight_sum[diffusion.edge_dst(e)] += diffusion.edge_weight(e);
+  }
+
+  Cascade out;
+  out.state.assign(n, graph::NodeState::kInactive);
+  out.activator.assign(n, graph::kInvalidNode);
+  out.activation_edge.assign(n, graph::kInvalidEdge);
+  out.step.assign(n, 0);
+
+  // net_influence[v]: signed, state-weighted influence accumulated so far.
+  std::vector<double> pressure(n, 0.0);   // activation pressure (unsigned)
+  std::vector<double> opinion(n, 0.0);    // signed opinion pull
+  std::vector<graph::NodeId> strongest(n, graph::kInvalidNode);
+  std::vector<graph::EdgeId> strongest_edge(n, graph::kInvalidEdge);
+  std::vector<double> strongest_w(n, -1.0);
+
+  std::vector<graph::NodeId> recent;
+  for (std::size_t i = 0; i < seeds.nodes.size(); ++i) {
+    out.state[seeds.nodes[i]] = seeds.states[i];
+    out.infected.push_back(seeds.nodes[i]);
+    recent.push_back(seeds.nodes[i]);
+  }
+
+  std::vector<graph::NodeId> next;
+  std::uint32_t step = 0;
+  while (!recent.empty()) {
+    ++step;
+    if (config.max_steps != 0 && step > config.max_steps) break;
+    next.clear();
+    for (const graph::NodeId u : recent) {
+      for (const graph::EdgeId e : diffusion.out_edge_ids(u)) {
+        const graph::NodeId v = diffusion.edge_dst(e);
+        if (out.state[v] != graph::NodeState::kInactive) continue;
+        double w = diffusion.edge_weight(e);
+        if (config.normalize_weights && in_weight_sum[v] > 0.0)
+          w /= in_weight_sum[v];
+        pressure[v] += w;
+        const graph::NodeState pushed =
+            graph::propagate_state(out.state[u], diffusion.edge_sign(e));
+        opinion[v] += w * graph::state_value(pushed);
+        if (w > strongest_w[v]) {
+          strongest_w[v] = w;
+          strongest[v] = u;
+          strongest_edge[v] = e;
+        }
+        if (pressure[v] >= threshold[v]) {
+          out.state[v] = opinion[v] >= 0.0 ? graph::NodeState::kPositive
+                                           : graph::NodeState::kNegative;
+          out.activator[v] = strongest[v];
+          out.activation_edge[v] = strongest_edge[v];
+          out.step[v] = step;
+          out.infected.push_back(v);
+          next.push_back(v);
+        }
+      }
+    }
+    std::swap(recent, next);
+  }
+  out.num_steps = step;
+  return out;
+}
+
+}  // namespace rid::diffusion

@@ -1,0 +1,24 @@
+// Linear Threshold model (Kempe-Kleinberg-Tardos), extended minimally to
+// signed networks: a node activates once the *net* incoming active influence
+// (positive-link weight minus negative-link weight from active in-neighbors)
+// reaches its random threshold, and its state is the sign-weighted majority
+// opinion of those neighbors. Provided as an additional substrate/baseline
+// (the paper discusses LT as background; MFC is the contribution).
+#pragma once
+
+#include "diffusion/cascade.hpp"
+#include "util/rng.hpp"
+
+namespace rid::diffusion {
+
+struct LtConfig {
+  std::uint32_t max_steps = 0;  // 0 = run to quiescence
+  /// Incoming weights of each node are normalized by its weighted in-degree
+  /// so thresholds in [0, 1] are meaningful on unnormalized graphs.
+  bool normalize_weights = true;
+};
+
+Cascade simulate_lt(const graph::SignedGraph& diffusion, const SeedSet& seeds,
+                    const LtConfig& config, util::Rng& rng);
+
+}  // namespace rid::diffusion

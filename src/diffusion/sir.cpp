@@ -1,0 +1,56 @@
+#include "diffusion/sir.hpp"
+
+namespace rid::diffusion {
+
+SirCascade simulate_sir(const graph::SignedGraph& diffusion,
+                        const SeedSet& seeds, const SirConfig& config,
+                        util::Rng& rng) {
+  validate_seed_set(seeds, diffusion.num_nodes());
+  const graph::NodeId n = diffusion.num_nodes();
+
+  SirCascade out;
+  Cascade& c = out.cascade;
+  c.state.assign(n, graph::NodeState::kInactive);
+  c.activator.assign(n, graph::kInvalidNode);
+  c.activation_edge.assign(n, graph::kInvalidEdge);
+  c.step.assign(n, 0);
+  out.recovered.assign(n, false);
+
+  std::vector<graph::NodeId> infectious;
+  for (std::size_t i = 0; i < seeds.nodes.size(); ++i) {
+    c.state[seeds.nodes[i]] = seeds.states[i];
+    c.infected.push_back(seeds.nodes[i]);
+    infectious.push_back(seeds.nodes[i]);
+  }
+
+  std::vector<graph::NodeId> still_infectious;
+  std::uint32_t step = 0;
+  while (!infectious.empty()) {
+    ++step;
+    if (config.max_steps != 0 && step > config.max_steps) break;
+    still_infectious.clear();
+    for (const graph::NodeId u : infectious) {
+      for (const graph::EdgeId e : diffusion.out_edge_ids(u)) {
+        const graph::NodeId v = diffusion.edge_dst(e);
+        if (c.state[v] != graph::NodeState::kInactive) continue;
+        ++c.num_attempts;
+        if (!rng.bernoulli(diffusion.edge_weight(e))) continue;
+        c.state[v] = graph::propagate_state(c.state[u], diffusion.edge_sign(e));
+        c.activator[v] = u;
+        c.activation_edge[v] = e;
+        c.step[v] = step;
+        c.infected.push_back(v);
+        still_infectious.push_back(v);
+      }
+      if (!rng.bernoulli(config.recovery_probability))
+        still_infectious.push_back(u);
+      else
+        out.recovered[u] = true;
+    }
+    std::swap(infectious, still_infectious);
+  }
+  c.num_steps = step;
+  return out;
+}
+
+}  // namespace rid::diffusion

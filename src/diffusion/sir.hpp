@@ -1,0 +1,32 @@
+// Discrete-time SIR epidemic on the diffusion network — the substrate used
+// by the rumor-centrality line of work (Shah & Zaman) that the paper cites
+// as related; included so that baseline can be exercised under its native
+// model as well as under MFC.
+//
+// Susceptible -> Infectious with per-edge probability w (signed state is
+// still propagated so the harness can score state inference); Infectious ->
+// Recovered with probability `recovery_probability` per round. Recovered
+// nodes stay in their final opinion state but no longer spread.
+#pragma once
+
+#include "diffusion/cascade.hpp"
+#include "util/rng.hpp"
+
+namespace rid::diffusion {
+
+struct SirConfig {
+  double recovery_probability = 0.3;
+  std::uint32_t max_steps = 0;  // 0 = run until no infectious nodes remain
+};
+
+struct SirCascade {
+  Cascade cascade;
+  /// True for nodes that had recovered by the end of the simulation.
+  std::vector<bool> recovered;
+};
+
+SirCascade simulate_sir(const graph::SignedGraph& diffusion,
+                        const SeedSet& seeds, const SirConfig& config,
+                        util::Rng& rng);
+
+}  // namespace rid::diffusion

@@ -1,0 +1,63 @@
+#include "gen/alias_table.hpp"
+
+#include <stdexcept>
+
+namespace rid::gen {
+
+AliasTable::AliasTable(std::span<const double> weights) {
+  const std::size_t n = weights.size();
+  if (n == 0) throw std::invalid_argument("AliasTable: empty weights");
+  double total = 0.0;
+  for (const double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("AliasTable: negative weight");
+    total += w;
+  }
+  if (total <= 0.0)
+    throw std::invalid_argument("AliasTable: all weights are zero");
+
+  mass_.resize(n);
+  prob_.resize(n);
+  alias_.resize(n);
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    mass_[i] = weights[i] / total;
+    scaled[i] = mass_[i] * static_cast<double>(n);
+  }
+
+  std::vector<std::size_t> small;
+  std::vector<std::size_t> large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+
+  while (!small.empty() && !large.empty()) {
+    const std::size_t s = small.back();
+    small.pop_back();
+    const std::size_t l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Leftovers are numerically ~1.
+  for (const std::size_t l : large) {
+    prob_[l] = 1.0;
+    alias_[l] = l;
+  }
+  for (const std::size_t s : small) {
+    prob_[s] = 1.0;
+    alias_[s] = s;
+  }
+}
+
+std::size_t AliasTable::sample(util::Rng& rng) const {
+  const std::size_t bucket =
+      static_cast<std::size_t>(rng.next_below(prob_.size()));
+  return rng.next_double() < prob_[bucket] ? bucket : alias_[bucket];
+}
+
+}  // namespace rid::gen

@@ -1,0 +1,34 @@
+// Walker/Vose alias method: O(1) sampling from a fixed discrete distribution
+// after O(n) preprocessing. Used by the Chung-Lu generator to pick edge
+// endpoints proportionally to their expected degrees.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace rid::gen {
+
+class AliasTable {
+ public:
+  /// Builds the table from non-negative weights; at least one weight must be
+  /// strictly positive. Throws std::invalid_argument otherwise.
+  explicit AliasTable(std::span<const double> weights);
+
+  /// Samples an index with probability weights[i] / sum(weights).
+  std::size_t sample(util::Rng& rng) const;
+
+  std::size_t size() const noexcept { return prob_.size(); }
+
+  /// Exact probability mass assigned to index i (for testing).
+  double probability(std::size_t i) const noexcept { return mass_[i]; }
+
+ private:
+  std::vector<double> prob_;         // acceptance threshold per bucket
+  std::vector<std::size_t> alias_;   // fallback index per bucket
+  std::vector<double> mass_;         // normalized input weights
+};
+
+}  // namespace rid::gen

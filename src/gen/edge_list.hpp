@@ -1,0 +1,17 @@
+// Plain directed edge list — the unsigned intermediate form produced by the
+// topology generators before signs and weights are attached.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace rid::gen {
+
+struct EdgeList {
+  graph::NodeId num_nodes = 0;
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> edges;
+};
+
+}  // namespace rid::gen

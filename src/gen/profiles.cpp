@@ -1,0 +1,196 @@
+#include "gen/profiles.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "gen/sign_assigner.hpp"
+#include "gen/topologies.hpp"
+#include "util/logging.hpp"
+
+namespace rid::gen {
+
+DatasetProfile epinions_profile() {
+  DatasetProfile p;
+  p.name = "Epinions";
+  p.num_nodes = 131828;
+  p.num_edges = 841372;
+  p.positive_fraction = 0.853;
+  p.degree_exponent = 1.9;
+  p.max_degree_fraction = 0.015;
+  p.controversial_fraction = 0.08;
+  p.controversial_positive_probability = 0.30;
+  return p;
+}
+
+DatasetProfile slashdot_profile() {
+  DatasetProfile p;
+  p.name = "Slashdot";
+  p.num_nodes = 77350;
+  p.num_edges = 516575;
+  p.positive_fraction = 0.774;
+  p.degree_exponent = 2.0;
+  p.max_degree_fraction = 0.03;
+  p.controversial_fraction = 0.12;
+  p.controversial_positive_probability = 0.35;
+  return p;
+}
+
+graph::SignedGraph generate_dataset(const DatasetProfile& profile,
+                                    double scale, util::Rng& rng) {
+  std::size_t community_edge_begin = 0;
+  std::size_t community_edge_end = 0;
+  if (!(scale > 0.0 && scale <= 1.0))
+    throw std::invalid_argument("generate_dataset: scale outside (0, 1]");
+  const auto n = std::max<graph::NodeId>(
+      16, static_cast<graph::NodeId>(std::llround(profile.num_nodes * scale)));
+  const auto m = std::max<std::size_t>(
+      32, static_cast<std::size_t>(std::llround(profile.num_edges * scale)));
+
+  const double max_degree =
+      std::max(4.0, profile.max_degree_fraction * static_cast<double>(n));
+
+  // Draw heavy-tailed expected degree sequences and rescale each so its sum
+  // equals the target edge count (Chung-Lu then draws ~m edges).
+  const auto rescale = [m](std::vector<double>& degrees) {
+    double sum = 0.0;
+    for (const double d : degrees) sum += d;
+    const double factor = static_cast<double>(m) / sum;
+    for (double& d : degrees) d *= factor;
+  };
+  ChungLuConfig cl;
+  cl.num_nodes = n;
+  cl.out_degrees =
+      power_law_degrees(n, profile.degree_exponent, 1.0, max_degree, rng);
+  // In-degrees: correlated with out-degrees for a `degree_correlation`
+  // fraction of nodes, independent draws for the rest.
+  cl.in_degrees =
+      power_law_degrees(n, profile.degree_exponent, 1.0, max_degree, rng);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (rng.bernoulli(profile.degree_correlation))
+      cl.in_degrees[v] = cl.out_degrees[v];
+  }
+  rescale(cl.out_degrees);
+  rescale(cl.in_degrees);
+
+  // Split the edge budget four ways: the prolific-truster cohort gets its
+  // expected edge count off the top, the remainder is divided between the
+  // Chung-Lu backbone, dense community overlays, and triadic closure.
+  const double glue_mean_out =
+      profile.glue_out_degree *
+      std::min(1.0, static_cast<double>(n) / 20000.0);
+  const auto glue_count = static_cast<std::size_t>(
+      std::llround(profile.glue_node_fraction * static_cast<double>(n)));
+  const double glue_budget =
+      static_cast<double>(glue_count) * glue_mean_out;
+  const double m_rest =
+      std::max(32.0, static_cast<double>(m) - glue_budget);
+  const double closure_share = profile.triadic_closure_fraction;
+  const double community_share = profile.community_fraction;
+  const double backbone_share =
+      std::max(0.05, 1.0 - closure_share - community_share) * m_rest /
+      static_cast<double>(m);
+  for (double& d : cl.out_degrees) d *= backbone_share;
+  for (double& d : cl.in_degrees) d *= backbone_share;
+  EdgeList topology = chung_lu(cl, rng);
+
+  community_edge_begin = topology.edges.size();
+  if (community_share > 0.0 && profile.community_size >= 3) {
+    const std::size_t s = profile.community_size;
+    const auto per_community = static_cast<std::size_t>(
+        profile.community_density * static_cast<double>(s) *
+        static_cast<double>(s - 1));
+    const auto budget = static_cast<std::size_t>(
+        std::llround(community_share * m_rest));
+    const std::size_t num_communities =
+        per_community > 0 ? budget / per_community : 0;
+    // Random disjoint member sets; duplicate edges are deduped at build().
+    std::vector<graph::NodeId> order(n);
+    for (graph::NodeId v = 0; v < n; ++v) order[v] = v;
+    rng.shuffle(std::span<graph::NodeId>(order));
+    std::size_t cursor = 0;
+    for (std::size_t c = 0; c < num_communities && cursor + s <= n; ++c) {
+      const auto* members = order.data() + cursor;
+      cursor += s;
+      for (std::size_t e = 0; e < per_community; ++e) {
+        const auto i = static_cast<std::size_t>(rng.next_below(s));
+        auto j = static_cast<std::size_t>(rng.next_below(s - 1));
+        if (j >= i) ++j;
+        topology.edges.emplace_back(members[i], members[j]);
+      }
+    }
+  }
+
+  community_edge_end = topology.edges.size();
+
+  // Prolific-truster cohort: heavy uniform out-fans (see profiles.hpp);
+  // its expected edge count was reserved from the budget above.
+  for (std::size_t i = 0; i < glue_count; ++i) {
+    const auto src = static_cast<graph::NodeId>(rng.next_below(n));
+    const auto fan =
+        static_cast<std::size_t>(rng.uniform(0.5, 1.5) * glue_mean_out);
+    for (std::size_t e = 0; e < fan; ++e) {
+      const auto dst = static_cast<graph::NodeId>(rng.next_below(n));
+      if (dst != src) topology.edges.emplace_back(src, dst);
+    }
+  }
+
+  if (closure_share > 0.0) {
+    const auto want = static_cast<std::size_t>(
+        std::llround(closure_share * m_rest));
+    close_triads(topology, want, rng);
+  }
+  util::log_debug("generate_dataset(", profile.name, ", scale=", scale,
+                  "): n=", topology.num_nodes,
+                  " m=", topology.edges.size());
+
+  // Intra-community (trust cluster) links are kept almost surely positive:
+  // distrust in signed social networks concentrates on links toward
+  // controversial outsiders, not inside cohesive clusters. The global
+  // positive fraction is preserved by lowering the positive probability of
+  // the remaining links accordingly.
+  TargetBiasedSignConfig signs;
+  const double community_edges =
+      static_cast<double>(community_edge_end - community_edge_begin);
+  const double total_edges = static_cast<double>(topology.edges.size());
+  const double community_weight =
+      total_edges > 0.0 ? community_edges / total_edges : 0.0;
+  const double kCommunityPositive = 0.97;
+  double rest_fraction = profile.positive_fraction;
+  if (community_weight < 1.0) {
+    rest_fraction = (profile.positive_fraction -
+                     community_weight * kCommunityPositive) /
+                    (1.0 - community_weight);
+    rest_fraction = std::clamp(rest_fraction, 0.0, 1.0);
+  }
+  signs.positive_fraction = rest_fraction;
+  signs.controversial_fraction = profile.controversial_fraction;
+  signs.controversial_positive_probability =
+      profile.controversial_positive_probability;
+  graph::SignedGraph g = assign_signs_target_biased(topology, signs, rng);
+
+  // Force community-edge signs: positive with probability kCommunityPositive.
+  // build() deduped parallel edges, so look each community pair up by id.
+  std::unordered_set<std::uint64_t> pairs;
+  pairs.reserve((community_edge_end - community_edge_begin) * 2);
+  for (std::size_t i = community_edge_begin; i < community_edge_end; ++i) {
+    const auto [u, v] = topology.edges[i];
+    pairs.insert((static_cast<std::uint64_t>(u) << 32) | v);
+  }
+  graph::SignedGraphBuilder rebuilt(g.num_nodes());
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    const graph::NodeId u = g.edge_src(e);
+    const graph::NodeId v = g.edge_dst(e);
+    graph::Sign sign = g.edge_sign(e);
+    if (pairs.count((static_cast<std::uint64_t>(u) << 32) | v) != 0) {
+      sign = rng.bernoulli(kCommunityPositive) ? graph::Sign::kPositive
+                                               : graph::Sign::kNegative;
+    }
+    rebuilt.add_edge(u, v, sign, g.edge_weight(e));
+  }
+  return rebuilt.build(
+      {.drop_self_loops = false, .dedup_parallel_edges = false});
+}
+
+}  // namespace rid::gen

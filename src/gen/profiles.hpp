@@ -1,0 +1,76 @@
+// Calibrated dataset profiles (substitute for the SNAP dumps — see
+// DESIGN.md §3).
+//
+// The paper's Table II evaluates on soc-sign-Epinions (131,828 nodes /
+// 841,372 directed signed links, ~85% positive) and soc-sign-Slashdot
+// (77,350 / 516,575, ~77% positive). These profiles regenerate synthetic
+// networks of the same size class: heavy-tailed in/out degrees (Chung-Lu
+// over bounded power-law sequences) and distrust concentrated on a
+// controversial minority (TargetBiased signs). A `scale` factor shrinks
+// nodes and edges proportionally for fast benches; scale=1 reproduces the
+// Table II sizes.
+#pragma once
+
+#include <string>
+
+#include "graph/signed_graph.hpp"
+#include "util/rng.hpp"
+
+namespace rid::gen {
+
+struct DatasetProfile {
+  std::string name;
+  graph::NodeId num_nodes = 0;
+  std::size_t num_edges = 0;
+  double positive_fraction = 0.8;
+  /// Power-law exponent of the degree sequences.
+  double degree_exponent = 2.0;
+  /// Max expected degree as a fraction of n (caps the heavy tail).
+  double max_degree_fraction = 0.02;
+  /// Fraction of nodes whose expected in-degree equals their out-degree
+  /// (active users are both followed and following in trust networks).
+  /// This correlation drives the epidemic branching factor
+  /// E[d_in d_out]/E[d]; without it MFC cascades on the sparse Jaccard
+  /// weights stay subcritical and never merge the way the paper's do.
+  double degree_correlation = 0.1;
+  /// Fraction of the edge budget created by closing directed 2-paths
+  /// (triadic closure). Gives the graph clustering and therefore non-zero
+  /// Jaccard coefficients on many social links — without it all weights
+  /// collapse to the U[0, 0.1] fallback and the boosted g-factors never
+  /// reach 1, unlike on the real SNAP graphs.
+  double triadic_closure_fraction = 0.1;
+  /// Fraction of the edge budget spent on dense intra-community subgraphs
+  /// (trust clusters). These are what give a sizable share of social links
+  /// the high Jaccard coefficients (>= 1/alpha) observed on the SNAP data,
+  /// where the boosted activation probability saturates at 1.
+  double community_fraction = 0.25;
+  /// Nodes per community and directed edge density inside a community.
+  std::size_t community_size = 12;
+  double community_density = 0.15;
+  /// A small cohort of "prolific trusters" (mass-trust users): each gets a
+  /// large number of outgoing trust links to uniform targets. On the SNAP
+  /// graphs these users are what weakly connect otherwise distant cascades
+  /// (any two seeds trusted by the same infected prolific truster land in
+  /// one infected component), collapsing the cascade forest the way the
+  /// paper's RID-Tree recall (~13%) implies.
+  double glue_node_fraction = 0.0008;
+  /// Mean outgoing degree of a prolific truster (drawn U[0.5, 1.5] * mean).
+  double glue_out_degree = 700.0;
+  /// TargetBiased sign parameters.
+  double controversial_fraction = 0.1;
+  double controversial_positive_probability = 0.3;
+};
+
+/// soc-sign-Epinions-like profile (Table II row 1).
+DatasetProfile epinions_profile();
+
+/// soc-sign-Slashdot-like profile (Table II row 2).
+DatasetProfile slashdot_profile();
+
+/// Generates a signed social network for the profile. `scale` in (0, 1]
+/// multiplies both node and edge counts. Weights are left at 1.0; apply
+/// graph::apply_jaccard_weights afterwards for the paper's weighting.
+graph::SignedGraph generate_dataset(const DatasetProfile& profile,
+                                    double scale, util::Rng& rng);
+
+}  // namespace rid::gen

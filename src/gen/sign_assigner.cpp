@@ -1,0 +1,74 @@
+#include "gen/sign_assigner.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace rid::gen {
+
+namespace {
+graph::SignedGraph build_with_signs(const EdgeList& edges,
+                                    const std::vector<graph::Sign>& signs) {
+  graph::SignedGraphBuilder builder(edges.num_nodes);
+  for (std::size_t i = 0; i < edges.edges.size(); ++i) {
+    builder.add_edge(edges.edges[i].first, edges.edges[i].second, signs[i],
+                     1.0);
+  }
+  return builder.build();
+}
+}  // namespace
+
+graph::SignedGraph assign_signs_uniform(const EdgeList& edges,
+                                        const UniformSignConfig& config,
+                                        util::Rng& rng) {
+  std::vector<graph::Sign> signs(edges.edges.size());
+  for (auto& s : signs) {
+    s = rng.bernoulli(config.positive_probability) ? graph::Sign::kPositive
+                                                   : graph::Sign::kNegative;
+  }
+  return build_with_signs(edges, signs);
+}
+
+graph::SignedGraph assign_signs_target_biased(
+    const EdgeList& edges, const TargetBiasedSignConfig& config,
+    util::Rng& rng) {
+  if (config.controversial_fraction < 0.0 ||
+      config.controversial_fraction > 1.0)
+    throw std::invalid_argument(
+        "assign_signs_target_biased: controversial_fraction outside [0, 1]");
+
+  // Mark a random controversial minority.
+  std::vector<bool> controversial(edges.num_nodes, false);
+  const auto num_controversial = static_cast<std::uint64_t>(
+      config.controversial_fraction * static_cast<double>(edges.num_nodes));
+  if (num_controversial > 0) {
+    for (const std::uint64_t idx :
+         rng.sample_without_replacement(edges.num_nodes, num_controversial)) {
+      controversial[static_cast<std::size_t>(idx)] = true;
+    }
+  }
+
+  // Solve for the positive probability of ordinary nodes so the global
+  // expectation matches positive_fraction:
+  //   f = c * p_c + (1 - c) * p_o  =>  p_o = (f - c * p_c) / (1 - c).
+  const double c = config.controversial_fraction;
+  const double p_c = config.controversial_positive_probability;
+  double p_o = c < 1.0 ? (config.positive_fraction - c * p_c) / (1.0 - c)
+                       : config.positive_fraction;
+  p_o = std::min(1.0, std::max(0.0, p_o));
+
+  std::vector<graph::Sign> signs(edges.edges.size());
+  for (std::size_t i = 0; i < edges.edges.size(); ++i) {
+    const graph::NodeId target = edges.edges[i].second;
+    const double p = controversial[target] ? p_c : p_o;
+    signs[i] =
+        rng.bernoulli(p) ? graph::Sign::kPositive : graph::Sign::kNegative;
+  }
+  return build_with_signs(edges, signs);
+}
+
+graph::SignedGraph assign_signs_all_positive(const EdgeList& edges) {
+  std::vector<graph::Sign> signs(edges.edges.size(), graph::Sign::kPositive);
+  return build_with_signs(edges, signs);
+}
+
+}  // namespace rid::gen

@@ -1,0 +1,48 @@
+// Sign models: turn an unsigned EdgeList into a SignedGraph.
+//
+// Real signed networks are strongly positive-skewed (Epinions ~85% trust,
+// Slashdot ~77% friend) and distrust is not uniform: a minority of
+// controversial users attract a disproportionate share of negative links.
+// Two models are provided:
+//  * Uniform      — each edge independently positive with probability p.
+//  * TargetBiased — each node gets a latent "reputation" in [0, 1]; the
+//    probability that an incoming link is positive interpolates between the
+//    global ratio and the target's reputation, concentrating distrust on
+//    low-reputation nodes (the pattern reported for Epinions/Slashdot).
+#pragma once
+
+#include "gen/edge_list.hpp"
+#include "graph/signed_graph.hpp"
+#include "util/rng.hpp"
+
+namespace rid::gen {
+
+struct UniformSignConfig {
+  double positive_probability = 0.8;
+};
+
+/// Signs each edge i.i.d. positive with the configured probability.
+/// All weights are 1.0 (weights come later, e.g. via Jaccard).
+graph::SignedGraph assign_signs_uniform(const EdgeList& edges,
+                                        const UniformSignConfig& config,
+                                        util::Rng& rng);
+
+struct TargetBiasedSignConfig {
+  /// Global expected positive fraction.
+  double positive_fraction = 0.8;
+  /// Fraction of nodes that are "controversial" (low reputation).
+  double controversial_fraction = 0.1;
+  /// Positive probability of links into controversial nodes.
+  double controversial_positive_probability = 0.3;
+};
+
+/// Concentrates negative links on a controversial minority while keeping the
+/// global positive fraction close to `positive_fraction`.
+graph::SignedGraph assign_signs_target_biased(
+    const EdgeList& edges, const TargetBiasedSignConfig& config,
+    util::Rng& rng);
+
+/// All edges positive (handy for reducing MFC to IC in tests/ablations).
+graph::SignedGraph assign_signs_all_positive(const EdgeList& edges);
+
+}  // namespace rid::gen

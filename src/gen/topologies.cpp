@@ -1,0 +1,243 @@
+#include "gen/topologies.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "gen/alias_table.hpp"
+
+namespace rid::gen {
+
+namespace {
+
+/// Packs a directed pair into 64 bits for dedup sets.
+constexpr std::uint64_t pack(graph::NodeId u, graph::NodeId v) {
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+
+}  // namespace
+
+EdgeList erdos_renyi(graph::NodeId n, std::size_t m, util::Rng& rng) {
+  const std::uint64_t max_edges =
+      static_cast<std::uint64_t>(n) * (n > 0 ? n - 1 : 0);
+  if (m > max_edges)
+    throw std::invalid_argument("erdos_renyi: m > n*(n-1)");
+  EdgeList out;
+  out.num_nodes = n;
+  out.edges.reserve(m);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(m * 2);
+  while (out.edges.size() < m) {
+    const auto u = static_cast<graph::NodeId>(rng.next_below(n));
+    const auto v = static_cast<graph::NodeId>(rng.next_below(n));
+    if (u == v) continue;
+    if (!seen.insert(pack(u, v)).second) continue;
+    out.edges.emplace_back(u, v);
+  }
+  return out;
+}
+
+EdgeList barabasi_albert(const BarabasiAlbertConfig& config, util::Rng& rng) {
+  const graph::NodeId n = config.num_nodes;
+  const std::size_t m = config.edges_per_node;
+  std::size_t seed = config.seed_nodes == 0 ? m + 1 : config.seed_nodes;
+  if (seed < m + 1)
+    throw std::invalid_argument("barabasi_albert: seed_nodes < edges_per_node+1");
+  if (n < seed) throw std::invalid_argument("barabasi_albert: n < seed_nodes");
+
+  EdgeList out;
+  out.num_nodes = n;
+  // `targets` holds one entry per unit of (in-degree + 1) attractiveness;
+  // sampling uniformly from it realizes linear preferential attachment.
+  std::vector<graph::NodeId> targets;
+  targets.reserve(n * (m + 1));
+  // Seed clique: every ordered pair among the first `seed` nodes.
+  for (graph::NodeId u = 0; u < seed; ++u) {
+    targets.push_back(u);  // the "+1" smoothing entry
+    for (graph::NodeId v = 0; v < seed; ++v) {
+      if (u == v) continue;
+      out.edges.emplace_back(u, v);
+      targets.push_back(v);
+    }
+  }
+  std::vector<graph::NodeId> picks;
+  for (graph::NodeId u = static_cast<graph::NodeId>(seed); u < n; ++u) {
+    picks.clear();
+    while (picks.size() < m) {
+      const graph::NodeId v =
+          targets[static_cast<std::size_t>(rng.next_below(targets.size()))];
+      if (v == u) continue;
+      if (std::find(picks.begin(), picks.end(), v) != picks.end()) continue;
+      picks.push_back(v);
+    }
+    for (const graph::NodeId v : picks) {
+      out.edges.emplace_back(u, v);
+      targets.push_back(v);
+    }
+    targets.push_back(u);
+  }
+  return out;
+}
+
+std::vector<double> power_law_degrees(std::size_t n, double exponent,
+                                      double min_degree, double max_degree,
+                                      util::Rng& rng) {
+  if (min_degree <= 0.0 || max_degree < min_degree)
+    throw std::invalid_argument("power_law_degrees: bad degree bounds");
+  if (exponent <= 1.0)
+    throw std::invalid_argument("power_law_degrees: exponent must be > 1");
+  // Inverse CDF of the continuous bounded Pareto distribution.
+  const double a = 1.0 - exponent;
+  const double lo = std::pow(min_degree, a);
+  const double hi = std::pow(max_degree, a);
+  std::vector<double> degrees(n);
+  for (double& d : degrees) {
+    const double u = rng.next_double();
+    d = std::pow(lo + u * (hi - lo), 1.0 / a);
+  }
+  return degrees;
+}
+
+EdgeList chung_lu(const ChungLuConfig& config, util::Rng& rng) {
+  const graph::NodeId n = config.num_nodes;
+  if (config.out_degrees.size() != n || config.in_degrees.size() != n)
+    throw std::invalid_argument("chung_lu: degree sequence size != n");
+  double out_sum = 0.0;
+  for (const double d : config.out_degrees) out_sum += d;
+
+  EdgeList out;
+  out.num_nodes = n;
+  const auto target_edges = static_cast<std::size_t>(std::llround(out_sum));
+  if (target_edges == 0) return out;
+
+  const AliasTable src_table(config.out_degrees);
+  const AliasTable dst_table(config.in_degrees);
+  out.edges.reserve(target_edges);
+  std::unordered_set<std::uint64_t> seen;
+  if (config.dedup) seen.reserve(target_edges * 2);
+
+  // Fast Chung-Lu: draw `target_edges` endpoint pairs; duplicates/loops are
+  // redrawn a bounded number of times, then skipped (keeps termination
+  // guaranteed even for adversarial degree sequences).
+  std::size_t produced = 0;
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = target_edges * 20 + 1000;
+  while (produced < target_edges && attempts < max_attempts) {
+    ++attempts;
+    const auto u = static_cast<graph::NodeId>(src_table.sample(rng));
+    const auto v = static_cast<graph::NodeId>(dst_table.sample(rng));
+    if (u == v) continue;
+    if (config.dedup && !seen.insert(pack(u, v)).second) continue;
+    out.edges.emplace_back(u, v);
+    ++produced;
+  }
+  return out;
+}
+
+EdgeList rmat(const RmatConfig& config, util::Rng& rng) {
+  const double total = config.a + config.b + config.c + config.d;
+  if (std::abs(total - 1.0) > 1e-6)
+    throw std::invalid_argument("rmat: quadrant probabilities must sum to 1");
+  const graph::NodeId n = graph::NodeId{1} << config.scale;
+
+  EdgeList out;
+  out.num_nodes = n;
+  out.edges.reserve(config.num_edges);
+  std::unordered_set<std::uint64_t> seen;
+  if (config.dedup) seen.reserve(config.num_edges * 2);
+
+  std::size_t produced = 0;
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = config.num_edges * 20 + 1000;
+  while (produced < config.num_edges && attempts < max_attempts) {
+    ++attempts;
+    graph::NodeId u = 0;
+    graph::NodeId v = 0;
+    for (std::uint32_t level = 0; level < config.scale; ++level) {
+      const double r = rng.next_double();
+      u <<= 1;
+      v <<= 1;
+      if (r < config.a) {
+        // top-left: no bits set
+      } else if (r < config.a + config.b) {
+        v |= 1;
+      } else if (r < config.a + config.b + config.c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    if (config.drop_self_loops && u == v) continue;
+    if (config.dedup && !seen.insert(pack(u, v)).second) continue;
+    out.edges.emplace_back(u, v);
+    ++produced;
+  }
+  return out;
+}
+
+std::size_t close_triads(EdgeList& edges, std::size_t additional,
+                         util::Rng& rng) {
+  if (edges.edges.empty() || additional == 0) return 0;
+  // Out-adjacency snapshot (closure edges also become closable paths).
+  std::vector<std::vector<graph::NodeId>> out(edges.num_nodes);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve((edges.edges.size() + additional) * 2);
+  for (const auto& [u, v] : edges.edges) {
+    out[u].push_back(v);
+    seen.insert(pack(u, v));
+  }
+  std::size_t added = 0;
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = additional * 30 + 1000;
+  while (added < additional && attempts < max_attempts) {
+    ++attempts;
+    // Copy the endpoints: emplace_back below may reallocate edges.edges.
+    const auto [v, w] =
+        edges.edges[static_cast<std::size_t>(rng.next_below(edges.edges.size()))];
+    if (out[w].empty()) continue;
+    const graph::NodeId u =
+        out[w][static_cast<std::size_t>(rng.next_below(out[w].size()))];
+    if (u == v) continue;
+    if (!seen.insert(pack(v, u)).second) continue;
+    edges.edges.emplace_back(v, u);
+    out[v].push_back(u);
+    ++added;
+  }
+  return added;
+}
+
+EdgeList watts_strogatz(const WattsStrogatzConfig& config, util::Rng& rng) {
+  const graph::NodeId n = config.num_nodes;
+  if (config.k >= n)
+    throw std::invalid_argument("watts_strogatz: k must be < n");
+  EdgeList out;
+  out.num_nodes = n;
+  out.edges.reserve(static_cast<std::size_t>(n) * config.k);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(static_cast<std::size_t>(n) * config.k * 2);
+
+  for (graph::NodeId u = 0; u < n; ++u) {
+    for (std::size_t j = 1; j <= config.k; ++j) {
+      graph::NodeId v = static_cast<graph::NodeId>((u + j) % n);
+      if (rng.bernoulli(config.rewire_probability)) {
+        // Rewire to a uniform non-loop destination; retry a few times to
+        // avoid duplicates, else keep the lattice edge.
+        for (int tries = 0; tries < 8; ++tries) {
+          const auto candidate = static_cast<graph::NodeId>(rng.next_below(n));
+          if (candidate != u && seen.count(pack(u, candidate)) == 0) {
+            v = candidate;
+            break;
+          }
+        }
+      }
+      if (v == u) continue;
+      if (!seen.insert(pack(u, v)).second) continue;
+      out.edges.emplace_back(u, v);
+    }
+  }
+  return out;
+}
+
+}  // namespace rid::gen

@@ -1,0 +1,87 @@
+// Directed topology generators.
+//
+// Each generator is deterministic given its Rng and produces an EdgeList
+// without self-loops or (where noted) duplicate edges. Signs and weights are
+// attached afterwards (see sign_assigner.hpp and graph/jaccard.hpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gen/edge_list.hpp"
+#include "util/rng.hpp"
+
+namespace rid::gen {
+
+/// Directed G(n, m): m distinct directed non-loop edges chosen uniformly.
+/// Throws std::invalid_argument if m exceeds n*(n-1).
+EdgeList erdos_renyi(graph::NodeId n, std::size_t m, util::Rng& rng);
+
+struct BarabasiAlbertConfig {
+  graph::NodeId num_nodes = 0;
+  /// Out-edges added per arriving node (attached preferentially by in-degree;
+  /// direction new -> old matches "new users trust established users").
+  std::size_t edges_per_node = 3;
+  /// Size of the initial fully-connected seed clique (>= edges_per_node + 1).
+  std::size_t seed_nodes = 0;  // 0 = edges_per_node + 1
+};
+
+/// Preferential-attachment digraph; no duplicates or self-loops.
+EdgeList barabasi_albert(const BarabasiAlbertConfig& config, util::Rng& rng);
+
+/// Samples `n` expected degrees from a discrete power law
+/// P(d) ∝ d^-exponent on [min_degree, max_degree] via inverse CDF.
+std::vector<double> power_law_degrees(std::size_t n, double exponent,
+                                      double min_degree, double max_degree,
+                                      util::Rng& rng);
+
+struct ChungLuConfig {
+  graph::NodeId num_nodes = 0;
+  /// Expected out-/in-degree sequences (sizes must equal num_nodes and have
+  /// equal sums up to rounding; the generator draws round(sum) edges).
+  std::vector<double> out_degrees;
+  std::vector<double> in_degrees;
+  /// Drop duplicate edges (slightly lowers realized degrees, as usual for
+  /// the fast Chung-Lu sampler).
+  bool dedup = true;
+};
+
+/// Fast Chung-Lu: draws ~sum(out_degrees) edges with endpoints sampled from
+/// alias tables over the degree sequences. Expected degrees approximate the
+/// inputs for sparse graphs.
+EdgeList chung_lu(const ChungLuConfig& config, util::Rng& rng);
+
+struct RmatConfig {
+  /// Number of nodes is 2^scale.
+  std::uint32_t scale = 10;
+  std::size_t num_edges = 0;
+  /// Quadrant probabilities (a+b+c+d must be ~1).
+  double a = 0.57, b = 0.19, c = 0.19, d = 0.05;
+  bool dedup = true;
+  bool drop_self_loops = true;
+};
+
+/// R-MAT/Kronecker-style recursive generator (heavy-tailed, community-ish).
+EdgeList rmat(const RmatConfig& config, util::Rng& rng);
+
+/// Adds up to `additional` edges by closing random directed 2-paths
+/// (v -> w -> u becomes v -> u). This is the triadic-closure step that gives
+/// synthetic social graphs realistic clustering — and therefore non-zero
+/// Jaccard coefficients on social links, which the paper's weighting
+/// depends on. Returns the number of edges actually added (dead ends and
+/// duplicates can make it fall short on degenerate inputs).
+std::size_t close_triads(EdgeList& edges, std::size_t additional,
+                         util::Rng& rng);
+
+struct WattsStrogatzConfig {
+  graph::NodeId num_nodes = 0;
+  /// Each node links to its k nearest ring successors.
+  std::size_t k = 4;
+  /// Probability of rewiring each edge's destination uniformly.
+  double rewire_probability = 0.1;
+};
+
+/// Directed small-world ring lattice with random rewiring.
+EdgeList watts_strogatz(const WattsStrogatzConfig& config, util::Rng& rng);
+
+}  // namespace rid::gen

@@ -1,0 +1,71 @@
+#include "gen/trees.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace rid::gen {
+
+EdgeList random_tree(graph::NodeId n, util::Rng& rng) {
+  EdgeList out;
+  out.num_nodes = n;
+  out.edges.reserve(n > 0 ? n - 1 : 0);
+  for (graph::NodeId child = 1; child < n; ++child) {
+    const auto parent = static_cast<graph::NodeId>(rng.next_below(child));
+    out.edges.emplace_back(parent, child);
+  }
+  return out;
+}
+
+EdgeList random_bounded_tree(graph::NodeId n, std::size_t max_children,
+                             util::Rng& rng) {
+  if (max_children == 0)
+    throw std::invalid_argument("random_bounded_tree: max_children == 0");
+  EdgeList out;
+  out.num_nodes = n;
+  out.edges.reserve(n > 0 ? n - 1 : 0);
+  std::vector<graph::NodeId> available;  // nodes with spare child capacity
+  std::vector<std::size_t> child_count(n, 0);
+  if (n > 0) available.push_back(0);
+  for (graph::NodeId child = 1; child < n; ++child) {
+    const std::size_t pick =
+        static_cast<std::size_t>(rng.next_below(available.size()));
+    const graph::NodeId parent = available[pick];
+    out.edges.emplace_back(parent, child);
+    if (++child_count[parent] >= max_children) {
+      available[pick] = available.back();
+      available.pop_back();
+    }
+    available.push_back(child);
+  }
+  return out;
+}
+
+EdgeList complete_binary_tree(graph::NodeId n) {
+  EdgeList out;
+  out.num_nodes = n;
+  for (graph::NodeId i = 0; i < n; ++i) {
+    const std::uint64_t left = 2ULL * i + 1;
+    const std::uint64_t right = 2ULL * i + 2;
+    if (left < n)
+      out.edges.emplace_back(i, static_cast<graph::NodeId>(left));
+    if (right < n)
+      out.edges.emplace_back(i, static_cast<graph::NodeId>(right));
+  }
+  return out;
+}
+
+EdgeList path_graph(graph::NodeId n) {
+  EdgeList out;
+  out.num_nodes = n;
+  for (graph::NodeId i = 0; i + 1 < n; ++i) out.edges.emplace_back(i, i + 1);
+  return out;
+}
+
+EdgeList star_graph(graph::NodeId n) {
+  EdgeList out;
+  out.num_nodes = n;
+  for (graph::NodeId i = 1; i < n; ++i) out.edges.emplace_back(0, i);
+  return out;
+}
+
+}  // namespace rid::gen

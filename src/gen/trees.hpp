@@ -1,0 +1,32 @@
+// Random tree generators for DP tests and benches.
+//
+// All trees are emitted as diffusion-oriented edge lists: the edge (parent,
+// child) means "parent can activate child". Node 0 is always the root.
+#pragma once
+
+#include <cstddef>
+
+#include "gen/edge_list.hpp"
+#include "util/rng.hpp"
+
+namespace rid::gen {
+
+/// Uniform random recursive tree: node i (i >= 1) picks a uniform parent
+/// among {0, ..., i-1}.
+EdgeList random_tree(graph::NodeId n, util::Rng& rng);
+
+/// Random tree with out-degree capped at `max_children` (parents are drawn
+/// uniformly from nodes that still have capacity).
+EdgeList random_bounded_tree(graph::NodeId n, std::size_t max_children,
+                             util::Rng& rng);
+
+/// Complete binary tree (node i has children 2i+1 and 2i+2 where < n).
+EdgeList complete_binary_tree(graph::NodeId n);
+
+/// Path 0 -> 1 -> ... -> n-1.
+EdgeList path_graph(graph::NodeId n);
+
+/// Star: 0 -> i for all i >= 1.
+EdgeList star_graph(graph::NodeId n);
+
+}  // namespace rid::gen

@@ -1,0 +1,55 @@
+#include "graph/dot_export.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace rid::graph {
+
+void save_dot(const SignedGraph& graph, std::ostream& out,
+              const DotOptions& options) {
+  out << "digraph " << options.graph_name << " {\n"
+      << "  node [style=filled, fillcolor=white, fontname=\"Helvetica\"];\n";
+  if (!options.states.empty()) {
+    if (options.states.size() != graph.num_nodes())
+      throw std::invalid_argument("save_dot: states size != num_nodes");
+    for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+      const char* color = "white";
+      switch (options.states[v]) {
+        case NodeState::kPositive:
+          color = "palegreen";
+          break;
+        case NodeState::kNegative:
+          color = "lightcoral";
+          break;
+        case NodeState::kUnknown:
+          color = "lightgrey";
+          break;
+        case NodeState::kInactive:
+          break;
+      }
+      out << "  n" << v << " [fillcolor=\"" << color << "\"];\n";
+    }
+  }
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    out << "  n" << graph.edge_src(e) << " -> n" << graph.edge_dst(e)
+        << " [color=\""
+        << (graph.edge_sign(e) == Sign::kPositive ? "forestgreen" : "crimson")
+        << "\"";
+    if (options.edge_weights) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.3f", graph.edge_weight(e));
+      out << ", label=\"" << buf << "\"";
+    }
+    out << "];\n";
+  }
+  out << "}\n";
+}
+
+void save_dot_file(const SignedGraph& graph, const std::string& path,
+                   const DotOptions& options) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_dot: cannot open " + path);
+  save_dot(graph, out, options);
+}
+
+}  // namespace rid::graph

@@ -1,0 +1,26 @@
+// Graphviz DOT export for signed graphs (green = trust, red = distrust),
+// optionally annotated with node states from a snapshot.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "graph/signed_graph.hpp"
+
+namespace rid::graph {
+
+struct DotOptions {
+  /// Optional per-node states to color nodes (palegreen/lightcoral/grey).
+  std::span<const NodeState> states;
+  /// Render edge weights as labels (off for large graphs).
+  bool edge_weights = false;
+  std::string graph_name = "signed";
+};
+
+void save_dot(const SignedGraph& graph, std::ostream& out,
+              const DotOptions& options = {});
+void save_dot_file(const SignedGraph& graph, const std::string& path,
+                   const DotOptions& options = {});
+
+}  // namespace rid::graph

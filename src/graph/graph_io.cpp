@@ -1,0 +1,155 @@
+#include "graph/graph_io.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+#include <unordered_map>
+
+namespace rid::graph {
+
+namespace {
+
+struct RawEdge {
+  std::uint64_t src;
+  std::uint64_t dst;
+  int sign;
+  double weight;
+};
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
+  throw std::runtime_error("graph_io: line " + std::to_string(line_no) + ": " +
+                           what);
+}
+
+/// Splits on whitespace; returns false for blank/comment lines.
+bool tokenize(std::string_view line, std::vector<std::string_view>& tokens) {
+  tokens.clear();
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t' ||
+                               line[i] == '\r'))
+      ++i;
+    const std::size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t' &&
+           line[i] != '\r')
+      ++i;
+    if (i > start) tokens.push_back(line.substr(start, i - start));
+  }
+  if (tokens.empty()) return false;
+  if (tokens.front().front() == '#' || tokens.front().front() == '%')
+    return false;
+  return true;
+}
+
+template <typename T>
+T parse_number(std::string_view token, std::size_t line_no) {
+  T value{};
+  if constexpr (std::is_floating_point_v<T>) {
+    try {
+      std::size_t pos = 0;
+      value = static_cast<T>(std::stod(std::string(token), &pos));
+      if (pos != token.size()) fail(line_no, "trailing characters in number");
+    } catch (const std::exception&) {
+      fail(line_no, "expected a number, got '" + std::string(token) + "'");
+    }
+  } else {
+    const auto res =
+        std::from_chars(token.data(), token.data() + token.size(), value);
+    if (res.ec != std::errc{} || res.ptr != token.data() + token.size())
+      fail(line_no, "expected an integer, got '" + std::string(token) + "'");
+  }
+  return value;
+}
+
+LoadedGraph assemble(const std::vector<RawEdge>& raw) {
+  LoadedGraph out;
+  std::unordered_map<std::uint64_t, NodeId> compact;
+  compact.reserve(raw.size());
+  const auto id_of = [&](std::uint64_t label) {
+    const auto [it, inserted] =
+        compact.emplace(label, static_cast<NodeId>(out.original_label.size()));
+    if (inserted) out.original_label.push_back(label);
+    return it->second;
+  };
+  // First pass assigns compact ids in order of appearance (sources before
+  // destinations within each line; explicit sequencing because function
+  // argument evaluation order is unspecified).
+  std::vector<std::pair<NodeId, NodeId>> endpoints;
+  endpoints.reserve(raw.size());
+  for (const RawEdge& e : raw) {
+    const NodeId src = id_of(e.src);
+    const NodeId dst = id_of(e.dst);
+    endpoints.emplace_back(src, dst);
+  }
+
+  SignedGraphBuilder builder(static_cast<NodeId>(out.original_label.size()));
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    builder.add_edge(endpoints[i].first, endpoints[i].second,
+                     sign_from_value(raw[i].sign), raw[i].weight);
+  }
+  out.graph = builder.build();
+  return out;
+}
+
+LoadedGraph load_impl(std::istream& in, bool weighted) {
+  std::vector<RawEdge> raw;
+  std::string line;
+  std::vector<std::string_view> tokens;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!tokenize(line, tokens)) continue;
+    const std::size_t expected = weighted ? 4 : 3;
+    if (tokens.size() < expected)
+      fail(line_no, "expected " + std::to_string(expected) + " columns, got " +
+                        std::to_string(tokens.size()));
+    RawEdge e{};
+    e.src = parse_number<std::uint64_t>(tokens[0], line_no);
+    e.dst = parse_number<std::uint64_t>(tokens[1], line_no);
+    e.sign = parse_number<int>(tokens[2], line_no);
+    if (e.sign != 1 && e.sign != -1)
+      fail(line_no, "sign must be +1 or -1, got " + std::to_string(e.sign));
+    e.weight = weighted ? parse_number<double>(tokens[3], line_no) : 1.0;
+    if (!(e.weight >= 0.0 && e.weight <= 1.0))
+      fail(line_no, "weight outside [0, 1]");
+    raw.push_back(e);
+  }
+  return assemble(raw);
+}
+
+}  // namespace
+
+LoadedGraph load_snap(std::istream& in) { return load_impl(in, false); }
+
+LoadedGraph load_weighted(std::istream& in) { return load_impl(in, true); }
+
+LoadedGraph load_snap_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("graph_io: cannot open " + path);
+  return load_snap(in);
+}
+
+LoadedGraph load_weighted_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("graph_io: cannot open " + path);
+  return load_weighted(in);
+}
+
+void save_weighted(const SignedGraph& graph, std::ostream& out) {
+  out << "# src dst sign weight\n";
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    out << graph.edge_src(e) << '\t' << graph.edge_dst(e) << '\t'
+        << sign_value(graph.edge_sign(e)) << '\t' << graph.edge_weight(e)
+        << '\n';
+  }
+}
+
+void save_weighted_file(const SignedGraph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("graph_io: cannot open " + path);
+  save_weighted(graph, out);
+}
+
+}  // namespace rid::graph

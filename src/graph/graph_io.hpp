@@ -1,0 +1,43 @@
+// Reading and writing signed edge lists.
+//
+// Two formats are supported:
+//  * SNAP format ("FromNodeId ToNodeId Sign", '#' comments) — the format of
+//    the public soc-sign-epinions / soc-sign-Slashdot dumps the paper uses;
+//    weights default to 1.0 and are normally assigned afterwards with
+//    apply_jaccard_weights().
+//  * weighted format with a fourth column holding the weight in [0, 1].
+//
+// Node ids in files may be sparse; they are compacted to 0..n-1 and the
+// original labels are returned so results can be reported in file ids.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/signed_graph.hpp"
+
+namespace rid::graph {
+
+struct LoadedGraph {
+  SignedGraph graph;
+  /// original_label[i] is the file's node id for library node i.
+  std::vector<std::uint64_t> original_label;
+};
+
+/// Parses a SNAP-style signed edge list from a stream.
+/// Throws std::runtime_error with the line number on malformed input.
+LoadedGraph load_snap(std::istream& in);
+
+/// Reads the file at `path` with load_snap(std::istream&).
+LoadedGraph load_snap_file(const std::string& path);
+
+/// Parses the 4-column weighted variant ("src dst sign weight").
+LoadedGraph load_weighted(std::istream& in);
+LoadedGraph load_weighted_file(const std::string& path);
+
+/// Writes "src dst sign weight" rows (library node ids, '#' header).
+void save_weighted(const SignedGraph& graph, std::ostream& out);
+void save_weighted_file(const SignedGraph& graph, const std::string& path);
+
+}  // namespace rid::graph

@@ -1,0 +1,46 @@
+#include "graph/jaccard.hpp"
+
+namespace rid::graph {
+
+double jaccard_coefficient(const SignedGraph& graph, NodeId v, NodeId u) {
+  const auto outs = graph.out_neighbors(v);  // sorted node ids
+  const auto in_ids = graph.in_edge_ids(u);  // EdgeIds sorted by source
+
+  std::size_t intersection = 0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < outs.size() && j < in_ids.size()) {
+    const NodeId a = outs[i];
+    const NodeId b = graph.edge_src(in_ids[j]);
+    if (a == b) {
+      ++intersection;
+      ++i;
+      ++j;
+    } else if (a < b) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  const std::size_t union_size = outs.size() + in_ids.size() - intersection;
+  if (union_size == 0) return 0.0;
+  return static_cast<double>(intersection) / static_cast<double>(union_size);
+}
+
+std::size_t apply_jaccard_weights(SignedGraph& graph, util::Rng& rng,
+                                  const JaccardOptions& options) {
+  std::size_t fallbacks = 0;
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const double jc =
+        jaccard_coefficient(graph, graph.edge_src(e), graph.edge_dst(e));
+    if (jc > 0.0) {
+      graph.set_edge_weight(e, jc);
+    } else {
+      graph.set_edge_weight(e, rng.uniform(0.0, options.zero_fill_max));
+      ++fallbacks;
+    }
+  }
+  return fallbacks;
+}
+
+}  // namespace rid::graph

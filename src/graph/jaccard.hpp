@@ -1,0 +1,32 @@
+// Jaccard-coefficient link weighting (paper Section IV-B3).
+//
+// The experiments weight each social link (v, u) with the Jaccard coefficient
+//     JC(v, u) = |Γ_out(v) ∩ Γ_in(u)| / |Γ_out(v) ∪ Γ_in(u)|
+// (Γ_out(v): users v follows, Γ_in(u): followers of u). Because the signed
+// networks are sparse, many links get JC = 0; those are assigned a weight
+// drawn uniformly from [0, zero_fill_max] (paper uses 0.1), mirroring common
+// practice for the IC model. Applying the weights on the social graph and
+// then reversing yields the paper's diffusion-network weights.
+#pragma once
+
+#include "graph/signed_graph.hpp"
+#include "util/rng.hpp"
+
+namespace rid::graph {
+
+/// Jaccard coefficient between v's out-neighborhood and u's in-neighborhood.
+/// Returns 0 when both neighborhoods are empty.
+double jaccard_coefficient(const SignedGraph& graph, NodeId v, NodeId u);
+
+struct JaccardOptions {
+  /// Upper bound of the uniform fallback weight for JC == 0 links.
+  double zero_fill_max = 0.1;
+};
+
+/// Reweights every edge (v, u) of `graph` in place with JC(v, u), falling
+/// back to U[0, zero_fill_max] for zero-coefficient links. Returns the number
+/// of edges that used the fallback.
+std::size_t apply_jaccard_weights(SignedGraph& graph, util::Rng& rng,
+                                  const JaccardOptions& options = {});
+
+}  // namespace rid::graph

@@ -1,0 +1,145 @@
+#include "graph/signed_graph.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace rid::graph {
+
+std::string to_string(Sign s) {
+  return s == Sign::kPositive ? "+1" : "-1";
+}
+
+std::string to_string(NodeState s) {
+  switch (s) {
+    case NodeState::kPositive:
+      return "+1";
+    case NodeState::kNegative:
+      return "-1";
+    case NodeState::kInactive:
+      return "0";
+    case NodeState::kUnknown:
+      return "?";
+  }
+  return "invalid";
+}
+
+SignedGraphBuilder::SignedGraphBuilder(NodeId num_nodes)
+    : num_nodes_(num_nodes) {}
+
+SignedGraphBuilder& SignedGraphBuilder::add_edge(NodeId src, NodeId dst,
+                                                 Sign sign, double weight) {
+  if (src >= num_nodes_ || dst >= num_nodes_)
+    throw std::out_of_range("SignedGraphBuilder::add_edge: node id >= n");
+  if (!(weight >= 0.0 && weight <= 1.0))
+    throw std::invalid_argument(
+        "SignedGraphBuilder::add_edge: weight outside [0, 1]");
+  srcs_.push_back(src);
+  dsts_.push_back(dst);
+  signs_.push_back(sign);
+  weights_.push_back(weight);
+  return *this;
+}
+
+void SignedGraphBuilder::ensure_node(NodeId id) {
+  if (id == kInvalidNode)
+    throw std::out_of_range("SignedGraphBuilder::ensure_node: invalid id");
+  if (id >= num_nodes_) num_nodes_ = id + 1;
+}
+
+SignedGraph SignedGraphBuilder::build() { return build(BuildOptions{}); }
+
+SignedGraph SignedGraphBuilder::build(const BuildOptions& options) {
+  const std::size_t raw_m = srcs_.size();
+  // Sort edge indices by (src, dst, insertion order) to obtain CSR order and
+  // enable first-occurrence dedup.
+  std::vector<std::size_t> order(raw_m);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (srcs_[a] != srcs_[b]) return srcs_[a] < srcs_[b];
+    if (dsts_[a] != dsts_[b]) return dsts_[a] < dsts_[b];
+    return a < b;
+  });
+
+  SignedGraph g;
+  g.out_offsets_.assign(num_nodes_ + 1, 0);
+  g.src_.reserve(raw_m);
+  g.dst_.reserve(raw_m);
+  g.sign_.reserve(raw_m);
+  g.weight_.reserve(raw_m);
+
+  NodeId prev_src = kInvalidNode;
+  NodeId prev_dst = kInvalidNode;
+  for (const std::size_t i : order) {
+    const NodeId s = srcs_[i];
+    const NodeId d = dsts_[i];
+    if (options.drop_self_loops && s == d) continue;
+    if (options.dedup_parallel_edges && s == prev_src && d == prev_dst)
+      continue;
+    prev_src = s;
+    prev_dst = d;
+    g.src_.push_back(s);
+    g.dst_.push_back(d);
+    g.sign_.push_back(signs_[i]);
+    g.weight_.push_back(weights_[i]);
+    ++g.out_offsets_[s + 1];
+  }
+  for (NodeId u = 0; u < num_nodes_; ++u)
+    g.out_offsets_[u + 1] += g.out_offsets_[u];
+
+  const auto m = static_cast<EdgeId>(g.dst_.size());
+  g.edge_id_identity_.resize(m);
+  std::iota(g.edge_id_identity_.begin(), g.edge_id_identity_.end(), EdgeId{0});
+
+  // In-adjacency via counting sort on destination.
+  g.in_offsets_.assign(num_nodes_ + 1, 0);
+  for (const NodeId d : g.dst_) ++g.in_offsets_[d + 1];
+  for (NodeId v = 0; v < num_nodes_; ++v)
+    g.in_offsets_[v + 1] += g.in_offsets_[v];
+  g.in_edge_.resize(m);
+  std::vector<EdgeId> cursor(g.in_offsets_.begin(), g.in_offsets_.end() - 1);
+  for (EdgeId e = 0; e < m; ++e) g.in_edge_[cursor[g.dst_[e]]++] = e;
+
+  // Release builder storage.
+  srcs_.clear();
+  dsts_.clear();
+  signs_.clear();
+  weights_.clear();
+  return g;
+}
+
+void SignedGraph::set_edge_weight(EdgeId e, double weight) {
+  if (!(weight >= 0.0 && weight <= 1.0))
+    throw std::invalid_argument(
+        "SignedGraph::set_edge_weight: weight outside [0, 1]");
+  weight_[e] = weight;
+}
+
+EdgeId SignedGraph::find_edge(NodeId src, NodeId dst) const noexcept {
+  if (src >= num_nodes()) return kInvalidEdge;
+  const auto begin = dst_.begin() + out_offsets_[src];
+  const auto end = dst_.begin() + out_offsets_[src + 1];
+  const auto it = std::lower_bound(begin, end, dst);
+  if (it == end || *it != dst) return kInvalidEdge;
+  return static_cast<EdgeId>(it - dst_.begin());
+}
+
+SignedGraph SignedGraph::reversed() const {
+  SignedGraphBuilder builder(num_nodes());
+  for (EdgeId e = 0; e < num_edges(); ++e)
+    builder.add_edge(dst_[e], src_[e], sign_[e], weight_[e]);
+  // Topology was already normalized; keep every edge as-is.
+  return builder.build({.drop_self_loops = false, .dedup_parallel_edges = false});
+}
+
+std::size_t SignedGraph::memory_bytes() const noexcept {
+  return out_offsets_.capacity() * sizeof(EdgeId) +
+         src_.capacity() * sizeof(NodeId) + dst_.capacity() * sizeof(NodeId) +
+         sign_.capacity() * sizeof(Sign) +
+         weight_.capacity() * sizeof(double) +
+         in_offsets_.capacity() * sizeof(EdgeId) +
+         in_edge_.capacity() * sizeof(EdgeId) +
+         edge_id_identity_.capacity() * sizeof(EdgeId);
+}
+
+}  // namespace rid::graph

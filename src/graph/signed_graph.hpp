@@ -1,0 +1,138 @@
+// SignedGraph: the directed, signed, weighted graph at the heart of the
+// library, stored in compressed sparse row (CSR) form with both out- and
+// in-adjacency so diffusion (out) and tree extraction (in) are both cheap.
+//
+// Construction goes through SignedGraphBuilder; a built graph's topology is
+// immutable but edge *weights* can be reassigned in place (the paper derives
+// weights from Jaccard coefficients after the topology exists).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace rid::graph {
+
+class SignedGraph;
+
+/// Incrementally collects edges, then produces an immutable CSR graph.
+class SignedGraphBuilder {
+ public:
+  /// Creates a builder for nodes {0, ..., num_nodes-1}.
+  explicit SignedGraphBuilder(NodeId num_nodes);
+
+  NodeId num_nodes() const noexcept { return num_nodes_; }
+  std::size_t num_edges() const noexcept { return srcs_.size(); }
+
+  /// Adds the directed edge src -> dst. Throws std::out_of_range for invalid
+  /// node ids and std::invalid_argument for weights outside [0, 1].
+  /// Self-loops and parallel edges are accepted here; `build` can drop them.
+  SignedGraphBuilder& add_edge(NodeId src, NodeId dst, Sign sign,
+                               double weight = 1.0);
+
+  /// Grows the node universe (ids are stable). New count must not shrink.
+  void ensure_node(NodeId id);
+
+  /// Options controlling normalization during build().
+  struct BuildOptions {
+    bool drop_self_loops = true;
+    /// Keep only the first occurrence of each (src, dst) pair.
+    bool dedup_parallel_edges = true;
+  };
+
+  /// Produces the CSR graph. The builder is left empty afterwards.
+  SignedGraph build(const BuildOptions& options);
+  SignedGraph build();  // build(BuildOptions{})
+
+ private:
+  NodeId num_nodes_;
+  std::vector<NodeId> srcs_;
+  std::vector<NodeId> dsts_;
+  std::vector<Sign> signs_;
+  std::vector<double> weights_;
+};
+
+/// Immutable-topology signed directed graph.
+///
+/// Edges are identified by EdgeId in [0, num_edges()), ordered by source node
+/// (CSR order). In-adjacency entries reference the same EdgeIds, so signs and
+/// weights are stored once.
+class SignedGraph {
+ public:
+  SignedGraph() = default;
+
+  NodeId num_nodes() const noexcept {
+    return static_cast<NodeId>(out_offsets_.empty() ? 0
+                                                    : out_offsets_.size() - 1);
+  }
+  std::size_t num_edges() const noexcept { return dst_.size(); }
+
+  // --- per-edge accessors -------------------------------------------------
+  NodeId edge_src(EdgeId e) const noexcept { return src_[e]; }
+  NodeId edge_dst(EdgeId e) const noexcept { return dst_[e]; }
+  Sign edge_sign(EdgeId e) const noexcept { return sign_[e]; }
+  double edge_weight(EdgeId e) const noexcept { return weight_[e]; }
+
+  /// Reassigns one edge's weight. Throws std::invalid_argument outside [0,1].
+  void set_edge_weight(EdgeId e, double weight);
+
+  // --- adjacency ----------------------------------------------------------
+  /// EdgeIds of edges leaving `u`, sorted by destination id.
+  std::span<const EdgeId> out_edge_ids(NodeId u) const noexcept {
+    return {edge_id_identity_.data() + out_offsets_[u],
+            out_offsets_[u + 1] - out_offsets_[u]};
+  }
+  /// EdgeIds of edges entering `v`, sorted by source id.
+  std::span<const EdgeId> in_edge_ids(NodeId v) const noexcept {
+    return {in_edge_.data() + in_offsets_[v],
+            in_offsets_[v + 1] - in_offsets_[v]};
+  }
+
+  std::size_t out_degree(NodeId u) const noexcept {
+    return out_offsets_[u + 1] - out_offsets_[u];
+  }
+  std::size_t in_degree(NodeId v) const noexcept {
+    return in_offsets_[v + 1] - in_offsets_[v];
+  }
+
+  /// Destinations of out-edges of `u` (sorted ascending).
+  std::span<const NodeId> out_neighbors(NodeId u) const noexcept {
+    return {dst_.data() + out_offsets_[u],
+            out_offsets_[u + 1] - out_offsets_[u]};
+  }
+
+  /// EdgeId of (src, dst) if present, else kInvalidEdge (binary search).
+  EdgeId find_edge(NodeId src, NodeId dst) const noexcept;
+
+  /// The reversed graph: edge (u, v) becomes (v, u) with the same sign and
+  /// weight. This is exactly the paper's social -> diffusion transformation.
+  SignedGraph reversed() const;
+
+  /// Structural + weight equality (same CSR content).
+  bool operator==(const SignedGraph& other) const = default;
+
+  /// Total bytes of the CSR arrays (for capacity-planning reports).
+  std::size_t memory_bytes() const noexcept;
+
+ private:
+  friend class SignedGraphBuilder;
+
+  // CSR over out-edges. EdgeId == index into src_/dst_/sign_/weight_.
+  std::vector<EdgeId> out_offsets_;  // size n+1
+  std::vector<NodeId> src_;          // size m (src of each edge, CSR-ordered)
+  std::vector<NodeId> dst_;          // size m
+  std::vector<Sign> sign_;           // size m
+  std::vector<double> weight_;       // size m
+
+  // In-adjacency: for each node, the EdgeIds of incoming edges.
+  std::vector<EdgeId> in_offsets_;  // size n+1
+  std::vector<EdgeId> in_edge_;     // size m
+
+  // Identity permutation so out_edge_ids can return a span.
+  std::vector<EdgeId> edge_id_identity_;  // size m
+};
+
+}  // namespace rid::graph

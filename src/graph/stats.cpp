@@ -1,0 +1,84 @@
+#include "graph/stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace rid::graph {
+
+GraphStats compute_stats(const SignedGraph& graph) {
+  GraphStats s;
+  s.num_nodes = graph.num_nodes();
+  s.num_edges = graph.num_edges();
+  double weight_sum = 0.0;
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    if (graph.edge_sign(e) == Sign::kPositive)
+      ++s.positive_edges;
+    else
+      ++s.negative_edges;
+    weight_sum += graph.edge_weight(e);
+    // Count each reciprocal pair once, from the lexicographically smaller
+    // direction.
+    const NodeId u = graph.edge_src(e);
+    const NodeId v = graph.edge_dst(e);
+    if (u < v && graph.find_edge(v, u) != kInvalidEdge) ++s.reciprocal_pairs;
+  }
+  if (s.num_edges > 0) {
+    s.positive_fraction =
+        static_cast<double>(s.positive_edges) / static_cast<double>(s.num_edges);
+    s.mean_weight = weight_sum / static_cast<double>(s.num_edges);
+  }
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    s.max_out_degree = std::max(s.max_out_degree, graph.out_degree(u));
+    s.max_in_degree = std::max(s.max_in_degree, graph.in_degree(u));
+    if (graph.out_degree(u) == 0 && graph.in_degree(u) == 0)
+      ++s.isolated_nodes;
+  }
+  if (s.num_nodes > 0)
+    s.mean_degree =
+        static_cast<double>(s.num_edges) / static_cast<double>(s.num_nodes);
+  return s;
+}
+
+namespace {
+std::vector<std::size_t> degree_histogram_impl(const SignedGraph& graph,
+                                               bool out) {
+  std::vector<std::size_t> buckets;
+  const auto bucket_of = [](std::size_t degree) {
+    if (degree == 0) return std::size_t{0};
+    std::size_t b = 1;
+    while ((std::size_t{1} << b) <= degree) ++b;
+    return b;  // degree in [2^(b-1), 2^b)
+  };
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    const std::size_t degree = out ? graph.out_degree(u) : graph.in_degree(u);
+    const std::size_t b = bucket_of(degree);
+    if (b >= buckets.size()) buckets.resize(b + 1, 0);
+    ++buckets[b];
+  }
+  return buckets;
+}
+}  // namespace
+
+std::vector<std::size_t> out_degree_histogram(const SignedGraph& graph) {
+  return degree_histogram_impl(graph, true);
+}
+
+std::vector<std::size_t> in_degree_histogram(const SignedGraph& graph) {
+  return degree_histogram_impl(graph, false);
+}
+
+std::string to_string(const GraphStats& s) {
+  std::ostringstream oss;
+  oss << "nodes=" << s.num_nodes << " edges=" << s.num_edges
+      << " positive=" << s.positive_edges << " negative=" << s.negative_edges
+      << " positive_fraction=" << s.positive_fraction
+      << " mean_degree=" << s.mean_degree
+      << " max_out_degree=" << s.max_out_degree
+      << " max_in_degree=" << s.max_in_degree
+      << " reciprocal_pairs=" << s.reciprocal_pairs
+      << " mean_weight=" << s.mean_weight
+      << " isolated=" << s.isolated_nodes;
+  return oss.str();
+}
+
+}  // namespace rid::graph

@@ -1,0 +1,36 @@
+// Descriptive statistics of a signed graph (Table II style reporting).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "graph/signed_graph.hpp"
+
+namespace rid::graph {
+
+struct GraphStats {
+  std::size_t num_nodes = 0;
+  std::size_t num_edges = 0;
+  std::size_t positive_edges = 0;
+  std::size_t negative_edges = 0;
+  double positive_fraction = 0.0;  // positive_edges / num_edges
+  std::size_t max_out_degree = 0;
+  std::size_t max_in_degree = 0;
+  double mean_degree = 0.0;        // num_edges / num_nodes
+  std::size_t reciprocal_pairs = 0;  // (u,v) with both directions present
+  double mean_weight = 0.0;
+  std::size_t isolated_nodes = 0;  // no in- and no out-edges
+};
+
+GraphStats compute_stats(const SignedGraph& graph);
+
+/// Degree histogram with power-of-two buckets.
+/// Returned vector: index 0 = degree 0, index k>0 = degrees in [2^(k-1), 2^k).
+std::vector<std::size_t> out_degree_histogram(const SignedGraph& graph);
+std::vector<std::size_t> in_degree_histogram(const SignedGraph& graph);
+
+/// Multi-line human-readable rendering used by benches and examples.
+std::string to_string(const GraphStats& stats);
+
+}  // namespace rid::graph

@@ -1,0 +1,35 @@
+#include "graph/subgraph.hpp"
+
+namespace rid::graph {
+
+Subgraph induced_subgraph(const SignedGraph& graph,
+                          std::span<const NodeId> nodes) {
+  Subgraph sub;
+  sub.to_local.assign(graph.num_nodes(), kInvalidNode);
+  sub.to_global.reserve(nodes.size());
+  for (const NodeId g : nodes) {
+    if (sub.to_local[g] != kInvalidNode) continue;  // ignore duplicates
+    sub.to_local[g] = static_cast<NodeId>(sub.to_global.size());
+    sub.to_global.push_back(g);
+  }
+
+  SignedGraphBuilder builder(static_cast<NodeId>(sub.to_global.size()));
+  for (const NodeId g : sub.to_global) {
+    for (const EdgeId e : graph.out_edge_ids(g)) {
+      const NodeId dst = graph.edge_dst(e);
+      if (sub.to_local[dst] == kInvalidNode) continue;
+      builder.add_edge(sub.to_local[g], sub.to_local[dst], graph.edge_sign(e),
+                       graph.edge_weight(e));
+    }
+  }
+  sub.graph = builder.build(
+      {.drop_self_loops = false, .dedup_parallel_edges = false});
+  return sub;
+}
+
+SignedGraph positive_subgraph(const SignedGraph& graph) {
+  return filter_edges(
+      graph, [&](EdgeId e) { return graph.edge_sign(e) == Sign::kPositive; });
+}
+
+}  // namespace rid::graph

@@ -1,0 +1,53 @@
+// Induced subgraph extraction with id remapping.
+//
+// The RID pipeline repeatedly restricts the diffusion network to the infected
+// node set and to individual connected components; this module provides the
+// node-renumbering machinery and keeps the back-mapping to original ids.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/signed_graph.hpp"
+
+namespace rid::graph {
+
+/// An induced subgraph together with mappings between local and global ids.
+struct Subgraph {
+  SignedGraph graph;                 // nodes renumbered 0..k-1
+  std::vector<NodeId> to_global;     // local id -> original id
+  std::vector<NodeId> to_local;      // original id -> local id or kInvalidNode
+
+  NodeId global_of(NodeId local) const { return to_global[local]; }
+  NodeId local_of(NodeId global) const { return to_local[global]; }
+  bool contains_global(NodeId global) const {
+    return global < to_local.size() && to_local[global] != kInvalidNode;
+  }
+};
+
+/// Subgraph induced by `nodes` (duplicates are ignored; order defines local
+/// ids of the first occurrences). Keeps every edge whose endpoints are both
+/// selected, preserving signs and weights.
+Subgraph induced_subgraph(const SignedGraph& graph,
+                          std::span<const NodeId> nodes);
+
+/// Subgraph keeping only edges accepted by `keep_edge` over the full node
+/// set (node ids are unchanged; to_global/to_local are identities).
+template <typename Pred>
+SignedGraph filter_edges(const SignedGraph& graph, Pred keep_edge) {
+  SignedGraphBuilder builder(graph.num_nodes());
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    if (keep_edge(e)) {
+      builder.add_edge(graph.edge_src(e), graph.edge_dst(e),
+                       graph.edge_sign(e), graph.edge_weight(e));
+    }
+  }
+  return builder.build(
+      {.drop_self_loops = false, .dedup_parallel_edges = false});
+}
+
+/// Convenience: the positive-links-only view used by the RID-Positive
+/// baseline.
+SignedGraph positive_subgraph(const SignedGraph& graph);
+
+}  // namespace rid::graph

@@ -1,0 +1,70 @@
+// Fundamental identifiers and signed-network vocabulary shared by every
+// layer of the library.
+//
+// Terminology follows the paper:
+//  * a *social* link (u, v) means "u trusts/distrusts v";
+//  * the *diffusion* link is the reverse (v, u): information flows from the
+//    trusted party to the truster;
+//  * node states live in {+1, -1, 0, ?} = {Positive, Negative, Inactive,
+//    Unknown}.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace rid::graph {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+inline constexpr EdgeId kInvalidEdge = std::numeric_limits<EdgeId>::max();
+
+/// Polarity of a signed link: trust (+1) or distrust (-1).
+enum class Sign : std::int8_t { kNegative = -1, kPositive = +1 };
+
+/// Numeric value of a sign, matching the paper's s(u, v) in {-1, +1}.
+constexpr int sign_value(Sign s) noexcept { return static_cast<int>(s); }
+
+constexpr Sign sign_from_value(int v) {
+  return v >= 0 ? Sign::kPositive : Sign::kNegative;
+}
+
+constexpr Sign operator*(Sign a, Sign b) noexcept {
+  return a == b ? Sign::kPositive : Sign::kNegative;
+}
+
+std::string to_string(Sign s);
+
+/// Per-node opinion state. kUnknown models the paper's '?': the snapshot did
+/// not observe this node's opinion even though it may be infected.
+enum class NodeState : std::int8_t {
+  kNegative = -1,  // disagrees with the rumor
+  kInactive = 0,   // not infected
+  kPositive = +1,  // agrees with the rumor
+  kUnknown = 2,    // infected but opinion unobserved
+};
+
+constexpr int state_value(NodeState s) noexcept { return static_cast<int>(s); }
+
+constexpr bool is_active(NodeState s) noexcept {
+  return s == NodeState::kPositive || s == NodeState::kNegative ||
+         s == NodeState::kUnknown;
+}
+
+/// True for the two observable opinions (+1 / -1).
+constexpr bool is_opinion(NodeState s) noexcept {
+  return s == NodeState::kPositive || s == NodeState::kNegative;
+}
+
+/// The state a node acquires when activated over a link: s(v) = s(u)·s(u,v).
+/// Requires `activator` to be an opinion state.
+constexpr NodeState propagate_state(NodeState activator, Sign link) noexcept {
+  const int v = state_value(activator) * sign_value(link);
+  return v > 0 ? NodeState::kPositive : NodeState::kNegative;
+}
+
+std::string to_string(NodeState s);
+
+}  // namespace rid::graph

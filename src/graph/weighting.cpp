@@ -1,0 +1,124 @@
+#include "graph/weighting.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/jaccard.hpp"
+
+namespace rid::graph {
+
+namespace {
+
+/// Iterates the sorted intersection of out(v) and in(u), invoking fn(w) for
+/// every common neighbor w.
+template <typename Fn>
+void for_common_neighbors(const SignedGraph& graph, NodeId v, NodeId u,
+                          Fn&& fn) {
+  const auto outs = graph.out_neighbors(v);
+  const auto in_ids = graph.in_edge_ids(u);
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < outs.size() && j < in_ids.size()) {
+    const NodeId a = outs[i];
+    const NodeId b = graph.edge_src(in_ids[j]);
+    if (a == b) {
+      fn(a);
+      ++i;
+      ++j;
+    } else if (a < b) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+}
+
+}  // namespace
+
+std::size_t apply_weights(SignedGraph& graph, util::Rng& rng,
+                          const WeightingOptions& options) {
+  const auto m = static_cast<EdgeId>(graph.num_edges());
+  std::size_t fallbacks = 0;
+
+  switch (options.scheme) {
+    case WeightScheme::kJaccard:
+      return apply_jaccard_weights(graph, rng,
+                                   {.zero_fill_max = options.zero_fill_max});
+
+    case WeightScheme::kConstant: {
+      if (!(options.constant >= 0.0 && options.constant <= 1.0))
+        throw std::invalid_argument("apply_weights: constant outside [0, 1]");
+      for (EdgeId e = 0; e < m; ++e)
+        graph.set_edge_weight(e, options.constant);
+      return 0;
+    }
+
+    case WeightScheme::kUniformRandom: {
+      for (EdgeId e = 0; e < m; ++e)
+        graph.set_edge_weight(e, rng.uniform(0.0, options.constant));
+      return 0;
+    }
+
+    case WeightScheme::kCommonNeighbors:
+    case WeightScheme::kAdamicAdar: {
+      // Two passes: compute raw scores, then normalize by the max so the
+      // weights land in [0, 1].
+      std::vector<double> scores(m, 0.0);
+      double max_score = 0.0;
+      for (EdgeId e = 0; e < m; ++e) {
+        const NodeId v = graph.edge_src(e);
+        const NodeId u = graph.edge_dst(e);
+        double score = 0.0;
+        if (options.scheme == WeightScheme::kCommonNeighbors) {
+          for_common_neighbors(graph, v, u, [&](NodeId) { score += 1.0; });
+        } else {
+          for_common_neighbors(graph, v, u, [&](NodeId w) {
+            const double degree = static_cast<double>(graph.out_degree(w) +
+                                                      graph.in_degree(w));
+            score += 1.0 / std::log(2.0 + degree);
+          });
+        }
+        scores[e] = score;
+        max_score = std::max(max_score, score);
+      }
+      for (EdgeId e = 0; e < m; ++e) {
+        if (scores[e] > 0.0) {
+          graph.set_edge_weight(e, scores[e] / max_score);
+        } else {
+          graph.set_edge_weight(e, rng.uniform(0.0, options.zero_fill_max));
+          ++fallbacks;
+        }
+      }
+      return fallbacks;
+    }
+  }
+  throw std::invalid_argument("apply_weights: unknown scheme");
+}
+
+WeightScheme weight_scheme_from_string(const std::string& name) {
+  if (name == "jaccard") return WeightScheme::kJaccard;
+  if (name == "common-neighbors") return WeightScheme::kCommonNeighbors;
+  if (name == "adamic-adar") return WeightScheme::kAdamicAdar;
+  if (name == "constant") return WeightScheme::kConstant;
+  if (name == "uniform") return WeightScheme::kUniformRandom;
+  throw std::invalid_argument("unknown weight scheme: " + name);
+}
+
+std::string to_string(WeightScheme scheme) {
+  switch (scheme) {
+    case WeightScheme::kJaccard:
+      return "jaccard";
+    case WeightScheme::kCommonNeighbors:
+      return "common-neighbors";
+    case WeightScheme::kAdamicAdar:
+      return "adamic-adar";
+    case WeightScheme::kConstant:
+      return "constant";
+    case WeightScheme::kUniformRandom:
+      return "uniform";
+  }
+  return "?";
+}
+
+}  // namespace rid::graph

@@ -1,0 +1,49 @@
+// Link-weighting schemes for diffusion probabilities.
+//
+// The paper weights social links with the Jaccard coefficient (jaccard.hpp);
+// this module generalizes that choice, because the weight distribution turns
+// out to control the whole detection regime (see EXPERIMENTS.md): it decides
+// which boosted probabilities saturate, how far cascades travel, and how
+// discriminative the tree likelihood is.
+//
+// Schemes (all computed on the *social* graph, per edge (v, u)):
+//  * kJaccard        — |out(v) ∩ in(u)| / |out(v) ∪ in(u)| (paper default)
+//  * kCommonNeighbors— |out(v) ∩ in(u)| / normalization (max observed count)
+//  * kAdamicAdar     — sum over common neighbors w of 1/log(1 + deg(w)),
+//                      normalized by the max observed score
+//  * kConstant       — a fixed weight for every link
+//  * kUniformRandom  — i.i.d. U[0, max]
+// Zero-scoring links fall back to U[0, zero_fill_max] as in the paper.
+#pragma once
+
+#include "graph/signed_graph.hpp"
+#include "util/rng.hpp"
+
+namespace rid::graph {
+
+enum class WeightScheme {
+  kJaccard,
+  kCommonNeighbors,
+  kAdamicAdar,
+  kConstant,
+  kUniformRandom,
+};
+
+struct WeightingOptions {
+  WeightScheme scheme = WeightScheme::kJaccard;
+  /// Fallback bound for zero-scoring links (paper: 0.1).
+  double zero_fill_max = 0.1;
+  /// kConstant: the weight; kUniformRandom: the upper bound.
+  double constant = 0.1;
+};
+
+/// Reweights every edge in place; returns the number of fallback draws.
+std::size_t apply_weights(SignedGraph& graph, util::Rng& rng,
+                          const WeightingOptions& options);
+
+/// Parses "jaccard" | "common-neighbors" | "adamic-adar" | "constant" |
+/// "uniform"; throws std::invalid_argument otherwise.
+WeightScheme weight_scheme_from_string(const std::string& name);
+std::string to_string(WeightScheme scheme);
+
+}  // namespace rid::graph

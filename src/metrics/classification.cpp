@@ -1,0 +1,71 @@
+#include "metrics/classification.hpp"
+
+#include <algorithm>
+
+namespace rid::metrics {
+
+namespace {
+std::vector<graph::NodeId> sorted_unique(std::span<const graph::NodeId> ids) {
+  std::vector<graph::NodeId> out(ids.begin(), ids.end());
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+}  // namespace
+
+std::vector<graph::NodeId> intersect_ids(
+    std::span<const graph::NodeId> predicted,
+    std::span<const graph::NodeId> ground_truth) {
+  const auto a = sorted_unique(predicted);
+  const auto b = sorted_unique(ground_truth);
+  std::vector<graph::NodeId> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+IdentityScores score_identities(std::span<const graph::NodeId> predicted,
+                                std::span<const graph::NodeId> ground_truth) {
+  const auto a = sorted_unique(predicted);
+  const auto b = sorted_unique(ground_truth);
+  std::vector<graph::NodeId> both;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(both));
+  IdentityScores s;
+  s.true_positives = both.size();
+  s.detected = a.size();
+  s.actual = b.size();
+  if (s.detected > 0)
+    s.precision = static_cast<double>(s.true_positives) /
+                  static_cast<double>(s.detected);
+  if (s.actual > 0)
+    s.recall =
+        static_cast<double>(s.true_positives) / static_cast<double>(s.actual);
+  if (s.precision + s.recall > 0.0)
+    s.f1 = 2.0 * s.precision * s.recall / (s.precision + s.recall);
+  return s;
+}
+
+double pr_auc(std::span<const std::pair<double, double>> recall_precision) {
+  std::vector<std::pair<double, double>> points(recall_precision.begin(),
+                                                recall_precision.end());
+  std::sort(points.begin(), points.end());
+  // Collapse duplicate recalls, keeping the best precision.
+  std::vector<std::pair<double, double>> curve;
+  for (const auto& [recall, precision] : points) {
+    if (!curve.empty() && curve.back().first == recall) {
+      curve.back().second = std::max(curve.back().second, precision);
+    } else {
+      curve.emplace_back(recall, precision);
+    }
+  }
+  if (curve.size() < 2) return 0.0;
+  double area = 0.0;
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    const double dr = curve[i].first - curve[i - 1].first;
+    area += 0.5 * dr * (curve[i].second + curve[i - 1].second);
+  }
+  return area;
+}
+
+}  // namespace rid::metrics

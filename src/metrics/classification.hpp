@@ -1,0 +1,38 @@
+// Set-retrieval metrics for initiator identity evaluation (paper Section
+// IV-B2: precision, recall, F1 against the ground-truth seed set).
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace rid::metrics {
+
+struct IdentityScores {
+  std::size_t true_positives = 0;
+  std::size_t detected = 0;  // |predicted|
+  std::size_t actual = 0;    // |ground truth|
+  double precision = 0.0;    // tp / detected  (0 when detected == 0)
+  double recall = 0.0;       // tp / actual    (0 when actual == 0)
+  double f1 = 0.0;           // harmonic mean  (0 when either is 0)
+};
+
+/// Compares predicted vs ground-truth id sets (duplicates are ignored).
+IdentityScores score_identities(std::span<const graph::NodeId> predicted,
+                                std::span<const graph::NodeId> ground_truth);
+
+/// Ids present in both sets, sorted (the "correctly identified initiators"
+/// over which state metrics are computed).
+std::vector<graph::NodeId> intersect_ids(
+    std::span<const graph::NodeId> predicted,
+    std::span<const graph::NodeId> ground_truth);
+
+/// Area under a precision-recall curve sampled at operating points (e.g. a
+/// beta sweep): trapezoid rule over the points sorted by recall, without
+/// extrapolating beyond the observed recall range. Duplicate recalls keep
+/// the higher precision. Returns 0 for fewer than two distinct recalls.
+double pr_auc(std::span<const std::pair<double, double>> recall_precision);
+
+}  // namespace rid::metrics

@@ -1,0 +1,48 @@
+#include "metrics/states.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rid::metrics {
+
+StateScores score_states(std::span<const graph::NodeState> predicted,
+                         std::span<const graph::NodeState> ground_truth) {
+  if (predicted.size() != ground_truth.size())
+    throw std::invalid_argument("score_states: size mismatch");
+  StateScores s;
+  double abs_error_sum = 0.0;
+  double true_sum = 0.0;
+  std::size_t matches = 0;
+  // First pass: mean of true values over comparable pairs.
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    if (!graph::is_opinion(predicted[i])) continue;
+    if (!graph::is_opinion(ground_truth[i]))
+      throw std::invalid_argument("score_states: ground truth must be +1/-1");
+    ++s.count;
+    true_sum += graph::state_value(ground_truth[i]);
+  }
+  if (s.count == 0) return s;
+  const double true_mean = true_sum / static_cast<double>(s.count);
+
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    if (!graph::is_opinion(predicted[i])) continue;
+    const double p = graph::state_value(predicted[i]);
+    const double t = graph::state_value(ground_truth[i]);
+    if (p == t) ++matches;
+    abs_error_sum += std::abs(p - t);
+    ss_res += (t - p) * (t - p);
+    ss_tot += (t - true_mean) * (t - true_mean);
+  }
+  s.accuracy = static_cast<double>(matches) / static_cast<double>(s.count);
+  s.mae = abs_error_sum / static_cast<double>(s.count);
+  if (ss_tot > 0.0) {
+    s.r2 = 1.0 - ss_res / ss_tot;
+  } else {
+    s.r2 = ss_res == 0.0 ? 1.0 : 0.0;
+  }
+  return s;
+}
+
+}  // namespace rid::metrics

@@ -1,0 +1,27 @@
+// State-inference metrics (paper Section IV-D1): Accuracy, MAE and R^2 of
+// the inferred initial opinions (+1/-1) of the correctly identified
+// initiators against their ground-truth seeding states.
+#pragma once
+
+#include <span>
+
+#include "graph/types.hpp"
+
+namespace rid::metrics {
+
+struct StateScores {
+  std::size_t count = 0;   // pairs compared
+  double accuracy = 0.0;   // fraction of exact matches
+  double mae = 0.0;        // mean |pred - true| over {-1,+1} values
+  double r2 = 0.0;         // coefficient of determination (<= 1; can be < 0)
+};
+
+/// Compares aligned predicted/true opinion sequences. Entries whose
+/// predicted state is not an opinion (+1/-1) are skipped (methods that do
+/// not infer states report kUnknown). With zero comparable pairs all scores
+/// are 0. When the true values have zero variance, r2 is defined as 1 if
+/// residuals are also zero, else 0.
+StateScores score_states(std::span<const graph::NodeState> predicted,
+                         std::span<const graph::NodeState> ground_truth);
+
+}  // namespace rid::metrics

@@ -1,0 +1,240 @@
+#include "sim/experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "core/baselines.hpp"
+#include "core/rid.hpp"
+#include "core/rumor_centrality.hpp"
+#include "diffusion/mfc.hpp"
+#include "graph/diffusion_network.hpp"
+#include "graph/jaccard.hpp"
+#include "graph/weighting.hpp"
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+namespace rid::sim {
+
+namespace {
+
+Trial build_trial(const Scenario& scenario, graph::SignedGraph social,
+                  util::Rng& rng) {
+  Trial trial;
+
+  // Paper IV-B3: weight the social links (Jaccard + uniform fallback by
+  // default), then reverse into the diffusion network.
+  util::Rng weight_rng = rng.split();
+  graph::apply_weights(social, weight_rng, scenario.weighting);
+  trial.diffusion = graph::make_diffusion_network(social);
+
+  // Ground truth: N seeds (theta of them positive). A `seed_locality`
+  // fraction is drawn from undirected BFS neighborhoods of a few random
+  // epicenters; the rest uniformly.
+  const graph::NodeId n = trial.diffusion.num_nodes();
+  const std::size_t want = std::min<std::size_t>(scaled_initiators(scenario), n);
+  util::Rng seed_rng = rng.split();
+  diffusion::SeedSet seeds;
+  {
+    const auto local_want = static_cast<std::size_t>(
+        std::llround(scenario.seed_locality * static_cast<double>(want)));
+    std::vector<bool> chosen(n, false);
+    std::vector<graph::NodeId> picked;
+    picked.reserve(want);
+    if (local_want > 0 && scenario.seed_epicenters > 0) {
+      const std::size_t epicenters =
+          std::max<std::size_t>(1, std::min<std::size_t>(
+              scenario.seed_epicenters,
+              std::max<std::size_t>(1, local_want)));
+      const std::size_t per_epicenter =
+          (local_want + epicenters - 1) / epicenters;
+      for (std::size_t c = 0; c < epicenters && picked.size() < local_want;
+           ++c) {
+        // Undirected BFS pool around the epicenter, ~4x oversampled.
+        const auto start =
+            static_cast<graph::NodeId>(seed_rng.next_below(n));
+        std::vector<graph::NodeId> pool{start};
+        std::vector<bool> visited(n, false);
+        visited[start] = true;
+        const std::size_t pool_target = per_epicenter * 4 + 4;
+        for (std::size_t head = 0;
+             head < pool.size() && pool.size() < pool_target; ++head) {
+          const graph::NodeId u = pool[head];
+          for (const graph::EdgeId e : trial.diffusion.out_edge_ids(u)) {
+            const graph::NodeId v = trial.diffusion.edge_dst(e);
+            if (!visited[v]) {
+              visited[v] = true;
+              pool.push_back(v);
+            }
+          }
+          for (const graph::EdgeId e : trial.diffusion.in_edge_ids(u)) {
+            const graph::NodeId v = trial.diffusion.edge_src(e);
+            if (!visited[v]) {
+              visited[v] = true;
+              pool.push_back(v);
+            }
+          }
+        }
+        seed_rng.shuffle(std::span<graph::NodeId>(pool));
+        for (const graph::NodeId v : pool) {
+          if (picked.size() >= local_want) break;
+          if (!chosen[v]) {
+            chosen[v] = true;
+            picked.push_back(v);
+          }
+        }
+      }
+    }
+    while (picked.size() < want) {
+      const auto v = static_cast<graph::NodeId>(seed_rng.next_below(n));
+      if (!chosen[v]) {
+        chosen[v] = true;
+        picked.push_back(v);
+      }
+    }
+    std::sort(picked.begin(), picked.end());
+    seeds.nodes = std::move(picked);
+  }
+  const auto num_positive =
+      static_cast<std::size_t>(std::llround(scenario.theta * want));
+  // Random assignment of which seeds are positive.
+  std::vector<std::size_t> order(want);
+  for (std::size_t i = 0; i < want; ++i) order[i] = i;
+  seed_rng.shuffle(std::span<std::size_t>(order));
+  seeds.states.assign(want, graph::NodeState::kNegative);
+  for (std::size_t i = 0; i < num_positive && i < want; ++i)
+    seeds.states[order[i]] = graph::NodeState::kPositive;
+
+  trial.truth.initiators = seeds.nodes;
+  trial.truth.states = seeds.states;
+
+  // MFC simulation.
+  diffusion::MfcConfig mfc;
+  mfc.alpha = scenario.alpha;
+  mfc.allow_flipping = scenario.allow_flipping;
+  util::Rng sim_rng = rng.split();
+  trial.cascade = diffusion::simulate_mfc(trial.diffusion, seeds, mfc, sim_rng);
+
+  // Observed snapshot; optionally mask some infected states to '?' and/or
+  // hide some infected nodes entirely (incomplete monitoring).
+  trial.observed = trial.cascade.state;
+  if (scenario.unknown_fraction > 0.0 || scenario.hidden_fraction > 0.0) {
+    std::vector<bool> is_seed(n, false);
+    for (const graph::NodeId v : seeds.nodes) is_seed[v] = true;
+    util::Rng mask_rng = rng.split();
+    for (const graph::NodeId v : trial.cascade.infected) {
+      if (!is_seed[v] && mask_rng.bernoulli(scenario.hidden_fraction)) {
+        trial.observed[v] = graph::NodeState::kInactive;
+      } else if (mask_rng.bernoulli(scenario.unknown_fraction)) {
+        trial.observed[v] = graph::NodeState::kUnknown;
+      }
+    }
+  }
+
+  util::log_debug("trial: ", to_string(scenario), " infected=",
+                  trial.cascade.num_infected(), " flips=",
+                  trial.cascade.num_flips, " steps=", trial.cascade.num_steps);
+  return trial;
+}
+
+}  // namespace
+
+Trial make_trial(const Scenario& scenario, std::uint64_t trial_index) {
+  util::Rng rng(util::mix_seed(scenario.seed, trial_index));
+  graph::SignedGraph social =
+      gen::generate_dataset(scenario.profile, scenario.scale, rng);
+  return build_trial(scenario, std::move(social), rng);
+}
+
+Trial make_trial_on_graph(const Scenario& scenario,
+                          const graph::SignedGraph& social,
+                          std::uint64_t trial_index) {
+  util::Rng rng(util::mix_seed(scenario.seed, trial_index));
+  return build_trial(scenario, social, rng);
+}
+
+MethodScores score_method(const std::string& name, const Trial& trial,
+                          const core::DetectionResult& result,
+                          double seconds) {
+  MethodScores scores;
+  scores.method = name;
+  scores.seconds = seconds;
+  scores.detected = result.initiators.size();
+  scores.num_trees = result.num_trees;
+  scores.identity =
+      metrics::score_identities(result.initiators, trial.truth.initiators);
+
+  // State metrics over the correctly identified initiators only (IV-D1).
+  const std::vector<graph::NodeId> both =
+      metrics::intersect_ids(result.initiators, trial.truth.initiators);
+  std::vector<graph::NodeState> predicted;
+  std::vector<graph::NodeState> actual;
+  predicted.reserve(both.size());
+  actual.reserve(both.size());
+  for (const graph::NodeId v : both) {
+    const auto pit = std::lower_bound(result.initiators.begin(),
+                                      result.initiators.end(), v);
+    predicted.push_back(
+        result.states[static_cast<std::size_t>(pit - result.initiators.begin())]);
+    const auto tit = std::lower_bound(trial.truth.initiators.begin(),
+                                      trial.truth.initiators.end(), v);
+    actual.push_back(trial.truth.states[static_cast<std::size_t>(
+        tit - trial.truth.initiators.begin())]);
+  }
+  scores.state = metrics::score_states(predicted, actual);
+  return scores;
+}
+
+std::vector<MethodScores> run_methods(const Trial& trial,
+                                      const std::vector<Method>& methods) {
+  std::vector<MethodScores> out;
+  out.reserve(methods.size());
+  for (const Method& method : methods) {
+    util::Timer timer;
+    const core::DetectionResult result =
+        method.run(trial.diffusion, trial.observed);
+    out.push_back(score_method(method.name, trial, result, timer.seconds()));
+  }
+  return out;
+}
+
+std::vector<Method> standard_methods(std::span<const double> betas,
+                                     double alpha,
+                                     bool include_rumor_centrality) {
+  std::vector<Method> methods;
+  for (const double beta : betas) {
+    core::RidConfig config;
+    config.beta = beta;
+    config.extraction.likelihood.alpha = alpha;
+    char label[32];
+    std::snprintf(label, sizeof(label), "RID(%.2f)", beta);
+    methods.push_back(
+        {label, [config](const graph::SignedGraph& g,
+                         std::span<const graph::NodeState> s) {
+           return core::run_rid(g, s, config);
+         }});
+  }
+  core::BaselineConfig base;
+  base.extraction.likelihood.alpha = alpha;
+  methods.push_back({"RID-Tree",
+                     [base](const graph::SignedGraph& g,
+                            std::span<const graph::NodeState> s) {
+                       return core::run_rid_tree(g, s, base);
+                     }});
+  methods.push_back({"RID-Positive",
+                     [base](const graph::SignedGraph& g,
+                            std::span<const graph::NodeState> s) {
+                       return core::run_rid_positive(g, s, base);
+                     }});
+  if (include_rumor_centrality) {
+    methods.push_back({"RumorCentrality",
+                       [base](const graph::SignedGraph& g,
+                              std::span<const graph::NodeState> s) {
+                         return core::run_rumor_centrality(g, s, base);
+                       }});
+  }
+  return methods;
+}
+
+}  // namespace rid::sim

@@ -1,0 +1,75 @@
+// Single-trial experiment runner: build network -> weight -> seed -> run MFC
+// -> hand the snapshot to detectors -> score against the ground truth.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/isomit.hpp"
+#include "diffusion/cascade.hpp"
+#include "metrics/classification.hpp"
+#include "metrics/states.hpp"
+#include "sim/scenario.hpp"
+#include "util/rng.hpp"
+
+namespace rid::sim {
+
+/// Ground-truth seeding of one trial.
+struct GroundTruth {
+  std::vector<graph::NodeId> initiators;      // sorted
+  std::vector<graph::NodeState> states;       // aligned with initiators
+};
+
+/// Everything a detector needs plus the hidden truth for scoring.
+struct Trial {
+  graph::SignedGraph diffusion;                 // weighted diffusion network
+  std::vector<graph::NodeState> observed;       // the snapshot (with '?')
+  diffusion::Cascade cascade;                   // full simulation record
+  GroundTruth truth;
+};
+
+/// Builds the trial deterministically from the scenario and trial index.
+Trial make_trial(const Scenario& scenario, std::uint64_t trial_index);
+
+/// Builds a trial on a caller-supplied *social* network (profile ignored):
+/// applies Jaccard weights, reverses, seeds and simulates as usual.
+Trial make_trial_on_graph(const Scenario& scenario,
+                          const graph::SignedGraph& social,
+                          std::uint64_t trial_index);
+
+/// Scores of one detector on one trial.
+struct MethodScores {
+  std::string method;
+  metrics::IdentityScores identity;
+  metrics::StateScores state;   // over correctly identified initiators
+  std::size_t detected = 0;
+  std::size_t num_trees = 0;
+  double seconds = 0.0;         // detector wall time
+};
+
+/// A detector under test: name + callable over (diffusion, snapshot).
+struct Method {
+  std::string name;
+  std::function<core::DetectionResult(const graph::SignedGraph&,
+                                      std::span<const graph::NodeState>)>
+      run;
+};
+
+/// Evaluates a detection result against the trial's ground truth.
+MethodScores score_method(const std::string& name, const Trial& trial,
+                          const core::DetectionResult& result,
+                          double seconds = 0.0);
+
+/// Runs every method on the trial.
+std::vector<MethodScores> run_methods(const Trial& trial,
+                                      const std::vector<Method>& methods);
+
+/// The paper's standard method roster: RID(beta) for each beta given, plus
+/// RID-Tree and RID-Positive (and optionally the rumor-centrality
+/// extension baseline).
+std::vector<Method> standard_methods(std::span<const double> betas,
+                                     double alpha,
+                                     bool include_rumor_centrality = false);
+
+}  // namespace rid::sim

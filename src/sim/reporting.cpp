@@ -1,0 +1,76 @@
+#include "sim/reporting.hpp"
+
+#include <cstdio>
+
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace rid::sim {
+
+namespace {
+std::string pm(const metrics::RunningStat& stat, int digits = 4) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f ±%.*f", digits, stat.mean(), digits,
+                stat.stddev());
+  return buf;
+}
+}  // namespace
+
+void print_comparison(std::ostream& out, const std::string& title,
+                      const std::vector<AggregateScores>& aggregates) {
+  util::AsciiTable table(
+      {"method", "precision", "recall", "F1", "detected", "time(s)"});
+  table.set_title(title);
+  for (const AggregateScores& a : aggregates) {
+    table.row(a.method, pm(a.precision), pm(a.recall), pm(a.f1),
+              pm(a.detected, 1), pm(a.seconds, 3));
+  }
+  table.render(out);
+}
+
+void print_beta_identity(std::ostream& out, const std::string& title,
+                         const std::vector<BetaPoint>& points) {
+  util::AsciiTable table({"beta", "precision", "recall", "F1", "detected"});
+  table.set_title(title);
+  for (const BetaPoint& p : points) {
+    table.row(p.beta, pm(p.scores.precision), pm(p.scores.recall),
+              pm(p.scores.f1), pm(p.scores.detected, 1));
+  }
+  table.render(out);
+}
+
+void print_beta_states(std::ostream& out, const std::string& title,
+                       const std::vector<BetaPoint>& points) {
+  util::AsciiTable table({"beta", "accuracy", "MAE", "R2"});
+  table.set_title(title);
+  for (const BetaPoint& p : points) {
+    table.row(p.beta, pm(p.scores.accuracy), pm(p.scores.mae),
+              pm(p.scores.r2));
+  }
+  table.render(out);
+}
+
+void write_comparison_csv(std::ostream& out,
+                          const std::vector<AggregateScores>& aggregates) {
+  util::CsvWriter csv(out);
+  csv.row("method", "precision", "precision_std", "recall", "recall_std",
+          "f1", "f1_std", "detected", "time_s");
+  for (const AggregateScores& a : aggregates) {
+    csv.row(a.method, a.precision.mean(), a.precision.stddev(),
+            a.recall.mean(), a.recall.stddev(), a.f1.mean(), a.f1.stddev(),
+            a.detected.mean(), a.seconds.mean());
+  }
+}
+
+void write_beta_csv(std::ostream& out, const std::vector<BetaPoint>& points) {
+  util::CsvWriter csv(out);
+  csv.row("beta", "precision", "recall", "f1", "accuracy", "mae", "r2",
+          "detected");
+  for (const BetaPoint& p : points) {
+    csv.row(p.beta, p.scores.precision.mean(), p.scores.recall.mean(),
+            p.scores.f1.mean(), p.scores.accuracy.mean(), p.scores.mae.mean(),
+            p.scores.r2.mean(), p.scores.detected.mean());
+  }
+}
+
+}  // namespace rid::sim

@@ -1,0 +1,30 @@
+// Paper-style report rendering for the figure/table benches.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/sweep.hpp"
+
+namespace rid::sim {
+
+/// Figure-4 style table: one row per method with precision/recall/F1
+/// (mean +/- stddev over trials).
+void print_comparison(std::ostream& out, const std::string& title,
+                      const std::vector<AggregateScores>& aggregates);
+
+/// Figure-5 style table: identity metrics per beta.
+void print_beta_identity(std::ostream& out, const std::string& title,
+                         const std::vector<BetaPoint>& points);
+
+/// Figure-6 style table: state metrics per beta.
+void print_beta_states(std::ostream& out, const std::string& title,
+                       const std::vector<BetaPoint>& points);
+
+/// CSV mirrors of the above (one series per metric column).
+void write_comparison_csv(std::ostream& out,
+                          const std::vector<AggregateScores>& aggregates);
+void write_beta_csv(std::ostream& out, const std::vector<BetaPoint>& points);
+
+}  // namespace rid::sim

@@ -1,0 +1,26 @@
+#include "sim/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace rid::sim {
+
+std::size_t scaled_initiators(const Scenario& scenario) {
+  const double scaled =
+      static_cast<double>(scenario.num_initiators) * scenario.scale;
+  return std::max<std::size_t>(1, static_cast<std::size_t>(std::llround(scaled)));
+}
+
+std::string to_string(const Scenario& scenario) {
+  std::ostringstream oss;
+  oss << scenario.profile.name << " scale=" << scenario.scale
+      << " N=" << scenario.num_initiators << " (effective "
+      << scaled_initiators(scenario) << ")"
+      << " theta=" << scenario.theta << " alpha=" << scenario.alpha
+      << " flipping=" << (scenario.allow_flipping ? "on" : "off")
+      << " seed=" << scenario.seed;
+  return oss.str();
+}
+
+}  // namespace rid::sim

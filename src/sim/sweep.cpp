@@ -1,0 +1,84 @@
+#include "sim/sweep.hpp"
+
+#include "core/rid.hpp"
+#include "util/thread_pool.hpp"
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+namespace rid::sim {
+
+void AggregateScores::add(const MethodScores& s) {
+  method = s.method;
+  precision.add(s.identity.precision);
+  recall.add(s.identity.recall);
+  f1.add(s.identity.f1);
+  // State metrics only aggregate when the method compared any states.
+  if (s.state.count > 0) {
+    accuracy.add(s.state.accuracy);
+    mae.add(s.state.mae);
+    r2.add(s.state.r2);
+  }
+  detected.add(static_cast<double>(s.detected));
+  seconds.add(s.seconds);
+}
+
+std::vector<AggregateScores> run_comparison(const Scenario& scenario,
+                                            const std::vector<Method>& methods,
+                                            std::size_t num_trials,
+                                            std::size_t num_threads) {
+  // Trials are independent; run them (optionally) in parallel and fold the
+  // per-trial scores in trial order so aggregates match the serial run.
+  std::vector<std::vector<MethodScores>> per_trial(num_trials);
+  util::parallel_for_each(num_trials, num_threads, [&](std::size_t t) {
+    const Trial trial = make_trial(scenario, t);
+    per_trial[t] = run_methods(trial, methods);
+    util::log_info("run_comparison: trial ", t + 1, "/", num_trials, " done (",
+                   trial.cascade.num_infected(), " infected)");
+  });
+  std::vector<AggregateScores> aggregates(methods.size());
+  for (std::size_t t = 0; t < num_trials; ++t) {
+    for (std::size_t i = 0; i < per_trial[t].size(); ++i)
+      aggregates[i].add(per_trial[t][i]);
+  }
+  return aggregates;
+}
+
+std::vector<BetaPoint> run_beta_sweep(const Scenario& scenario,
+                                      std::span<const double> betas,
+                                      std::size_t num_trials,
+                                      std::size_t num_threads) {
+  std::vector<BetaPoint> points(betas.size());
+  for (std::size_t i = 0; i < betas.size(); ++i) points[i].beta = betas[i];
+
+  // scores[t][i]: trial t, beta i (folded in trial order afterwards).
+  std::vector<std::vector<MethodScores>> scores(num_trials);
+  util::parallel_for_each(num_trials, num_threads, [&](std::size_t t) {
+    const Trial trial = make_trial(scenario, t);
+
+    core::RidConfig config;
+    config.extraction.likelihood.alpha = scenario.alpha;
+    const core::CascadeForest forest = core::extract_cascade_forest(
+        trial.diffusion, trial.observed, config.extraction);
+
+    util::Timer timer;
+    const std::vector<core::DetectionResult> results =
+        core::run_rid_betas(forest, betas, config);
+    const double per_beta_seconds =
+        timer.seconds() / static_cast<double>(betas.size());
+    scores[t].reserve(betas.size());
+    for (std::size_t i = 0; i < betas.size(); ++i) {
+      char label[32];
+      std::snprintf(label, sizeof(label), "RID(%.2f)", betas[i]);
+      scores[t].push_back(
+          score_method(label, trial, results[i], per_beta_seconds));
+    }
+    util::log_info("run_beta_sweep: trial ", t + 1, "/", num_trials, " done");
+  });
+  for (std::size_t t = 0; t < num_trials; ++t) {
+    for (std::size_t i = 0; i < betas.size(); ++i)
+      points[i].scores.add(scores[t][i]);
+  }
+  return points;
+}
+
+}  // namespace rid::sim

@@ -1,0 +1,52 @@
+// Multi-trial aggregation and parameter sweeps (Figures 4-6).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "metrics/summary.hpp"
+#include "sim/experiment.hpp"
+
+namespace rid::sim {
+
+/// Aggregated scores of one method over several trials.
+struct AggregateScores {
+  std::string method;
+  metrics::RunningStat precision;
+  metrics::RunningStat recall;
+  metrics::RunningStat f1;
+  metrics::RunningStat accuracy;
+  metrics::RunningStat mae;
+  metrics::RunningStat r2;
+  metrics::RunningStat detected;
+  metrics::RunningStat seconds;
+
+  void add(const MethodScores& scores);
+};
+
+/// Runs `num_trials` independent trials of the scenario, evaluating every
+/// method on each (trial graphs differ per trial via the derived seeds).
+/// Returns aggregates keyed in method order. `num_threads` parallelizes
+/// over trials; results are aggregated in trial order, so the output is
+/// identical to the serial run.
+std::vector<AggregateScores> run_comparison(const Scenario& scenario,
+                                            const std::vector<Method>& methods,
+                                            std::size_t num_trials,
+                                            std::size_t num_threads = 1);
+
+/// One row of a beta sweep: aggregates of RID at that beta.
+struct BetaPoint {
+  double beta = 0.0;
+  AggregateScores scores;
+};
+
+/// Sweeps RID over `betas`, reusing each trial's cascade forest across all
+/// beta values (extraction is beta-independent), which is what makes dense
+/// Figure-5/6 sweeps affordable.
+std::vector<BetaPoint> run_beta_sweep(const Scenario& scenario,
+                                      std::span<const double> betas,
+                                      std::size_t num_trials,
+                                      std::size_t num_threads = 1);
+
+}  // namespace rid::sim

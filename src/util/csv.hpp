@@ -1,0 +1,57 @@
+// CSV emission for experiment results.
+//
+// Benches write one CSV per figure/table next to their stdout report so the
+// series can be re-plotted. Quoting follows RFC 4180 (fields containing the
+// separator, quotes or newlines are quoted; embedded quotes are doubled).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rid::util {
+
+/// Escapes a single CSV field per RFC 4180.
+std::string csv_escape(std::string_view field);
+
+/// Streams rows of string fields as CSV. Does not own the output stream.
+class CsvWriter {
+ public:
+  /// `out` must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  /// Writes a header or data row. Fields are escaped as needed.
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Convenience: formats arithmetic values with full round-trip precision.
+  template <typename... Args>
+  void row(const Args&... args) {
+    std::vector<std::string> fields;
+    fields.reserve(sizeof...(args));
+    (fields.push_back(to_field(args)), ...);
+    write_row(fields);
+  }
+
+  std::size_t rows_written() const noexcept { return rows_; }
+
+ private:
+  static std::string to_field(const std::string& s) { return s; }
+  static std::string to_field(std::string_view s) { return std::string(s); }
+  static std::string to_field(const char* s) { return s; }
+  static std::string to_field(double v);
+  static std::string to_field(float v) { return to_field(double{v}); }
+  template <typename T>
+    requires std::is_integral_v<T>
+  static std::string to_field(T v) {
+    return std::to_string(v);
+  }
+
+  std::ostream* out_;
+  std::size_t rows_ = 0;
+};
+
+/// Parses one CSV line into fields (RFC 4180 subset; no embedded newlines).
+std::vector<std::string> csv_parse_line(std::string_view line);
+
+}  // namespace rid::util

@@ -1,0 +1,49 @@
+// Tiny command-line flag parser for the examples and bench binaries.
+//
+// Supported forms: --name=value, --name value, --bool-flag (implicit true),
+// and bare positional arguments. Unknown flags are collected so callers can
+// forward them (google-benchmark consumes its own flags).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rid::util {
+
+/// Parsed command line. Values are stored as strings and converted on access.
+class Flags {
+ public:
+  /// Parses argv[1..argc). Never throws on unknown flags; conversion errors
+  /// on access throw std::invalid_argument with the flag name.
+  static Flags parse(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+
+  std::string get_string(const std::string& name,
+                         const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  /// All flags seen, in the order given (useful for echoing configuration).
+  const std::vector<std::pair<std::string, std::string>>& entries()
+      const noexcept {
+    return entries_;
+  }
+
+ private:
+  std::optional<std::string> raw(const std::string& name) const;
+
+  std::map<std::string, std::string> values_;
+  std::vector<std::pair<std::string, std::string>> entries_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace rid::util

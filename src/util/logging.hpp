@@ -1,0 +1,70 @@
+// Minimal leveled logger used by the library's long-running components
+// (generators, diffusion simulation, the RID pipeline) to report progress.
+//
+// Intentionally tiny: a global threshold + printf-style free functions that
+// write to stderr. Library code logs at Debug/Info; benches raise the
+// threshold to Warn to keep measured sections quiet.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace rid::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level that is actually emitted.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Emits one line ("[LEVEL] message\n") to stderr if `level` passes the
+/// threshold. Thread-safe at the granularity of a single line.
+void log_line(LogLevel level, std::string_view message);
+
+namespace detail {
+template <typename... Args>
+std::string concat(const Args&... args) {
+  std::ostringstream oss;
+  (oss << ... << args);
+  return oss.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(const Args&... args) {
+  if (log_level() <= LogLevel::kDebug)
+    log_line(LogLevel::kDebug, detail::concat(args...));
+}
+
+template <typename... Args>
+void log_info(const Args&... args) {
+  if (log_level() <= LogLevel::kInfo)
+    log_line(LogLevel::kInfo, detail::concat(args...));
+}
+
+template <typename... Args>
+void log_warn(const Args&... args) {
+  if (log_level() <= LogLevel::kWarn)
+    log_line(LogLevel::kWarn, detail::concat(args...));
+}
+
+template <typename... Args>
+void log_error(const Args&... args) {
+  if (log_level() <= LogLevel::kError)
+    log_line(LogLevel::kError, detail::concat(args...));
+}
+
+/// RAII guard that changes the log level for a scope (used by tests/benches).
+class ScopedLogLevel {
+ public:
+  explicit ScopedLogLevel(LogLevel level) noexcept;
+  ~ScopedLogLevel();
+  ScopedLogLevel(const ScopedLogLevel&) = delete;
+  ScopedLogLevel& operator=(const ScopedLogLevel&) = delete;
+
+ private:
+  LogLevel previous_;
+};
+
+}  // namespace rid::util

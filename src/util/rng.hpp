@@ -1,0 +1,98 @@
+// Deterministic, seedable random number generation for simulations.
+//
+// All stochastic components of the library (graph generators, the MFC/IC
+// diffusion models, workload construction) draw exclusively from rid::util::Rng
+// so that every experiment is reproducible from a single 64-bit seed.
+//
+// The generator is xoshiro256**, seeded through SplitMix64 as its authors
+// recommend. Both are tiny, fast, and have no global state.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace rid::util {
+
+/// SplitMix64 step: advances `state` and returns the next 64-bit output.
+/// Used for seeding and as a cheap stateless hash of a seed sequence.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// Mixes two 64-bit values into one; useful for deriving per-stream seeds
+/// (e.g. one independent stream per trial index) from a master seed.
+std::uint64_t mix_seed(std::uint64_t a, std::uint64_t b) noexcept;
+
+/// xoshiro256** pseudo-random generator with convenience distributions.
+///
+/// Satisfies the UniformRandomBitGenerator concept, so it can also be passed
+/// to <random> utilities, although the built-in helpers below are preferred
+/// because their output is identical across standard library implementations.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the generator via SplitMix64 expansion of `seed`.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next raw 64 bits.
+  result_type operator()() noexcept { return next_u64(); }
+  result_type next_u64() noexcept;
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double next_double() noexcept;
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, bound) via Lemire's multiply-shift rejection.
+  /// Requires bound > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// True with probability p (clamped to [0, 1]).
+  bool bernoulli(double p) noexcept;
+
+  /// Standard normal via Box-Muller (no cached spare; stateless per call pair).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Geometric-like: number of failures before first success, prob p in (0,1].
+  std::uint64_t geometric(double p);
+
+  /// Returns k distinct values sampled uniformly from [0, n) in sorted order.
+  /// Requires k <= n. O(k) expected time via Floyd's algorithm for small k,
+  /// falling back to partial shuffle when k is a large fraction of n.
+  std::vector<std::uint64_t> sample_without_replacement(std::uint64_t n,
+                                                        std::uint64_t k);
+
+  /// Fisher-Yates shuffle of the span, in place.
+  template <typename T>
+  void shuffle(std::span<T> values) {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(values[i - 1], values[j]);
+    }
+  }
+
+  /// Picks an index in [0, weights.size()) with probability proportional to
+  /// weights[i]. Requires at least one strictly positive weight.
+  std::size_t weighted_index(std::span<const double> weights);
+
+  /// Splits off an independent child generator; the parent advances.
+  Rng split() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+}  // namespace rid::util

@@ -1,0 +1,60 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace rid::util {
+
+AsciiTable::AsciiTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void AsciiTable::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());  // pad/truncate to the header width
+  rows_.push_back(std::move(cells));
+}
+
+std::string AsciiTable::cell(double v) const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision_, v);
+  return buf;
+}
+
+void AsciiTable::render(std::ostream& out) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    out << '|';
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& value = c < row.size() ? row[c] : std::string{};
+      out << ' ' << value;
+      out << std::string(widths[c] - value.size(), ' ') << " |";
+    }
+    out << '\n';
+  };
+  const auto print_rule = [&] {
+    out << '+';
+    for (const std::size_t w : widths) out << std::string(w + 2, '-') << '+';
+    out << '\n';
+  };
+
+  if (!title_.empty()) out << "== " << title_ << " ==\n";
+  print_rule();
+  print_row(header_);
+  print_rule();
+  for (const auto& row : rows_) print_row(row);
+  print_rule();
+}
+
+std::string AsciiTable::to_string() const {
+  std::ostringstream oss;
+  render(oss);
+  return oss.str();
+}
+
+}  // namespace rid::util

@@ -1,0 +1,56 @@
+// ASCII table rendering for bench reports.
+//
+// The figure/table benches print paper-style rows; this formats them with
+// aligned columns so the output is directly readable in a terminal or log.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rid::util {
+
+/// Collects rows of string cells and renders them with aligned columns,
+/// a header separator, and an optional title banner.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience for mixed cell types; doubles are formatted with
+  /// `precision` digits after the decimal point.
+  template <typename... Args>
+  void row(const Args&... args) {
+    std::vector<std::string> cells;
+    cells.reserve(sizeof...(args));
+    (cells.push_back(cell(args)), ...);
+    add_row(std::move(cells));
+  }
+
+  void set_title(std::string title) { title_ = std::move(title); }
+  void set_precision(int digits) { precision_ = digits; }
+
+  void render(std::ostream& out) const;
+  std::string to_string() const;
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::string cell(const std::string& s) const { return s; }
+  std::string cell(const char* s) const { return s; }
+  std::string cell(double v) const;
+  std::string cell(float v) const { return cell(double{v}); }
+  template <typename T>
+    requires std::is_integral_v<T>
+  std::string cell(T v) const {
+    return std::to_string(v);
+  }
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  int precision_ = 4;
+};
+
+}  // namespace rid::util

@@ -1,0 +1,86 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace rid::util {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  const std::size_t count = std::max<std::size_t>(1, num_threads);
+  workers_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  has_work_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push(std::move(task));
+    ++in_flight_;
+  }
+  has_work_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      has_work_.wait(lock,
+                     [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (--in_flight_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+void parallel_for_each(std::size_t count, std::size_t num_threads,
+                       const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (num_threads <= 1 || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  ThreadPool pool(std::min(num_threads, count));
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  for (std::size_t t = 0; t < pool.num_threads(); ++t) {
+    pool.submit([&] {
+      while (true) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= count) return;
+        try {
+          fn(i);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+      }
+    });
+  }
+  pool.wait_idle();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace rid::util

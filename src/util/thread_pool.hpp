@@ -1,0 +1,55 @@
+// Minimal fixed-size thread pool with a parallel_for_each helper.
+//
+// Used by the RID pipeline to solve independent cascade trees concurrently
+// (RidConfig::num_threads) and available to the harness for multi-trial
+// sweeps. Tasks must not throw across the pool boundary; parallel_for_each
+// captures the first exception and rethrows it on the calling thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace rid::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1; 0 is clamped to 1).
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task. Tasks must not throw (std::terminate otherwise).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable has_work_;
+  std::condition_variable idle_;
+  std::size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Runs fn(i) for i in [0, count) across `num_threads` threads (inline when
+/// num_threads <= 1 or count <= 1). Rethrows the first exception any
+/// invocation produced. Iteration order across threads is unspecified but
+/// every index runs exactly once.
+void parallel_for_each(std::size_t count, std::size_t num_threads,
+                       const std::function<void(std::size_t)>& fn);
+
+}  // namespace rid::util

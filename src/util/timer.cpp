@@ -1,0 +1,27 @@
+#include "util/timer.hpp"
+
+#include <cstdio>
+
+#include "util/logging.hpp"
+
+namespace rid::util {
+
+ScopedTimer::ScopedTimer(std::string label) : label_(std::move(label)) {}
+
+ScopedTimer::~ScopedTimer() {
+  log_info(label_, ": ", format_duration(timer_.seconds()));
+}
+
+std::string format_duration(double seconds) {
+  char buf[64];
+  if (seconds >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.3f s", seconds);
+  } else if (seconds >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.3f ms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f us", seconds * 1e6);
+  }
+  return buf;
+}
+
+}  // namespace rid::util

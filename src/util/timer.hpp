@@ -1,0 +1,44 @@
+// Wall-clock timing helpers for the experiment harness and benches.
+#pragma once
+
+#include <chrono>
+#include <string>
+
+namespace rid::util {
+
+/// Monotonic stopwatch. Starts running on construction.
+class Timer {
+ public:
+  Timer() noexcept : start_(Clock::now()) {}
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last reset().
+  double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double milliseconds() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Logs "<label>: <elapsed> ms" at Info level when the scope exits.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::string label);
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  std::string label_;
+  Timer timer_;
+};
+
+/// Human-readable duration string, e.g. "1.23 s", "45.6 ms", "789 us".
+std::string format_duration(double seconds);
+
+}  // namespace rid::util

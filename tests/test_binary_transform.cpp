@@ -1,0 +1,158 @@
+#include "algo/binary_transform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "util/rng.hpp"
+
+namespace rid::algo {
+namespace {
+
+using graph::NodeId;
+
+struct Flattened {
+  /// original node -> (original parent, product of in_values on the dummy-
+  /// expanded path from the original parent).
+  std::map<NodeId, std::pair<NodeId, double>> parents;
+};
+
+/// Recovers original parent/child relations and path products from the
+/// binarized tree by walking through dummies.
+Flattened flatten(const BinarizedTree& tree) {
+  Flattened out;
+  struct Frame {
+    std::int32_t node;
+    NodeId real_ancestor;
+    double product;
+  };
+  std::vector<Frame> stack{{tree.root, graph::kInvalidNode, 1.0}};
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    NodeId ancestor = f.real_ancestor;
+    double product = f.product * tree.in_value[f.node];
+    if (!tree.is_dummy(f.node)) {
+      if (f.node != tree.root)
+        out.parents[tree.original[f.node]] = {ancestor, product};
+      ancestor = tree.original[f.node];
+      product = 1.0;
+    }
+    for (const std::int32_t c : {tree.left[f.node], tree.right[f.node]}) {
+      if (c >= 0) stack.push_back({c, ancestor, product});
+    }
+  }
+  return out;
+}
+
+TEST(BinaryTransform, AlreadyBinaryIsUntouched) {
+  // 0 -> {1, 2}; 1 -> {3}.
+  std::vector<NodeId> parent{graph::kInvalidNode, 0, 0, 1};
+  std::vector<double> in_value{1.0, 0.5, 0.25, 0.125};
+  const BinarizedTree tree = binarize_tree(parent, in_value, 1.0);
+  EXPECT_EQ(tree.size(), 4u);  // no dummies added
+  EXPECT_EQ(tree.num_real, 4u);
+  for (std::size_t i = 0; i < tree.size(); ++i) EXPECT_FALSE(tree.is_dummy(
+      static_cast<std::int32_t>(i)));
+}
+
+TEST(BinaryTransform, ThreeChildrenGetDummyLayer) {
+  // Paper Figure 3: a root with 3 children.
+  std::vector<NodeId> parent{graph::kInvalidNode, 0, 0, 0};
+  std::vector<double> in_value{1.0, 0.2, 0.4, 0.8};
+  const BinarizedTree tree = binarize_tree(parent, in_value, 1.0);
+  EXPECT_EQ(tree.num_real, 4u);
+  EXPECT_GE(tree.size(), 5u);  // at least one dummy
+  // Every node has at most two children.
+  for (std::size_t v = 0; v < tree.size(); ++v) {
+    int children = 0;
+    if (tree.left[v] >= 0) ++children;
+    if (tree.right[v] >= 0) ++children;
+    EXPECT_LE(children, 2);
+  }
+  // Original parent/child relations and in_values survive.
+  const Flattened flat = flatten(tree);
+  for (NodeId child = 1; child <= 3; ++child) {
+    const auto it = flat.parents.find(child);
+    ASSERT_NE(it, flat.parents.end());
+    EXPECT_EQ(it->second.first, 0u);
+    EXPECT_DOUBLE_EQ(it->second.second, in_value[child]);
+  }
+}
+
+TEST(BinaryTransform, WideStarPreservesAllChildren) {
+  const NodeId fanout = 33;
+  std::vector<NodeId> parent(fanout + 1, 0);
+  parent[0] = graph::kInvalidNode;
+  std::vector<double> in_value(fanout + 1, 0.5);
+  const BinarizedTree tree = binarize_tree(parent, in_value, 1.0);
+  EXPECT_EQ(tree.num_real, fanout + 1u);
+  const Flattened flat = flatten(tree);
+  EXPECT_EQ(flat.parents.size(), fanout);
+  for (const auto& [child, link] : flat.parents) {
+    EXPECT_EQ(link.first, 0u);
+    EXPECT_DOUBLE_EQ(link.second, 0.5);
+  }
+  // Dummy fan depth is logarithmic: depth <= ceil(log2(33)) + 1.
+  EXPECT_LE(binarized_depth(tree), 7u);
+}
+
+TEST(BinaryTransform, RandomTreesRoundTrip) {
+  util::Rng rng(5);
+  for (int trial = 0; trial < 30; ++trial) {
+    const NodeId n = 2 + static_cast<NodeId>(rng.next_below(60));
+    std::vector<NodeId> parent(n);
+    std::vector<double> in_value(n);
+    parent[0] = graph::kInvalidNode;
+    in_value[0] = 1.0;
+    for (NodeId v = 1; v < n; ++v) {
+      parent[v] = static_cast<NodeId>(rng.next_below(v));
+      in_value[v] = rng.uniform(0.01, 1.0);
+    }
+    const BinarizedTree tree = binarize_tree(parent, in_value, 1.0);
+    EXPECT_EQ(tree.num_real, n);
+    const Flattened flat = flatten(tree);
+    ASSERT_EQ(flat.parents.size(), n - 1u);
+    for (NodeId v = 1; v < n; ++v) {
+      const auto it = flat.parents.find(v);
+      ASSERT_NE(it, flat.parents.end());
+      EXPECT_EQ(it->second.first, parent[v]);
+      EXPECT_NEAR(it->second.second, in_value[v], 1e-12);
+    }
+  }
+}
+
+TEST(BinaryTransform, DummiesCarryIdentityValue) {
+  std::vector<NodeId> parent{graph::kInvalidNode, 0, 0, 0, 0};
+  std::vector<double> in_value{1.0, 0.1, 0.2, 0.3, 0.4};
+  const BinarizedTree tree = binarize_tree(parent, in_value, 1.0);
+  for (std::size_t v = 0; v < tree.size(); ++v) {
+    if (tree.is_dummy(static_cast<std::int32_t>(v))) {
+      EXPECT_DOUBLE_EQ(tree.in_value[v], 1.0);
+    }
+  }
+}
+
+TEST(BinaryTransform, SingleNodeTree) {
+  std::vector<NodeId> parent{graph::kInvalidNode};
+  std::vector<double> in_value{1.0};
+  const BinarizedTree tree = binarize_tree(parent, in_value, 1.0);
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(binarized_depth(tree), 0u);
+}
+
+TEST(BinaryTransform, RejectsForests) {
+  std::vector<NodeId> parent{graph::kInvalidNode, graph::kInvalidNode};
+  std::vector<double> in_value{1.0, 1.0};
+  EXPECT_THROW(binarize_tree(parent, in_value, 1.0), std::invalid_argument);
+}
+
+TEST(BinaryTransform, RejectsSizeMismatch) {
+  std::vector<NodeId> parent{graph::kInvalidNode};
+  std::vector<double> in_value{1.0, 2.0};
+  EXPECT_THROW(binarize_tree(parent, in_value, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rid::algo

@@ -1,0 +1,489 @@
+#include <gtest/gtest.h>
+
+#include "diffusion/independent_cascade.hpp"
+#include "diffusion/likelihood.hpp"
+#include "diffusion/linear_threshold.hpp"
+#include "diffusion/mfc.hpp"
+#include "diffusion/sir.hpp"
+#include "gen/sign_assigner.hpp"
+#include "gen/topologies.hpp"
+#include "util/rng.hpp"
+
+namespace rid::diffusion {
+namespace {
+
+using graph::NodeId;
+using graph::NodeState;
+using graph::Sign;
+using graph::SignedGraph;
+using graph::SignedGraphBuilder;
+
+SeedSet single_seed(NodeId node, NodeState state = NodeState::kPositive) {
+  return SeedSet{{node}, {state}};
+}
+
+// --- seed validation ---------------------------------------------------------
+
+TEST(SeedSet, ValidationCatchesMistakes) {
+  EXPECT_NO_THROW(validate_seed_set(single_seed(0), 2));
+  EXPECT_THROW(validate_seed_set(SeedSet{{0}, {}}, 2), std::invalid_argument);
+  EXPECT_THROW(validate_seed_set(single_seed(5), 2), std::invalid_argument);
+  EXPECT_THROW(validate_seed_set(SeedSet{{0, 0},
+                                         {NodeState::kPositive,
+                                          NodeState::kPositive}},
+                                 2),
+               std::invalid_argument);
+  EXPECT_THROW(
+      validate_seed_set(SeedSet{{0}, {NodeState::kInactive}}, 2),
+      std::invalid_argument);
+  EXPECT_THROW(validate_seed_set(SeedSet{{0}, {NodeState::kUnknown}}, 2),
+               std::invalid_argument);
+}
+
+// --- MFC ----------------------------------------------------------------------
+
+TEST(Mfc, CertainChainActivatesEverything) {
+  // Diffusion chain 0 -> 1 -> 2 with weight 1 positive links.
+  SignedGraphBuilder builder(3);
+  builder.add_edge(0, 1, Sign::kPositive, 1.0)
+      .add_edge(1, 2, Sign::kPositive, 1.0);
+  util::Rng rng(1);
+  const Cascade c =
+      simulate_mfc(builder.build(), single_seed(0), MfcConfig{}, rng);
+  EXPECT_EQ(c.num_infected(), 3u);
+  EXPECT_EQ(c.state[0], NodeState::kPositive);
+  EXPECT_EQ(c.state[1], NodeState::kPositive);
+  EXPECT_EQ(c.state[2], NodeState::kPositive);
+  EXPECT_EQ(c.activator[1], 0u);
+  EXPECT_EQ(c.activator[2], 1u);
+  EXPECT_EQ(c.step[0], 0u);
+  EXPECT_EQ(c.step[1], 1u);
+  EXPECT_EQ(c.step[2], 2u);
+}
+
+TEST(Mfc, NegativeLinkFlipsPropagatedState) {
+  SignedGraphBuilder builder(3);
+  builder.add_edge(0, 1, Sign::kNegative, 1.0)
+      .add_edge(1, 2, Sign::kNegative, 1.0);
+  util::Rng rng(1);
+  const Cascade c =
+      simulate_mfc(builder.build(), single_seed(0), MfcConfig{}, rng);
+  EXPECT_EQ(c.state[1], NodeState::kNegative);  // +1 * -1
+  EXPECT_EQ(c.state[2], NodeState::kPositive);  // -1 * -1
+}
+
+TEST(Mfc, BoostingLiftsSubUnitWeights) {
+  // Weight 0.4, alpha 3 => p = min(1, 1.2) = 1: always activates.
+  SignedGraphBuilder builder(2);
+  builder.add_edge(0, 1, Sign::kPositive, 0.4);
+  const SignedGraph g = builder.build();
+  MfcConfig config;
+  config.alpha = 3.0;
+  int activated = 0;
+  for (std::uint64_t s = 0; s < 50; ++s) {
+    util::Rng rng(s);
+    const Cascade c = simulate_mfc(g, single_seed(0), config, rng);
+    activated += c.num_infected() == 2 ? 1 : 0;
+  }
+  EXPECT_EQ(activated, 50);
+}
+
+TEST(Mfc, NegativeLinksAreNotBoosted) {
+  // Weight 0.4 negative link: p stays 0.4 regardless of alpha.
+  SignedGraphBuilder builder(2);
+  builder.add_edge(0, 1, Sign::kNegative, 0.4);
+  const SignedGraph g = builder.build();
+  MfcConfig config;
+  config.alpha = 10.0;
+  int activated = 0;
+  const int trials = 4000;
+  for (int s = 0; s < trials; ++s) {
+    util::Rng rng(static_cast<std::uint64_t>(s));
+    const Cascade c = simulate_mfc(g, single_seed(0), config, rng);
+    activated += c.num_infected() == 2 ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(activated) / trials, 0.4, 0.03);
+}
+
+TEST(Mfc, TrustedNeighborFlipsState) {
+  // 0 -(neg,1.0)-> 2 activates 2 as negative at step 1;
+  // 0 -(pos,1.0)-> 1 activates 1 positive; 1 -(pos,1.0)-> 2 flips 2 at step 2.
+  SignedGraphBuilder builder(3);
+  builder.add_edge(0, 1, Sign::kPositive, 1.0)
+      .add_edge(0, 2, Sign::kNegative, 1.0)
+      .add_edge(1, 2, Sign::kPositive, 1.0);
+  util::Rng rng(3);
+  const Cascade c =
+      simulate_mfc(builder.build(), single_seed(0), MfcConfig{}, rng);
+  EXPECT_EQ(c.state[2], NodeState::kPositive);  // flipped by trusted 1
+  EXPECT_EQ(c.num_flips, 1u);
+  EXPECT_EQ(c.activator[2], 1u);
+  EXPECT_EQ(c.num_infected(), 3u);  // flip does not double count
+}
+
+TEST(Mfc, FlippingCanBeDisabled) {
+  SignedGraphBuilder builder(3);
+  builder.add_edge(0, 1, Sign::kPositive, 1.0)
+      .add_edge(0, 2, Sign::kNegative, 1.0)
+      .add_edge(1, 2, Sign::kPositive, 1.0);
+  MfcConfig config;
+  config.allow_flipping = false;
+  util::Rng rng(3);
+  const Cascade c = simulate_mfc(builder.build(), single_seed(0), config, rng);
+  EXPECT_EQ(c.state[2], NodeState::kNegative);
+  EXPECT_EQ(c.num_flips, 0u);
+}
+
+TEST(Mfc, DistrustedNeighborCannotFlip) {
+  // 2 is activated negative by 0; 1 tries over a NEGATIVE link: no flip.
+  SignedGraphBuilder builder(3);
+  builder.add_edge(0, 1, Sign::kPositive, 1.0)
+      .add_edge(0, 2, Sign::kNegative, 1.0)
+      .add_edge(1, 2, Sign::kNegative, 1.0);
+  util::Rng rng(3);
+  const Cascade c =
+      simulate_mfc(builder.build(), single_seed(0), MfcConfig{}, rng);
+  EXPECT_EQ(c.state[2], NodeState::kNegative);
+  EXPECT_EQ(c.num_flips, 0u);
+}
+
+TEST(Mfc, SameStateTrustedNeighborDoesNotReattempt) {
+  // 1 and 2 both positive; 1 -> 2 positive with same state: no attempt.
+  SignedGraphBuilder builder(3);
+  builder.add_edge(0, 1, Sign::kPositive, 1.0)
+      .add_edge(0, 2, Sign::kPositive, 1.0)
+      .add_edge(1, 2, Sign::kPositive, 1.0);
+  util::Rng rng(3);
+  const Cascade c =
+      simulate_mfc(builder.build(), single_seed(0), MfcConfig{}, rng);
+  // Attempts: 0->1, 0->2 only (1->2 skipped: same state).
+  EXPECT_EQ(c.num_attempts, 2u);
+  EXPECT_EQ(c.num_flips, 0u);
+}
+
+TEST(Mfc, OneAttemptPerDirectedPair) {
+  // Flip war: 0 -(pos)-> 1, 2 -(pos)-> 1 with opposite-state seeds 0 and 2.
+  // Each of 0 and 2 gets exactly one shot at 1; termination guaranteed.
+  SignedGraphBuilder builder(3);
+  builder.add_edge(0, 1, Sign::kPositive, 1.0)
+      .add_edge(2, 1, Sign::kPositive, 1.0);
+  SeedSet seeds{{0, 2}, {NodeState::kPositive, NodeState::kNegative}};
+  util::Rng rng(9);
+  const Cascade c = simulate_mfc(builder.build(), seeds, MfcConfig{}, rng);
+  EXPECT_LE(c.num_attempts, 2u);
+  EXPECT_TRUE(c.state[1] == NodeState::kPositive ||
+              c.state[1] == NodeState::kNegative);
+}
+
+TEST(Mfc, TerminatesOnCycles) {
+  // Ring of positive certain links; flipping off/on must both terminate.
+  SignedGraphBuilder builder(4);
+  for (NodeId v = 0; v < 4; ++v)
+    builder.add_edge(v, (v + 1) % 4, Sign::kPositive, 1.0);
+  util::Rng rng(11);
+  const Cascade c =
+      simulate_mfc(builder.build(), single_seed(0), MfcConfig{}, rng);
+  EXPECT_EQ(c.num_infected(), 4u);
+  EXPECT_LE(c.num_attempts, 4u);
+}
+
+TEST(Mfc, MixedSeedStatesPropagate) {
+  SignedGraphBuilder builder(4);
+  builder.add_edge(0, 2, Sign::kPositive, 1.0)
+      .add_edge(1, 3, Sign::kPositive, 1.0);
+  SeedSet seeds{{0, 1}, {NodeState::kPositive, NodeState::kNegative}};
+  util::Rng rng(13);
+  const Cascade c = simulate_mfc(builder.build(), seeds, MfcConfig{}, rng);
+  EXPECT_EQ(c.state[2], NodeState::kPositive);
+  EXPECT_EQ(c.state[3], NodeState::kNegative);
+}
+
+TEST(Mfc, AlphaValidation) {
+  SignedGraphBuilder builder(2);
+  builder.add_edge(0, 1, Sign::kPositive, 1.0);
+  MfcConfig config;
+  config.alpha = 0.5;
+  util::Rng rng(1);
+  EXPECT_THROW(simulate_mfc(builder.build(), single_seed(0), config, rng),
+               std::invalid_argument);
+}
+
+TEST(Mfc, DeterministicGivenSeed) {
+  util::Rng gen_rng(17);
+  const auto el = gen::erdos_renyi(100, 600, gen_rng);
+  const SignedGraph g = gen::assign_signs_uniform(
+      el, {.positive_probability = 0.8}, gen_rng);
+  SeedSet seeds{{1, 2, 3},
+                {NodeState::kPositive, NodeState::kNegative,
+                 NodeState::kPositive}};
+  util::Rng a(5);
+  util::Rng b(5);
+  const Cascade ca = simulate_mfc(g, seeds, MfcConfig{}, a);
+  const Cascade cb = simulate_mfc(g, seeds, MfcConfig{}, b);
+  EXPECT_EQ(ca.state, cb.state);
+  EXPECT_EQ(ca.activator, cb.activator);
+  EXPECT_EQ(ca.infected, cb.infected);
+  EXPECT_EQ(ca.num_flips, cb.num_flips);
+}
+
+TEST(Mfc, ActivationForestAcyclicWithoutFlipping) {
+  util::Rng gen_rng(19);
+  const auto el = gen::erdos_renyi(300, 3000, gen_rng);
+  const SignedGraph g = gen::assign_signs_uniform(
+      el, {.positive_probability = 0.7}, gen_rng);
+  // Moderate weights so the cascade is non-trivial.
+  SignedGraph weighted = g;
+  util::Rng wrng(23);
+  for (graph::EdgeId e = 0; e < weighted.num_edges(); ++e)
+    weighted.set_edge_weight(e, wrng.uniform(0.0, 0.4));
+
+  MfcConfig config;
+  config.allow_flipping = false;
+  SeedSet seeds{{0, 1, 2, 3, 4},
+                {NodeState::kPositive, NodeState::kPositive,
+                 NodeState::kNegative, NodeState::kNegative,
+                 NodeState::kPositive}};
+  util::Rng rng(29);
+  const Cascade c = simulate_mfc(weighted, seeds, config, rng);
+
+  // Every non-seed infected node has exactly one activator, itself infected,
+  // activated strictly earlier; parent pointers are acyclic.
+  for (const NodeId v : c.infected) {
+    if (c.activator[v] == graph::kInvalidNode) continue;  // seed
+    const NodeId p = c.activator[v];
+    EXPECT_TRUE(graph::is_active(c.state[p]));
+    EXPECT_LT(c.step[p], c.step[v]);
+  }
+  // Seeds have no activator when flipping is off.
+  for (const NodeId s : seeds.nodes)
+    EXPECT_EQ(c.activator[s], graph::kInvalidNode);
+}
+
+TEST(Mfc, MaxStepsCapsTheProcess) {
+  SignedGraphBuilder builder(5);
+  for (NodeId v = 0; v + 1 < 5; ++v)
+    builder.add_edge(v, v + 1, Sign::kPositive, 1.0);
+  MfcConfig config;
+  config.max_steps = 2;
+  util::Rng rng(1);
+  const Cascade c = simulate_mfc(builder.build(), single_seed(0), config, rng);
+  EXPECT_EQ(c.num_infected(), 3u);  // seed + 2 rounds
+}
+
+// --- IC -------------------------------------------------------------------------
+
+TEST(Ic, MatchesMfcWithoutSignedFeatures) {
+  // All-positive graph, alpha = 1, flipping off: identical RNG consumption
+  // => bit-identical cascades.
+  util::Rng gen_rng(31);
+  const auto el = gen::erdos_renyi(200, 1500, gen_rng);
+  SignedGraph g = gen::assign_signs_all_positive(el);
+  util::Rng wrng(37);
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e)
+    g.set_edge_weight(e, wrng.uniform(0.0, 0.5));
+
+  SeedSet seeds{{0, 5, 10},
+                {NodeState::kPositive, NodeState::kPositive,
+                 NodeState::kPositive}};
+  MfcConfig mfc_config;
+  mfc_config.alpha = 1.0;
+  mfc_config.allow_flipping = false;
+  mfc_config.boost_positive = false;
+  util::Rng a(41);
+  util::Rng b(41);
+  const Cascade via_mfc = simulate_mfc(g, seeds, mfc_config, a);
+  const Cascade via_ic = simulate_ic(g, seeds, IcConfig{}, b);
+  EXPECT_EQ(via_mfc.state, via_ic.state);
+  EXPECT_EQ(via_mfc.activator, via_ic.activator);
+  EXPECT_EQ(via_mfc.infected, via_ic.infected);
+}
+
+TEST(Ic, NoReactivation) {
+  SignedGraphBuilder builder(3);
+  builder.add_edge(0, 1, Sign::kPositive, 1.0)
+      .add_edge(0, 2, Sign::kNegative, 1.0)
+      .add_edge(1, 2, Sign::kPositive, 1.0);
+  util::Rng rng(3);
+  const Cascade c =
+      simulate_ic(builder.build(), single_seed(0), IcConfig{}, rng);
+  EXPECT_EQ(c.state[2], NodeState::kNegative);  // no flipping in IC
+  EXPECT_EQ(c.num_flips, 0u);
+}
+
+TEST(Ic, UnsignedStateModeCopiesActivator) {
+  SignedGraphBuilder builder(2);
+  builder.add_edge(0, 1, Sign::kNegative, 1.0);
+  IcConfig config;
+  config.propagate_signed_state = false;
+  util::Rng rng(1);
+  const Cascade c = simulate_ic(builder.build(), single_seed(0), config, rng);
+  EXPECT_EQ(c.state[1], NodeState::kPositive);  // copied, not sign-flipped
+}
+
+// --- LT -------------------------------------------------------------------------
+
+TEST(Lt, StrongInfluenceActivates) {
+  // Node 1's entire (normalized) in-weight arrives at step 1, so it always
+  // activates regardless of threshold.
+  SignedGraphBuilder builder(2);
+  builder.add_edge(0, 1, Sign::kPositive, 0.7);
+  util::Rng rng(43);
+  const Cascade c =
+      simulate_lt(builder.build(), single_seed(0), LtConfig{}, rng);
+  EXPECT_EQ(c.num_infected(), 2u);
+  EXPECT_EQ(c.state[1], NodeState::kPositive);
+}
+
+TEST(Lt, OpinionFollowsWeightedMajority) {
+  // Two positive-state activators push +1 with total weight 0.8; one pushes
+  // -1 with 0.2 (via negative link from a positive node).
+  SignedGraphBuilder builder(4);
+  builder.add_edge(0, 3, Sign::kPositive, 0.4)
+      .add_edge(1, 3, Sign::kPositive, 0.4)
+      .add_edge(2, 3, Sign::kNegative, 0.2);
+  SeedSet seeds{{0, 1, 2},
+                {NodeState::kPositive, NodeState::kPositive,
+                 NodeState::kPositive}};
+  util::Rng rng(47);
+  const Cascade c = simulate_lt(builder.build(), seeds, LtConfig{}, rng);
+  EXPECT_EQ(c.state[3], NodeState::kPositive);
+}
+
+TEST(Lt, Terminates) {
+  util::Rng gen_rng(53);
+  const auto el = gen::erdos_renyi(100, 800, gen_rng);
+  const SignedGraph g =
+      gen::assign_signs_uniform(el, {.positive_probability = 0.8}, gen_rng);
+  SeedSet seeds{{0, 1}, {NodeState::kPositive, NodeState::kNegative}};
+  util::Rng rng(59);
+  const Cascade c = simulate_lt(g, seeds, LtConfig{}, rng);
+  EXPECT_GE(c.num_infected(), 2u);
+  EXPECT_LE(c.num_infected(), 100u);
+}
+
+// --- SIR ------------------------------------------------------------------------
+
+TEST(Sir, RecoveryStopsSpreading) {
+  // Chain with certain links but recovery probability 1: the seed recovers
+  // after its first round, so only its direct neighbor is infected.
+  SignedGraphBuilder builder(3);
+  builder.add_edge(0, 1, Sign::kPositive, 1.0)
+      .add_edge(1, 2, Sign::kPositive, 1.0);
+  SirConfig config;
+  config.recovery_probability = 1.0;
+  util::Rng rng(61);
+  const SirCascade c =
+      simulate_sir(builder.build(), single_seed(0), config, rng);
+  // Everyone who spreads does so once then recovers; chain still completes
+  // because each newly infected node spreads before recovering.
+  EXPECT_EQ(c.cascade.num_infected(), 3u);
+  EXPECT_TRUE(c.recovered[0]);
+}
+
+TEST(Sir, ZeroRecoveryEquivalentCoverageToIc) {
+  SignedGraphBuilder builder(4);
+  builder.add_edge(0, 1, Sign::kPositive, 1.0)
+      .add_edge(1, 2, Sign::kPositive, 1.0)
+      .add_edge(2, 3, Sign::kPositive, 1.0);
+  SirConfig config;
+  config.recovery_probability = 0.0;
+  config.max_steps = 10;  // guard: infectious set never drains naturally
+  util::Rng rng(67);
+  const SirCascade c =
+      simulate_sir(builder.build(), single_seed(0), config, rng);
+  EXPECT_EQ(c.cascade.num_infected(), 4u);
+}
+
+TEST(Sir, SignedStatesStillPropagate) {
+  SignedGraphBuilder builder(2);
+  builder.add_edge(0, 1, Sign::kNegative, 1.0);
+  SirConfig config;
+  config.recovery_probability = 0.5;
+  util::Rng rng(71);
+  const SirCascade c =
+      simulate_sir(builder.build(), single_seed(0), config, rng);
+  EXPECT_EQ(c.cascade.state[1], NodeState::kNegative);
+}
+
+// --- likelihood --------------------------------------------------------------------
+
+TEST(Likelihood, GFactorCases) {
+  const LikelihoodConfig config{.alpha = 3.0, .inconsistent_value = 0.0};
+  // Consistent positive link: boosted.
+  EXPECT_DOUBLE_EQ(g_factor(NodeState::kPositive, Sign::kPositive,
+                            NodeState::kPositive, 0.2, config),
+                   0.6);
+  // Boost clamps at 1.
+  EXPECT_DOUBLE_EQ(g_factor(NodeState::kPositive, Sign::kPositive,
+                            NodeState::kPositive, 0.5, config),
+                   1.0);
+  // Consistent negative link: plain weight.
+  EXPECT_DOUBLE_EQ(g_factor(NodeState::kPositive, Sign::kNegative,
+                            NodeState::kNegative, 0.2, config),
+                   0.2);
+  // Inconsistent: configured value.
+  EXPECT_DOUBLE_EQ(g_factor(NodeState::kPositive, Sign::kPositive,
+                            NodeState::kNegative, 0.9, config),
+                   0.0);
+  const LikelihoodConfig prose{.alpha = 3.0, .inconsistent_value = 1.0};
+  EXPECT_DOUBLE_EQ(g_factor(NodeState::kPositive, Sign::kPositive,
+                            NodeState::kNegative, 0.9, prose),
+                   1.0);
+}
+
+TEST(Likelihood, GFactorRejectsNonOpinionStates) {
+  const LikelihoodConfig config;
+  EXPECT_THROW(g_factor(NodeState::kInactive, Sign::kPositive,
+                        NodeState::kPositive, 0.5, config),
+               std::invalid_argument);
+  EXPECT_THROW(g_factor(NodeState::kPositive, Sign::kPositive,
+                        NodeState::kUnknown, 0.5, config),
+               std::invalid_argument);
+}
+
+TEST(Likelihood, SignConsistency) {
+  EXPECT_TRUE(is_sign_consistent(NodeState::kPositive, Sign::kNegative,
+                                 NodeState::kNegative));
+  EXPECT_FALSE(is_sign_consistent(NodeState::kPositive, Sign::kNegative,
+                                  NodeState::kPositive));
+  EXPECT_TRUE(is_sign_consistent(NodeState::kNegative, Sign::kNegative,
+                                 NodeState::kPositive));
+}
+
+TEST(Likelihood, PathProbabilityMultipliesAlongPath) {
+  SignedGraphBuilder builder(3);
+  builder.add_edge(0, 1, Sign::kPositive, 0.2)    // boosted to 0.6
+      .add_edge(1, 2, Sign::kNegative, 0.5);      // plain 0.5
+  const SignedGraph g = builder.build();
+  const std::vector<NodeState> states{NodeState::kPositive,
+                                      NodeState::kPositive,
+                                      NodeState::kNegative};
+  const std::vector<graph::EdgeId> path{g.find_edge(0, 1), g.find_edge(1, 2)};
+  const LikelihoodConfig config{.alpha = 3.0, .inconsistent_value = 0.0};
+  EXPECT_DOUBLE_EQ(path_probability(g, path, states, config), 0.3);
+}
+
+TEST(Likelihood, PathProbabilityZeroAcrossInconsistency) {
+  SignedGraphBuilder builder(3);
+  builder.add_edge(0, 1, Sign::kPositive, 0.9)
+      .add_edge(1, 2, Sign::kPositive, 0.9);
+  const SignedGraph g = builder.build();
+  // State of 1 contradicts the 0->1 positive link.
+  const std::vector<NodeState> states{NodeState::kPositive,
+                                      NodeState::kNegative,
+                                      NodeState::kNegative};
+  const std::vector<graph::EdgeId> path{g.find_edge(0, 1), g.find_edge(1, 2)};
+  EXPECT_DOUBLE_EQ(path_probability(g, path, states, LikelihoodConfig{}), 0.0);
+}
+
+TEST(Likelihood, TreeWeightLikelihood) {
+  SignedGraphBuilder builder(3);
+  builder.add_edge(0, 1, Sign::kPositive, 0.5)
+      .add_edge(1, 2, Sign::kNegative, 0.25);
+  const SignedGraph g = builder.build();
+  const std::vector<graph::EdgeId> edges{0, 1};
+  EXPECT_DOUBLE_EQ(tree_weight_likelihood(g, edges), 0.125);
+}
+
+}  // namespace
+}  // namespace rid::diffusion

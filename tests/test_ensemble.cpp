@@ -1,0 +1,141 @@
+#include "core/ensemble.hpp"
+
+#include <gtest/gtest.h>
+
+#include "diffusion/mfc.hpp"
+#include "gen/sign_assigner.hpp"
+#include "gen/topologies.hpp"
+#include "metrics/classification.hpp"
+#include "util/rng.hpp"
+
+namespace rid::core {
+namespace {
+
+using graph::NodeId;
+using graph::NodeState;
+using graph::SignedGraph;
+
+struct Fixture {
+  SignedGraph diffusion;
+  std::vector<NodeState> snapshot;
+  std::vector<NodeId> truth;
+};
+
+Fixture make_fixture(std::uint64_t seed) {
+  util::Rng rng(seed);
+  const auto el = gen::erdos_renyi(250, 1800, rng);
+  SignedGraph g =
+      gen::assign_signs_uniform(el, {.positive_probability = 0.8}, rng);
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e)
+    g.set_edge_weight(e, rng.uniform(0.05, 0.3));
+  diffusion::SeedSet seeds;
+  for (NodeId v = 0; v < 8; ++v) {
+    seeds.nodes.push_back(v * 31);
+    seeds.states.push_back(v % 2 ? NodeState::kNegative
+                                 : NodeState::kPositive);
+  }
+  const auto cascade = diffusion::simulate_mfc(g, seeds, {}, rng);
+  return {std::move(g), cascade.state, seeds.nodes};
+}
+
+TEST(Ensemble, ZeroJitterEqualsSingleRun) {
+  const Fixture f = make_fixture(3);
+  EnsembleConfig config;
+  config.rid.beta = 0.5;
+  config.num_replicas = 5;
+  config.weight_jitter = 0.0;
+  config.support_threshold = 0.99;
+  util::Rng rng(7);
+  const EnsembleResult ensemble =
+      run_rid_ensemble(f.diffusion, f.snapshot, config, rng);
+  const DetectionResult single = run_rid(f.diffusion, f.snapshot, config.rid);
+  EXPECT_EQ(ensemble.consensus.initiators, single.initiators);
+  for (const double s : ensemble.support) EXPECT_DOUBLE_EQ(s, 1.0);
+}
+
+TEST(Ensemble, DeterministicGivenSeed) {
+  const Fixture f = make_fixture(5);
+  EnsembleConfig config;
+  config.rid.beta = 0.5;
+  config.num_replicas = 6;
+  util::Rng a(11);
+  util::Rng b(11);
+  const auto ra = run_rid_ensemble(f.diffusion, f.snapshot, config, a);
+  const auto rb = run_rid_ensemble(f.diffusion, f.snapshot, config, b);
+  EXPECT_EQ(ra.consensus.initiators, rb.consensus.initiators);
+  EXPECT_EQ(ra.support, rb.support);
+}
+
+TEST(Ensemble, SupportValuesAreValidFractions) {
+  const Fixture f = make_fixture(9);
+  EnsembleConfig config;
+  config.rid.beta = 0.5;
+  config.num_replicas = 8;
+  config.support_threshold = 0.25;
+  util::Rng rng(13);
+  const auto result = run_rid_ensemble(f.diffusion, f.snapshot, config, rng);
+  ASSERT_EQ(result.support.size(), result.consensus.initiators.size());
+  for (const double s : result.support) {
+    EXPECT_GE(s, 0.25 - 1e-12);
+    EXPECT_LE(s, 1.0);
+  }
+  EXPECT_GE(result.candidates_seen, result.consensus.initiators.size());
+  EXPECT_TRUE(std::is_sorted(result.consensus.initiators.begin(),
+                             result.consensus.initiators.end()));
+}
+
+TEST(Ensemble, HigherThresholdIsMoreSelective) {
+  const Fixture f = make_fixture(17);
+  EnsembleConfig loose;
+  loose.rid.beta = 0.3;
+  loose.num_replicas = 8;
+  loose.support_threshold = 0.25;
+  EnsembleConfig strict = loose;
+  strict.support_threshold = 0.9;
+  util::Rng a(19);
+  util::Rng b(19);
+  const auto loose_result = run_rid_ensemble(f.diffusion, f.snapshot, loose, a);
+  const auto strict_result =
+      run_rid_ensemble(f.diffusion, f.snapshot, strict, b);
+  EXPECT_LE(strict_result.consensus.initiators.size(),
+            loose_result.consensus.initiators.size());
+  // Strict consensus is a subset of the loose one.
+  for (const NodeId v : strict_result.consensus.initiators) {
+    EXPECT_TRUE(std::binary_search(loose_result.consensus.initiators.begin(),
+                                   loose_result.consensus.initiators.end(),
+                                   v));
+  }
+}
+
+TEST(Ensemble, ConsensusPrecisionAtLeastSingleRun) {
+  // Stability filtering should not make precision worse on this workload
+  // (it prunes unstable, mostly-wrong detections).
+  const Fixture f = make_fixture(23);
+  EnsembleConfig config;
+  config.rid.beta = 0.3;
+  config.num_replicas = 10;
+  config.support_threshold = 0.7;
+  util::Rng rng(29);
+  const auto ensemble = run_rid_ensemble(f.diffusion, f.snapshot, config, rng);
+  const auto single = run_rid(f.diffusion, f.snapshot, config.rid);
+  const auto p_ensemble =
+      metrics::score_identities(ensemble.consensus.initiators, f.truth);
+  const auto p_single = metrics::score_identities(single.initiators, f.truth);
+  EXPECT_GE(p_ensemble.precision + 0.05, p_single.precision);
+}
+
+TEST(Ensemble, Validation) {
+  const Fixture f = make_fixture(31);
+  util::Rng rng(1);
+  EnsembleConfig config;
+  config.num_replicas = 0;
+  EXPECT_THROW(run_rid_ensemble(f.diffusion, f.snapshot, config, rng),
+               std::invalid_argument);
+  config.num_replicas = 2;
+  config.weight_jitter = 1.5;
+  EXPECT_THROW(run_rid_ensemble(f.diffusion, f.snapshot, config, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rid::core

@@ -1,0 +1,257 @@
+// Tests for the extension modules: Jordan center, snapshot I/O, the thread
+// pool, and parallel RID determinism.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <sstream>
+
+#include "core/jordan_center.hpp"
+#include "core/rid.hpp"
+#include "core/snapshot_io.hpp"
+#include "diffusion/mfc.hpp"
+#include "gen/sign_assigner.hpp"
+#include "gen/topologies.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rid {
+namespace {
+
+using graph::NodeId;
+using graph::NodeState;
+using graph::Sign;
+using graph::SignedGraph;
+using graph::SignedGraphBuilder;
+
+core::CascadeTree tree_from_parents(std::vector<NodeId> parent) {
+  core::CascadeTree tree;
+  const auto n = static_cast<NodeId>(parent.size());
+  tree.parent = std::move(parent);
+  tree.in_g.assign(n, 0.5);
+  tree.in_g[0] = 1.0;
+  tree.global.resize(n);
+  for (NodeId v = 0; v < n; ++v) tree.global[v] = v;
+  tree.parent_edge.assign(n, graph::kInvalidEdge);
+  tree.state.assign(n, NodeState::kPositive);
+  tree.root = 0;
+  return tree;
+}
+
+// --- Jordan center -----------------------------------------------------------
+
+TEST(JordanCenter, PathCenters) {
+  // Path of 5: unique center at index 2.
+  const auto tree5 = tree_from_parents({graph::kInvalidNode, 0, 1, 2, 3});
+  EXPECT_EQ(core::jordan_centers(tree5), (std::vector<NodeId>{2}));
+  // Path of 4: the center is the middle edge -> two nodes.
+  const auto tree4 = tree_from_parents({graph::kInvalidNode, 0, 1, 2});
+  EXPECT_EQ(core::jordan_centers(tree4), (std::vector<NodeId>{1, 2}));
+}
+
+TEST(JordanCenter, StarCenterIsHub) {
+  const auto star = tree_from_parents({graph::kInvalidNode, 0, 0, 0, 0});
+  EXPECT_EQ(core::jordan_centers(star), (std::vector<NodeId>{0}));
+}
+
+TEST(JordanCenter, SingleNode) {
+  const auto one = tree_from_parents({graph::kInvalidNode});
+  EXPECT_EQ(core::jordan_centers(one), (std::vector<NodeId>{0}));
+}
+
+TEST(JordanCenter, MatchesBruteForceEccentricity) {
+  util::Rng rng(31);
+  for (int trial = 0; trial < 30; ++trial) {
+    const NodeId n = 2 + static_cast<NodeId>(rng.next_below(30));
+    std::vector<NodeId> parent(n);
+    parent[0] = graph::kInvalidNode;
+    for (NodeId v = 1; v < n; ++v)
+      parent[v] = static_cast<NodeId>(rng.next_below(v));
+    const auto tree = tree_from_parents(parent);
+
+    // Brute force: all-pairs BFS over the undirected tree.
+    std::vector<std::vector<NodeId>> adj(n);
+    for (NodeId v = 1; v < n; ++v) {
+      adj[v].push_back(parent[v]);
+      adj[parent[v]].push_back(v);
+    }
+    std::vector<std::uint32_t> ecc(n, 0);
+    for (NodeId s = 0; s < n; ++s) {
+      std::vector<std::uint32_t> dist(n, 0xffffffffu);
+      std::vector<NodeId> queue{s};
+      dist[s] = 0;
+      for (std::size_t head = 0; head < queue.size(); ++head) {
+        for (const NodeId w : adj[queue[head]]) {
+          if (dist[w] == 0xffffffffu) {
+            dist[w] = dist[queue[head]] + 1;
+            queue.push_back(w);
+          }
+        }
+      }
+      for (NodeId v = 0; v < n; ++v) ecc[s] = std::max(ecc[s], dist[v]);
+    }
+    const std::uint32_t best = *std::min_element(ecc.begin(), ecc.end());
+
+    const auto centers = core::jordan_centers(tree);
+    ASSERT_FALSE(centers.empty());
+    for (const NodeId c : centers)
+      EXPECT_EQ(ecc[c], best) << "trial " << trial;
+  }
+}
+
+TEST(JordanCenter, PipelineReportsOneCenterPerTree) {
+  SignedGraphBuilder builder(8);
+  builder.add_edge(0, 1, Sign::kPositive, 0.5)
+      .add_edge(1, 2, Sign::kPositive, 0.5)
+      .add_edge(5, 6, Sign::kPositive, 0.5);
+  const SignedGraph g = builder.build();
+  std::vector<NodeState> states(8, NodeState::kInactive);
+  for (const NodeId v : {0u, 1u, 2u, 5u, 6u}) states[v] = NodeState::kPositive;
+  const core::DetectionResult result =
+      core::run_jordan_center(g, states, core::BaselineConfig{});
+  EXPECT_EQ(result.initiators.size(), result.num_trees);
+  EXPECT_EQ(result.num_trees, 2u);
+  // Path 0-1-2 has center 1.
+  EXPECT_TRUE(std::binary_search(result.initiators.begin(),
+                                 result.initiators.end(), 1u));
+}
+
+// --- snapshot I/O --------------------------------------------------------------
+
+TEST(SnapshotIo, RoundTrip) {
+  std::vector<NodeState> states{NodeState::kPositive, NodeState::kInactive,
+                                NodeState::kNegative, NodeState::kUnknown,
+                                NodeState::kInactive};
+  std::stringstream buffer;
+  core::save_snapshot(states, buffer);
+  const auto loaded = core::load_snapshot(buffer, 5);
+  EXPECT_EQ(loaded, states);
+}
+
+TEST(SnapshotIo, OmittedNodesAreInactive) {
+  std::istringstream in("0 +1\n3 -1\n");
+  const auto states = core::load_snapshot(in, 5);
+  EXPECT_EQ(states[0], NodeState::kPositive);
+  EXPECT_EQ(states[1], NodeState::kInactive);
+  EXPECT_EQ(states[3], NodeState::kNegative);
+  EXPECT_EQ(states[4], NodeState::kInactive);
+}
+
+TEST(SnapshotIo, AcceptsAlternateSpellingsAndComments) {
+  std::istringstream in(
+      "# comment\n"
+      "\n"
+      "0 1\n"
+      "1 ?\n"
+      "2 0\n");
+  const auto states = core::load_snapshot(in, 3);
+  EXPECT_EQ(states[0], NodeState::kPositive);
+  EXPECT_EQ(states[1], NodeState::kUnknown);
+  EXPECT_EQ(states[2], NodeState::kInactive);
+}
+
+TEST(SnapshotIo, RejectsMalformedInput) {
+  {
+    std::istringstream in("0\n");
+    EXPECT_THROW(core::load_snapshot(in, 3), std::runtime_error);
+  }
+  {
+    std::istringstream in("abc +1\n");
+    EXPECT_THROW(core::load_snapshot(in, 3), std::runtime_error);
+  }
+  {
+    std::istringstream in("7 +1\n");
+    EXPECT_THROW(core::load_snapshot(in, 3), std::runtime_error);
+  }
+  {
+    std::istringstream in("0 maybe\n");
+    EXPECT_THROW(core::load_snapshot(in, 3), std::runtime_error);
+  }
+}
+
+TEST(SnapshotIo, MissingFileThrows) {
+  EXPECT_THROW(core::load_snapshot_file("/nonexistent/snapshot.txt", 3),
+               std::runtime_error);
+}
+
+// --- thread pool ----------------------------------------------------------------
+
+TEST(ThreadPool, RunsAllSubmittedTasks) {
+  util::ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&] { ++counter; });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ZeroThreadsClampedToOne) {
+  util::ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<int> counter{0};
+  pool.submit([&] { ++counter; });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ParallelForEach, CoversEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(500);
+  util::parallel_for_each(500, 8,
+                          [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForEach, InlineWhenSingleThreaded) {
+  std::vector<int> order;
+  util::parallel_for_each(5, 1, [&](std::size_t i) {
+    order.push_back(static_cast<int>(i));
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForEach, PropagatesExceptions) {
+  EXPECT_THROW(
+      util::parallel_for_each(50, 4,
+                              [&](std::size_t i) {
+                                if (i == 17)
+                                  throw std::runtime_error("boom");
+                              }),
+      std::runtime_error);
+}
+
+TEST(ParallelForEach, EmptyRangeIsNoop) {
+  bool called = false;
+  util::parallel_for_each(0, 4, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+// --- parallel RID determinism -----------------------------------------------------
+
+TEST(ParallelRid, SameResultAsSerial) {
+  util::Rng rng(71);
+  const auto el = gen::erdos_renyi(300, 2100, rng);
+  SignedGraph g =
+      gen::assign_signs_uniform(el, {.positive_probability = 0.8}, rng);
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e)
+    g.set_edge_weight(e, rng.uniform(0.02, 0.3));
+  diffusion::SeedSet seeds;
+  for (NodeId v = 0; v < 12; ++v) {
+    seeds.nodes.push_back(v * 25);
+    seeds.states.push_back(v % 2 ? NodeState::kNegative
+                                 : NodeState::kPositive);
+  }
+  const diffusion::Cascade cascade =
+      diffusion::simulate_mfc(g, seeds, diffusion::MfcConfig{}, rng);
+
+  core::RidConfig serial;
+  serial.beta = 0.5;
+  serial.num_threads = 1;
+  core::RidConfig parallel = serial;
+  parallel.num_threads = 4;
+  const auto a = core::run_rid(g, cascade.state, serial);
+  const auto b = core::run_rid(g, cascade.state, parallel);
+  EXPECT_EQ(a.initiators, b.initiators);
+  EXPECT_EQ(a.states, b.states);
+  EXPECT_DOUBLE_EQ(a.total_objective, b.total_objective);
+}
+
+}  // namespace
+}  // namespace rid

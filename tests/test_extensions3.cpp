@@ -1,0 +1,145 @@
+// Tests for initiator confidence ranking, hidden-infection masking, and
+// the PR-AUC summary metric.
+#include <gtest/gtest.h>
+
+#include "core/rid.hpp"
+#include "core/tree_dp.hpp"
+#include "metrics/classification.hpp"
+#include "sim/experiment.hpp"
+#include "util/logging.hpp"
+
+namespace rid {
+namespace {
+
+using graph::NodeId;
+using graph::NodeState;
+
+// --- rank_initiators ------------------------------------------------------------
+
+core::CascadeTree make_star(std::vector<double> in_g) {
+  core::CascadeTree tree;
+  const auto n = static_cast<NodeId>(in_g.size());
+  tree.parent.assign(n, 0);
+  tree.parent[0] = graph::kInvalidNode;
+  tree.in_g = std::move(in_g);
+  tree.global.resize(n);
+  for (NodeId v = 0; v < n; ++v) tree.global[v] = v;
+  tree.parent_edge.assign(n, graph::kInvalidEdge);
+  tree.state.assign(n, NodeState::kPositive);
+  tree.root = 0;
+  return tree;
+}
+
+TEST(RankInitiators, EntryOrderFollowsCoverageWeakness) {
+  // Star where child 2 is worst covered, then 3, then 1: with a small beta
+  // all nodes split; entry order must be root (k=1), then 2, then 3, then 1.
+  const core::CascadeTree tree = make_star({1.0, 0.8, 0.1, 0.4});
+  core::TreeDpOptions options;
+  options.rank_initiators = true;
+  const core::TreeSolution solution = core::solve_tree(tree, 0.05, options);
+  ASSERT_EQ(solution.k, 4u);
+  ASSERT_EQ(solution.initiators, (std::vector<NodeId>{0, 1, 2, 3}));
+  ASSERT_EQ(solution.entry_k.size(), 4u);
+  EXPECT_EQ(solution.entry_k[0], 1u);  // root
+  EXPECT_EQ(solution.entry_k[2], 2u);  // weakest child enters first
+  EXPECT_EQ(solution.entry_k[3], 3u);
+  EXPECT_EQ(solution.entry_k[1], 4u);
+}
+
+TEST(RankInitiators, DisabledByDefault) {
+  const core::CascadeTree tree = make_star({1.0, 0.5});
+  const core::TreeSolution solution =
+      core::solve_tree(tree, 0.05, core::TreeDpOptions{});
+  EXPECT_TRUE(solution.entry_k.empty());
+}
+
+TEST(RankInitiators, EntryBudgetsAreWithinRange) {
+  const core::CascadeTree tree = make_star({1.0, 0.3, 0.3, 0.3, 0.3});
+  core::TreeDpOptions options;
+  options.rank_initiators = true;
+  const core::TreeSolution solution = core::solve_tree(tree, 0.1, options);
+  for (const auto entry : solution.entry_k) {
+    EXPECT_GE(entry, 1u);
+    EXPECT_LE(entry, solution.k);
+  }
+}
+
+// --- hidden infections ----------------------------------------------------------
+
+TEST(HiddenInfections, MaskedNodesDisappearFromSnapshot) {
+  util::ScopedLogLevel quiet(util::LogLevel::kWarn);
+  sim::Scenario scenario;
+  scenario.profile = gen::slashdot_profile();
+  scenario.scale = 0.01;
+  scenario.hidden_fraction = 0.5;
+  scenario.seed = 7;
+  const sim::Trial trial = sim::make_trial(scenario, 0);
+
+  std::size_t hidden = 0;
+  std::size_t non_seed = 0;
+  std::vector<bool> is_seed(trial.diffusion.num_nodes(), false);
+  for (const auto v : trial.truth.initiators) is_seed[v] = true;
+  for (const auto v : trial.cascade.infected) {
+    if (is_seed[v]) {
+      // Seeds are never hidden.
+      EXPECT_TRUE(graph::is_active(trial.observed[v]));
+      continue;
+    }
+    ++non_seed;
+    hidden += trial.observed[v] == NodeState::kInactive ? 1 : 0;
+  }
+  ASSERT_GT(non_seed, 20u);
+  EXPECT_NEAR(static_cast<double>(hidden) / static_cast<double>(non_seed),
+              0.5, 0.2);
+}
+
+TEST(HiddenInfections, DetectionStillRuns) {
+  util::ScopedLogLevel quiet(util::LogLevel::kWarn);
+  sim::Scenario scenario;
+  scenario.profile = gen::slashdot_profile();
+  scenario.scale = 0.01;
+  scenario.hidden_fraction = 0.3;
+  scenario.seed = 9;
+  const sim::Trial trial = sim::make_trial(scenario, 0);
+  core::RidConfig config;
+  config.beta = 1.0;
+  const auto result = core::run_rid(trial.diffusion, trial.observed, config);
+  EXPECT_GT(result.initiators.size(), 0u);
+  const auto scores = sim::score_method("RID", trial, result);
+  EXPECT_GT(scores.identity.recall, 0.0);
+}
+
+// --- PR-AUC ------------------------------------------------------------------------
+
+TEST(PrAuc, TrapezoidHandComputed) {
+  const std::vector<std::pair<double, double>> curve{
+      {0.2, 1.0}, {0.6, 0.5}, {1.0, 0.25}};
+  // Segments: [0.2,0.6]: 0.4*(1.0+0.5)/2 = 0.3; [0.6,1.0]: 0.4*0.375 = 0.15.
+  EXPECT_DOUBLE_EQ(metrics::pr_auc(curve), 0.45);
+}
+
+TEST(PrAuc, OrderIndependent) {
+  const std::vector<std::pair<double, double>> sorted{
+      {0.1, 0.9}, {0.5, 0.6}, {0.9, 0.2}};
+  std::vector<std::pair<double, double>> shuffled{
+      {0.9, 0.2}, {0.1, 0.9}, {0.5, 0.6}};
+  EXPECT_DOUBLE_EQ(metrics::pr_auc(sorted), metrics::pr_auc(shuffled));
+}
+
+TEST(PrAuc, DuplicateRecallsKeepBestPrecision) {
+  const std::vector<std::pair<double, double>> curve{
+      {0.5, 0.2}, {0.5, 0.8}, {1.0, 0.4}};
+  // Collapsed: (0.5, 0.8) -> (1.0, 0.4): 0.5 * 0.6 = 0.3.
+  EXPECT_DOUBLE_EQ(metrics::pr_auc(curve), 0.3);
+}
+
+TEST(PrAuc, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(metrics::pr_auc({}), 0.0);
+  const std::vector<std::pair<double, double>> one{{0.5, 0.5}};
+  EXPECT_DOUBLE_EQ(metrics::pr_auc(one), 0.0);
+  const std::vector<std::pair<double, double>> same{{0.5, 0.5}, {0.5, 0.9}};
+  EXPECT_DOUBLE_EQ(metrics::pr_auc(same), 0.0);
+}
+
+}  // namespace
+}  // namespace rid

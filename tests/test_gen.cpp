@@ -1,0 +1,559 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "gen/alias_table.hpp"
+#include "gen/profiles.hpp"
+#include "gen/sign_assigner.hpp"
+#include "gen/topologies.hpp"
+#include "gen/trees.hpp"
+#include "graph/jaccard.hpp"
+#include "graph/stats.hpp"
+
+namespace rid::gen {
+namespace {
+
+using graph::NodeId;
+
+std::set<std::pair<NodeId, NodeId>> edge_set(const EdgeList& el) {
+  return {el.edges.begin(), el.edges.end()};
+}
+
+// --- alias table -------------------------------------------------------------
+
+TEST(AliasTable, EmpiricalFrequenciesMatchWeights) {
+  const std::vector<double> weights{1.0, 2.0, 3.0, 4.0};
+  const AliasTable table{std::span<const double>(weights)};
+  util::Rng rng(3);
+  std::vector<int> counts(4, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[table.sample(rng)];
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / n, weights[i] / 10.0, 0.01);
+  }
+}
+
+TEST(AliasTable, NormalizedMassStored) {
+  const std::vector<double> weights{2.0, 6.0};
+  const AliasTable table{std::span<const double>(weights)};
+  EXPECT_DOUBLE_EQ(table.probability(0), 0.25);
+  EXPECT_DOUBLE_EQ(table.probability(1), 0.75);
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(AliasTable, ZeroWeightEntriesNeverSampled) {
+  const std::vector<double> weights{0.0, 1.0, 0.0};
+  const AliasTable table{std::span<const double>(weights)};
+  util::Rng rng(5);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(table.sample(rng), 1u);
+}
+
+TEST(AliasTable, RejectsDegenerateInput) {
+  const std::vector<double> empty;
+  EXPECT_THROW(AliasTable{std::span<const double>(empty)},
+               std::invalid_argument);
+  const std::vector<double> zeros{0.0, 0.0};
+  EXPECT_THROW(AliasTable{std::span<const double>(zeros)},
+               std::invalid_argument);
+  const std::vector<double> negative{1.0, -0.5};
+  EXPECT_THROW(AliasTable{std::span<const double>(negative)},
+               std::invalid_argument);
+}
+
+TEST(AliasTable, SingleBucket) {
+  const std::vector<double> weights{5.0};
+  const AliasTable table{std::span<const double>(weights)};
+  util::Rng rng(1);
+  EXPECT_EQ(table.sample(rng), 0u);
+}
+
+// --- erdos renyi -------------------------------------------------------------
+
+TEST(ErdosRenyi, ExactEdgeCountNoDuplicatesNoLoops) {
+  util::Rng rng(11);
+  const EdgeList el = erdos_renyi(50, 300, rng);
+  EXPECT_EQ(el.num_nodes, 50u);
+  EXPECT_EQ(el.edges.size(), 300u);
+  EXPECT_EQ(edge_set(el).size(), 300u);
+  for (const auto& [u, v] : el.edges) {
+    EXPECT_NE(u, v);
+    EXPECT_LT(u, 50u);
+    EXPECT_LT(v, 50u);
+  }
+}
+
+TEST(ErdosRenyi, RejectsImpossibleEdgeCount) {
+  util::Rng rng(1);
+  EXPECT_THROW(erdos_renyi(3, 7, rng), std::invalid_argument);
+}
+
+TEST(ErdosRenyi, CompleteDigraph) {
+  util::Rng rng(1);
+  const EdgeList el = erdos_renyi(4, 12, rng);
+  EXPECT_EQ(edge_set(el).size(), 12u);
+}
+
+// --- barabasi albert ----------------------------------------------------------
+
+TEST(BarabasiAlbert, SizesAndDegrees) {
+  util::Rng rng(13);
+  BarabasiAlbertConfig config;
+  config.num_nodes = 200;
+  config.edges_per_node = 3;
+  const EdgeList el = barabasi_albert(config, rng);
+  EXPECT_EQ(el.num_nodes, 200u);
+  // Seed clique contributes seed*(seed-1) edges, then 3 per new node.
+  const std::size_t seed = 4;
+  EXPECT_EQ(el.edges.size(), seed * (seed - 1) + (200 - seed) * 3);
+  for (const auto& [u, v] : el.edges) EXPECT_NE(u, v);
+  EXPECT_EQ(edge_set(el).size(), el.edges.size());
+}
+
+TEST(BarabasiAlbert, ProducesSkewedInDegrees) {
+  util::Rng rng(17);
+  BarabasiAlbertConfig config;
+  config.num_nodes = 2000;
+  config.edges_per_node = 2;
+  const EdgeList el = barabasi_albert(config, rng);
+  std::vector<std::size_t> in_degree(config.num_nodes, 0);
+  for (const auto& [u, v] : el.edges) ++in_degree[v];
+  const std::size_t max_in =
+      *std::max_element(in_degree.begin(), in_degree.end());
+  // Preferential attachment should grow hubs far beyond the mean (~2).
+  EXPECT_GT(max_in, 20u);
+}
+
+TEST(BarabasiAlbert, ValidatesConfig) {
+  util::Rng rng(1);
+  BarabasiAlbertConfig config;
+  config.num_nodes = 10;
+  config.edges_per_node = 3;
+  config.seed_nodes = 2;  // < m + 1
+  EXPECT_THROW(barabasi_albert(config, rng), std::invalid_argument);
+  config.seed_nodes = 0;
+  config.num_nodes = 2;  // < seed
+  EXPECT_THROW(barabasi_albert(config, rng), std::invalid_argument);
+}
+
+// --- power law degrees ---------------------------------------------------------
+
+TEST(PowerLawDegrees, WithinBoundsAndHeavyTailed) {
+  util::Rng rng(19);
+  const auto degrees = power_law_degrees(20000, 2.0, 1.0, 1000.0, rng);
+  EXPECT_EQ(degrees.size(), 20000u);
+  double max_degree = 0.0;
+  double sum = 0.0;
+  for (const double d : degrees) {
+    EXPECT_GE(d, 1.0);
+    EXPECT_LE(d, 1000.0);
+    max_degree = std::max(max_degree, d);
+    sum += d;
+  }
+  const double mean = sum / 20000.0;
+  EXPECT_GT(max_degree, 30 * mean);  // heavy tail
+}
+
+TEST(PowerLawDegrees, RejectsBadParameters) {
+  util::Rng rng(1);
+  EXPECT_THROW(power_law_degrees(10, 1.0, 1.0, 10.0, rng),
+               std::invalid_argument);
+  EXPECT_THROW(power_law_degrees(10, 2.0, 0.0, 10.0, rng),
+               std::invalid_argument);
+  EXPECT_THROW(power_law_degrees(10, 2.0, 5.0, 2.0, rng),
+               std::invalid_argument);
+}
+
+// --- chung lu -------------------------------------------------------------------
+
+TEST(ChungLu, EdgeCountTracksDegreeSum) {
+  util::Rng rng(23);
+  ChungLuConfig config;
+  config.num_nodes = 500;
+  config.out_degrees.assign(500, 4.0);
+  config.in_degrees.assign(500, 4.0);
+  const EdgeList el = chung_lu(config, rng);
+  // 2000 target edges; dedup may drop a handful.
+  EXPECT_GT(el.edges.size(), 1900u);
+  EXPECT_LE(el.edges.size(), 2000u);
+  EXPECT_EQ(edge_set(el).size(), el.edges.size());
+}
+
+TEST(ChungLu, RespectsRelativeDegrees) {
+  util::Rng rng(29);
+  ChungLuConfig config;
+  config.num_nodes = 400;
+  config.out_degrees.assign(400, 1.0);
+  config.in_degrees.assign(400, 1.0);
+  config.out_degrees[0] = 100.0;  // node 0 is a big broadcaster
+  const EdgeList el = chung_lu(config, rng);
+  std::size_t out0 = 0;
+  for (const auto& [u, v] : el.edges)
+    if (u == 0) ++out0;
+  EXPECT_GT(out0, 40u);  // expected ~100 modulo dedup
+}
+
+TEST(ChungLu, ValidatesSequenceSizes) {
+  util::Rng rng(1);
+  ChungLuConfig config;
+  config.num_nodes = 5;
+  config.out_degrees.assign(4, 1.0);
+  config.in_degrees.assign(5, 1.0);
+  EXPECT_THROW(chung_lu(config, rng), std::invalid_argument);
+}
+
+// --- rmat ------------------------------------------------------------------------
+
+TEST(Rmat, ProducesRequestedShape) {
+  util::Rng rng(31);
+  RmatConfig config;
+  config.scale = 8;  // 256 nodes
+  config.num_edges = 1000;
+  const EdgeList el = rmat(config, rng);
+  EXPECT_EQ(el.num_nodes, 256u);
+  EXPECT_EQ(el.edges.size(), 1000u);
+  EXPECT_EQ(edge_set(el).size(), 1000u);
+  for (const auto& [u, v] : el.edges) {
+    EXPECT_LT(u, 256u);
+    EXPECT_LT(v, 256u);
+    EXPECT_NE(u, v);
+  }
+}
+
+TEST(Rmat, SkewedQuadrantsMakeSkewedDegrees) {
+  util::Rng rng(37);
+  RmatConfig config;
+  config.scale = 10;
+  config.num_edges = 8000;
+  const EdgeList el = rmat(config, rng);
+  std::vector<std::size_t> out_degree(el.num_nodes, 0);
+  for (const auto& [u, v] : el.edges) ++out_degree[u];
+  const std::size_t max_out =
+      *std::max_element(out_degree.begin(), out_degree.end());
+  EXPECT_GT(max_out, 40u);  // mean is ~8
+}
+
+TEST(Rmat, RejectsBadProbabilities) {
+  util::Rng rng(1);
+  RmatConfig config;
+  config.a = 0.9;  // sums to > 1 with defaults
+  EXPECT_THROW(rmat(config, rng), std::invalid_argument);
+}
+
+// --- watts strogatz -----------------------------------------------------------------
+
+TEST(WattsStrogatz, ZeroRewireIsRingLattice) {
+  util::Rng rng(41);
+  WattsStrogatzConfig config;
+  config.num_nodes = 20;
+  config.k = 3;
+  config.rewire_probability = 0.0;
+  const EdgeList el = watts_strogatz(config, rng);
+  EXPECT_EQ(el.edges.size(), 60u);
+  const auto edges = edge_set(el);
+  for (NodeId u = 0; u < 20; ++u) {
+    for (std::size_t j = 1; j <= 3; ++j) {
+      EXPECT_TRUE(edges.count({u, static_cast<NodeId>((u + j) % 20)}));
+    }
+  }
+}
+
+TEST(WattsStrogatz, RewiringChangesSomeEdges) {
+  util::Rng rng(43);
+  WattsStrogatzConfig config;
+  config.num_nodes = 100;
+  config.k = 4;
+  config.rewire_probability = 0.5;
+  const EdgeList el = watts_strogatz(config, rng);
+  std::size_t non_lattice = 0;
+  for (const auto& [u, v] : el.edges) {
+    const NodeId gap = (v + 100 - u) % 100;
+    if (gap == 0 || gap > 4) ++non_lattice;
+  }
+  EXPECT_GT(non_lattice, 50u);
+}
+
+TEST(WattsStrogatz, RejectsKTooLarge) {
+  util::Rng rng(1);
+  WattsStrogatzConfig config;
+  config.num_nodes = 4;
+  config.k = 4;
+  EXPECT_THROW(watts_strogatz(config, rng), std::invalid_argument);
+}
+
+// --- sign assigners -----------------------------------------------------------------
+
+TEST(SignAssigner, UniformRatioApproximatelyMet) {
+  util::Rng rng(47);
+  const EdgeList el = erdos_renyi(200, 5000, rng);
+  const graph::SignedGraph g =
+      assign_signs_uniform(el, {.positive_probability = 0.8}, rng);
+  const auto stats = graph::compute_stats(g);
+  EXPECT_NEAR(stats.positive_fraction, 0.8, 0.02);
+  EXPECT_EQ(g.num_edges(), 5000u);
+}
+
+TEST(SignAssigner, AllPositive) {
+  util::Rng rng(53);
+  const EdgeList el = erdos_renyi(50, 500, rng);
+  const graph::SignedGraph g = assign_signs_all_positive(el);
+  EXPECT_DOUBLE_EQ(graph::compute_stats(g).positive_fraction, 1.0);
+}
+
+TEST(SignAssigner, TargetBiasedKeepsGlobalRatio) {
+  util::Rng rng(59);
+  const EdgeList el = erdos_renyi(500, 20000, rng);
+  TargetBiasedSignConfig config;
+  config.positive_fraction = 0.8;
+  config.controversial_fraction = 0.1;
+  config.controversial_positive_probability = 0.3;
+  const graph::SignedGraph g = assign_signs_target_biased(el, config, rng);
+  EXPECT_NEAR(graph::compute_stats(g).positive_fraction, 0.8, 0.02);
+}
+
+TEST(SignAssigner, TargetBiasedConcentratesDistrust) {
+  util::Rng rng(61);
+  const EdgeList el = erdos_renyi(400, 30000, rng);
+  TargetBiasedSignConfig config;
+  config.positive_fraction = 0.8;
+  config.controversial_fraction = 0.1;
+  config.controversial_positive_probability = 0.2;
+  const graph::SignedGraph g = assign_signs_target_biased(el, config, rng);
+  // Count negative in-fraction per node; the distribution must be bimodal:
+  // some nodes near 80% negative, most near the ordinary level.
+  std::size_t heavily_distrusted = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    std::size_t neg = 0;
+    const auto in = g.in_edge_ids(v);
+    if (in.size() < 20) continue;
+    for (const auto e : in)
+      if (g.edge_sign(e) == graph::Sign::kNegative) ++neg;
+    if (static_cast<double>(neg) / in.size() > 0.6) ++heavily_distrusted;
+  }
+  EXPECT_GT(heavily_distrusted, 10u);
+}
+
+TEST(SignAssigner, TargetBiasedValidatesFraction) {
+  util::Rng rng(1);
+  const EdgeList el = erdos_renyi(10, 20, rng);
+  TargetBiasedSignConfig config;
+  config.controversial_fraction = 1.5;
+  EXPECT_THROW(assign_signs_target_biased(el, config, rng),
+               std::invalid_argument);
+}
+
+// --- tree generators ------------------------------------------------------------------
+
+TEST(Trees, RandomTreeIsConnectedTree) {
+  util::Rng rng(67);
+  const EdgeList el = random_tree(100, rng);
+  EXPECT_EQ(el.edges.size(), 99u);
+  std::vector<int> in_degree(100, 0);
+  for (const auto& [p, c] : el.edges) {
+    EXPECT_LT(p, c);  // parents always have smaller ids
+    ++in_degree[c];
+  }
+  EXPECT_EQ(in_degree[0], 0);
+  for (NodeId v = 1; v < 100; ++v) EXPECT_EQ(in_degree[v], 1);
+}
+
+TEST(Trees, BoundedTreeRespectsCap) {
+  util::Rng rng(71);
+  const EdgeList el = random_bounded_tree(200, 2, rng);
+  std::vector<std::size_t> children(200, 0);
+  for (const auto& [p, c] : el.edges) ++children[p];
+  for (const auto count : children) EXPECT_LE(count, 2u);
+  EXPECT_EQ(el.edges.size(), 199u);
+}
+
+TEST(Trees, BoundedTreeRejectsZeroCap) {
+  util::Rng rng(1);
+  EXPECT_THROW(random_bounded_tree(5, 0, rng), std::invalid_argument);
+}
+
+TEST(Trees, CompleteBinaryTreeStructure) {
+  const EdgeList el = complete_binary_tree(7);
+  EXPECT_EQ(el.edges.size(), 6u);
+  const auto edges = edge_set(el);
+  EXPECT_TRUE(edges.count({0, 1}));
+  EXPECT_TRUE(edges.count({0, 2}));
+  EXPECT_TRUE(edges.count({1, 3}));
+  EXPECT_TRUE(edges.count({2, 6}));
+}
+
+TEST(Trees, PathAndStar) {
+  const EdgeList path = path_graph(4);
+  EXPECT_EQ(path.edges.size(), 3u);
+  EXPECT_TRUE(edge_set(path).count({2, 3}));
+  const EdgeList star = star_graph(5);
+  EXPECT_EQ(star.edges.size(), 4u);
+  for (NodeId i = 1; i < 5; ++i) EXPECT_TRUE(edge_set(star).count({0, i}));
+}
+
+TEST(Trees, SingleNodeAndEmpty) {
+  util::Rng rng(1);
+  EXPECT_TRUE(random_tree(1, rng).edges.empty());
+  EXPECT_TRUE(path_graph(0).edges.empty());
+  EXPECT_TRUE(star_graph(1).edges.empty());
+}
+
+// --- triadic closure ---------------------------------------------------------------
+
+TEST(CloseTriads, AddsClosingEdgesOnly) {
+  // Path 0 -> 1 -> 2: the only closable 2-path is (0,1,2) -> edge (0,2).
+  EdgeList el;
+  el.num_nodes = 3;
+  el.edges = {{0, 1}, {1, 2}};
+  util::Rng rng(5);
+  const std::size_t added = close_triads(el, 1, rng);
+  EXPECT_EQ(added, 1u);
+  ASSERT_EQ(el.edges.size(), 3u);
+  EXPECT_EQ(el.edges.back(), (std::pair<NodeId, NodeId>{0, 2}));
+}
+
+TEST(CloseTriads, NeverDuplicatesOrSelfLoops) {
+  util::Rng rng(7);
+  EdgeList el = erdos_renyi(60, 400, rng);
+  const std::size_t before = el.edges.size();
+  const std::size_t added = close_triads(el, 200, rng);
+  EXPECT_EQ(el.edges.size(), before + added);
+  EXPECT_EQ(edge_set(el).size(), el.edges.size());
+  for (const auto& [u, v] : el.edges) EXPECT_NE(u, v);
+}
+
+TEST(CloseTriads, ClosedEdgesCompleteTwoPaths) {
+  util::Rng rng(11);
+  EdgeList el = erdos_renyi(40, 200, rng);
+  const std::size_t before = el.edges.size();
+  close_triads(el, 100, rng);
+  // Every added edge (v, u) must close some 2-path v -> w -> u using edges
+  // present at the time of insertion (all of which are in the final list).
+  const auto edges = edge_set(el);
+  for (std::size_t i = before; i < el.edges.size(); ++i) {
+    const auto [v, u] = el.edges[i];
+    bool closes = false;
+    for (const auto& [a, w] : el.edges) {
+      if (a == v && edges.count({w, u})) {
+        closes = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(closes) << "edge " << v << "->" << u;
+  }
+}
+
+TEST(CloseTriads, EmptyAndZeroRequests) {
+  EdgeList empty;
+  empty.num_nodes = 5;
+  util::Rng rng(1);
+  EXPECT_EQ(close_triads(empty, 10, rng), 0u);
+  EdgeList el;
+  el.num_nodes = 2;
+  el.edges = {{0, 1}};
+  EXPECT_EQ(close_triads(el, 0, rng), 0u);
+}
+
+TEST(CloseTriads, RaisesJaccardCoefficients) {
+  // Closing triads creates the parallel 2-paths that Jaccard weighting
+  // rewards: some closed edge must get JC > 0.
+  util::Rng rng(13);
+  EdgeList el = erdos_renyi(50, 300, rng);
+  close_triads(el, 150, rng);
+  const graph::SignedGraph g = assign_signs_all_positive(el);
+  std::size_t nonzero = 0;
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (graph::jaccard_coefficient(g, g.edge_src(e), g.edge_dst(e)) > 0.0)
+      ++nonzero;
+  }
+  EXPECT_GT(nonzero, 100u);
+}
+
+// --- dataset profiles -------------------------------------------------------------------
+
+TEST(Profiles, EpinionsScaledShapeMatches) {
+  util::Rng rng(73);
+  const DatasetProfile profile = epinions_profile();
+  const graph::SignedGraph g = generate_dataset(profile, 0.02, rng);
+  const auto stats = graph::compute_stats(g);
+  // ~2636 nodes, ~16827 edges at 2% scale (dedup loses a few).
+  EXPECT_NEAR(static_cast<double>(stats.num_nodes), 131828 * 0.02, 40);
+  EXPECT_GT(stats.num_edges, 0.02 * 841372 * 0.85);
+  EXPECT_NEAR(stats.positive_fraction, profile.positive_fraction, 0.03);
+  // Heavy tail: max degree far above mean.
+  EXPECT_GT(static_cast<double>(stats.max_in_degree), 5.0 * stats.mean_degree);
+}
+
+TEST(Profiles, SlashdotScaledShapeMatches) {
+  util::Rng rng(79);
+  const DatasetProfile profile = slashdot_profile();
+  const graph::SignedGraph g = generate_dataset(profile, 0.02, rng);
+  const auto stats = graph::compute_stats(g);
+  EXPECT_NEAR(static_cast<double>(stats.num_nodes), 77350 * 0.02, 40);
+  EXPECT_NEAR(stats.positive_fraction, profile.positive_fraction, 0.03);
+}
+
+TEST(Profiles, ScaleValidation) {
+  util::Rng rng(1);
+  EXPECT_THROW(generate_dataset(epinions_profile(), 0.0, rng),
+               std::invalid_argument);
+  EXPECT_THROW(generate_dataset(epinions_profile(), 1.5, rng),
+               std::invalid_argument);
+}
+
+TEST(Profiles, ProfilesHaveNonZeroJaccardMass) {
+  // Community overlays + closure must give a sizable share of social links
+  // non-zero Jaccard coefficients (the paper's weights depend on it).
+  util::Rng rng(83);
+  graph::SignedGraph g = generate_dataset(epinions_profile(), 0.02, rng);
+  std::size_t nonzero = 0;
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (graph::jaccard_coefficient(g, g.edge_src(e), g.edge_dst(e)) > 0.0)
+      ++nonzero;
+  }
+  EXPECT_GT(static_cast<double>(nonzero),
+            0.15 * static_cast<double>(g.num_edges()));
+}
+
+TEST(Profiles, ProlificTrustersExist) {
+  util::Rng rng(89);
+  const DatasetProfile profile = epinions_profile();
+  const graph::SignedGraph g = generate_dataset(profile, 0.05, rng);
+  // The glue cohort creates out-degrees far above the Chung-Lu cap.
+  std::size_t heavy = 0;
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.out_degree(v) > 150) ++heavy;
+  }
+  EXPECT_GE(heavy, 2u);
+}
+
+TEST(Profiles, CommunityLinksAreOverwhelminglyPositive) {
+  // Global ratio is preserved while negativity concentrates outside the
+  // dense clusters: edges whose endpoints share many common neighbors
+  // (high JC) should be much more positive than the global average.
+  util::Rng rng(97);
+  const graph::SignedGraph g = generate_dataset(epinions_profile(), 0.05, rng);
+  const auto global_positive = graph::compute_stats(g).positive_fraction;
+  std::size_t high_jc = 0;
+  std::size_t high_jc_positive = 0;
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (graph::jaccard_coefficient(g, g.edge_src(e), g.edge_dst(e)) > 0.1) {
+      ++high_jc;
+      if (g.edge_sign(e) == graph::Sign::kPositive) ++high_jc_positive;
+    }
+  }
+  ASSERT_GT(high_jc, 100u);
+  EXPECT_GT(static_cast<double>(high_jc_positive) /
+                static_cast<double>(high_jc),
+            global_positive + 0.03);
+}
+
+TEST(Profiles, DeterministicGivenSeed) {
+  util::Rng a(99);
+  util::Rng b(99);
+  const graph::SignedGraph ga = generate_dataset(slashdot_profile(), 0.01, a);
+  const graph::SignedGraph gb = generate_dataset(slashdot_profile(), 0.01, b);
+  EXPECT_EQ(ga, gb);
+}
+
+}  // namespace
+}  // namespace rid::gen

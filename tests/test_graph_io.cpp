@@ -1,0 +1,118 @@
+#include "graph/graph_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace rid::graph {
+namespace {
+
+TEST(GraphIo, LoadSnapBasic) {
+  std::istringstream in(
+      "# Directed signed network\n"
+      "# FromNodeId ToNodeId Sign\n"
+      "10 20 1\n"
+      "20 30 -1\n"
+      "30 10 1\n");
+  const LoadedGraph loaded = load_snap(in);
+  EXPECT_EQ(loaded.graph.num_nodes(), 3u);
+  EXPECT_EQ(loaded.graph.num_edges(), 3u);
+  // Labels compacted in order of appearance.
+  ASSERT_EQ(loaded.original_label.size(), 3u);
+  EXPECT_EQ(loaded.original_label[0], 10u);
+  EXPECT_EQ(loaded.original_label[1], 20u);
+  EXPECT_EQ(loaded.original_label[2], 30u);
+  const EdgeId e = loaded.graph.find_edge(1, 2);
+  ASSERT_NE(e, kInvalidEdge);
+  EXPECT_EQ(loaded.graph.edge_sign(e), Sign::kNegative);
+  EXPECT_DOUBLE_EQ(loaded.graph.edge_weight(e), 1.0);
+}
+
+TEST(GraphIo, LoadSnapHandlesTabsBlanksAndPercentComments) {
+  std::istringstream in(
+      "% alt comment style\n"
+      "\n"
+      "1\t2\t-1\n"
+      "   \n"
+      "2 3 1\n");
+  const LoadedGraph loaded = load_snap(in);
+  EXPECT_EQ(loaded.graph.num_edges(), 2u);
+}
+
+TEST(GraphIo, LoadSnapRejectsBadSign) {
+  std::istringstream in("1 2 5\n");
+  EXPECT_THROW(load_snap(in), std::runtime_error);
+}
+
+TEST(GraphIo, LoadSnapRejectsMissingColumns) {
+  std::istringstream in("1 2\n");
+  EXPECT_THROW(load_snap(in), std::runtime_error);
+}
+
+TEST(GraphIo, LoadSnapRejectsGarbageNumbers) {
+  std::istringstream in("a b 1\n");
+  EXPECT_THROW(load_snap(in), std::runtime_error);
+}
+
+TEST(GraphIo, LoadWeighted) {
+  std::istringstream in(
+      "# src dst sign weight\n"
+      "0 1 1 0.25\n"
+      "1 0 -1 0.75\n");
+  const LoadedGraph loaded = load_weighted(in);
+  EXPECT_EQ(loaded.graph.num_edges(), 2u);
+  const EdgeId e = loaded.graph.find_edge(0, 1);
+  EXPECT_DOUBLE_EQ(loaded.graph.edge_weight(e), 0.25);
+}
+
+TEST(GraphIo, LoadWeightedRejectsOutOfRangeWeight) {
+  std::istringstream in("0 1 1 1.5\n");
+  EXPECT_THROW(load_weighted(in), std::runtime_error);
+}
+
+TEST(GraphIo, SaveThenLoadRoundTrips) {
+  SignedGraphBuilder builder(4);
+  builder.add_edge(0, 1, Sign::kPositive, 0.5)
+      .add_edge(1, 2, Sign::kNegative, 0.125)
+      .add_edge(2, 3, Sign::kPositive, 1.0)
+      .add_edge(3, 0, Sign::kNegative, 0.0625);
+  const SignedGraph g = builder.build();
+
+  std::stringstream buffer;
+  save_weighted(g, buffer);
+  const LoadedGraph loaded = load_weighted(buffer);
+  EXPECT_EQ(loaded.graph.num_nodes(), g.num_nodes());
+  EXPECT_EQ(loaded.graph.num_edges(), g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const EdgeId le = loaded.graph.find_edge(g.edge_src(e), g.edge_dst(e));
+    ASSERT_NE(le, kInvalidEdge);
+    EXPECT_EQ(loaded.graph.edge_sign(le), g.edge_sign(e));
+    EXPECT_DOUBLE_EQ(loaded.graph.edge_weight(le), g.edge_weight(e));
+  }
+}
+
+TEST(GraphIo, DuplicateFileEdgesAreDeduped) {
+  std::istringstream in(
+      "1 2 1\n"
+      "1 2 -1\n"
+      "1 1 1\n");
+  const LoadedGraph loaded = load_snap(in);
+  // Self-loop dropped, duplicate keeps the first sign.
+  EXPECT_EQ(loaded.graph.num_edges(), 1u);
+  EXPECT_EQ(loaded.graph.edge_sign(0), Sign::kPositive);
+}
+
+TEST(GraphIo, MissingFileThrows) {
+  EXPECT_THROW(load_snap_file("/nonexistent/path/graph.txt"),
+               std::runtime_error);
+}
+
+TEST(GraphIo, EmptyInputYieldsEmptyGraph) {
+  std::istringstream in("# nothing\n");
+  const LoadedGraph loaded = load_snap(in);
+  EXPECT_EQ(loaded.graph.num_nodes(), 0u);
+  EXPECT_EQ(loaded.graph.num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace rid::graph

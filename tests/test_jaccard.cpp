@@ -1,0 +1,104 @@
+#include "graph/jaccard.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rid::graph {
+namespace {
+
+// Social graph where JC(0, 3) is easy to compute:
+//   out(0) = {1, 2, 3}; in(3) = {0, 1, 4}.
+//   intersection = {1}; union = {0, 1, 2, 3, 4} minus... by definition:
+//   |out(0) ∩ in(3)| = |{1}| = 1, |out(0) ∪ in(3)| = |{0,1,2,3,4}| = 5.
+SignedGraph make_example() {
+  SignedGraphBuilder builder(5);
+  builder.add_edge(0, 1, Sign::kPositive, 1.0)
+      .add_edge(0, 2, Sign::kPositive, 1.0)
+      .add_edge(0, 3, Sign::kPositive, 1.0)
+      .add_edge(1, 3, Sign::kNegative, 1.0)
+      .add_edge(4, 3, Sign::kPositive, 1.0);
+  return builder.build();
+}
+
+TEST(Jaccard, HandComputedCoefficient) {
+  const SignedGraph g = make_example();
+  EXPECT_DOUBLE_EQ(jaccard_coefficient(g, 0, 3), 1.0 / 5.0);
+}
+
+TEST(Jaccard, ZeroWhenNoOverlap) {
+  SignedGraphBuilder builder(4);
+  builder.add_edge(0, 1, Sign::kPositive, 1.0)
+      .add_edge(2, 3, Sign::kPositive, 1.0);
+  const SignedGraph g = builder.build();
+  EXPECT_DOUBLE_EQ(jaccard_coefficient(g, 0, 3), 0.0);
+}
+
+TEST(Jaccard, ZeroWhenBothNeighborhoodsEmpty) {
+  SignedGraphBuilder builder(2);
+  const SignedGraph g = builder.build();
+  EXPECT_DOUBLE_EQ(jaccard_coefficient(g, 0, 1), 0.0);
+}
+
+TEST(Jaccard, FullOverlapIsBoundedByUnion) {
+  // out(0) = {2}, in(2) = {0, 1}: intersection 0 (node 0 is a source, not in
+  // in(2)... in(2) = {0, 1} contains 0; out(0) = {2}. Intersection empty.
+  SignedGraphBuilder builder(3);
+  builder.add_edge(0, 2, Sign::kPositive, 1.0)
+      .add_edge(1, 2, Sign::kPositive, 1.0);
+  const SignedGraph g = builder.build();
+  EXPECT_DOUBLE_EQ(jaccard_coefficient(g, 0, 2), 0.0);
+}
+
+TEST(Jaccard, CoefficientInUnitInterval) {
+  const SignedGraph g = make_example();
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      const double jc = jaccard_coefficient(g, u, v);
+      EXPECT_GE(jc, 0.0);
+      EXPECT_LE(jc, 1.0);
+    }
+  }
+}
+
+TEST(Jaccard, ApplyWeightsSetsJcOrFallback) {
+  SignedGraph g = make_example();
+  util::Rng rng(7);
+  const std::size_t fallbacks = apply_jaccard_weights(g, rng);
+  const EdgeId e03 = g.find_edge(0, 3);
+  EXPECT_DOUBLE_EQ(g.edge_weight(e03), 0.2);
+  // Edges with JC == 0 got a fallback weight in (0, 0.1].
+  std::size_t observed_fallbacks = 0;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const double jc = jaccard_coefficient(g, g.edge_src(e), g.edge_dst(e));
+    if (jc == 0.0) {
+      ++observed_fallbacks;
+      EXPECT_GT(g.edge_weight(e), 0.0);
+      EXPECT_LE(g.edge_weight(e), 0.1);
+    }
+  }
+  EXPECT_EQ(fallbacks, observed_fallbacks);
+}
+
+TEST(Jaccard, FallbackBoundConfigurable) {
+  SignedGraph g = make_example();
+  util::Rng rng(7);
+  apply_jaccard_weights(g, rng, {.zero_fill_max = 0.01});
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const double jc = jaccard_coefficient(g, g.edge_src(e), g.edge_dst(e));
+    if (jc == 0.0) {
+      EXPECT_LE(g.edge_weight(e), 0.01);
+    }
+  }
+}
+
+TEST(Jaccard, ApplyIsDeterministicGivenSeed) {
+  SignedGraph a = make_example();
+  SignedGraph b = make_example();
+  util::Rng ra(99);
+  util::Rng rb(99);
+  apply_jaccard_weights(a, ra);
+  apply_jaccard_weights(b, rb);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace rid::graph

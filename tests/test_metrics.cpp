@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "metrics/classification.hpp"
+#include "metrics/states.hpp"
+
+namespace rid::metrics {
+namespace {
+
+using graph::NodeId;
+using graph::NodeState;
+
+TEST(Classification, HandComputedScores) {
+  const std::vector<NodeId> predicted{1, 2, 3, 4};
+  const std::vector<NodeId> truth{2, 4, 6, 8, 10};
+  const IdentityScores s = score_identities(predicted, truth);
+  EXPECT_EQ(s.true_positives, 2u);
+  EXPECT_EQ(s.detected, 4u);
+  EXPECT_EQ(s.actual, 5u);
+  EXPECT_DOUBLE_EQ(s.precision, 0.5);
+  EXPECT_DOUBLE_EQ(s.recall, 0.4);
+  EXPECT_DOUBLE_EQ(s.f1, 2 * 0.5 * 0.4 / 0.9);
+}
+
+TEST(Classification, PerfectAndDisjoint) {
+  const std::vector<NodeId> ids{1, 2, 3};
+  const IdentityScores perfect = score_identities(ids, ids);
+  EXPECT_DOUBLE_EQ(perfect.precision, 1.0);
+  EXPECT_DOUBLE_EQ(perfect.recall, 1.0);
+  EXPECT_DOUBLE_EQ(perfect.f1, 1.0);
+
+  const std::vector<NodeId> other{4, 5};
+  const IdentityScores disjoint = score_identities(ids, other);
+  EXPECT_DOUBLE_EQ(disjoint.precision, 0.0);
+  EXPECT_DOUBLE_EQ(disjoint.recall, 0.0);
+  EXPECT_DOUBLE_EQ(disjoint.f1, 0.0);
+}
+
+TEST(Classification, EmptySetsAreZeroNotNan) {
+  const std::vector<NodeId> empty;
+  const std::vector<NodeId> some{1};
+  EXPECT_DOUBLE_EQ(score_identities(empty, some).precision, 0.0);
+  EXPECT_DOUBLE_EQ(score_identities(some, empty).recall, 0.0);
+  EXPECT_DOUBLE_EQ(score_identities(empty, empty).f1, 0.0);
+}
+
+TEST(Classification, DuplicatesIgnored) {
+  const std::vector<NodeId> predicted{1, 1, 1, 2};
+  const std::vector<NodeId> truth{1, 2, 2};
+  const IdentityScores s = score_identities(predicted, truth);
+  EXPECT_EQ(s.detected, 2u);
+  EXPECT_EQ(s.actual, 2u);
+  EXPECT_DOUBLE_EQ(s.precision, 1.0);
+  EXPECT_DOUBLE_EQ(s.recall, 1.0);
+}
+
+TEST(Classification, F1IsHarmonicMean) {
+  const std::vector<NodeId> predicted{1, 2};
+  const std::vector<NodeId> truth{1, 3, 4, 5};
+  const IdentityScores s = score_identities(predicted, truth);
+  const double expected = 2.0 * s.precision * s.recall / (s.precision + s.recall);
+  EXPECT_DOUBLE_EQ(s.f1, expected);
+}
+
+TEST(Classification, IntersectIdsSorted) {
+  const std::vector<NodeId> a{5, 1, 3};
+  const std::vector<NodeId> b{3, 5, 9};
+  EXPECT_EQ(intersect_ids(a, b), (std::vector<NodeId>{3, 5}));
+}
+
+TEST(States, PerfectPrediction) {
+  const std::vector<NodeState> truth{NodeState::kPositive,
+                                     NodeState::kNegative,
+                                     NodeState::kPositive};
+  const StateScores s = score_states(truth, truth);
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(s.mae, 0.0);
+  EXPECT_DOUBLE_EQ(s.r2, 1.0);
+}
+
+TEST(States, HandComputedMixedPrediction) {
+  const std::vector<NodeState> predicted{
+      NodeState::kPositive, NodeState::kPositive, NodeState::kNegative,
+      NodeState::kNegative};
+  const std::vector<NodeState> truth{
+      NodeState::kPositive, NodeState::kNegative, NodeState::kNegative,
+      NodeState::kPositive};
+  const StateScores s = score_states(predicted, truth);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.accuracy, 0.5);
+  EXPECT_DOUBLE_EQ(s.mae, 1.0);  // two errors of magnitude 2 over 4 pairs
+  // truth mean = 0, ss_tot = 4, ss_res = 8 -> r2 = -1.
+  EXPECT_DOUBLE_EQ(s.r2, -1.0);
+}
+
+TEST(States, MaeIsTwiceErrorRate) {
+  const std::vector<NodeState> predicted{
+      NodeState::kPositive, NodeState::kNegative, NodeState::kPositive,
+      NodeState::kPositive, NodeState::kPositive};
+  const std::vector<NodeState> truth{
+      NodeState::kPositive, NodeState::kPositive, NodeState::kPositive,
+      NodeState::kPositive, NodeState::kPositive};
+  const StateScores s = score_states(predicted, truth);
+  EXPECT_DOUBLE_EQ(s.accuracy, 0.8);
+  EXPECT_DOUBLE_EQ(s.mae, 2.0 * (1.0 - s.accuracy));
+}
+
+TEST(States, UnknownPredictionsSkipped) {
+  const std::vector<NodeState> predicted{NodeState::kUnknown,
+                                         NodeState::kPositive};
+  const std::vector<NodeState> truth{NodeState::kNegative,
+                                     NodeState::kPositive};
+  const StateScores s = score_states(predicted, truth);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.accuracy, 1.0);
+}
+
+TEST(States, AllUnknownGivesZeroCount) {
+  const std::vector<NodeState> predicted{NodeState::kUnknown};
+  const std::vector<NodeState> truth{NodeState::kPositive};
+  const StateScores s = score_states(predicted, truth);
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.accuracy, 0.0);
+  EXPECT_DOUBLE_EQ(s.r2, 0.0);
+}
+
+TEST(States, ConstantTruthR2Definition) {
+  const std::vector<NodeState> truth{NodeState::kPositive,
+                                     NodeState::kPositive};
+  const StateScores perfect = score_states(truth, truth);
+  EXPECT_DOUBLE_EQ(perfect.r2, 1.0);  // zero residual on zero variance
+  const std::vector<NodeState> wrong{NodeState::kNegative,
+                                     NodeState::kPositive};
+  const StateScores imperfect = score_states(wrong, truth);
+  EXPECT_DOUBLE_EQ(imperfect.r2, 0.0);
+}
+
+TEST(States, SizeMismatchThrows) {
+  const std::vector<NodeState> a{NodeState::kPositive};
+  const std::vector<NodeState> b;
+  EXPECT_THROW(score_states(a, b), std::invalid_argument);
+}
+
+TEST(States, NonOpinionTruthThrows) {
+  const std::vector<NodeState> predicted{NodeState::kPositive};
+  const std::vector<NodeState> truth{NodeState::kInactive};
+  EXPECT_THROW(score_states(predicted, truth), std::invalid_argument);
+}
+
+TEST(States, R2NeverExceedsOne) {
+  const std::vector<NodeState> predicted{
+      NodeState::kPositive, NodeState::kNegative, NodeState::kNegative};
+  const std::vector<NodeState> truth{
+      NodeState::kPositive, NodeState::kNegative, NodeState::kPositive};
+  EXPECT_LE(score_states(predicted, truth).r2, 1.0);
+}
+
+}  // namespace
+}  // namespace rid::metrics

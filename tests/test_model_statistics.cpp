@@ -1,0 +1,182 @@
+// Statistical tests of the diffusion models: empirical frequencies against
+// the probabilities the models promise. Complements the structural tests in
+// test_diffusion.cpp.
+#include <gtest/gtest.h>
+
+#include "diffusion/independent_cascade.hpp"
+#include "diffusion/linear_threshold.hpp"
+#include "diffusion/mfc.hpp"
+#include "diffusion/sir.hpp"
+#include "gen/sign_assigner.hpp"
+#include "gen/topologies.hpp"
+#include "util/rng.hpp"
+
+namespace rid::diffusion {
+namespace {
+
+using graph::NodeId;
+using graph::NodeState;
+using graph::Sign;
+using graph::SignedGraph;
+using graph::SignedGraphBuilder;
+
+double activation_rate(const SignedGraph& g, const MfcConfig& config,
+                       int trials) {
+  int hits = 0;
+  for (int s = 0; s < trials; ++s) {
+    util::Rng rng(static_cast<std::uint64_t>(s) * 7919 + 13);
+    const Cascade c =
+        simulate_mfc(g, {{0}, {NodeState::kPositive}}, config, rng);
+    hits += c.num_infected() == 2 ? 1 : 0;
+  }
+  return static_cast<double>(hits) / trials;
+}
+
+TEST(MfcStatistics, BoostedProbabilityMatchesMinOneAlphaW) {
+  // Single positive edge, weight 0.25, alpha 3 => p = 0.75.
+  SignedGraphBuilder builder(2);
+  builder.add_edge(0, 1, Sign::kPositive, 0.25);
+  const SignedGraph g = builder.build();
+  MfcConfig config;
+  config.alpha = 3.0;
+  EXPECT_NEAR(activation_rate(g, config, 6000), 0.75, 0.02);
+}
+
+TEST(MfcStatistics, BoostDisabledFallsBackToRawWeight) {
+  SignedGraphBuilder builder(2);
+  builder.add_edge(0, 1, Sign::kPositive, 0.25);
+  const SignedGraph g = builder.build();
+  MfcConfig config;
+  config.alpha = 3.0;
+  config.boost_positive = false;
+  EXPECT_NEAR(activation_rate(g, config, 6000), 0.25, 0.02);
+}
+
+TEST(MfcStatistics, FlipProbabilityIsBoosted) {
+  // 2 gets activated negative by the seed (certain negative link); 1 then
+  // attempts the flip over a positive link of weight 0.2 => p = 0.6.
+  SignedGraphBuilder builder(3);
+  builder.add_edge(0, 1, Sign::kPositive, 1.0)
+      .add_edge(0, 2, Sign::kNegative, 1.0)
+      .add_edge(1, 2, Sign::kPositive, 0.2);
+  const SignedGraph g = builder.build();
+  int flips = 0;
+  const int trials = 6000;
+  for (int s = 0; s < trials; ++s) {
+    util::Rng rng(static_cast<std::uint64_t>(s) * 104729 + 7);
+    const Cascade c = simulate_mfc(g, {{0}, {NodeState::kPositive}}, {}, rng);
+    flips += c.num_flips;
+  }
+  EXPECT_NEAR(static_cast<double>(flips) / trials, 0.6, 0.02);
+}
+
+TEST(MfcStatistics, FlippingNeverShrinksInfectedCount) {
+  // Same trial with and without flipping: flipping only re-labels states
+  // and re-activates, so the infected set can only grow or stay equal...
+  // (strictly: flipped nodes get fresh spreading chances).
+  util::Rng gen_rng(3);
+  const auto el = gen::erdos_renyi(200, 1600, gen_rng);
+  SignedGraph g =
+      gen::assign_signs_uniform(el, {.positive_probability = 0.7}, gen_rng);
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e)
+    g.set_edge_weight(e, gen_rng.uniform(0.05, 0.3));
+  SeedSet seeds{{0, 50, 100},
+                {NodeState::kPositive, NodeState::kNegative,
+                 NodeState::kPositive}};
+  double with_flips = 0.0;
+  double without_flips = 0.0;
+  for (int s = 0; s < 40; ++s) {
+    MfcConfig flip_on;
+    MfcConfig flip_off;
+    flip_off.allow_flipping = false;
+    util::Rng ra(static_cast<std::uint64_t>(s));
+    util::Rng rb(static_cast<std::uint64_t>(s));
+    with_flips += static_cast<double>(
+        simulate_mfc(g, seeds, flip_on, ra).num_infected());
+    without_flips += static_cast<double>(
+        simulate_mfc(g, seeds, flip_off, rb).num_infected());
+  }
+  EXPECT_GE(with_flips, without_flips * 0.98);  // statistically no smaller
+}
+
+TEST(MfcStatistics, HigherAlphaSpreadsFurther) {
+  util::Rng gen_rng(5);
+  const auto el = gen::erdos_renyi(300, 2400, gen_rng);
+  SignedGraph g =
+      gen::assign_signs_uniform(el, {.positive_probability = 0.8}, gen_rng);
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e)
+    g.set_edge_weight(e, gen_rng.uniform(0.02, 0.15));
+  SeedSet seeds{{0, 1}, {NodeState::kPositive, NodeState::kPositive}};
+  const auto mean_spread = [&](double alpha) {
+    double total = 0.0;
+    for (int s = 0; s < 30; ++s) {
+      MfcConfig config;
+      config.alpha = alpha;
+      util::Rng rng(static_cast<std::uint64_t>(s));
+      total += static_cast<double>(
+          simulate_mfc(g, seeds, config, rng).num_infected());
+    }
+    return total / 30.0;
+  };
+  const double at_1 = mean_spread(1.0);
+  const double at_3 = mean_spread(3.0);
+  const double at_5 = mean_spread(5.0);
+  EXPECT_LT(at_1, at_3);
+  EXPECT_LE(at_3, at_5 + 1.0);
+}
+
+TEST(IcStatistics, ActivationMatchesEdgeWeight) {
+  SignedGraphBuilder builder(2);
+  builder.add_edge(0, 1, Sign::kPositive, 0.4);
+  const SignedGraph g = builder.build();
+  int hits = 0;
+  const int trials = 6000;
+  for (int s = 0; s < trials; ++s) {
+    util::Rng rng(static_cast<std::uint64_t>(s) * 31 + 1);
+    hits += simulate_ic(g, {{0}, {NodeState::kPositive}}, {}, rng)
+                    .num_infected() == 2
+                ? 1
+                : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.4, 0.02);
+}
+
+TEST(LtStatistics, ActivationMatchesNormalizedPressure) {
+  // Node 2 has two in-edges of weight 0.3 each; only node 0 is seeded, so
+  // the delivered normalized pressure is 0.5 => activation prob 0.5 (the
+  // threshold is U[0,1]).
+  SignedGraphBuilder builder(3);
+  builder.add_edge(0, 2, Sign::kPositive, 0.3)
+      .add_edge(1, 2, Sign::kPositive, 0.3);
+  const SignedGraph g = builder.build();
+  int hits = 0;
+  const int trials = 6000;
+  for (int s = 0; s < trials; ++s) {
+    util::Rng rng(static_cast<std::uint64_t>(s) * 17 + 3);
+    const Cascade c = simulate_lt(g, {{0}, {NodeState::kPositive}}, {}, rng);
+    hits += c.state[2] != NodeState::kInactive ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.5, 0.02);
+}
+
+TEST(SirStatistics, RecoveryRateMatchesConfig) {
+  // A single isolated seed: it stays infectious for Geometric(p) rounds;
+  // measure the mean number of rounds until the simulation drains.
+  SignedGraphBuilder builder(1);
+  const SignedGraph g = builder.build();
+  SirConfig config;
+  config.recovery_probability = 0.5;
+  double total_steps = 0.0;
+  const int trials = 4000;
+  for (int s = 0; s < trials; ++s) {
+    util::Rng rng(static_cast<std::uint64_t>(s) * 11 + 29);
+    const SirCascade c =
+        simulate_sir(g, {{0}, {NodeState::kPositive}}, config, rng);
+    total_steps += static_cast<double>(c.cascade.num_steps);
+  }
+  // E[rounds] = 1/p = 2.
+  EXPECT_NEAR(total_steps / trials, 2.0, 0.1);
+}
+
+}  // namespace
+}  // namespace rid::diffusion

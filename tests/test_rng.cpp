@@ -1,0 +1,235 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace rid::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differences = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() != b.next_u64()) ++differences;
+  EXPECT_GT(differences, 60);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NextDoubleMeanIsHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-2.5, 7.5);
+    EXPECT_GE(x, -2.5);
+    EXPECT_LT(x, 7.5);
+  }
+}
+
+TEST(Rng, UniformThrowsOnInvertedBounds) {
+  Rng rng(5);
+  EXPECT_THROW(rng.uniform(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Rng, NextBelowCoversRangeUniformly) {
+  Rng rng(13);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.next_below(10)];
+  for (const int c : counts) EXPECT_NEAR(c, n / 10, n / 100);
+}
+
+TEST(Rng, NextBelowThrowsOnZero) {
+  Rng rng(1);
+  EXPECT_THROW(rng.next_below(0), std::invalid_argument);
+}
+
+TEST(Rng, NextBelowOneAlwaysZero) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(17);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto x = rng.uniform_int(-3, 3);
+    EXPECT_GE(x, -3);
+    EXPECT_LE(x, 3);
+    saw_lo |= x == -3;
+    saw_hi |= x == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BernoulliEdgeCasesConsumeNothing) {
+  Rng a(99);
+  Rng b(99);
+  EXPECT_FALSE(a.bernoulli(0.0));
+  EXPECT_TRUE(a.bernoulli(1.0));
+  EXPECT_FALSE(a.bernoulli(-0.5));
+  EXPECT_TRUE(a.bernoulli(1.5));
+  // a consumed no randomness; streams stay aligned.
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, BernoulliFrequencyMatchesP) {
+  Rng rng(23);
+  const int n = 100000;
+  int hits = 0;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(31);
+  const int n = 100000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(2.0, 3.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(var, 9.0, 0.3);
+}
+
+TEST(Rng, GeometricMean) {
+  Rng rng(37);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.geometric(0.25));
+  // Mean of failures-before-success = (1-p)/p = 3.
+  EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(Rng, GeometricRejectsBadP) {
+  Rng rng(1);
+  EXPECT_THROW(rng.geometric(0.0), std::invalid_argument);
+  EXPECT_THROW(rng.geometric(1.5), std::invalid_argument);
+  EXPECT_EQ(rng.geometric(1.0), 0u);
+}
+
+TEST(Rng, SampleWithoutReplacementBasics) {
+  Rng rng(41);
+  const auto sample = rng.sample_without_replacement(100, 10);
+  EXPECT_EQ(sample.size(), 10u);
+  EXPECT_TRUE(std::is_sorted(sample.begin(), sample.end()));
+  std::set<std::uint64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+  for (const auto v : sample) EXPECT_LT(v, 100u);
+}
+
+TEST(Rng, SampleWithoutReplacementFullSet) {
+  Rng rng(43);
+  const auto sample = rng.sample_without_replacement(8, 8);
+  EXPECT_EQ(sample.size(), 8u);
+  for (std::uint64_t i = 0; i < 8; ++i) EXPECT_EQ(sample[i], i);
+}
+
+TEST(Rng, SampleWithoutReplacementZero) {
+  Rng rng(43);
+  EXPECT_TRUE(rng.sample_without_replacement(5, 0).empty());
+}
+
+TEST(Rng, SampleWithoutReplacementThrowsWhenKExceedsN) {
+  Rng rng(43);
+  EXPECT_THROW(rng.sample_without_replacement(3, 4), std::invalid_argument);
+}
+
+TEST(Rng, SampleWithoutReplacementIsUniformish) {
+  Rng rng(47);
+  std::vector<int> counts(20, 0);
+  const int rounds = 20000;
+  for (int r = 0; r < rounds; ++r) {
+    for (const auto v : rng.sample_without_replacement(20, 3))
+      ++counts[static_cast<std::size_t>(v)];
+  }
+  const double expected = rounds * 3.0 / 20.0;
+  for (const int c : counts) EXPECT_NEAR(c, expected, expected * 0.1);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(53);
+  std::vector<int> values{1, 2, 3, 4, 5, 6, 7, 8};
+  auto copy = values;
+  rng.shuffle(std::span<int>(copy));
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(copy, values);
+}
+
+TEST(Rng, WeightedIndexMatchesWeights) {
+  Rng rng(59);
+  const std::vector<double> weights{1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.weighted_index(weights)];
+  EXPECT_NEAR(counts[0], n * 0.1, n * 0.01);
+  EXPECT_NEAR(counts[1], n * 0.3, n * 0.015);
+  EXPECT_NEAR(counts[2], n * 0.6, n * 0.015);
+}
+
+TEST(Rng, WeightedIndexRejectsBadInput) {
+  Rng rng(1);
+  const std::vector<double> zero{0.0, 0.0};
+  EXPECT_THROW(rng.weighted_index(zero), std::invalid_argument);
+  const std::vector<double> negative{1.0, -1.0};
+  EXPECT_THROW(rng.weighted_index(negative), std::invalid_argument);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(61);
+  Rng child = parent.split();
+  // Child differs from the parent's continuation.
+  int differences = 0;
+  for (int i = 0; i < 32; ++i)
+    if (parent.next_u64() != child.next_u64()) ++differences;
+  EXPECT_GT(differences, 30);
+}
+
+TEST(MixSeed, OrderSensitive) {
+  EXPECT_NE(mix_seed(1, 2), mix_seed(2, 1));
+  EXPECT_NE(mix_seed(0, 0), mix_seed(0, 1));
+}
+
+TEST(Splitmix64, KnownSequenceIsStable) {
+  std::uint64_t state = 0;
+  const std::uint64_t first = splitmix64(state);
+  const std::uint64_t second = splitmix64(state);
+  std::uint64_t state2 = 0;
+  EXPECT_EQ(splitmix64(state2), first);
+  EXPECT_EQ(splitmix64(state2), second);
+  EXPECT_NE(first, second);
+}
+
+}  // namespace
+}  // namespace rid::util

@@ -1,0 +1,210 @@
+#include "graph/signed_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/diffusion_network.hpp"
+#include "graph/types.hpp"
+
+namespace rid::graph {
+namespace {
+
+SignedGraph make_triangle() {
+  SignedGraphBuilder builder(3);
+  builder.add_edge(0, 1, Sign::kPositive, 0.5)
+      .add_edge(1, 2, Sign::kNegative, 0.25)
+      .add_edge(2, 0, Sign::kPositive, 0.75);
+  return builder.build();
+}
+
+TEST(Types, SignArithmetic) {
+  EXPECT_EQ(Sign::kPositive * Sign::kPositive, Sign::kPositive);
+  EXPECT_EQ(Sign::kPositive * Sign::kNegative, Sign::kNegative);
+  EXPECT_EQ(Sign::kNegative * Sign::kNegative, Sign::kPositive);
+  EXPECT_EQ(sign_value(Sign::kNegative), -1);
+  EXPECT_EQ(sign_from_value(-5), Sign::kNegative);
+  EXPECT_EQ(sign_from_value(1), Sign::kPositive);
+}
+
+TEST(Types, StatePredicates) {
+  EXPECT_TRUE(is_active(NodeState::kPositive));
+  EXPECT_TRUE(is_active(NodeState::kNegative));
+  EXPECT_TRUE(is_active(NodeState::kUnknown));
+  EXPECT_FALSE(is_active(NodeState::kInactive));
+  EXPECT_TRUE(is_opinion(NodeState::kPositive));
+  EXPECT_FALSE(is_opinion(NodeState::kUnknown));
+  EXPECT_FALSE(is_opinion(NodeState::kInactive));
+}
+
+TEST(Types, PropagateStateFollowsSignProduct) {
+  EXPECT_EQ(propagate_state(NodeState::kPositive, Sign::kPositive),
+            NodeState::kPositive);
+  EXPECT_EQ(propagate_state(NodeState::kPositive, Sign::kNegative),
+            NodeState::kNegative);
+  EXPECT_EQ(propagate_state(NodeState::kNegative, Sign::kNegative),
+            NodeState::kPositive);
+  EXPECT_EQ(propagate_state(NodeState::kNegative, Sign::kPositive),
+            NodeState::kNegative);
+}
+
+TEST(Types, ToStringRepresentations) {
+  EXPECT_EQ(to_string(Sign::kPositive), "+1");
+  EXPECT_EQ(to_string(NodeState::kUnknown), "?");
+  EXPECT_EQ(to_string(NodeState::kInactive), "0");
+}
+
+TEST(SignedGraph, BasicAccessors) {
+  const SignedGraph g = make_triangle();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  const EdgeId e01 = g.find_edge(0, 1);
+  ASSERT_NE(e01, kInvalidEdge);
+  EXPECT_EQ(g.edge_src(e01), 0u);
+  EXPECT_EQ(g.edge_dst(e01), 1u);
+  EXPECT_EQ(g.edge_sign(e01), Sign::kPositive);
+  EXPECT_DOUBLE_EQ(g.edge_weight(e01), 0.5);
+  EXPECT_EQ(g.find_edge(0, 2), kInvalidEdge);
+  EXPECT_EQ(g.find_edge(2, 1), kInvalidEdge);
+}
+
+TEST(SignedGraph, DegreesAndAdjacency) {
+  const SignedGraph g = make_triangle();
+  for (NodeId v = 0; v < 3; ++v) {
+    EXPECT_EQ(g.out_degree(v), 1u);
+    EXPECT_EQ(g.in_degree(v), 1u);
+  }
+  EXPECT_EQ(g.out_neighbors(0).size(), 1u);
+  EXPECT_EQ(g.out_neighbors(0)[0], 1u);
+  ASSERT_EQ(g.in_edge_ids(0).size(), 1u);
+  EXPECT_EQ(g.edge_src(g.in_edge_ids(0)[0]), 2u);
+}
+
+TEST(SignedGraph, OutNeighborsAreSorted) {
+  SignedGraphBuilder builder(5);
+  builder.add_edge(0, 4, Sign::kPositive, 1.0)
+      .add_edge(0, 1, Sign::kPositive, 1.0)
+      .add_edge(0, 3, Sign::kNegative, 1.0);
+  const SignedGraph g = builder.build();
+  const auto neighbors = g.out_neighbors(0);
+  ASSERT_EQ(neighbors.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(neighbors.begin(), neighbors.end()));
+}
+
+TEST(SignedGraph, InEdgesSortedBySource) {
+  SignedGraphBuilder builder(4);
+  builder.add_edge(3, 0, Sign::kPositive, 1.0)
+      .add_edge(1, 0, Sign::kPositive, 1.0)
+      .add_edge(2, 0, Sign::kNegative, 1.0);
+  const SignedGraph g = builder.build();
+  const auto in = g.in_edge_ids(0);
+  ASSERT_EQ(in.size(), 3u);
+  EXPECT_EQ(g.edge_src(in[0]), 1u);
+  EXPECT_EQ(g.edge_src(in[1]), 2u);
+  EXPECT_EQ(g.edge_src(in[2]), 3u);
+}
+
+TEST(SignedGraphBuilder, RejectsBadInput) {
+  SignedGraphBuilder builder(2);
+  EXPECT_THROW(builder.add_edge(0, 2, Sign::kPositive, 0.5),
+               std::out_of_range);
+  EXPECT_THROW(builder.add_edge(0, 1, Sign::kPositive, 1.5),
+               std::invalid_argument);
+  EXPECT_THROW(builder.add_edge(0, 1, Sign::kPositive, -0.1),
+               std::invalid_argument);
+}
+
+TEST(SignedGraphBuilder, DropsSelfLoopsByDefault) {
+  SignedGraphBuilder builder(2);
+  builder.add_edge(0, 0, Sign::kPositive, 1.0)
+      .add_edge(0, 1, Sign::kPositive, 1.0);
+  const SignedGraph g = builder.build();
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(SignedGraphBuilder, KeepsSelfLoopsWhenAsked) {
+  SignedGraphBuilder builder(2);
+  builder.add_edge(0, 0, Sign::kPositive, 1.0);
+  const SignedGraph g = builder.build(
+      {.drop_self_loops = false, .dedup_parallel_edges = true});
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(SignedGraphBuilder, DedupKeepsFirstOccurrence) {
+  SignedGraphBuilder builder(2);
+  builder.add_edge(0, 1, Sign::kPositive, 0.9)
+      .add_edge(0, 1, Sign::kNegative, 0.1);
+  const SignedGraph g = builder.build();
+  EXPECT_EQ(g.num_edges(), 1u);
+  const EdgeId e = g.find_edge(0, 1);
+  EXPECT_EQ(g.edge_sign(e), Sign::kPositive);
+  EXPECT_DOUBLE_EQ(g.edge_weight(e), 0.9);
+}
+
+TEST(SignedGraphBuilder, EnsureNodeGrowsUniverse) {
+  SignedGraphBuilder builder(1);
+  builder.ensure_node(5);
+  EXPECT_EQ(builder.num_nodes(), 6u);
+  builder.add_edge(5, 0, Sign::kPositive, 1.0);
+  EXPECT_EQ(builder.build().num_nodes(), 6u);
+}
+
+TEST(SignedGraph, SetEdgeWeightValidates) {
+  SignedGraph g = make_triangle();
+  const EdgeId e = g.find_edge(0, 1);
+  g.set_edge_weight(e, 0.33);
+  EXPECT_DOUBLE_EQ(g.edge_weight(e), 0.33);
+  EXPECT_THROW(g.set_edge_weight(e, 2.0), std::invalid_argument);
+}
+
+TEST(SignedGraph, ReversedSwapsDirections) {
+  const SignedGraph g = make_triangle();
+  const SignedGraph r = g.reversed();
+  EXPECT_EQ(r.num_nodes(), g.num_nodes());
+  EXPECT_EQ(r.num_edges(), g.num_edges());
+  const EdgeId e10 = r.find_edge(1, 0);
+  ASSERT_NE(e10, kInvalidEdge);
+  EXPECT_EQ(r.edge_sign(e10), Sign::kPositive);
+  EXPECT_DOUBLE_EQ(r.edge_weight(e10), 0.5);
+  EXPECT_EQ(r.find_edge(0, 1), kInvalidEdge);
+}
+
+TEST(SignedGraph, ReverseTwiceIsIdentity) {
+  const SignedGraph g = make_triangle();
+  EXPECT_EQ(g.reversed().reversed(), g);
+}
+
+TEST(SignedGraph, DiffusionNetworkEqualsReversed) {
+  const SignedGraph g = make_triangle();
+  EXPECT_EQ(make_diffusion_network(g), g.reversed());
+}
+
+TEST(SignedGraph, EmptyGraph) {
+  SignedGraphBuilder builder(0);
+  const SignedGraph g = builder.build();
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(SignedGraph, NodesWithoutEdges) {
+  SignedGraphBuilder builder(10);
+  builder.add_edge(0, 9, Sign::kPositive, 1.0);
+  const SignedGraph g = builder.build();
+  EXPECT_EQ(g.out_degree(5), 0u);
+  EXPECT_EQ(g.in_degree(5), 0u);
+  EXPECT_TRUE(g.out_neighbors(5).empty());
+}
+
+TEST(SignedGraph, MemoryBytesIsPositive) {
+  EXPECT_GT(make_triangle().memory_bytes(), 0u);
+}
+
+TEST(SignedGraph, ParallelEdgeHeavyBuild) {
+  SignedGraphBuilder builder(3);
+  for (int i = 0; i < 100; ++i)
+    builder.add_edge(0, 1, Sign::kPositive, 0.01 * i / 100.0);
+  builder.add_edge(1, 2, Sign::kNegative, 0.5);
+  const SignedGraph g = builder.build();
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+}  // namespace
+}  // namespace rid::graph

@@ -1,0 +1,234 @@
+// Integration tests of the simulation/evaluation harness.
+#include <gtest/gtest.h>
+
+#include "core/cascade_extraction.hpp"
+#include "sim/experiment.hpp"
+#include "sim/reporting.hpp"
+#include "sim/scenario.hpp"
+#include "sim/sweep.hpp"
+#include "util/logging.hpp"
+
+#include <set>
+#include <sstream>
+
+namespace rid::sim {
+namespace {
+
+Scenario small_scenario() {
+  Scenario scenario;
+  scenario.profile = gen::slashdot_profile();
+  scenario.scale = 0.01;  // ~770 nodes, ~5k edges
+  scenario.num_initiators = 1000;  // -> 10 effective at this scale
+  scenario.theta = 0.5;
+  scenario.seed = 7;
+  return scenario;
+}
+
+TEST(Scenario, ScaledInitiators) {
+  Scenario scenario = small_scenario();
+  EXPECT_EQ(scaled_initiators(scenario), 10u);
+  scenario.scale = 1.0;
+  EXPECT_EQ(scaled_initiators(scenario), 1000u);
+  scenario.num_initiators = 10;
+  scenario.scale = 0.001;
+  EXPECT_EQ(scaled_initiators(scenario), 1u);  // never below 1
+}
+
+TEST(Scenario, ToStringMentionsEverything) {
+  const std::string s = to_string(small_scenario());
+  EXPECT_NE(s.find("Slashdot"), std::string::npos);
+  EXPECT_NE(s.find("theta=0.5"), std::string::npos);
+  EXPECT_NE(s.find("alpha=3"), std::string::npos);
+}
+
+TEST(Experiment, TrialIsDeterministicPerIndex) {
+  util::ScopedLogLevel quiet(util::LogLevel::kWarn);
+  const Scenario scenario = small_scenario();
+  const Trial a = make_trial(scenario, 0);
+  const Trial b = make_trial(scenario, 0);
+  EXPECT_EQ(a.diffusion, b.diffusion);
+  EXPECT_EQ(a.truth.initiators, b.truth.initiators);
+  EXPECT_EQ(a.observed, b.observed);
+  const Trial c = make_trial(scenario, 1);
+  EXPECT_NE(a.truth.initiators, c.truth.initiators);
+}
+
+TEST(Experiment, TrialRespectsScenario) {
+  util::ScopedLogLevel quiet(util::LogLevel::kWarn);
+  const Scenario scenario = small_scenario();
+  const Trial trial = make_trial(scenario, 3);
+  EXPECT_EQ(trial.truth.initiators.size(), 10u);
+  // theta = 0.5: half positive.
+  std::size_t positive = 0;
+  for (const auto s : trial.truth.states)
+    positive += s == graph::NodeState::kPositive ? 1 : 0;
+  EXPECT_EQ(positive, 5u);
+  // Seeds are infected in the snapshot (they can be flipped but stay active).
+  for (const auto v : trial.truth.initiators)
+    EXPECT_TRUE(graph::is_active(trial.observed[v]));
+  // Cascade reached beyond the seeds.
+  EXPECT_GT(trial.cascade.num_infected(), 10u);
+}
+
+TEST(Experiment, UnknownMaskingApplied) {
+  util::ScopedLogLevel quiet(util::LogLevel::kWarn);
+  Scenario scenario = small_scenario();
+  scenario.unknown_fraction = 0.5;
+  const Trial trial = make_trial(scenario, 0);
+  std::size_t unknown = 0;
+  for (const auto v : trial.cascade.infected)
+    unknown += trial.observed[v] == graph::NodeState::kUnknown ? 1 : 0;
+  const double fraction =
+      static_cast<double>(unknown) /
+      static_cast<double>(trial.cascade.num_infected());
+  EXPECT_NEAR(fraction, 0.5, 0.15);
+}
+
+TEST(Experiment, SeedLocalityConcentratesSeeds) {
+  util::ScopedLogLevel quiet(util::LogLevel::kWarn);
+  Scenario localized = small_scenario();
+  localized.seed_locality = 1.0;
+  localized.seed_epicenters = 2;
+  Scenario uniform = small_scenario();
+  uniform.seed_locality = 0.0;
+
+  // Localized seeds sit inside a few BFS pools, so the infected subgraph
+  // fragments into fewer cascade trees than with uniform seeding (averaged
+  // over trials to damp noise).
+  double localized_trees = 0.0;
+  double uniform_trees = 0.0;
+  const std::size_t trials = 3;
+  for (std::size_t t = 0; t < trials; ++t) {
+    const Trial a = make_trial(localized, t);
+    const Trial b = make_trial(uniform, t);
+    const auto fa = core::extract_cascade_forest(a.diffusion, a.observed, {});
+    const auto fb = core::extract_cascade_forest(b.diffusion, b.observed, {});
+    localized_trees += static_cast<double>(fa.trees.size());
+    uniform_trees += static_cast<double>(fb.trees.size());
+  }
+  EXPECT_LT(localized_trees, uniform_trees);
+}
+
+TEST(Experiment, SeedCountIndependentOfLocality) {
+  util::ScopedLogLevel quiet(util::LogLevel::kWarn);
+  for (const double locality : {0.0, 0.5, 1.0}) {
+    Scenario scenario = small_scenario();
+    scenario.seed_locality = locality;
+    const Trial trial = make_trial(scenario, 0);
+    EXPECT_EQ(trial.truth.initiators.size(), 10u) << locality;
+    // No duplicate seeds.
+    std::set<graph::NodeId> unique(trial.truth.initiators.begin(),
+                                   trial.truth.initiators.end());
+    EXPECT_EQ(unique.size(), trial.truth.initiators.size());
+  }
+}
+
+TEST(Experiment, ScoreMethodAlignsStates) {
+  util::ScopedLogLevel quiet(util::LogLevel::kWarn);
+  const Trial trial = make_trial(small_scenario(), 0);
+  // Perfect detector: returns the truth itself.
+  core::DetectionResult perfect;
+  perfect.initiators = trial.truth.initiators;
+  perfect.states = trial.truth.states;
+  const MethodScores scores = score_method("oracle", trial, perfect);
+  EXPECT_DOUBLE_EQ(scores.identity.precision, 1.0);
+  EXPECT_DOUBLE_EQ(scores.identity.recall, 1.0);
+  EXPECT_DOUBLE_EQ(scores.state.accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(scores.state.mae, 0.0);
+}
+
+TEST(Experiment, StandardMethodsRoster) {
+  const std::vector<double> betas{0.09, 0.1};
+  const auto methods = standard_methods(betas, 3.0, true);
+  ASSERT_EQ(methods.size(), 5u);
+  EXPECT_EQ(methods[0].name, "RID(0.09)");
+  EXPECT_EQ(methods[1].name, "RID(0.10)");
+  EXPECT_EQ(methods[2].name, "RID-Tree");
+  EXPECT_EQ(methods[3].name, "RID-Positive");
+  EXPECT_EQ(methods[4].name, "RumorCentrality");
+}
+
+TEST(Experiment, RunMethodsEndToEnd) {
+  util::ScopedLogLevel quiet(util::LogLevel::kWarn);
+  const Trial trial = make_trial(small_scenario(), 0);
+  const std::vector<double> betas{0.1};
+  const auto methods = standard_methods(betas, 3.0);
+  const auto scores = run_methods(trial, methods);
+  ASSERT_EQ(scores.size(), 3u);
+  for (const auto& s : scores) {
+    EXPECT_GE(s.identity.precision, 0.0);
+    EXPECT_LE(s.identity.precision, 1.0);
+    EXPECT_GE(s.identity.recall, 0.0);
+    EXPECT_LE(s.identity.recall, 1.0);
+    EXPECT_GT(s.detected, 0u);
+  }
+  // RID-Tree detects fewer initiators than RID(0.1) (it never splits trees).
+  EXPECT_LE(scores[1].detected, scores[0].detected);
+}
+
+TEST(Sweep, AggregateAccumulates) {
+  AggregateScores agg;
+  MethodScores a;
+  a.method = "m";
+  a.identity.precision = 0.5;
+  a.identity.recall = 0.25;
+  a.identity.f1 = 0.3;
+  a.state.count = 3;
+  a.state.accuracy = 0.9;
+  agg.add(a);
+  MethodScores b = a;
+  b.identity.precision = 1.0;
+  b.state.count = 0;  // no comparable states: state metrics skipped
+  b.state.accuracy = 0.0;
+  agg.add(b);
+  EXPECT_EQ(agg.precision.count(), 2u);
+  EXPECT_DOUBLE_EQ(agg.precision.mean(), 0.75);
+  EXPECT_EQ(agg.accuracy.count(), 1u);
+  EXPECT_DOUBLE_EQ(agg.accuracy.mean(), 0.9);
+}
+
+TEST(Sweep, BetaSweepTradesPrecisionForRecall) {
+  util::ScopedLogLevel quiet(util::LogLevel::kWarn);
+  Scenario scenario = small_scenario();
+  const std::vector<double> betas{0.0, 1.0};
+  const auto points = run_beta_sweep(scenario, betas, 2);
+  ASSERT_EQ(points.size(), 2u);
+  // Small beta splits aggressively: more detected, recall >= large beta's.
+  EXPECT_GE(points[0].scores.detected.mean(), points[1].scores.detected.mean());
+  EXPECT_GE(points[0].scores.recall.mean(), points[1].scores.recall.mean() - 1e-9);
+  // Large beta is at least as precise.
+  EXPECT_GE(points[1].scores.precision.mean(),
+            points[0].scores.precision.mean() - 1e-9);
+}
+
+TEST(Sweep, ComparisonRunsAllMethods) {
+  util::ScopedLogLevel quiet(util::LogLevel::kWarn);
+  const Scenario scenario = small_scenario();
+  const std::vector<double> betas{0.1};
+  const auto aggregates =
+      run_comparison(scenario, standard_methods(betas, scenario.alpha), 2);
+  ASSERT_EQ(aggregates.size(), 3u);
+  for (const auto& a : aggregates) EXPECT_EQ(a.precision.count(), 2u);
+}
+
+TEST(Reporting, TablesRenderWithoutCrashing) {
+  util::ScopedLogLevel quiet(util::LogLevel::kWarn);
+  const Scenario scenario = small_scenario();
+  const std::vector<double> betas{0.1, 0.5};
+  const auto points = run_beta_sweep(scenario, betas, 1);
+  std::ostringstream oss;
+  print_beta_identity(oss, "Figure 5 (test)", points);
+  print_beta_states(oss, "Figure 6 (test)", points);
+  write_beta_csv(oss, points);
+  EXPECT_NE(oss.str().find("Figure 5 (test)"), std::string::npos);
+  EXPECT_NE(oss.str().find("beta"), std::string::npos);
+
+  const auto aggregates =
+      run_comparison(scenario, standard_methods(betas, scenario.alpha), 1);
+  print_comparison(oss, "Figure 4 (test)", aggregates);
+  write_comparison_csv(oss, aggregates);
+  EXPECT_NE(oss.str().find("RID-Tree"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rid::sim

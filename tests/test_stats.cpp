@@ -1,0 +1,71 @@
+#include "graph/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rid::graph {
+namespace {
+
+SignedGraph make_example() {
+  SignedGraphBuilder builder(5);
+  builder.add_edge(0, 1, Sign::kPositive, 0.5)
+      .add_edge(1, 0, Sign::kNegative, 0.5)   // reciprocal with 0->1
+      .add_edge(1, 2, Sign::kPositive, 1.0)
+      .add_edge(2, 3, Sign::kNegative, 0.0);
+  return builder.build();  // node 4 isolated
+}
+
+TEST(Stats, CountsAndRatios) {
+  const GraphStats s = compute_stats(make_example());
+  EXPECT_EQ(s.num_nodes, 5u);
+  EXPECT_EQ(s.num_edges, 4u);
+  EXPECT_EQ(s.positive_edges, 2u);
+  EXPECT_EQ(s.negative_edges, 2u);
+  EXPECT_DOUBLE_EQ(s.positive_fraction, 0.5);
+  EXPECT_EQ(s.reciprocal_pairs, 1u);
+  EXPECT_EQ(s.isolated_nodes, 1u);
+  EXPECT_DOUBLE_EQ(s.mean_degree, 4.0 / 5.0);
+  EXPECT_DOUBLE_EQ(s.mean_weight, 0.5);
+  EXPECT_EQ(s.max_out_degree, 2u);
+  EXPECT_EQ(s.max_in_degree, 1u);
+}
+
+TEST(Stats, EmptyGraph) {
+  SignedGraphBuilder builder(0);
+  const GraphStats s = compute_stats(builder.build());
+  EXPECT_EQ(s.num_nodes, 0u);
+  EXPECT_EQ(s.num_edges, 0u);
+  EXPECT_DOUBLE_EQ(s.positive_fraction, 0.0);
+}
+
+TEST(Stats, DegreeHistogramBuckets) {
+  // Node 0 has out-degree 3 (bucket for [2,4) = index 2); others 0.
+  SignedGraphBuilder builder(4);
+  builder.add_edge(0, 1, Sign::kPositive, 1.0)
+      .add_edge(0, 2, Sign::kPositive, 1.0)
+      .add_edge(0, 3, Sign::kPositive, 1.0);
+  const auto hist = out_degree_histogram(builder.build());
+  // index 0: degree 0 (3 nodes); index 1: [1,2); index 2: [2,4) -> node 0.
+  ASSERT_GE(hist.size(), 3u);
+  EXPECT_EQ(hist[0], 3u);
+  EXPECT_EQ(hist[2], 1u);
+}
+
+TEST(Stats, InDegreeHistogram) {
+  SignedGraphBuilder builder(3);
+  builder.add_edge(0, 2, Sign::kPositive, 1.0)
+      .add_edge(1, 2, Sign::kPositive, 1.0);
+  const auto hist = in_degree_histogram(builder.build());
+  ASSERT_GE(hist.size(), 3u);
+  EXPECT_EQ(hist[0], 2u);   // nodes 0, 1 have in-degree 0
+  EXPECT_EQ(hist[2], 1u);   // node 2 has in-degree 2 -> bucket [2,4)
+}
+
+TEST(Stats, ToStringMentionsKeyFields) {
+  const std::string s = to_string(compute_stats(make_example()));
+  EXPECT_NE(s.find("nodes=5"), std::string::npos);
+  EXPECT_NE(s.find("edges=4"), std::string::npos);
+  EXPECT_NE(s.find("positive_fraction=0.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rid::graph

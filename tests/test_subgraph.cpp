@@ -1,0 +1,96 @@
+#include "graph/subgraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rid::graph {
+namespace {
+
+SignedGraph make_line5() {
+  // 0 ->+ 1 ->- 2 ->+ 3 ->- 4
+  SignedGraphBuilder builder(5);
+  builder.add_edge(0, 1, Sign::kPositive, 0.1)
+      .add_edge(1, 2, Sign::kNegative, 0.2)
+      .add_edge(2, 3, Sign::kPositive, 0.3)
+      .add_edge(3, 4, Sign::kNegative, 0.4);
+  return builder.build();
+}
+
+TEST(Subgraph, InducedKeepsInternalEdgesOnly) {
+  const SignedGraph g = make_line5();
+  const std::vector<NodeId> pick{1, 2, 3};
+  const Subgraph sub = induced_subgraph(g, pick);
+  EXPECT_EQ(sub.graph.num_nodes(), 3u);
+  EXPECT_EQ(sub.graph.num_edges(), 2u);  // 1->2 and 2->3
+  // Mapping consistency.
+  for (NodeId local = 0; local < 3; ++local) {
+    EXPECT_EQ(sub.local_of(sub.global_of(local)), local);
+  }
+  EXPECT_TRUE(sub.contains_global(2));
+  EXPECT_FALSE(sub.contains_global(0));
+  EXPECT_FALSE(sub.contains_global(4));
+}
+
+TEST(Subgraph, PreservesSignsAndWeights) {
+  const SignedGraph g = make_line5();
+  const std::vector<NodeId> pick{1, 2};
+  const Subgraph sub = induced_subgraph(g, pick);
+  ASSERT_EQ(sub.graph.num_edges(), 1u);
+  const EdgeId e = sub.graph.find_edge(sub.local_of(1), sub.local_of(2));
+  ASSERT_NE(e, kInvalidEdge);
+  EXPECT_EQ(sub.graph.edge_sign(e), Sign::kNegative);
+  EXPECT_DOUBLE_EQ(sub.graph.edge_weight(e), 0.2);
+}
+
+TEST(Subgraph, DuplicateSelectionIgnored) {
+  const SignedGraph g = make_line5();
+  const std::vector<NodeId> pick{2, 2, 3, 2};
+  const Subgraph sub = induced_subgraph(g, pick);
+  EXPECT_EQ(sub.graph.num_nodes(), 2u);
+  EXPECT_EQ(sub.global_of(0), 2u);
+  EXPECT_EQ(sub.global_of(1), 3u);
+}
+
+TEST(Subgraph, EmptySelection) {
+  const SignedGraph g = make_line5();
+  const Subgraph sub = induced_subgraph(g, {});
+  EXPECT_EQ(sub.graph.num_nodes(), 0u);
+  EXPECT_EQ(sub.graph.num_edges(), 0u);
+}
+
+TEST(Subgraph, FullSelectionPreservesEverything) {
+  const SignedGraph g = make_line5();
+  const std::vector<NodeId> all{0, 1, 2, 3, 4};
+  const Subgraph sub = induced_subgraph(g, all);
+  EXPECT_EQ(sub.graph, g);  // identity order => identical CSR
+}
+
+TEST(FilterEdges, ByPredicate) {
+  const SignedGraph g = make_line5();
+  const SignedGraph heavy = filter_edges(
+      g, [&](EdgeId e) { return g.edge_weight(e) >= 0.25; });
+  EXPECT_EQ(heavy.num_nodes(), g.num_nodes());
+  EXPECT_EQ(heavy.num_edges(), 2u);
+}
+
+TEST(PositiveSubgraph, DropsNegativeLinks) {
+  const SignedGraph g = make_line5();
+  const SignedGraph pos = positive_subgraph(g);
+  EXPECT_EQ(pos.num_edges(), 2u);
+  for (EdgeId e = 0; e < pos.num_edges(); ++e)
+    EXPECT_EQ(pos.edge_sign(e), Sign::kPositive);
+  // Node universe unchanged (ids stable).
+  EXPECT_EQ(pos.num_nodes(), g.num_nodes());
+}
+
+TEST(PositiveSubgraph, AllNegativeGraphBecomesEdgeless) {
+  SignedGraphBuilder builder(3);
+  builder.add_edge(0, 1, Sign::kNegative, 1.0)
+      .add_edge(1, 2, Sign::kNegative, 1.0);
+  const SignedGraph pos = positive_subgraph(builder.build());
+  EXPECT_EQ(pos.num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace rid::graph

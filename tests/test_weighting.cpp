@@ -1,0 +1,123 @@
+#include "graph/weighting.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/sign_assigner.hpp"
+#include "gen/topologies.hpp"
+#include "graph/jaccard.hpp"
+
+namespace rid::graph {
+namespace {
+
+SignedGraph make_example() {
+  // Same graph as the jaccard tests: JC(0, 3) = 1/5.
+  SignedGraphBuilder builder(5);
+  builder.add_edge(0, 1, Sign::kPositive, 1.0)
+      .add_edge(0, 2, Sign::kPositive, 1.0)
+      .add_edge(0, 3, Sign::kPositive, 1.0)
+      .add_edge(1, 3, Sign::kNegative, 1.0)
+      .add_edge(4, 3, Sign::kPositive, 1.0);
+  return builder.build();
+}
+
+TEST(Weighting, JaccardSchemeDelegates) {
+  SignedGraph a = make_example();
+  SignedGraph b = make_example();
+  util::Rng ra(7);
+  util::Rng rb(7);
+  apply_weights(a, ra, {.scheme = WeightScheme::kJaccard});
+  apply_jaccard_weights(b, rb);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Weighting, ConstantScheme) {
+  SignedGraph g = make_example();
+  util::Rng rng(1);
+  const std::size_t fallbacks = apply_weights(
+      g, rng, {.scheme = WeightScheme::kConstant, .constant = 0.25});
+  EXPECT_EQ(fallbacks, 0u);
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    EXPECT_DOUBLE_EQ(g.edge_weight(e), 0.25);
+}
+
+TEST(Weighting, ConstantValidation) {
+  SignedGraph g = make_example();
+  util::Rng rng(1);
+  EXPECT_THROW(apply_weights(
+                   g, rng, {.scheme = WeightScheme::kConstant, .constant = 2.0}),
+               std::invalid_argument);
+}
+
+TEST(Weighting, UniformRandomBounds) {
+  SignedGraph g = make_example();
+  util::Rng rng(3);
+  apply_weights(g, rng,
+                {.scheme = WeightScheme::kUniformRandom, .constant = 0.3});
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_GE(g.edge_weight(e), 0.0);
+    EXPECT_LT(g.edge_weight(e), 0.3);
+  }
+}
+
+TEST(Weighting, CommonNeighborsNormalizedToUnitMax) {
+  SignedGraph g = make_example();
+  util::Rng rng(5);
+  apply_weights(g, rng, {.scheme = WeightScheme::kCommonNeighbors});
+  // Edge (0,3) has 1 common neighbor (node 1); it is the max -> weight 1.
+  EXPECT_DOUBLE_EQ(g.edge_weight(g.find_edge(0, 3)), 1.0);
+  // Zero-scoring edges got small fallbacks.
+  const EdgeId e01 = g.find_edge(0, 1);
+  EXPECT_GT(g.edge_weight(e01), 0.0);
+  EXPECT_LE(g.edge_weight(e01), 0.1);
+}
+
+TEST(Weighting, AdamicAdarFavorsLowDegreeCommonNeighbors) {
+  // Edge A: common neighbor with small degree. Edge B: same count of common
+  // neighbors but via a high-degree hub -> lower AA score.
+  SignedGraphBuilder builder(12);
+  // A: 0 -> 1 via common neighbor 2 (degree 2).
+  builder.add_edge(0, 2, Sign::kPositive, 1.0)
+      .add_edge(2, 1, Sign::kPositive, 1.0)
+      .add_edge(0, 1, Sign::kPositive, 1.0);
+  // B: 3 -> 4 via hub 5 (high degree).
+  builder.add_edge(3, 5, Sign::kPositive, 1.0)
+      .add_edge(5, 4, Sign::kPositive, 1.0)
+      .add_edge(3, 4, Sign::kPositive, 1.0);
+  for (graph::NodeId v = 6; v < 12; ++v)
+    builder.add_edge(5, v, Sign::kPositive, 1.0);  // inflate hub degree
+  SignedGraph g = builder.build();
+  util::Rng rng(7);
+  apply_weights(g, rng, {.scheme = WeightScheme::kAdamicAdar});
+  EXPECT_GT(g.edge_weight(g.find_edge(0, 1)),
+            g.edge_weight(g.find_edge(3, 4)));
+}
+
+TEST(Weighting, AllWeightsStayInUnitInterval) {
+  util::Rng gen_rng(11);
+  const auto el = gen::erdos_renyi(80, 600, gen_rng);
+  for (const auto scheme :
+       {WeightScheme::kJaccard, WeightScheme::kCommonNeighbors,
+        WeightScheme::kAdamicAdar, WeightScheme::kConstant,
+        WeightScheme::kUniformRandom}) {
+    SignedGraph g = gen::assign_signs_all_positive(el);
+    util::Rng rng(13);
+    apply_weights(g, rng, {.scheme = scheme});
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      EXPECT_GE(g.edge_weight(e), 0.0) << to_string(scheme);
+      EXPECT_LE(g.edge_weight(e), 1.0) << to_string(scheme);
+    }
+  }
+}
+
+TEST(Weighting, SchemeNameRoundTrip) {
+  for (const auto scheme :
+       {WeightScheme::kJaccard, WeightScheme::kCommonNeighbors,
+        WeightScheme::kAdamicAdar, WeightScheme::kConstant,
+        WeightScheme::kUniformRandom}) {
+    EXPECT_EQ(weight_scheme_from_string(to_string(scheme)), scheme);
+  }
+  EXPECT_THROW(weight_scheme_from_string("bogus"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rid::graph
