@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mfc.dir/bench_ablation_mfc.cpp.o"
+  "CMakeFiles/bench_ablation_mfc.dir/bench_ablation_mfc.cpp.o.d"
+  "bench_ablation_mfc"
+  "bench_ablation_mfc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mfc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_unknown.dir/bench_ablation_unknown.cpp.o"
+  "CMakeFiles/bench_ablation_unknown.dir/bench_ablation_unknown.cpp.o.d"
+  "bench_ablation_unknown"
+  "bench_ablation_unknown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_unknown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_beta_identity.dir/bench_fig5_beta_identity.cpp.o"
+  "CMakeFiles/bench_fig5_beta_identity.dir/bench_fig5_beta_identity.cpp.o.d"
+  "bench_fig5_beta_identity"
+  "bench_fig5_beta_identity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_beta_identity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

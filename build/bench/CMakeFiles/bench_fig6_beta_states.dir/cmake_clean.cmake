@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_beta_states.dir/bench_fig6_beta_states.cpp.o"
+  "CMakeFiles/bench_fig6_beta_states.dir/bench_fig6_beta_states.cpp.o.d"
+  "bench_fig6_beta_states"
+  "bench_fig6_beta_states.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_beta_states.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

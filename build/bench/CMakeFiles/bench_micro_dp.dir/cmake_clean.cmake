@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_dp.dir/bench_micro_dp.cpp.o"
+  "CMakeFiles/bench_micro_dp.dir/bench_micro_dp.cpp.o.d"
+  "bench_micro_dp"
+  "bench_micro_dp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_dp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_edmonds.dir/bench_micro_edmonds.cpp.o"
+  "CMakeFiles/bench_micro_edmonds.dir/bench_micro_edmonds.cpp.o.d"
+  "bench_micro_edmonds"
+  "bench_micro_edmonds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_edmonds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

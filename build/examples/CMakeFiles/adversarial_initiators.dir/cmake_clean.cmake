@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adversarial_initiators.dir/adversarial_initiators.cpp.o"
+  "CMakeFiles/adversarial_initiators.dir/adversarial_initiators.cpp.o.d"
+  "adversarial_initiators"
+  "adversarial_initiators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adversarial_initiators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cascade_explorer.dir/cascade_explorer.cpp.o"
+  "CMakeFiles/cascade_explorer.dir/cascade_explorer.cpp.o.d"
+  "cascade_explorer"
+  "cascade_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cascade_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epinions_pipeline.dir/epinions_pipeline.cpp.o"
+  "CMakeFiles/epinions_pipeline.dir/epinions_pipeline.cpp.o.d"
+  "epinions_pipeline"
+  "epinions_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epinions_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

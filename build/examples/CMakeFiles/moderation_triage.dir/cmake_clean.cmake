@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moderation_triage.dir/moderation_triage.cpp.o"
+  "CMakeFiles/moderation_triage.dir/moderation_triage.cpp.o.d"
+  "moderation_triage"
+  "moderation_triage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moderation_triage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ridnet_cli.dir/ridnet_cli.cpp.o"
+  "CMakeFiles/ridnet_cli.dir/ridnet_cli.cpp.o.d"
+  "ridnet_cli"
+  "ridnet_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ridnet_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

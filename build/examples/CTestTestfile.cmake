@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(smoke_quickstart "/root/repo/build/examples/quickstart" "--nodes=80" "--edges=400")
+set_tests_properties(smoke_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_epinions_pipeline "/root/repo/build/examples/epinions_pipeline" "--scale=0.01")
+set_tests_properties(smoke_epinions_pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_beta_tuning "/root/repo/build/examples/beta_tuning" "--scale=0.01" "--trials=1" "--beta-steps=3")
+set_tests_properties(smoke_beta_tuning PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_custom_network "/root/repo/build/examples/custom_network")
+set_tests_properties(smoke_custom_network PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_cascade_explorer "/root/repo/build/examples/cascade_explorer" "--nodes=40" "--edges=160" "--out=/root/repo/build/smoke_cascade.dot")
+set_tests_properties(smoke_cascade_explorer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_adversarial "/root/repo/build/examples/adversarial_initiators" "--scale=0.005" "--k=2" "--samples=5")
+set_tests_properties(smoke_adversarial PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_moderation_triage "/root/repo/build/examples/moderation_triage" "--scale=0.01" "--top=5")
+set_tests_properties(smoke_moderation_triage PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;28;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_cli_pipeline "/root/repo/build/examples/ridnet_cli" "pipeline" "--scale=0.01" "--n=10" "--beta=2")
+set_tests_properties(smoke_cli_pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;30;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algo/arborescence_root.cpp" "src/algo/CMakeFiles/ridnet_algo.dir/arborescence_root.cpp.o" "gcc" "src/algo/CMakeFiles/ridnet_algo.dir/arborescence_root.cpp.o.d"
+  "/root/repo/src/algo/binary_transform.cpp" "src/algo/CMakeFiles/ridnet_algo.dir/binary_transform.cpp.o" "gcc" "src/algo/CMakeFiles/ridnet_algo.dir/binary_transform.cpp.o.d"
+  "/root/repo/src/algo/components.cpp" "src/algo/CMakeFiles/ridnet_algo.dir/components.cpp.o" "gcc" "src/algo/CMakeFiles/ridnet_algo.dir/components.cpp.o.d"
+  "/root/repo/src/algo/edmonds.cpp" "src/algo/CMakeFiles/ridnet_algo.dir/edmonds.cpp.o" "gcc" "src/algo/CMakeFiles/ridnet_algo.dir/edmonds.cpp.o.d"
+  "/root/repo/src/algo/forest.cpp" "src/algo/CMakeFiles/ridnet_algo.dir/forest.cpp.o" "gcc" "src/algo/CMakeFiles/ridnet_algo.dir/forest.cpp.o.d"
+  "/root/repo/src/algo/scc.cpp" "src/algo/CMakeFiles/ridnet_algo.dir/scc.cpp.o" "gcc" "src/algo/CMakeFiles/ridnet_algo.dir/scc.cpp.o.d"
+  "/root/repo/src/algo/skew_heap.cpp" "src/algo/CMakeFiles/ridnet_algo.dir/skew_heap.cpp.o" "gcc" "src/algo/CMakeFiles/ridnet_algo.dir/skew_heap.cpp.o.d"
+  "/root/repo/src/algo/traversal.cpp" "src/algo/CMakeFiles/ridnet_algo.dir/traversal.cpp.o" "gcc" "src/algo/CMakeFiles/ridnet_algo.dir/traversal.cpp.o.d"
+  "/root/repo/src/algo/union_find.cpp" "src/algo/CMakeFiles/ridnet_algo.dir/union_find.cpp.o" "gcc" "src/algo/CMakeFiles/ridnet_algo.dir/union_find.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/ridnet_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ridnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

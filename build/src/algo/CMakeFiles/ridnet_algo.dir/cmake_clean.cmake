@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ridnet_algo.dir/arborescence_root.cpp.o"
+  "CMakeFiles/ridnet_algo.dir/arborescence_root.cpp.o.d"
+  "CMakeFiles/ridnet_algo.dir/binary_transform.cpp.o"
+  "CMakeFiles/ridnet_algo.dir/binary_transform.cpp.o.d"
+  "CMakeFiles/ridnet_algo.dir/components.cpp.o"
+  "CMakeFiles/ridnet_algo.dir/components.cpp.o.d"
+  "CMakeFiles/ridnet_algo.dir/edmonds.cpp.o"
+  "CMakeFiles/ridnet_algo.dir/edmonds.cpp.o.d"
+  "CMakeFiles/ridnet_algo.dir/forest.cpp.o"
+  "CMakeFiles/ridnet_algo.dir/forest.cpp.o.d"
+  "CMakeFiles/ridnet_algo.dir/scc.cpp.o"
+  "CMakeFiles/ridnet_algo.dir/scc.cpp.o.d"
+  "CMakeFiles/ridnet_algo.dir/skew_heap.cpp.o"
+  "CMakeFiles/ridnet_algo.dir/skew_heap.cpp.o.d"
+  "CMakeFiles/ridnet_algo.dir/traversal.cpp.o"
+  "CMakeFiles/ridnet_algo.dir/traversal.cpp.o.d"
+  "CMakeFiles/ridnet_algo.dir/union_find.cpp.o"
+  "CMakeFiles/ridnet_algo.dir/union_find.cpp.o.d"
+  "libridnet_algo.a"
+  "libridnet_algo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ridnet_algo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

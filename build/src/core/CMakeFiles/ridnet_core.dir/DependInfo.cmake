@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baselines.cpp" "src/core/CMakeFiles/ridnet_core.dir/baselines.cpp.o" "gcc" "src/core/CMakeFiles/ridnet_core.dir/baselines.cpp.o.d"
+  "/root/repo/src/core/cascade_extraction.cpp" "src/core/CMakeFiles/ridnet_core.dir/cascade_extraction.cpp.o" "gcc" "src/core/CMakeFiles/ridnet_core.dir/cascade_extraction.cpp.o.d"
+  "/root/repo/src/core/ensemble.cpp" "src/core/CMakeFiles/ridnet_core.dir/ensemble.cpp.o" "gcc" "src/core/CMakeFiles/ridnet_core.dir/ensemble.cpp.o.d"
+  "/root/repo/src/core/general_tree_dp.cpp" "src/core/CMakeFiles/ridnet_core.dir/general_tree_dp.cpp.o" "gcc" "src/core/CMakeFiles/ridnet_core.dir/general_tree_dp.cpp.o.d"
+  "/root/repo/src/core/isomit.cpp" "src/core/CMakeFiles/ridnet_core.dir/isomit.cpp.o" "gcc" "src/core/CMakeFiles/ridnet_core.dir/isomit.cpp.o.d"
+  "/root/repo/src/core/jordan_center.cpp" "src/core/CMakeFiles/ridnet_core.dir/jordan_center.cpp.o" "gcc" "src/core/CMakeFiles/ridnet_core.dir/jordan_center.cpp.o.d"
+  "/root/repo/src/core/np_hardness.cpp" "src/core/CMakeFiles/ridnet_core.dir/np_hardness.cpp.o" "gcc" "src/core/CMakeFiles/ridnet_core.dir/np_hardness.cpp.o.d"
+  "/root/repo/src/core/rid.cpp" "src/core/CMakeFiles/ridnet_core.dir/rid.cpp.o" "gcc" "src/core/CMakeFiles/ridnet_core.dir/rid.cpp.o.d"
+  "/root/repo/src/core/rumor_centrality.cpp" "src/core/CMakeFiles/ridnet_core.dir/rumor_centrality.cpp.o" "gcc" "src/core/CMakeFiles/ridnet_core.dir/rumor_centrality.cpp.o.d"
+  "/root/repo/src/core/snapshot_io.cpp" "src/core/CMakeFiles/ridnet_core.dir/snapshot_io.cpp.o" "gcc" "src/core/CMakeFiles/ridnet_core.dir/snapshot_io.cpp.o.d"
+  "/root/repo/src/core/temporal.cpp" "src/core/CMakeFiles/ridnet_core.dir/temporal.cpp.o" "gcc" "src/core/CMakeFiles/ridnet_core.dir/temporal.cpp.o.d"
+  "/root/repo/src/core/tree_dp.cpp" "src/core/CMakeFiles/ridnet_core.dir/tree_dp.cpp.o" "gcc" "src/core/CMakeFiles/ridnet_core.dir/tree_dp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/algo/CMakeFiles/ridnet_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/diffusion/CMakeFiles/ridnet_diffusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ridnet_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ridnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ridnet_core.dir/baselines.cpp.o"
+  "CMakeFiles/ridnet_core.dir/baselines.cpp.o.d"
+  "CMakeFiles/ridnet_core.dir/cascade_extraction.cpp.o"
+  "CMakeFiles/ridnet_core.dir/cascade_extraction.cpp.o.d"
+  "CMakeFiles/ridnet_core.dir/ensemble.cpp.o"
+  "CMakeFiles/ridnet_core.dir/ensemble.cpp.o.d"
+  "CMakeFiles/ridnet_core.dir/general_tree_dp.cpp.o"
+  "CMakeFiles/ridnet_core.dir/general_tree_dp.cpp.o.d"
+  "CMakeFiles/ridnet_core.dir/isomit.cpp.o"
+  "CMakeFiles/ridnet_core.dir/isomit.cpp.o.d"
+  "CMakeFiles/ridnet_core.dir/jordan_center.cpp.o"
+  "CMakeFiles/ridnet_core.dir/jordan_center.cpp.o.d"
+  "CMakeFiles/ridnet_core.dir/np_hardness.cpp.o"
+  "CMakeFiles/ridnet_core.dir/np_hardness.cpp.o.d"
+  "CMakeFiles/ridnet_core.dir/rid.cpp.o"
+  "CMakeFiles/ridnet_core.dir/rid.cpp.o.d"
+  "CMakeFiles/ridnet_core.dir/rumor_centrality.cpp.o"
+  "CMakeFiles/ridnet_core.dir/rumor_centrality.cpp.o.d"
+  "CMakeFiles/ridnet_core.dir/snapshot_io.cpp.o"
+  "CMakeFiles/ridnet_core.dir/snapshot_io.cpp.o.d"
+  "CMakeFiles/ridnet_core.dir/temporal.cpp.o"
+  "CMakeFiles/ridnet_core.dir/temporal.cpp.o.d"
+  "CMakeFiles/ridnet_core.dir/tree_dp.cpp.o"
+  "CMakeFiles/ridnet_core.dir/tree_dp.cpp.o.d"
+  "libridnet_core.a"
+  "libridnet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ridnet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/diffusion/cascade.cpp" "src/diffusion/CMakeFiles/ridnet_diffusion.dir/cascade.cpp.o" "gcc" "src/diffusion/CMakeFiles/ridnet_diffusion.dir/cascade.cpp.o.d"
+  "/root/repo/src/diffusion/cascade_stats.cpp" "src/diffusion/CMakeFiles/ridnet_diffusion.dir/cascade_stats.cpp.o" "gcc" "src/diffusion/CMakeFiles/ridnet_diffusion.dir/cascade_stats.cpp.o.d"
+  "/root/repo/src/diffusion/independent_cascade.cpp" "src/diffusion/CMakeFiles/ridnet_diffusion.dir/independent_cascade.cpp.o" "gcc" "src/diffusion/CMakeFiles/ridnet_diffusion.dir/independent_cascade.cpp.o.d"
+  "/root/repo/src/diffusion/influence_max.cpp" "src/diffusion/CMakeFiles/ridnet_diffusion.dir/influence_max.cpp.o" "gcc" "src/diffusion/CMakeFiles/ridnet_diffusion.dir/influence_max.cpp.o.d"
+  "/root/repo/src/diffusion/likelihood.cpp" "src/diffusion/CMakeFiles/ridnet_diffusion.dir/likelihood.cpp.o" "gcc" "src/diffusion/CMakeFiles/ridnet_diffusion.dir/likelihood.cpp.o.d"
+  "/root/repo/src/diffusion/linear_threshold.cpp" "src/diffusion/CMakeFiles/ridnet_diffusion.dir/linear_threshold.cpp.o" "gcc" "src/diffusion/CMakeFiles/ridnet_diffusion.dir/linear_threshold.cpp.o.d"
+  "/root/repo/src/diffusion/mfc.cpp" "src/diffusion/CMakeFiles/ridnet_diffusion.dir/mfc.cpp.o" "gcc" "src/diffusion/CMakeFiles/ridnet_diffusion.dir/mfc.cpp.o.d"
+  "/root/repo/src/diffusion/sir.cpp" "src/diffusion/CMakeFiles/ridnet_diffusion.dir/sir.cpp.o" "gcc" "src/diffusion/CMakeFiles/ridnet_diffusion.dir/sir.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/ridnet_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ridnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

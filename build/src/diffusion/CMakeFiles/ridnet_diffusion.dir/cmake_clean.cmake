@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ridnet_diffusion.dir/cascade.cpp.o"
+  "CMakeFiles/ridnet_diffusion.dir/cascade.cpp.o.d"
+  "CMakeFiles/ridnet_diffusion.dir/cascade_stats.cpp.o"
+  "CMakeFiles/ridnet_diffusion.dir/cascade_stats.cpp.o.d"
+  "CMakeFiles/ridnet_diffusion.dir/independent_cascade.cpp.o"
+  "CMakeFiles/ridnet_diffusion.dir/independent_cascade.cpp.o.d"
+  "CMakeFiles/ridnet_diffusion.dir/influence_max.cpp.o"
+  "CMakeFiles/ridnet_diffusion.dir/influence_max.cpp.o.d"
+  "CMakeFiles/ridnet_diffusion.dir/likelihood.cpp.o"
+  "CMakeFiles/ridnet_diffusion.dir/likelihood.cpp.o.d"
+  "CMakeFiles/ridnet_diffusion.dir/linear_threshold.cpp.o"
+  "CMakeFiles/ridnet_diffusion.dir/linear_threshold.cpp.o.d"
+  "CMakeFiles/ridnet_diffusion.dir/mfc.cpp.o"
+  "CMakeFiles/ridnet_diffusion.dir/mfc.cpp.o.d"
+  "CMakeFiles/ridnet_diffusion.dir/sir.cpp.o"
+  "CMakeFiles/ridnet_diffusion.dir/sir.cpp.o.d"
+  "libridnet_diffusion.a"
+  "libridnet_diffusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ridnet_diffusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

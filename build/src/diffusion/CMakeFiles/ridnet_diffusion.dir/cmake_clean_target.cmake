@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libridnet_diffusion.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/alias_table.cpp" "src/gen/CMakeFiles/ridnet_gen.dir/alias_table.cpp.o" "gcc" "src/gen/CMakeFiles/ridnet_gen.dir/alias_table.cpp.o.d"
+  "/root/repo/src/gen/profiles.cpp" "src/gen/CMakeFiles/ridnet_gen.dir/profiles.cpp.o" "gcc" "src/gen/CMakeFiles/ridnet_gen.dir/profiles.cpp.o.d"
+  "/root/repo/src/gen/sign_assigner.cpp" "src/gen/CMakeFiles/ridnet_gen.dir/sign_assigner.cpp.o" "gcc" "src/gen/CMakeFiles/ridnet_gen.dir/sign_assigner.cpp.o.d"
+  "/root/repo/src/gen/topologies.cpp" "src/gen/CMakeFiles/ridnet_gen.dir/topologies.cpp.o" "gcc" "src/gen/CMakeFiles/ridnet_gen.dir/topologies.cpp.o.d"
+  "/root/repo/src/gen/trees.cpp" "src/gen/CMakeFiles/ridnet_gen.dir/trees.cpp.o" "gcc" "src/gen/CMakeFiles/ridnet_gen.dir/trees.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/ridnet_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ridnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ridnet_gen.dir/alias_table.cpp.o"
+  "CMakeFiles/ridnet_gen.dir/alias_table.cpp.o.d"
+  "CMakeFiles/ridnet_gen.dir/profiles.cpp.o"
+  "CMakeFiles/ridnet_gen.dir/profiles.cpp.o.d"
+  "CMakeFiles/ridnet_gen.dir/sign_assigner.cpp.o"
+  "CMakeFiles/ridnet_gen.dir/sign_assigner.cpp.o.d"
+  "CMakeFiles/ridnet_gen.dir/topologies.cpp.o"
+  "CMakeFiles/ridnet_gen.dir/topologies.cpp.o.d"
+  "CMakeFiles/ridnet_gen.dir/trees.cpp.o"
+  "CMakeFiles/ridnet_gen.dir/trees.cpp.o.d"
+  "libridnet_gen.a"
+  "libridnet_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ridnet_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

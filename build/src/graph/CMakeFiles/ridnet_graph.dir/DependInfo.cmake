@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/dot_export.cpp" "src/graph/CMakeFiles/ridnet_graph.dir/dot_export.cpp.o" "gcc" "src/graph/CMakeFiles/ridnet_graph.dir/dot_export.cpp.o.d"
+  "/root/repo/src/graph/graph_io.cpp" "src/graph/CMakeFiles/ridnet_graph.dir/graph_io.cpp.o" "gcc" "src/graph/CMakeFiles/ridnet_graph.dir/graph_io.cpp.o.d"
+  "/root/repo/src/graph/jaccard.cpp" "src/graph/CMakeFiles/ridnet_graph.dir/jaccard.cpp.o" "gcc" "src/graph/CMakeFiles/ridnet_graph.dir/jaccard.cpp.o.d"
+  "/root/repo/src/graph/signed_graph.cpp" "src/graph/CMakeFiles/ridnet_graph.dir/signed_graph.cpp.o" "gcc" "src/graph/CMakeFiles/ridnet_graph.dir/signed_graph.cpp.o.d"
+  "/root/repo/src/graph/stats.cpp" "src/graph/CMakeFiles/ridnet_graph.dir/stats.cpp.o" "gcc" "src/graph/CMakeFiles/ridnet_graph.dir/stats.cpp.o.d"
+  "/root/repo/src/graph/subgraph.cpp" "src/graph/CMakeFiles/ridnet_graph.dir/subgraph.cpp.o" "gcc" "src/graph/CMakeFiles/ridnet_graph.dir/subgraph.cpp.o.d"
+  "/root/repo/src/graph/weighting.cpp" "src/graph/CMakeFiles/ridnet_graph.dir/weighting.cpp.o" "gcc" "src/graph/CMakeFiles/ridnet_graph.dir/weighting.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ridnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ridnet_graph.dir/dot_export.cpp.o"
+  "CMakeFiles/ridnet_graph.dir/dot_export.cpp.o.d"
+  "CMakeFiles/ridnet_graph.dir/graph_io.cpp.o"
+  "CMakeFiles/ridnet_graph.dir/graph_io.cpp.o.d"
+  "CMakeFiles/ridnet_graph.dir/jaccard.cpp.o"
+  "CMakeFiles/ridnet_graph.dir/jaccard.cpp.o.d"
+  "CMakeFiles/ridnet_graph.dir/signed_graph.cpp.o"
+  "CMakeFiles/ridnet_graph.dir/signed_graph.cpp.o.d"
+  "CMakeFiles/ridnet_graph.dir/stats.cpp.o"
+  "CMakeFiles/ridnet_graph.dir/stats.cpp.o.d"
+  "CMakeFiles/ridnet_graph.dir/subgraph.cpp.o"
+  "CMakeFiles/ridnet_graph.dir/subgraph.cpp.o.d"
+  "CMakeFiles/ridnet_graph.dir/weighting.cpp.o"
+  "CMakeFiles/ridnet_graph.dir/weighting.cpp.o.d"
+  "libridnet_graph.a"
+  "libridnet_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ridnet_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ridnet_metrics.dir/classification.cpp.o"
+  "CMakeFiles/ridnet_metrics.dir/classification.cpp.o.d"
+  "CMakeFiles/ridnet_metrics.dir/states.cpp.o"
+  "CMakeFiles/ridnet_metrics.dir/states.cpp.o.d"
+  "libridnet_metrics.a"
+  "libridnet_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ridnet_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

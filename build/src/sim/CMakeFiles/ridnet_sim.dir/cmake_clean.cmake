@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ridnet_sim.dir/experiment.cpp.o"
+  "CMakeFiles/ridnet_sim.dir/experiment.cpp.o.d"
+  "CMakeFiles/ridnet_sim.dir/reporting.cpp.o"
+  "CMakeFiles/ridnet_sim.dir/reporting.cpp.o.d"
+  "CMakeFiles/ridnet_sim.dir/scenario.cpp.o"
+  "CMakeFiles/ridnet_sim.dir/scenario.cpp.o.d"
+  "CMakeFiles/ridnet_sim.dir/sweep.cpp.o"
+  "CMakeFiles/ridnet_sim.dir/sweep.cpp.o.d"
+  "libridnet_sim.a"
+  "libridnet_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ridnet_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

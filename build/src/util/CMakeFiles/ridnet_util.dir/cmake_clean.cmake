@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ridnet_util.dir/csv.cpp.o"
+  "CMakeFiles/ridnet_util.dir/csv.cpp.o.d"
+  "CMakeFiles/ridnet_util.dir/flags.cpp.o"
+  "CMakeFiles/ridnet_util.dir/flags.cpp.o.d"
+  "CMakeFiles/ridnet_util.dir/logging.cpp.o"
+  "CMakeFiles/ridnet_util.dir/logging.cpp.o.d"
+  "CMakeFiles/ridnet_util.dir/rng.cpp.o"
+  "CMakeFiles/ridnet_util.dir/rng.cpp.o.d"
+  "CMakeFiles/ridnet_util.dir/table.cpp.o"
+  "CMakeFiles/ridnet_util.dir/table.cpp.o.d"
+  "CMakeFiles/ridnet_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/ridnet_util.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/ridnet_util.dir/timer.cpp.o"
+  "CMakeFiles/ridnet_util.dir/timer.cpp.o.d"
+  "libridnet_util.a"
+  "libridnet_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ridnet_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

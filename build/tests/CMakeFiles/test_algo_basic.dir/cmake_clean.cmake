@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_algo_basic.dir/test_algo_basic.cpp.o"
+  "CMakeFiles/test_algo_basic.dir/test_algo_basic.cpp.o.d"
+  "test_algo_basic"
+  "test_algo_basic.pdb"
+  "test_algo_basic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_algo_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

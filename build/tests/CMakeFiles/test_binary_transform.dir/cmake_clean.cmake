@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_binary_transform.dir/test_binary_transform.cpp.o"
+  "CMakeFiles/test_binary_transform.dir/test_binary_transform.cpp.o.d"
+  "test_binary_transform"
+  "test_binary_transform.pdb"
+  "test_binary_transform[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_binary_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

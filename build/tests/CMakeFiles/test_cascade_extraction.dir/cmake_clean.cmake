@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cascade_extraction.dir/test_cascade_extraction.cpp.o"
+  "CMakeFiles/test_cascade_extraction.dir/test_cascade_extraction.cpp.o.d"
+  "test_cascade_extraction"
+  "test_cascade_extraction.pdb"
+  "test_cascade_extraction[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cascade_extraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

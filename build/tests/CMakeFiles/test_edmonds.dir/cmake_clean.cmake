@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_edmonds.dir/test_edmonds.cpp.o"
+  "CMakeFiles/test_edmonds.dir/test_edmonds.cpp.o.d"
+  "test_edmonds"
+  "test_edmonds.pdb"
+  "test_edmonds[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_edmonds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_np_hardness.dir/test_np_hardness.cpp.o"
+  "CMakeFiles/test_np_hardness.dir/test_np_hardness.cpp.o.d"
+  "test_np_hardness"
+  "test_np_hardness.pdb"
+  "test_np_hardness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_np_hardness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rid_pipeline.dir/test_rid_pipeline.cpp.o"
+  "CMakeFiles/test_rid_pipeline.dir/test_rid_pipeline.cpp.o.d"
+  "test_rid_pipeline"
+  "test_rid_pipeline.pdb"
+  "test_rid_pipeline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rid_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

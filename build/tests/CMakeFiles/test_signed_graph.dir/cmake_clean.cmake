@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_signed_graph.dir/test_signed_graph.cpp.o"
+  "CMakeFiles/test_signed_graph.dir/test_signed_graph.cpp.o.d"
+  "test_signed_graph"
+  "test_signed_graph.pdb"
+  "test_signed_graph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_signed_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

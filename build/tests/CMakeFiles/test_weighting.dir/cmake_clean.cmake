@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_weighting.dir/test_weighting.cpp.o"
+  "CMakeFiles/test_weighting.dir/test_weighting.cpp.o.d"
+  "test_weighting"
+  "test_weighting.pdb"
+  "test_weighting[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_weighting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_signed_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_subgraph[1]_include.cmake")
+include("/root/repo/build/tests/test_graph_io[1]_include.cmake")
+include("/root/repo/build/tests/test_jaccard[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_gen[1]_include.cmake")
+include("/root/repo/build/tests/test_algo_basic[1]_include.cmake")
+include("/root/repo/build/tests/test_edmonds[1]_include.cmake")
+include("/root/repo/build/tests/test_binary_transform[1]_include.cmake")
+include("/root/repo/build/tests/test_diffusion[1]_include.cmake")
+include("/root/repo/build/tests/test_tree_dp[1]_include.cmake")
+include("/root/repo/build/tests/test_cascade_extraction[1]_include.cmake")
+include("/root/repo/build/tests/test_metrics[1]_include.cmake")
+include("/root/repo/build/tests/test_rid_pipeline[1]_include.cmake")
+include("/root/repo/build/tests/test_np_hardness[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions2[1]_include.cmake")
+include("/root/repo/build/tests/test_weighting[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions3[1]_include.cmake")
+include("/root/repo/build/tests/test_property_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_temporal[1]_include.cmake")
+include("/root/repo/build/tests/test_paper_shapes[1]_include.cmake")
+include("/root/repo/build/tests/test_model_statistics[1]_include.cmake")
+include("/root/repo/build/tests/test_ensemble[1]_include.cmake")
