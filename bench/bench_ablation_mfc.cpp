@@ -9,7 +9,7 @@
 
 #include "core/baselines.hpp"
 #include "core/rid.hpp"
-#include "diffusion/mfc.hpp"
+#include "diffusion/mfc_engine.hpp"
 #include "gen/profiles.hpp"
 #include "graph/diffusion_network.hpp"
 #include "graph/jaccard.hpp"
@@ -46,6 +46,7 @@ int main(int argc, char** argv) {
                   " profile (scale=" + std::to_string(scale) + ", " +
                   std::to_string(trials) + " trials)");
 
+  diffusion::MfcWorkspace workspace;  // reused across variants and trials
   for (const Variant& variant : variants) {
     metrics::RunningStat infected, flips, steps, rid_f1, tree_f1;
     for (std::size_t t = 0; t < trials; ++t) {
@@ -71,8 +72,9 @@ int main(int argc, char** argv) {
       mfc.alpha = variant.alpha;
       mfc.allow_flipping = variant.flipping;
       util::Rng sim_rng = rng.split();
+      const diffusion::MfcEngine engine(diffusion, mfc);
       const diffusion::Cascade cascade =
-          diffusion::simulate_mfc(diffusion, seeds, mfc, sim_rng);
+          engine.run_cascade(seeds, workspace, sim_rng);
       infected.add(static_cast<double>(cascade.num_infected()));
       flips.add(static_cast<double>(cascade.num_flips));
       steps.add(static_cast<double>(cascade.num_steps));

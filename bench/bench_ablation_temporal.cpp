@@ -9,7 +9,7 @@
 #include <iostream>
 
 #include "core/temporal.hpp"
-#include "diffusion/mfc.hpp"
+#include "diffusion/mfc_engine.hpp"
 #include "gen/profiles.hpp"
 #include "graph/diffusion_network.hpp"
 #include "graph/jaccard.hpp"
@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
                   std::to_string(scale) + ", beta=" + std::to_string(beta) +
                   ")");
 
+  diffusion::MfcWorkspace workspace;  // reused across cuts and trials
   for (const std::uint32_t early_steps : {1u, 2u, 4u, 8u}) {
     metrics::RunningStat early_size, rid_f1, temporal_f1, rid_p, temporal_p;
     for (std::size_t t = 0; t < trials; ++t) {
@@ -61,10 +62,11 @@ int main(int argc, char** argv) {
       diffusion::MfcConfig early_config;
       early_config.max_steps = early_steps;
       util::Rng sim_a(sim_seed);
-      const auto early =
-          diffusion::simulate_mfc(diffusion, seeds, early_config, sim_a);
+      const diffusion::MfcEngine early_engine(diffusion, early_config);
+      const auto early = early_engine.run_cascade(seeds, workspace, sim_a);
       util::Rng sim_b(sim_seed);
-      const auto late = diffusion::simulate_mfc(diffusion, seeds, {}, sim_b);
+      const diffusion::MfcEngine late_engine(diffusion, {});
+      const auto late = late_engine.run_cascade(seeds, workspace, sim_b);
       early_size.add(static_cast<double>(early.num_infected()));
 
       core::RidConfig config;

@@ -1,0 +1,155 @@
+// Seed-path vs engine-path throughput of repeated MFC simulation.
+//
+// The "seed path" is the pre-engine shape of every Monte-Carlo loop in the
+// repo: one simulate_mfc call per trial, paying the O(n + m) allocate/reset
+// each time. The "engine path" holds one MfcEngine + MfcWorkspace and pays
+// only O(touched) per trial. Both paths draw trial t from
+// Rng(mix_seed(base_seed, t)), so they simulate identical cascades — the
+// checksum column proves it — and the speedup isolates allocation/reset
+// elimination (everything here is single-threaded).
+//
+// Writes a machine-readable BENCH_mfc_engine.json so future PRs can track
+// the perf trajectory.
+//
+//   ./bench_mfc_engine [--trials=N] [--seeds=10] [--json=BENCH_mfc_engine.json]
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "diffusion/mfc_engine.hpp"
+#include "gen/profiles.hpp"
+#include "graph/diffusion_network.hpp"
+#include "graph/jaccard.hpp"
+#include "util/flags.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace rid;
+
+struct ScalePoint {
+  double scale;
+  std::size_t num_trials;  // scaled down as graphs grow
+};
+
+struct Row {
+  double scale = 0.0;
+  std::size_t nodes = 0;
+  std::size_t edges = 0;
+  std::size_t num_trials = 0;
+  double seed_trials_per_sec = 0.0;
+  double engine_trials_per_sec = 0.0;
+  double speedup = 0.0;
+  std::size_t checksum_seed = 0;    // total infected across trials
+  std::size_t checksum_engine = 0;  // must match checksum_seed
+};
+
+Row run_scale(const ScalePoint& point, std::size_t num_seeds) {
+  util::Rng rng(21);
+  graph::SignedGraph social =
+      gen::generate_dataset(gen::epinions_profile(), point.scale, rng);
+  graph::apply_jaccard_weights(social, rng);
+  const graph::SignedGraph diffusion = graph::make_diffusion_network(social);
+
+  diffusion::SeedSet seeds;
+  for (const auto v :
+       rng.sample_without_replacement(diffusion.num_nodes(), num_seeds)) {
+    seeds.nodes.push_back(static_cast<graph::NodeId>(v));
+    seeds.states.push_back(rng.bernoulli(0.5) ? graph::NodeState::kPositive
+                                              : graph::NodeState::kNegative);
+  }
+
+  Row row;
+  row.scale = point.scale;
+  row.nodes = diffusion.num_nodes();
+  row.edges = diffusion.num_edges();
+  row.num_trials = point.num_trials;
+  const std::uint64_t base_seed = 0xbeefcafe;
+  const diffusion::MfcConfig config;
+
+  {  // seed path: fresh allocations every trial (pre-engine shape)
+    util::Timer timer;
+    for (std::size_t t = 0; t < point.num_trials; ++t) {
+      util::Rng trial_rng(util::mix_seed(base_seed, t));
+      const diffusion::Cascade cascade =
+          diffusion::simulate_mfc(diffusion, seeds, config, trial_rng);
+      row.checksum_seed += cascade.num_infected();
+    }
+    row.seed_trials_per_sec =
+        static_cast<double>(point.num_trials) / timer.seconds();
+  }
+  {  // engine path: one engine + one workspace for the whole loop
+    const diffusion::MfcEngine engine(diffusion, config);
+    diffusion::MfcWorkspace workspace;
+    util::Timer timer;
+    for (std::size_t t = 0; t < point.num_trials; ++t) {
+      util::Rng trial_rng(util::mix_seed(base_seed, t));
+      row.checksum_engine +=
+          engine.run(seeds, workspace, trial_rng).num_infected;
+    }
+    row.engine_trials_per_sec =
+        static_cast<double>(point.num_trials) / timer.seconds();
+  }
+  row.speedup = row.engine_trials_per_sec / row.seed_trials_per_sec;
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto flags = util::Flags::parse(argc, argv);
+  const auto num_seeds = static_cast<std::size_t>(flags.get_int("seeds", 10));
+  const auto trials_override =
+      static_cast<std::size_t>(flags.get_int("trials", 0));
+
+  const std::vector<ScalePoint> points{
+      {0.02, 4000}, {0.10, 1000}, {0.40, 250}};
+
+  util::AsciiTable table({"scale", "nodes", "edges", "trials", "seed tr/s",
+                          "engine tr/s", "speedup"});
+  table.set_title("MFC engine vs seed simulate_mfc (single-threaded, " +
+                  std::to_string(num_seeds) + " seed nodes)");
+  std::vector<Row> rows;
+  for (ScalePoint point : points) {
+    if (trials_override != 0) point.num_trials = trials_override;
+    const Row row = run_scale(point, num_seeds);
+    if (row.checksum_seed != row.checksum_engine) {
+      std::cerr << "FATAL: checksum mismatch at scale " << row.scale
+                << " (seed " << row.checksum_seed << " vs engine "
+                << row.checksum_engine << ")\n";
+      return 1;
+    }
+    rows.push_back(row);
+    char speedup[32];
+    std::snprintf(speedup, sizeof(speedup), "%.2fx", row.speedup);
+    table.row(row.scale, row.nodes, row.edges, row.num_trials,
+              row.seed_trials_per_sec, row.engine_trials_per_sec, speedup);
+  }
+  table.render(std::cout);
+
+  const std::string json_path =
+      flags.get_string("json", "BENCH_mfc_engine.json");
+  std::ofstream out(json_path);
+  out << "{\n  \"benchmark\": \"mfc_engine\",\n  \"unit\": \"trials/sec\",\n"
+      << "  \"single_threaded\": true,\n  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"scale\": %g, \"nodes\": %zu, \"edges\": %zu, "
+                  "\"trials\": %zu, \"seed_path_trials_per_sec\": %.1f, "
+                  "\"engine_path_trials_per_sec\": %.1f, "
+                  "\"speedup\": %.3f, \"total_infected\": %zu}%s\n",
+                  r.scale, r.nodes, r.edges, r.num_trials,
+                  r.seed_trials_per_sec, r.engine_trials_per_sec, r.speedup,
+                  r.checksum_seed, i + 1 < rows.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ]\n}\n";
+  std::cout << "wrote " << json_path << "\n";
+  return 0;
+}

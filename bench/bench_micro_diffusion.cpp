@@ -5,6 +5,7 @@
 #include "diffusion/independent_cascade.hpp"
 #include "diffusion/linear_threshold.hpp"
 #include "diffusion/mfc.hpp"
+#include "diffusion/mfc_engine.hpp"
 #include "diffusion/sir.hpp"
 #include "gen/profiles.hpp"
 #include "graph/diffusion_network.hpp"
@@ -58,6 +59,52 @@ void BM_Mfc(benchmark::State& state) {
       static_cast<double>(infected) / static_cast<double>(state.iterations());
 }
 BENCHMARK(BM_Mfc);
+
+// Same cascades as BM_Mfc, but through a persistent engine + workspace: the
+// gap between the two is the per-trial allocation/reset cost.
+void BM_MfcEngine(benchmark::State& state) {
+  const Fixture& f = fixture();
+  const diffusion::MfcEngine engine(f.diffusion, {});
+  diffusion::MfcWorkspace workspace;
+  std::uint64_t seed = 0;
+  std::size_t infected = 0;
+  for (auto _ : state) {
+    util::Rng rng(seed++);
+    infected += engine.run(f.seeds, workspace, rng).num_infected;
+    benchmark::DoNotOptimize(infected);
+  }
+  state.counters["infected/run"] =
+      static_cast<double>(infected) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_MfcEngine);
+
+// Engine path including the dense Cascade export (what callers that need
+// per-node results pay).
+void BM_MfcEngineExport(benchmark::State& state) {
+  const Fixture& f = fixture();
+  const diffusion::MfcEngine engine(f.diffusion, {});
+  diffusion::MfcWorkspace workspace;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    util::Rng rng(seed++);
+    const auto cascade = engine.run_cascade(f.seeds, workspace, rng);
+    benchmark::DoNotOptimize(cascade.infected.data());
+  }
+}
+BENCHMARK(BM_MfcEngineExport);
+
+void BM_MfcEngineBatch(benchmark::State& state) {
+  const Fixture& f = fixture();
+  const diffusion::MfcEngine engine(f.diffusion, {});
+  const std::vector<diffusion::SeedSet> seed_sets{f.seeds};
+  std::uint64_t base_seed = 0;
+  for (auto _ : state) {
+    const auto result = engine.run_batch(seed_sets, 16, base_seed++, 1);
+    benchmark::DoNotOptimize(result.trials.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(16 * state.iterations()));
+}
+BENCHMARK(BM_MfcEngineBatch);
 
 void BM_MfcNoFlip(benchmark::State& state) {
   const Fixture& f = fixture();

@@ -25,16 +25,16 @@ struct Outcome {
   metrics::IdentityScores scores;
 };
 
-Outcome run_case(const graph::SignedGraph& diffusion,
-                 const diffusion::SeedSet& seeds, double alpha, double beta,
+Outcome run_case(const diffusion::MfcEngine& engine,
+                 diffusion::MfcWorkspace& workspace,
+                 const diffusion::SeedSet& seeds, double beta,
                  util::Rng& rng) {
-  diffusion::MfcConfig mfc;
-  mfc.alpha = alpha;
+  const graph::SignedGraph& diffusion = engine.graph();
   const diffusion::Cascade cascade =
-      diffusion::simulate_mfc(diffusion, seeds, mfc, rng);
+      engine.run_cascade(seeds, workspace, rng);
   core::RidConfig config;
   config.beta = beta;
-  config.extraction.likelihood.alpha = alpha;
+  config.extraction.likelihood.alpha = engine.config().alpha;
   const core::DetectionResult result =
       core::run_rid(diffusion, cascade.state, config);
   return {cascade.num_infected(),
@@ -83,8 +83,11 @@ int main(int argc, char** argv) {
     random.states.push_back(graph::NodeState::kPositive);
   }
 
-  const Outcome strong_outcome = run_case(diffusion, strong, alpha, beta, rng);
-  const Outcome random_outcome = run_case(diffusion, random, alpha, beta, rng);
+  // One engine + workspace serve both evaluation cascades.
+  const diffusion::MfcEngine engine(diffusion, im.mfc);
+  diffusion::MfcWorkspace workspace;
+  const Outcome strong_outcome = run_case(engine, workspace, strong, beta, rng);
+  const Outcome random_outcome = run_case(engine, workspace, random, beta, rng);
 
   std::printf("\n%-14s %10s %10s %10s %10s\n", "seeding", "infected",
               "precision", "recall", "F1");

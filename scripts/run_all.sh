@@ -20,4 +20,6 @@ for b in "$BUILD"/bench/bench_*; do
   "$b" 2>&1 | tee -a bench_output.txt
 done
 
-echo "done: test_output.txt, bench_output.txt"
+# bench_mfc_engine (run by the loop above) leaves the machine-readable perf
+# trajectory in BENCH_mfc_engine.json next to the other outputs.
+echo "done: test_output.txt, bench_output.txt, BENCH_mfc_engine.json"

@@ -6,18 +6,26 @@
 
 namespace rid::diffusion {
 
-double estimate_spread(const graph::SignedGraph& diffusion,
-                       const SeedSet& seeds, const MfcConfig& config,
-                       std::size_t num_samples, util::Rng& rng) {
+double estimate_spread(const MfcEngine& engine, const SeedSet& seeds,
+                       std::size_t num_samples, MfcWorkspace& workspace,
+                       util::Rng& rng) {
   if (num_samples == 0)
     throw std::invalid_argument("estimate_spread: num_samples == 0");
   double total = 0.0;
   for (std::size_t s = 0; s < num_samples; ++s) {
     util::Rng sample_rng = rng.split();
-    const Cascade cascade = simulate_mfc(diffusion, seeds, config, sample_rng);
-    total += static_cast<double>(cascade.num_infected());
+    total += static_cast<double>(
+        engine.run(seeds, workspace, sample_rng).num_infected);
   }
   return total / static_cast<double>(num_samples);
+}
+
+double estimate_spread(const graph::SignedGraph& diffusion,
+                       const SeedSet& seeds, const MfcConfig& config,
+                       std::size_t num_samples, util::Rng& rng) {
+  const MfcEngine engine(diffusion, config);
+  MfcWorkspace workspace;
+  return estimate_spread(engine, seeds, num_samples, workspace, rng);
 }
 
 InfluenceMaxResult greedy_influence_max(const graph::SignedGraph& diffusion,
@@ -28,6 +36,11 @@ InfluenceMaxResult greedy_influence_max(const graph::SignedGraph& diffusion,
     throw std::invalid_argument("greedy_influence_max: bad k");
   if (!graph::is_opinion(config.seed_state))
     throw std::invalid_argument("greedy_influence_max: seed state must be +1/-1");
+
+  // One engine and one workspace serve every Monte-Carlo estimate of the
+  // whole greedy sweep (k rounds x |candidates| x num_samples cascades).
+  const MfcEngine engine(diffusion, config.mfc);
+  MfcWorkspace workspace;
 
   // Candidate pool: all nodes, or the top out-degree ones.
   std::vector<graph::NodeId> candidates(n);
@@ -59,8 +72,8 @@ InfluenceMaxResult greedy_influence_max(const graph::SignedGraph& diffusion,
       trial.nodes.push_back(candidate);
       trial.states.push_back(config.seed_state);
       util::Rng eval_rng(round_seed);
-      const double spread = estimate_spread(diffusion, trial, config.mfc,
-                                            config.num_samples, eval_rng);
+      const double spread = estimate_spread(engine, trial, config.num_samples,
+                                            workspace, eval_rng);
       if (spread > best_spread) {
         best_spread = spread;
         best = candidate;

@@ -9,7 +9,7 @@
 // configured seed state is used for all chosen seeds.
 #pragma once
 
-#include "diffusion/mfc.hpp"
+#include "diffusion/mfc_engine.hpp"
 
 namespace rid::diffusion {
 
@@ -35,7 +35,15 @@ InfluenceMaxResult greedy_influence_max(const graph::SignedGraph& diffusion,
                                         util::Rng& rng);
 
 /// Monte-Carlo estimate of the expected number of infected nodes for a
-/// fixed seed set.
+/// fixed seed set, through a prebuilt engine and reusable workspace — the
+/// allocation-free path for repeated estimates on one graph. Samples draw
+/// from `rng.split()` in order, so the estimate matches the convenience
+/// overload below under the same stream.
+double estimate_spread(const MfcEngine& engine, const SeedSet& seeds,
+                       std::size_t num_samples, MfcWorkspace& workspace,
+                       util::Rng& rng);
+
+/// Convenience overload building a transient engine + workspace per call.
 double estimate_spread(const graph::SignedGraph& diffusion,
                        const SeedSet& seeds, const MfcConfig& config,
                        std::size_t num_samples, util::Rng& rng);

@@ -1,81 +1,18 @@
 #include "diffusion/mfc.hpp"
 
-#include <algorithm>
-#include <stdexcept>
+#include "diffusion/mfc_engine.hpp"
 
 namespace rid::diffusion {
 
+// Compatibility wrapper: one trial through a transient engine + workspace.
+// Callers running many cascades on one graph should hold an MfcEngine and a
+// per-thread MfcWorkspace instead (see mfc_engine.hpp); the RNG consumption
+// is identical either way, so results are bit-for-bit the same.
 Cascade simulate_mfc(const graph::SignedGraph& diffusion, const SeedSet& seeds,
                      const MfcConfig& config, util::Rng& rng) {
-  if (config.alpha < 1.0)
-    throw std::invalid_argument("simulate_mfc: alpha must be >= 1");
-  validate_seed_set(seeds, diffusion.num_nodes());
-
-  const graph::NodeId n = diffusion.num_nodes();
-  Cascade out;
-  out.state.assign(n, graph::NodeState::kInactive);
-  out.activator.assign(n, graph::kInvalidNode);
-  out.activation_edge.assign(n, graph::kInvalidEdge);
-  out.step.assign(n, 0);
-  out.infected.reserve(seeds.nodes.size() * 4);
-
-  // One global attempt per directed pair == per diffusion edge.
-  std::vector<bool> attempted(diffusion.num_edges(), false);
-
-  std::vector<graph::NodeId> recent;  // R in Algorithm 1
-  std::vector<graph::NodeId> next;    // N in Algorithm 1
-  for (std::size_t i = 0; i < seeds.nodes.size(); ++i) {
-    const graph::NodeId s = seeds.nodes[i];
-    out.state[s] = seeds.states[i];
-    out.infected.push_back(s);
-    recent.push_back(s);
-  }
-
-  std::uint32_t step = 0;
-  while (!recent.empty()) {
-    ++step;
-    if (config.max_steps != 0 && step > config.max_steps) break;
-    next.clear();
-    for (const graph::NodeId u : recent) {
-      const graph::NodeState su = out.state[u];
-      for (const graph::EdgeId e : diffusion.out_edge_ids(u)) {
-        if (attempted[e]) continue;
-        const graph::NodeId v = diffusion.edge_dst(e);
-        const graph::Sign sign = diffusion.edge_sign(e);
-        const graph::NodeState sv = out.state[v];
-
-        // Eligibility (Algorithm 1 line 8): v inactive, or a trusted
-        // neighbor with a different state (flip candidate).
-        const bool inactive = sv == graph::NodeState::kInactive;
-        const bool flip_candidate = config.allow_flipping &&
-                                    graph::is_opinion(sv) &&
-                                    sign == graph::Sign::kPositive && sv != su;
-        if (!inactive && !flip_candidate) continue;
-
-        attempted[e] = true;
-        ++out.num_attempts;
-        double p = diffusion.edge_weight(e);
-        if (config.boost_positive && sign == graph::Sign::kPositive)
-          p = std::min(1.0, config.alpha * p);
-        if (!rng.bernoulli(p)) continue;
-
-        // Success: v adopts s(u) * s(u, v) and becomes recently infected.
-        if (inactive) {
-          out.infected.push_back(v);
-        } else {
-          ++out.num_flips;
-        }
-        out.state[v] = graph::propagate_state(su, sign);
-        out.activator[v] = u;
-        out.activation_edge[v] = e;
-        out.step[v] = step;
-        next.push_back(v);
-      }
-    }
-    std::swap(recent, next);
-  }
-  out.num_steps = step;
-  return out;
+  const MfcEngine engine(diffusion, config);
+  MfcWorkspace workspace;
+  return engine.run_cascade(seeds, workspace, rng);
 }
 
 }  // namespace rid::diffusion

@@ -37,6 +37,10 @@ struct MfcConfig {
 
 /// Runs MFC on the diffusion network (information flows along edge
 /// direction). Throws std::invalid_argument on malformed seeds or config.
+///
+/// Convenience wrapper over MfcEngine (mfc_engine.hpp) that builds a
+/// transient engine + workspace per call; for repeated simulation on one
+/// graph, use the engine directly to make trials allocation-free.
 Cascade simulate_mfc(const graph::SignedGraph& diffusion, const SeedSet& seeds,
                      const MfcConfig& config, util::Rng& rng);
 

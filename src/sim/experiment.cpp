@@ -20,7 +20,7 @@ namespace rid::sim {
 namespace {
 
 Trial build_trial(const Scenario& scenario, graph::SignedGraph social,
-                  util::Rng& rng) {
+                  util::Rng& rng, diffusion::MfcWorkspace& workspace) {
   Trial trial;
 
   // Paper IV-B3: weight the social links (Jaccard + uniform fallback by
@@ -109,12 +109,14 @@ Trial build_trial(const Scenario& scenario, graph::SignedGraph social,
   trial.truth.initiators = seeds.nodes;
   trial.truth.states = seeds.states;
 
-  // MFC simulation.
+  // MFC simulation. The engine is per-trial (the weighted graph is), but
+  // the workspace is caller-owned scratch that persists across trials.
   diffusion::MfcConfig mfc;
   mfc.alpha = scenario.alpha;
   mfc.allow_flipping = scenario.allow_flipping;
   util::Rng sim_rng = rng.split();
-  trial.cascade = diffusion::simulate_mfc(trial.diffusion, seeds, mfc, sim_rng);
+  const diffusion::MfcEngine engine(trial.diffusion, mfc);
+  trial.cascade = engine.run_cascade(seeds, workspace, sim_rng);
 
   // Observed snapshot; optionally mask some infected states to '?' and/or
   // hide some infected nodes entirely (incomplete monitoring).
@@ -140,18 +142,32 @@ Trial build_trial(const Scenario& scenario, graph::SignedGraph social,
 
 }  // namespace
 
-Trial make_trial(const Scenario& scenario, std::uint64_t trial_index) {
+Trial make_trial(const Scenario& scenario, std::uint64_t trial_index,
+                 diffusion::MfcWorkspace& workspace) {
   util::Rng rng(util::mix_seed(scenario.seed, trial_index));
   graph::SignedGraph social =
       gen::generate_dataset(scenario.profile, scenario.scale, rng);
-  return build_trial(scenario, std::move(social), rng);
+  return build_trial(scenario, std::move(social), rng, workspace);
+}
+
+Trial make_trial(const Scenario& scenario, std::uint64_t trial_index) {
+  diffusion::MfcWorkspace workspace;
+  return make_trial(scenario, trial_index, workspace);
+}
+
+Trial make_trial_on_graph(const Scenario& scenario,
+                          const graph::SignedGraph& social,
+                          std::uint64_t trial_index,
+                          diffusion::MfcWorkspace& workspace) {
+  util::Rng rng(util::mix_seed(scenario.seed, trial_index));
+  return build_trial(scenario, social, rng, workspace);
 }
 
 Trial make_trial_on_graph(const Scenario& scenario,
                           const graph::SignedGraph& social,
                           std::uint64_t trial_index) {
-  util::Rng rng(util::mix_seed(scenario.seed, trial_index));
-  return build_trial(scenario, social, rng);
+  diffusion::MfcWorkspace workspace;
+  return make_trial_on_graph(scenario, social, trial_index, workspace);
 }
 
 MethodScores score_method(const std::string& name, const Trial& trial,

@@ -8,6 +8,7 @@
 
 #include "core/isomit.hpp"
 #include "diffusion/cascade.hpp"
+#include "diffusion/mfc_engine.hpp"
 #include "metrics/classification.hpp"
 #include "metrics/states.hpp"
 #include "sim/scenario.hpp"
@@ -30,13 +31,21 @@ struct Trial {
 };
 
 /// Builds the trial deterministically from the scenario and trial index.
+/// The workspace overload reuses caller-owned MFC scratch buffers across
+/// trials (one workspace per thread); results are identical either way.
 Trial make_trial(const Scenario& scenario, std::uint64_t trial_index);
+Trial make_trial(const Scenario& scenario, std::uint64_t trial_index,
+                 diffusion::MfcWorkspace& workspace);
 
 /// Builds a trial on a caller-supplied *social* network (profile ignored):
 /// applies Jaccard weights, reverses, seeds and simulates as usual.
 Trial make_trial_on_graph(const Scenario& scenario,
                           const graph::SignedGraph& social,
                           std::uint64_t trial_index);
+Trial make_trial_on_graph(const Scenario& scenario,
+                          const graph::SignedGraph& social,
+                          std::uint64_t trial_index,
+                          diffusion::MfcWorkspace& workspace);
 
 /// Scores of one detector on one trial.
 struct MethodScores {

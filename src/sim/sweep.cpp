@@ -1,11 +1,33 @@
 #include "sim/sweep.hpp"
 
+#include <algorithm>
+
 #include "core/rid.hpp"
 #include "util/thread_pool.hpp"
 #include "util/logging.hpp"
 #include "util/timer.hpp"
 
 namespace rid::sim {
+
+namespace {
+
+// Runs fn(t, workspace) for every trial, strided across `num_threads`
+// chunks so each chunk reuses one MfcWorkspace (allocation-free cascades
+// after the first trial). Trial t always draws from the same per-trial RNG
+// regardless of the stride, so results are thread-count invariant.
+void for_each_trial(
+    std::size_t num_trials, std::size_t num_threads,
+    const std::function<void(std::size_t, diffusion::MfcWorkspace&)>& fn) {
+  const std::size_t stride = std::max<std::size_t>(
+      1, std::min(num_threads, std::max<std::size_t>(num_trials, 1)));
+  util::parallel_for_each(stride, stride, [&](std::size_t chunk) {
+    diffusion::MfcWorkspace workspace;
+    for (std::size_t t = chunk; t < num_trials; t += stride)
+      fn(t, workspace);
+  });
+}
+
+}  // namespace
 
 void AggregateScores::add(const MethodScores& s) {
   method = s.method;
@@ -29,8 +51,9 @@ std::vector<AggregateScores> run_comparison(const Scenario& scenario,
   // Trials are independent; run them (optionally) in parallel and fold the
   // per-trial scores in trial order so aggregates match the serial run.
   std::vector<std::vector<MethodScores>> per_trial(num_trials);
-  util::parallel_for_each(num_trials, num_threads, [&](std::size_t t) {
-    const Trial trial = make_trial(scenario, t);
+  for_each_trial(num_trials, num_threads,
+                 [&](std::size_t t, diffusion::MfcWorkspace& workspace) {
+    const Trial trial = make_trial(scenario, t, workspace);
     per_trial[t] = run_methods(trial, methods);
     util::log_info("run_comparison: trial ", t + 1, "/", num_trials, " done (",
                    trial.cascade.num_infected(), " infected)");
@@ -52,8 +75,9 @@ std::vector<BetaPoint> run_beta_sweep(const Scenario& scenario,
 
   // scores[t][i]: trial t, beta i (folded in trial order afterwards).
   std::vector<std::vector<MethodScores>> scores(num_trials);
-  util::parallel_for_each(num_trials, num_threads, [&](std::size_t t) {
-    const Trial trial = make_trial(scenario, t);
+  for_each_trial(num_trials, num_threads,
+                 [&](std::size_t t, diffusion::MfcWorkspace& workspace) {
+    const Trial trial = make_trial(scenario, t, workspace);
 
     core::RidConfig config;
     config.extraction.likelihood.alpha = scenario.alpha;

@@ -1,0 +1,358 @@
+// MfcEngine / MfcWorkspace: bit-for-bit equivalence with the original
+// simulate_mfc implementation, thread-count invariance of run_batch, and
+// correctness of workspace reuse across trials and graphs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "diffusion/influence_max.hpp"
+#include "diffusion/mfc_engine.hpp"
+#include "gen/sign_assigner.hpp"
+#include "gen/topologies.hpp"
+#include "util/rng.hpp"
+
+namespace rid::diffusion {
+namespace {
+
+using graph::EdgeId;
+using graph::NodeId;
+using graph::NodeState;
+using graph::Sign;
+using graph::SignedGraph;
+
+SignedGraph random_graph(util::Rng& rng, NodeId n, std::size_t m) {
+  const auto el = gen::erdos_renyi(n, m, rng);
+  SignedGraph g = gen::assign_signs_uniform(
+      el, {.positive_probability = 0.75}, rng);
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    g.set_edge_weight(e, rng.uniform(0.0, 0.6));
+  return g;
+}
+
+SeedSet random_seeds(util::Rng& rng, NodeId n, std::size_t count) {
+  SeedSet seeds;
+  for (const auto v : rng.sample_without_replacement(n, count)) {
+    seeds.nodes.push_back(static_cast<NodeId>(v));
+    seeds.states.push_back(rng.bernoulli(0.5) ? NodeState::kPositive
+                                              : NodeState::kNegative);
+  }
+  return seeds;
+}
+
+// Verbatim copy of the pre-engine simulate_mfc (the growth seed's
+// implementation, dense O(n + m) reset per trial). The engine's
+// determinism contract is "bit-for-bit identical to this under the same
+// Rng stream"; keeping the reference here pins that contract even as the
+// production wrapper evolves.
+Cascade reference_simulate_mfc(const SignedGraph& diffusion,
+                               const SeedSet& seeds, const MfcConfig& config,
+                               util::Rng& rng) {
+  validate_seed_set(seeds, diffusion.num_nodes());
+
+  const NodeId n = diffusion.num_nodes();
+  Cascade out;
+  out.state.assign(n, NodeState::kInactive);
+  out.activator.assign(n, graph::kInvalidNode);
+  out.activation_edge.assign(n, graph::kInvalidEdge);
+  out.step.assign(n, 0);
+  out.infected.reserve(seeds.nodes.size() * 4);
+
+  std::vector<bool> attempted(diffusion.num_edges(), false);
+
+  std::vector<NodeId> recent;
+  std::vector<NodeId> next;
+  for (std::size_t i = 0; i < seeds.nodes.size(); ++i) {
+    const NodeId s = seeds.nodes[i];
+    out.state[s] = seeds.states[i];
+    out.infected.push_back(s);
+    recent.push_back(s);
+  }
+
+  std::uint32_t step = 0;
+  while (!recent.empty()) {
+    ++step;
+    if (config.max_steps != 0 && step > config.max_steps) break;
+    next.clear();
+    for (const NodeId u : recent) {
+      const NodeState su = out.state[u];
+      for (const EdgeId e : diffusion.out_edge_ids(u)) {
+        if (attempted[e]) continue;
+        const NodeId v = diffusion.edge_dst(e);
+        const Sign sign = diffusion.edge_sign(e);
+        const NodeState sv = out.state[v];
+
+        const bool inactive = sv == NodeState::kInactive;
+        const bool flip_candidate = config.allow_flipping &&
+                                    graph::is_opinion(sv) &&
+                                    sign == Sign::kPositive && sv != su;
+        if (!inactive && !flip_candidate) continue;
+
+        attempted[e] = true;
+        ++out.num_attempts;
+        double p = diffusion.edge_weight(e);
+        if (config.boost_positive && sign == Sign::kPositive)
+          p = std::min(1.0, config.alpha * p);
+        if (!rng.bernoulli(p)) continue;
+
+        if (inactive) {
+          out.infected.push_back(v);
+        } else {
+          ++out.num_flips;
+        }
+        out.state[v] = graph::propagate_state(su, sign);
+        out.activator[v] = u;
+        out.activation_edge[v] = e;
+        out.step[v] = step;
+        next.push_back(v);
+      }
+    }
+    std::swap(recent, next);
+  }
+  out.num_steps = step;
+  return out;
+}
+
+void expect_same_cascade(const Cascade& a, const Cascade& b) {
+  EXPECT_EQ(a.state, b.state);
+  EXPECT_EQ(a.activator, b.activator);
+  EXPECT_EQ(a.activation_edge, b.activation_edge);
+  EXPECT_EQ(a.step, b.step);
+  EXPECT_EQ(a.infected, b.infected);
+  EXPECT_EQ(a.num_flips, b.num_flips);
+  EXPECT_EQ(a.num_attempts, b.num_attempts);
+  EXPECT_EQ(a.num_steps, b.num_steps);
+}
+
+// --- wrapper equivalence -----------------------------------------------------
+
+TEST(MfcEngine, MatchesReferenceBitForBit) {
+  util::Rng rng(2024);
+  for (int trial = 0; trial < 20; ++trial) {
+    const NodeId n = 30 + static_cast<NodeId>(rng.next_below(300));
+    const SignedGraph g = random_graph(rng, n, 5 * n);
+    const SeedSet seeds = random_seeds(rng, n, 1 + rng.next_below(10));
+
+    MfcConfig config;
+    config.alpha = 1.0 + rng.uniform(0.0, 4.0);
+    config.allow_flipping = rng.bernoulli(0.5);
+    config.boost_positive = rng.bernoulli(0.8);
+
+    const std::uint64_t stream_seed = rng.next_u64();
+    util::Rng ref_rng(stream_seed);
+    const Cascade ref = reference_simulate_mfc(g, seeds, config, ref_rng);
+
+    const MfcEngine engine(g, config);
+    MfcWorkspace ws;
+    util::Rng eng_rng(stream_seed);
+    const Cascade got = engine.run_cascade(seeds, ws, eng_rng);
+    expect_same_cascade(ref, got);
+
+    // Both paths must leave the Rng in the same place (stream contract).
+    EXPECT_EQ(ref_rng.next_u64(), eng_rng.next_u64()) << "trial " << trial;
+
+    // The compatibility wrapper routes through the same engine path.
+    util::Rng wrap_rng(stream_seed);
+    expect_same_cascade(ref, simulate_mfc(g, seeds, config, wrap_rng));
+  }
+}
+
+TEST(MfcEngine, StatsMatchExportedCascade) {
+  util::Rng rng(7);
+  const SignedGraph g = random_graph(rng, 200, 1200);
+  const SeedSet seeds = random_seeds(rng, 200, 5);
+  const MfcEngine engine(g, {});
+  MfcWorkspace ws;
+  util::Rng sim_rng(99);
+  const MfcTrialStats stats = engine.run(seeds, ws, sim_rng);
+  const Cascade cascade = engine.export_cascade(ws);
+  EXPECT_EQ(stats.num_infected, cascade.num_infected());
+  EXPECT_EQ(stats.num_flips, cascade.num_flips);
+  EXPECT_EQ(stats.num_attempts, cascade.num_attempts);
+  EXPECT_EQ(stats.num_steps, cascade.num_steps);
+  EXPECT_EQ(std::vector<NodeId>(ws.infected().begin(), ws.infected().end()),
+            cascade.infected);
+}
+
+TEST(MfcEngine, RejectsBadConfigAndSeeds) {
+  util::Rng rng(3);
+  const SignedGraph g = random_graph(rng, 10, 30);
+  MfcConfig bad;
+  bad.alpha = 0.5;
+  EXPECT_THROW(MfcEngine(g, bad), std::invalid_argument);
+
+  const MfcEngine engine(g, {});
+  MfcWorkspace ws;
+  util::Rng sim_rng(1);
+  SeedSet out_of_range{{42}, {NodeState::kPositive}};
+  EXPECT_THROW(engine.run(out_of_range, ws, sim_rng), std::invalid_argument);
+}
+
+// --- probability table -------------------------------------------------------
+
+TEST(MfcEngine, ProbabilityTableFoldsBoost) {
+  graph::SignedGraphBuilder builder(3);
+  builder.add_edge(0, 1, Sign::kPositive, 0.4)
+      .add_edge(1, 2, Sign::kNegative, 0.4);
+  const SignedGraph g = builder.build();
+  MfcConfig config;
+  config.alpha = 2.0;
+  const MfcEngine boosted(g, config);
+  EXPECT_DOUBLE_EQ(boosted.edge_probabilities()[0], 0.8);  // positive: 2*0.4
+  EXPECT_DOUBLE_EQ(boosted.edge_probabilities()[1], 0.4);  // negative: plain
+
+  config.alpha = 5.0;
+  const MfcEngine clamped(g, config);
+  EXPECT_DOUBLE_EQ(clamped.edge_probabilities()[0], 1.0);  // min(1, 2.0)
+
+  config.boost_positive = false;
+  const MfcEngine plain(g, config);
+  EXPECT_DOUBLE_EQ(plain.edge_probabilities()[0], 0.4);
+}
+
+// --- workspace reuse ---------------------------------------------------------
+
+TEST(MfcEngine, WorkspaceReuseMatchesFreshWorkspaces) {
+  util::Rng rng(55);
+  const NodeId n = 250;
+  const SignedGraph g = random_graph(rng, n, 6 * n);
+  const SeedSet seeds = random_seeds(rng, n, 4);
+  const MfcEngine engine(g, {});
+
+  MfcWorkspace reused;
+  for (int t = 0; t < 100; ++t) {
+    util::Rng a(util::mix_seed(9000, static_cast<std::uint64_t>(t)));
+    util::Rng b(util::mix_seed(9000, static_cast<std::uint64_t>(t)));
+    const Cascade with_reuse = engine.run_cascade(seeds, reused, a);
+    MfcWorkspace fresh;
+    const Cascade with_fresh = engine.run_cascade(seeds, fresh, b);
+    expect_same_cascade(with_reuse, with_fresh);
+  }
+}
+
+TEST(MfcEngine, WorkspaceMovesBetweenGraphsOfDifferentSize) {
+  util::Rng rng(66);
+  const SignedGraph small = random_graph(rng, 40, 200);
+  const SignedGraph large = random_graph(rng, 400, 2500);
+  const MfcEngine small_engine(small, {});
+  const MfcEngine large_engine(large, {});
+  const SeedSet small_seeds = random_seeds(rng, 40, 3);
+  const SeedSet large_seeds = random_seeds(rng, 400, 6);
+
+  MfcWorkspace ws;
+  for (int t = 0; t < 5; ++t) {
+    util::Rng a(util::mix_seed(17, static_cast<std::uint64_t>(t)));
+    util::Rng b(util::mix_seed(17, static_cast<std::uint64_t>(t)));
+    const Cascade reused = small_engine.run_cascade(small_seeds, ws, a);
+    MfcWorkspace fresh;
+    expect_same_cascade(reused,
+                        small_engine.run_cascade(small_seeds, fresh, b));
+
+    util::Rng c(util::mix_seed(18, static_cast<std::uint64_t>(t)));
+    util::Rng d(util::mix_seed(18, static_cast<std::uint64_t>(t)));
+    const Cascade reused_large = large_engine.run_cascade(large_seeds, ws, c);
+    MfcWorkspace fresh_large;
+    expect_same_cascade(
+        reused_large,
+        large_engine.run_cascade(large_seeds, fresh_large, d));
+  }
+  EXPECT_GT(ws.infected_high_water(), 0u);
+}
+
+TEST(MfcEngine, HighWaterMarkTracksLargestCascade) {
+  // Certain chain: every trial infects all 5 nodes.
+  graph::SignedGraphBuilder builder(5);
+  for (NodeId v = 0; v + 1 < 5; ++v)
+    builder.add_edge(v, v + 1, Sign::kPositive, 1.0);
+  const SignedGraph g = builder.build();
+  const MfcEngine engine(g, {});
+  MfcWorkspace ws;
+  EXPECT_EQ(ws.infected_high_water(), 0u);
+  util::Rng rng(1);
+  engine.run({{0}, {NodeState::kPositive}}, ws, rng);
+  EXPECT_EQ(ws.infected_high_water(), 5u);
+  // A smaller cascade does not lower the mark.
+  MfcConfig capped;
+  capped.max_steps = 1;
+  const MfcEngine capped_engine(g, capped);
+  capped_engine.run({{0}, {NodeState::kPositive}}, ws, rng);
+  EXPECT_EQ(ws.infected_high_water(), 5u);
+}
+
+// --- run_batch ---------------------------------------------------------------
+
+TEST(MfcEngine, BatchIsThreadCountInvariant) {
+  util::Rng rng(77);
+  const NodeId n = 300;
+  const SignedGraph g = random_graph(rng, n, 7 * n);
+  std::vector<SeedSet> seed_sets;
+  for (int s = 0; s < 3; ++s)
+    seed_sets.push_back(random_seeds(rng, n, 2 + s));
+  const MfcEngine engine(g, {});
+
+  const MfcBatchResult one = engine.run_batch(seed_sets, 40, 1234, 1);
+  for (const std::size_t threads : {2, 8}) {
+    const MfcBatchResult multi = engine.run_batch(seed_sets, 40, 1234, threads);
+    ASSERT_EQ(one.trials.size(), multi.trials.size());
+    for (std::size_t i = 0; i < one.trials.size(); ++i) {
+      EXPECT_EQ(one.trials[i].num_infected, multi.trials[i].num_infected);
+      EXPECT_EQ(one.trials[i].num_flips, multi.trials[i].num_flips);
+      EXPECT_EQ(one.trials[i].num_attempts, multi.trials[i].num_attempts);
+      EXPECT_EQ(one.trials[i].num_steps, multi.trials[i].num_steps);
+    }
+    for (std::size_t s = 0; s < seed_sets.size(); ++s)
+      EXPECT_DOUBLE_EQ(one.mean_infected(s), multi.mean_infected(s));
+  }
+}
+
+TEST(MfcEngine, BatchTrialsAreCounterSeeded) {
+  // Trial (s, t) must equal a standalone run with Rng(mix_seed(base, idx)).
+  util::Rng rng(88);
+  const NodeId n = 120;
+  const SignedGraph g = random_graph(rng, n, 700);
+  std::vector<SeedSet> seed_sets{random_seeds(rng, n, 3),
+                                 random_seeds(rng, n, 5)};
+  const MfcEngine engine(g, {});
+  const std::uint64_t base_seed = 4321;
+  const MfcBatchResult batch = engine.run_batch(seed_sets, 10, base_seed, 4);
+  ASSERT_EQ(batch.trials.size(), 20u);
+  MfcWorkspace ws;
+  for (std::size_t s = 0; s < seed_sets.size(); ++s) {
+    const auto trials = batch.trials_for(s);
+    for (std::size_t t = 0; t < trials.size(); ++t) {
+      util::Rng trial_rng(util::mix_seed(base_seed, s * 10 + t));
+      const MfcTrialStats lone = engine.run(seed_sets[s], ws, trial_rng);
+      EXPECT_EQ(lone.num_infected, trials[t].num_infected);
+      EXPECT_EQ(lone.num_attempts, trials[t].num_attempts);
+    }
+  }
+}
+
+TEST(MfcEngine, BatchHandlesEmptyInput) {
+  util::Rng rng(5);
+  const SignedGraph g = random_graph(rng, 10, 30);
+  const MfcEngine engine(g, {});
+  const MfcBatchResult empty = engine.run_batch({}, 10, 1, 4);
+  EXPECT_TRUE(empty.trials.empty());
+  EXPECT_EQ(empty.num_seed_sets, 0u);
+}
+
+// --- estimate_spread engine overload ----------------------------------------
+
+TEST(MfcEngine, EstimateSpreadOverloadsAgree) {
+  util::Rng rng(31);
+  const NodeId n = 150;
+  const SignedGraph g = random_graph(rng, n, 900);
+  const SeedSet seeds = random_seeds(rng, n, 4);
+
+  util::Rng a(777);
+  const double via_graph = estimate_spread(g, seeds, {}, 50, a);
+
+  const MfcEngine engine(g, {});
+  MfcWorkspace ws;
+  util::Rng b(777);
+  const double via_engine = estimate_spread(engine, seeds, 50, ws, b);
+  EXPECT_DOUBLE_EQ(via_graph, via_engine);
+}
+
+}  // namespace
+}  // namespace rid::diffusion
