@@ -80,7 +80,12 @@ int main(int argc, char** argv) {
   core::RidConfig config;
   config.beta = flags.get_double("beta", 0.1);
   config.extraction.likelihood.alpha = mfc.alpha;
+  // Real-world dumps are messy: repair (and report) malformed snapshot
+  // entries instead of rejecting the whole run.
+  config.repair_policy = core::RepairPolicy::kRepair;
   const core::DetectionResult rid = core::run_rid(diffusion, cascade.state, config);
+  if (!rid.diagnostics.all_ok() || !rid.diagnostics.repairs.empty())
+    std::printf("%s\n", rid.diagnostics.summary().c_str());
   const core::DetectionResult tree =
       core::run_rid_tree(diffusion, cascade.state, {});
 

@@ -2,7 +2,7 @@
 // recover the initiators with RID.
 //
 //   ./examples/quickstart [--nodes=300] [--edges=1800] [--seeds=5]
-//                         [--beta=0.1] [--seed=42]
+//                         [--beta=0.1] [--seed=42] [--deadline=seconds]
 #include <cstdio>
 
 #include "core/rid.hpp"
@@ -47,11 +47,17 @@ int main(int argc, char** argv) {
               cascade.num_infected(), n, cascade.num_steps,
               cascade.num_flips);
 
-  // 4. Detect the initiators from the snapshot alone.
+  // 4. Detect the initiators from the snapshot alone. An optional wall-clock
+  //    budget shows the graceful-degradation path: over-budget trees fall
+  //    back to their RID-Tree root answer instead of aborting the run.
   core::RidConfig config;
   config.beta = beta;
+  config.budget.deadline_seconds =
+      flags.get_double("deadline", util::kUnlimitedSeconds);
   const core::DetectionResult result =
       core::run_rid(diffusion, cascade.state, config);
+  if (!result.diagnostics.all_ok())
+    std::printf("%s\n", result.diagnostics.summary().c_str());
 
   const metrics::IdentityScores scores =
       metrics::score_identities(result.initiators, seeds.nodes);

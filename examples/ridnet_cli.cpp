@@ -14,6 +14,20 @@
 // network; snapshots/truth/detections are "node state" files
 // (core/snapshot_io.hpp). `generate` already applies Jaccard weighting, so
 // `simulate`/`detect` only reverse into the diffusion network.
+//
+// Robustness flags (detect/pipeline, method=rid):
+//   --deadline=SECONDS    wall-clock budget for the per-tree solves
+//   --max-tree-nodes=N    degrade trees larger than N nodes (deterministic)
+//   --max-k=K             cap the initiator count explored per tree
+//   --repair              sanitize malformed snapshots instead of rejecting
+//
+// Exit codes (documented contract, also in README.md):
+//   0  success, every tree solved exactly
+//   1  internal error (bug or resource failure)
+//   2  usage error (unknown subcommand/flags)
+//   3  bad input (malformed graph/snapshot files, invalid flag values)
+//   4  completed but degraded (some trees fell back to RID-Tree answers;
+//      results were still written, diagnostics on stderr say why)
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -32,6 +46,7 @@
 #include "graph/stats.hpp"
 #include "metrics/classification.hpp"
 #include "metrics/states.hpp"
+#include "util/errors.hpp"
 #include "util/flags.hpp"
 #include "util/logging.hpp"
 
@@ -39,13 +54,19 @@ namespace {
 
 using namespace rid;
 
+// Exit-code contract (see the file header and README.md).
+constexpr int kExitInternal = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitBadInput = 3;
+constexpr int kExitDegraded = 4;
+
 int usage() {
   std::fprintf(stderr,
                "usage: ridnet_cli <generate|simulate|detect|evaluate|"
                "pipeline> [--flags]\n"
                "run with a subcommand and no flags for its defaults; see the "
                "header of examples/ridnet_cli.cpp for details\n");
-  return 2;
+  return kExitUsage;
 }
 
 gen::DatasetProfile profile_by_name(const std::string& name) {
@@ -121,6 +142,14 @@ int cmd_simulate(const util::Flags& flags) {
   return 0;
 }
 
+/// Prints the run diagnostics to stderr and maps them onto the exit code:
+/// 0 when every tree solved exactly, kExitDegraded otherwise (results are
+/// still written — callers decide whether a degraded answer is usable).
+int finish_detection(const core::DetectionResult& result) {
+  std::fprintf(stderr, "%s\n", result.diagnostics.summary().c_str());
+  return result.diagnostics.all_ok() ? 0 : kExitDegraded;
+}
+
 core::DetectionResult detect_on(const graph::SignedGraph& diffusion,
                                 std::span<const graph::NodeState> snapshot,
                                 const util::Flags& flags) {
@@ -131,6 +160,14 @@ core::DetectionResult detect_on(const graph::SignedGraph& diffusion,
     config.extraction.likelihood.alpha = flags.get_double("alpha", 3.0);
     config.num_threads =
         static_cast<std::size_t>(flags.get_int("threads", 1));
+    config.budget.deadline_seconds =
+        flags.get_double("deadline", util::kUnlimitedSeconds);
+    config.budget.max_tree_nodes =
+        static_cast<std::uint32_t>(flags.get_int("max-tree-nodes", 0));
+    config.budget.max_k =
+        static_cast<std::uint32_t>(flags.get_int("max-k", 0));
+    if (flags.get_bool("repair", false))
+      config.repair_policy = core::RepairPolicy::kRepair;
     // --early=<snapshot file>: two-snapshot temporal detection.
     const std::string early_path = flags.get_string("early", "");
     if (!early_path.empty()) {
@@ -176,7 +213,7 @@ int cmd_detect(const util::Flags& flags) {
   std::cout << "wrote " << out << " (" << result.initiators.size()
             << " initiators from " << result.num_trees << " trees, "
             << result.num_components << " components)\n";
-  return 0;
+  return finish_detection(result);
 }
 
 struct LabeledStates {
@@ -244,7 +281,7 @@ int cmd_pipeline(const util::Flags& flags) {
               flags.get_string("method", "rid").c_str(),
               result.initiators.size(), identity.precision, identity.recall,
               identity.f1);
-  return 0;
+  return finish_detection(result);
 }
 
 }  // namespace
@@ -259,9 +296,15 @@ int main(int argc, char** argv) {
     if (command == "detect") return cmd_detect(flags);
     if (command == "evaluate") return cmd_evaluate(flags);
     if (command == "pipeline") return cmd_pipeline(flags);
+  } catch (const rid::util::InputError& error) {
+    std::fprintf(stderr, "ridnet_cli %s: %s\n", command.c_str(), error.what());
+    return kExitBadInput;
+  } catch (const std::invalid_argument& error) {
+    std::fprintf(stderr, "ridnet_cli %s: %s\n", command.c_str(), error.what());
+    return kExitBadInput;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "ridnet_cli %s: %s\n", command.c_str(), error.what());
-    return 1;
+    return kExitInternal;
   }
   return usage();
 }

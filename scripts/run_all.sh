@@ -3,13 +3,33 @@
 # bench binary. Outputs are tee'd next to the repo root so results can be
 # inspected (and diffed) after the run.
 #
-#   scripts/run_all.sh [build-dir]
+#   scripts/run_all.sh [--sanitize] [build-dir]
+#
+# --sanitize configures with RID_SANITIZE=ON (ASan + UBSan), uses a separate
+# default build dir, and skips the benches (sanitized timings are
+# meaningless).
 set -euo pipefail
 cd "$(dirname "$0")/.."
-BUILD="${1:-build}"
 
-cmake -B "$BUILD" -G Ninja
+SANITIZE=0
+if [ "${1:-}" = "--sanitize" ]; then
+  SANITIZE=1
+  shift
+fi
+if [ "$SANITIZE" = 1 ]; then
+  BUILD="${1:-build-sanitize}"
+  cmake -B "$BUILD" -G Ninja -DRID_SANITIZE=ON
+else
+  BUILD="${1:-build}"
+  cmake -B "$BUILD" -G Ninja
+fi
 cmake --build "$BUILD"
+
+if [ "$SANITIZE" = 1 ]; then
+  ctest --test-dir "$BUILD" --output-on-failure 2>&1 | tee test_output_sanitize.txt
+  echo "done: test_output_sanitize.txt"
+  exit 0
+fi
 
 ctest --test-dir "$BUILD" 2>&1 | tee test_output.txt
 

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "graph/types.hpp"
+#include "util/work_budget.hpp"
 
 namespace rid::algo {
 
@@ -47,13 +48,18 @@ struct Branching {
   std::size_t num_roots = 0;
 };
 
-/// Recursive-contraction Edmonds (reference implementation).
+/// Recursive-contraction Edmonds (reference implementation). When `budget`
+/// is non-null its deadline/cancellation is polled from the contraction
+/// loops (amortized); overruns throw util::BudgetExceededError.
 Branching max_branching_simple(graph::NodeId num_nodes,
-                               std::span<const WeightedArc> arcs);
+                               std::span<const WeightedArc> arcs,
+                               const util::BudgetScope* budget = nullptr);
 
-/// Skew-heap Edmonds (production implementation).
+/// Skew-heap Edmonds (production implementation). Same budget contract as
+/// max_branching_simple.
 Branching max_branching_fast(graph::NodeId num_nodes,
-                             std::span<const WeightedArc> arcs);
+                             std::span<const WeightedArc> arcs,
+                             const util::BudgetScope* budget = nullptr);
 
 /// Checks structural validity: parent pointers acyclic, each parent_arc
 /// actually connects parent[v] -> v, and total_weight matches.

@@ -83,9 +83,11 @@ Branching finalize(graph::NodeId n, std::span<const WeightedArc> arcs,
 // ---------------------------------------------------------------------------
 
 Branching max_branching_simple(graph::NodeId num_nodes,
-                               std::span<const WeightedArc> arcs) {
+                               std::span<const WeightedArc> arcs,
+                               const util::BudgetScope* budget) {
   const graph::NodeId n = num_nodes;
   if (n == 0) return Branching{};
+  util::BudgetChecker checker(budget);
   const double big = compute_big(arcs);
 
   struct Level {
@@ -110,6 +112,7 @@ Branching max_branching_simple(graph::NodeId num_nodes,
     const std::uint32_t ln = level.n;
     level.best.assign(ln, kNone);
     for (std::uint32_t i = 0; i < level.arcs.size(); ++i) {
+      checker.tick();
       const InternalArc& a = level.arcs[i];
       if (a.dst == level.root) continue;
       if (level.best[a.dst] == kNone ||
@@ -219,9 +222,11 @@ Branching max_branching_simple(graph::NodeId num_nodes,
 // ---------------------------------------------------------------------------
 
 Branching max_branching_fast(graph::NodeId num_nodes,
-                             std::span<const WeightedArc> arcs) {
+                             std::span<const WeightedArc> arcs,
+                             const util::BudgetScope* budget) {
   const graph::NodeId n = num_nodes;
   if (n == 0) return Branching{};
+  util::BudgetChecker checker(budget);
   const double big = compute_big(arcs);
 
   struct Arc {
@@ -271,6 +276,7 @@ Branching max_branching_fast(graph::NodeId num_nodes,
     if (seen[u] >= 0) continue;
     std::size_t qi = 0;
     while (seen[u] < 0) {
+      checker.tick();
       if (pool.empty(heap[u])) {
         // Unreachable from the root — cannot happen with virtual arcs.
         throw std::logic_error("max_branching_fast: disconnected node");

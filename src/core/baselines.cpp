@@ -12,8 +12,16 @@ DetectionResult roots_of_forest(const CascadeForest& forest) {
   DetectionResult out;
   out.num_components = forest.num_components;
   out.num_trees = forest.trees.size();
-  for (const CascadeTree& tree : forest.trees)
+  for (std::size_t t = 0; t < forest.trees.size(); ++t) {
+    const CascadeTree& tree = forest.trees[t];
     out.initiators.push_back(tree.global[tree.root]);
+    // Root extraction cannot fail per tree; report every tree as ok so the
+    // diagnostics schema is uniform across detectors.
+    TreeDiagnostics diag;
+    diag.tree_index = t;
+    diag.num_nodes = tree.size();
+    out.diagnostics.record(std::move(diag));
+  }
   std::sort(out.initiators.begin(), out.initiators.end());
   // These baselines identify identities only (paper IV-B2).
   out.states.assign(out.initiators.size(), graph::NodeState::kUnknown);

@@ -73,6 +73,7 @@ CascadeForest extract_cascade_forest(const graph::SignedGraph& diffusion,
         "extract_cascade_forest: score_floor outside (0, 1)");
 
   CascadeForest out;
+  util::BudgetChecker checker(config.budget);
   const std::vector<graph::NodeId> infected = infected_nodes(states);
   if (infected.empty()) return out;
 
@@ -91,6 +92,7 @@ CascadeForest extract_cascade_forest(const graph::SignedGraph& diffusion,
     // Candidate activation arcs: every diffusion edge inside the component.
     std::vector<algo::WeightedArc> arcs;
     for (graph::NodeId i = 0; i < members.size(); ++i) {
+      checker.tick();
       const graph::NodeId u = members[i];
       for (const graph::EdgeId e : diffusion.out_edge_ids(u)) {
         const graph::NodeId v = diffusion.edge_dst(e);
@@ -105,9 +107,11 @@ CascadeForest extract_cascade_forest(const graph::SignedGraph& diffusion,
     const algo::Branching branching =
         config.use_fast_solver
             ? algo::max_branching_fast(
-                  static_cast<graph::NodeId>(members.size()), arcs)
+                  static_cast<graph::NodeId>(members.size()), arcs,
+                  config.budget)
             : algo::max_branching_simple(
-                  static_cast<graph::NodeId>(members.size()), arcs);
+                  static_cast<graph::NodeId>(members.size()), arcs,
+                  config.budget);
 
     // Split the branching into trees.
     const algo::RootedForest forest(branching.parent);
@@ -155,6 +159,7 @@ CascadeForest extract_cascade_forest(const graph::SignedGraph& diffusion,
       tree.side_q.assign(tree.size(), 1.0);
       if (config.side_evidence) {
         for (std::size_t v = 0; v < tree.size(); ++v) {
+          checker.tick();
           const graph::NodeId gu = tree.global[v];
           for (const graph::EdgeId e : diffusion.in_edge_ids(gu)) {
             if (e == tree.parent_edge[v]) continue;

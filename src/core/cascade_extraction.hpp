@@ -16,6 +16,7 @@
 
 #include "diffusion/likelihood.hpp"
 #include "graph/signed_graph.hpp"
+#include "util/work_budget.hpp"
 
 namespace rid::core {
 
@@ -75,6 +76,15 @@ struct ExtractionConfig {
   /// Use the O(E log V) solver (true) or the paper-faithful recursive
   /// contraction solver (false). Results have equal total weight.
   bool use_fast_solver = true;
+  /// Optional armed work budget (non-owning; must outlive the call). The
+  /// deadline/cancellation is polled from the arc-building, Edmonds, and
+  /// side-evidence loops; overruns throw util::BudgetExceededError. Note
+  /// that extraction is the base of the degradation ladder (even RID-Tree
+  /// needs the forest), so run_rid leaves this null and budgets only the
+  /// superlinear per-tree solves — set it when calling
+  /// extract_cascade_forest directly and a hard stop is preferable to any
+  /// answer. Null = unbudgeted.
+  const util::BudgetScope* budget = nullptr;
 };
 
 struct CascadeForest {

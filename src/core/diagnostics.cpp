@@ -1,0 +1,56 @@
+#include "core/diagnostics.hpp"
+
+#include <sstream>
+
+namespace rid::core {
+
+std::string to_string(TreeStatus status) {
+  switch (status) {
+    case TreeStatus::kOk:
+      return "ok";
+    case TreeStatus::kDegraded:
+      return "degraded";
+    case TreeStatus::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+void RunDiagnostics::record(TreeDiagnostics tree) {
+  switch (tree.status) {
+    case TreeStatus::kOk:
+      ++num_ok;
+      break;
+    case TreeStatus::kDegraded:
+      ++num_degraded;
+      break;
+    case TreeStatus::kFailed:
+      ++num_failed;
+      break;
+  }
+  if (tree.budget_hit) budget_hit = true;
+  trees.push_back(std::move(tree));
+}
+
+std::string RunDiagnostics::summary() const {
+  std::ostringstream out;
+  out << "diagnostics: " << trees.size() << " trees (" << num_ok << " ok, "
+      << num_degraded << " degraded, " << num_failed << " failed)";
+  if (budget_hit) out << ", budget hit";
+  if (!repairs.empty()) out << ", " << repairs.size() << " input repairs";
+  out << ", " << total_seconds << " s total";
+  if (extraction_seconds > 0.0)
+    out << " (" << extraction_seconds << " s extraction)";
+  for (const TreeDiagnostics& tree : trees) {
+    if (tree.status == TreeStatus::kOk) continue;
+    out << "\n  tree " << tree.tree_index << " (n=" << tree.num_nodes
+        << "): " << to_string(tree.status);
+    if (tree.budget_hit) out << " [budget]";
+    if (tree.fallback_root_only) out << " fallback=root-only";
+    if (!tree.error.empty()) out << " — " << tree.error;
+  }
+  for (const std::string& repair : repairs) out << "\n  repair: " << repair;
+  return out.str();
+}
+
+}  // namespace rid::core

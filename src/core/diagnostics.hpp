@@ -1,0 +1,62 @@
+// Run diagnostics attached to every DetectionResult.
+//
+// The RID pipeline degrades per cascade tree instead of failing per run: a
+// tree whose DP throws or blows its WorkBudget falls back to the RID-Tree
+// root-only answer, and everything that happened is recorded here so callers
+// (and the CLI) can see exactly what degraded and why.
+//
+// Status ladder per tree:
+//  * kOk       — the full k-ISOMIT-BT DP answered;
+//  * kDegraded — the DP failed or was cut off; the tree contributed its
+//                RID-Tree fallback (root as sole initiator, observed state);
+//  * kFailed   — even the fallback was unavailable (e.g. the tree root is
+//                excluded by the candidate mask); the tree contributed
+//                nothing.
+// A run that returns at all always covers every tree with one of the three.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rid::core {
+
+enum class TreeStatus : std::uint8_t { kOk, kDegraded, kFailed };
+
+std::string to_string(TreeStatus status);
+
+struct TreeDiagnostics {
+  std::size_t tree_index = 0;  // position in the forest's tree order
+  std::size_t num_nodes = 0;
+  TreeStatus status = TreeStatus::kOk;
+  double seconds = 0.0;   // wall time spent on this tree's solve attempt
+  bool budget_hit = false;     // degradation was budget-driven
+  bool fallback_root_only = false;  // RID-Tree fallback answer taken
+  std::string error;           // failure reason (empty when kOk)
+};
+
+struct RunDiagnostics {
+  std::vector<TreeDiagnostics> trees;  // one entry per tree, in tree order
+  std::size_t num_ok = 0;
+  std::size_t num_degraded = 0;
+  std::size_t num_failed = 0;
+  /// Any tree degraded/failed because of the WorkBudget (deadline,
+  /// cancellation, or a per-tree cap).
+  bool budget_hit = false;
+  double total_seconds = 0.0;       // whole run (extraction + solves)
+  double extraction_seconds = 0.0;  // forest extraction only
+  /// Input repairs applied by sanitize (RepairPolicy::kRepair); empty when
+  /// the input was clean or repair was not requested.
+  std::vector<std::string> repairs;
+
+  bool all_ok() const noexcept { return num_degraded == 0 && num_failed == 0; }
+
+  /// Folds a per-tree entry into the counters (keeps them consistent).
+  void record(TreeDiagnostics tree);
+
+  /// Human-readable multi-line report: one header line with the counters,
+  /// then one line per non-ok tree and per repair. Used by the CLI (stderr).
+  std::string summary() const;
+};
+
+}  // namespace rid::core

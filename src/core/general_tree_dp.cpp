@@ -12,7 +12,9 @@ constexpr std::uint32_t kRowZ = 0xffffffffu;
 }
 
 std::vector<double> general_tree_opt_curve(const CascadeTree& tree,
-                                           std::uint32_t k_max) {
+                                           std::uint32_t k_max,
+                                           const util::BudgetScope* budget) {
+  util::BudgetChecker checker(budget, /*interval=*/64);
   const auto n = static_cast<graph::NodeId>(tree.size());
   const algo::RootedForest forest(tree.parent);
   const auto topo = forest.topological();
@@ -51,6 +53,7 @@ std::vector<double> general_tree_opt_curve(const CascadeTree& tree,
   };
 
   for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    checker.tick();
     const graph::NodeId v = *it;
     const std::uint32_t rows = reach[v] + 2;
     table[v].assign(static_cast<std::size_t>(rows) * cols, kNegInf);

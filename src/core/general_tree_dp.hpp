@@ -10,11 +10,14 @@
 #include <vector>
 
 #include "core/cascade_extraction.hpp"
+#include "util/work_budget.hpp"
 
 namespace rid::core {
 
-/// opt[k] (exact-k, k = 1..k_max; index 0 = -inf) for the tree.
-std::vector<double> general_tree_opt_curve(const CascadeTree& tree,
-                                           std::uint32_t k_max);
+/// opt[k] (exact-k, k = 1..k_max; index 0 = -inf) for the tree. A non-null
+/// `budget` is polled per node; overruns throw util::BudgetExceededError.
+std::vector<double> general_tree_opt_curve(
+    const CascadeTree& tree, std::uint32_t k_max,
+    const util::BudgetScope* budget = nullptr);
 
 }  // namespace rid::core

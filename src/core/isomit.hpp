@@ -8,6 +8,7 @@
 #include <span>
 #include <vector>
 
+#include "core/diagnostics.hpp"
 #include "graph/signed_graph.hpp"
 
 namespace rid::core {
@@ -25,6 +26,9 @@ struct DetectionResult {
   std::size_t num_trees = 0;       // extracted cascade trees
   double total_opt = 0.0;          // sum of per-tree OPT values (RID only)
   double total_objective = 0.0;    // sum of per-tree penalized objectives
+  /// Per-tree health, timings, budget consumption, and input repairs. RID
+  /// fills it per tree; the baselines report every tree as ok.
+  RunDiagnostics diagnostics;
 };
 
 /// The infected node set of a snapshot: every node whose state is active

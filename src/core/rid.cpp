@@ -1,31 +1,100 @@
 #include "core/rid.hpp"
 
 #include <algorithm>
+#include <exception>
 #include <numeric>
+#include <utility>
 
 #include "util/logging.hpp"
 #include "util/thread_pool.hpp"
+#include "util/timer.hpp"
 
 namespace rid::core {
 
-DetectionResult run_rid_on_forest(const CascadeForest& forest,
-                                  const RidConfig& config) {
-  DetectionResult out;
-  out.num_components = forest.num_components;
-  out.num_trees = forest.trees.size();
+namespace {
 
-  // Trees are independent; solve them (optionally) in parallel and merge
-  // the per-tree solutions in deterministic tree order.
-  std::vector<TreeSolution> solutions(forest.trees.size());
-  util::parallel_for_each(
-      forest.trees.size(), config.num_threads, [&](std::size_t i) {
-        solutions[i] = solve_tree(forest.trees[i], config.beta, config.dp);
+/// RID-Tree fallback for a tree whose DP failed: the extracted root is the
+/// sole initiator, with its observed/imputed state and the real objective
+/// value of that one-initiator assignment. Returns an empty solution when
+/// the root is excluded by the candidate mask (nothing to fall back to).
+TreeSolution root_only_fallback(const CascadeTree& tree) {
+  TreeSolution solution;
+  if (!tree.can_initiate.empty() && !tree.can_initiate[tree.root])
+    return solution;
+  solution.k = 1;
+  solution.initiators = {tree.root};
+  solution.states = {tree.state[tree.root]};
+  solution.opt = evaluate_initiators(tree, solution.initiators);
+  solution.objective = -solution.opt;
+  return solution;
+}
+
+struct FailureInfo {
+  bool budget = false;
+  std::string message;
+};
+
+FailureInfo describe_failure(const std::exception_ptr& error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const util::BudgetExceededError& e) {
+    return {true, e.what()};
+  } catch (const std::exception& e) {
+    return {false, e.what()};
+  } catch (...) {
+    return {false, "unknown error"};
+  }
+}
+
+/// Shared fault-isolation harness for the single-beta and multi-beta runs:
+/// solves every tree (optionally in parallel), converts failures into
+/// root-only fallbacks via `fallback`, and files one diagnostics entry per
+/// tree into `diagnostics`.
+template <typename Solve, typename Fallback>
+void solve_trees_isolated(const CascadeForest& forest,
+                          std::size_t num_threads, const Solve& solve,
+                          const Fallback& fallback,
+                          RunDiagnostics& diagnostics) {
+  const std::size_t n = forest.trees.size();
+  std::vector<double> seconds(n, 0.0);
+  const std::vector<std::exception_ptr> errors =
+      util::parallel_for_each_collect(n, num_threads, [&](std::size_t i) {
+        util::Timer timer;
+        try {
+          solve(i);
+        } catch (...) {
+          seconds[i] = timer.seconds();
+          throw;
+        }
+        seconds[i] = timer.seconds();
       });
 
+  for (std::size_t t = 0; t < n; ++t) {
+    TreeDiagnostics tree;
+    tree.tree_index = t;
+    tree.num_nodes = forest.trees[t].size();
+    tree.seconds = seconds[t];
+    if (errors[t]) {
+      const FailureInfo failure = describe_failure(errors[t]);
+      tree.budget_hit = failure.budget;
+      tree.error = failure.message;
+      // Degrade to the RID-Tree answer; failed outright when even that is
+      // unavailable (root excluded by the candidate mask).
+      tree.fallback_root_only = fallback(t);
+      tree.status =
+          tree.fallback_root_only ? TreeStatus::kDegraded : TreeStatus::kFailed;
+    }
+    diagnostics.record(std::move(tree));
+  }
+}
+
+void merge_solutions(const CascadeForest& forest,
+                     const std::vector<const TreeSolution*>& solutions,
+                     DetectionResult& out) {
   std::vector<std::pair<graph::NodeId, graph::NodeState>> found;
   for (std::size_t t = 0; t < forest.trees.size(); ++t) {
     const CascadeTree& tree = forest.trees[t];
-    const TreeSolution& solution = solutions[t];
+    const TreeSolution& solution = *solutions[t];
     out.total_opt += solution.opt;
     out.total_objective += solution.objective;
     for (std::size_t i = 0; i < solution.initiators.size(); ++i) {
@@ -40,6 +109,39 @@ DetectionResult run_rid_on_forest(const CascadeForest& forest,
     out.initiators.push_back(node);
     out.states.push_back(state);
   }
+}
+
+}  // namespace
+
+DetectionResult run_rid_on_forest(const CascadeForest& forest,
+                                  const RidConfig& config) {
+  DetectionResult out;
+  out.num_components = forest.num_components;
+  out.num_trees = forest.trees.size();
+
+  util::Timer timer;
+  const util::BudgetScope scope(config.budget);
+  TreeDpOptions dp = config.dp;
+  if (!config.budget.unlimited()) dp.budget = &scope;
+
+  // Trees are independent; solve them (optionally) in parallel with per-tree
+  // fault isolation, then merge in deterministic tree order.
+  std::vector<TreeSolution> solutions(forest.trees.size());
+  solve_trees_isolated(
+      forest, config.num_threads,
+      [&](std::size_t i) {
+        solutions[i] = solve_tree(forest.trees[i], config.beta, dp);
+      },
+      [&](std::size_t i) {
+        solutions[i] = root_only_fallback(forest.trees[i]);
+        return !solutions[i].initiators.empty();
+      },
+      out.diagnostics);
+
+  std::vector<const TreeSolution*> views(solutions.size());
+  for (std::size_t t = 0; t < solutions.size(); ++t) views[t] = &solutions[t];
+  merge_solutions(forest, views, out);
+  out.diagnostics.total_seconds = timer.seconds();
   return out;
 }
 
@@ -51,33 +153,36 @@ std::vector<DetectionResult> run_rid_betas(const CascadeForest& forest,
     result.num_components = forest.num_components;
     result.num_trees = forest.trees.size();
   }
-  // Per-tree multi-beta solves (optionally parallel over trees), merged in
-  // deterministic tree order per beta.
+
+  util::Timer timer;
+  const util::BudgetScope scope(config.budget);
+  TreeDpOptions dp = config.dp;
+  if (!config.budget.unlimited()) dp.budget = &scope;
+
+  // Per-tree multi-beta solves (optionally parallel over trees, isolated
+  // per tree), merged in deterministic tree order per beta.
+  RunDiagnostics diagnostics;
   std::vector<std::vector<TreeSolution>> solutions(forest.trees.size());
-  util::parallel_for_each(
-      forest.trees.size(), config.num_threads, [&](std::size_t i) {
-        solutions[i] = solve_tree_betas(forest.trees[i], betas, config.dp);
-      });
+  solve_trees_isolated(
+      forest, config.num_threads,
+      [&](std::size_t i) {
+        solutions[i] = solve_tree_betas(forest.trees[i], betas, dp);
+      },
+      [&](std::size_t i) {
+        // The fallback does not depend on beta: one root-only solution,
+        // replicated per beta (objective = -opt since k = 1).
+        solutions[i].assign(betas.size(), root_only_fallback(forest.trees[i]));
+        return !betas.empty() && !solutions[i][0].initiators.empty();
+      },
+      diagnostics);
+  diagnostics.total_seconds = timer.seconds();
 
   for (std::size_t b = 0; b < betas.size(); ++b) {
-    std::vector<std::pair<graph::NodeId, graph::NodeState>> found;
-    for (std::size_t t = 0; t < forest.trees.size(); ++t) {
-      const CascadeTree& tree = forest.trees[t];
-      const TreeSolution& solution = solutions[t][b];
-      out[b].total_opt += solution.opt;
-      out[b].total_objective += solution.objective;
-      for (std::size_t i = 0; i < solution.initiators.size(); ++i) {
-        found.emplace_back(tree.global[solution.initiators[i]],
-                           solution.states[i]);
-      }
-    }
-    std::sort(found.begin(), found.end());
-    out[b].initiators.reserve(found.size());
-    out[b].states.reserve(found.size());
-    for (const auto& [node, state] : found) {
-      out[b].initiators.push_back(node);
-      out[b].states.push_back(state);
-    }
+    std::vector<const TreeSolution*> views(solutions.size());
+    for (std::size_t t = 0; t < solutions.size(); ++t)
+      views[t] = &solutions[t][b];
+    merge_solutions(forest, views, out[b]);
+    out[b].diagnostics = diagnostics;
   }
   return out;
 }
@@ -85,13 +190,40 @@ std::vector<DetectionResult> run_rid_betas(const CascadeForest& forest,
 DetectionResult run_rid(const graph::SignedGraph& diffusion,
                         std::span<const graph::NodeState> states,
                         const RidConfig& config) {
+  util::Timer timer;
+  // kRepair sanitizes copies of the snapshot and candidate mask up front;
+  // kReject leaves validation to extract_cascade_forest (which throws on a
+  // size mismatch, exactly as before).
+  std::vector<graph::NodeState> repaired_states;
+  std::vector<bool> repaired_candidates;
+  std::span<const graph::NodeState> view = states;
+  const std::vector<bool>* candidates = &config.candidates;
+  SanitizeReport repairs;
+  if (config.repair_policy == RepairPolicy::kRepair) {
+    repaired_states.assign(states.begin(), states.end());
+    repairs.merge(
+        sanitize_states(diffusion, repaired_states, RepairPolicy::kRepair));
+    view = repaired_states;
+    repaired_candidates = config.candidates;
+    repairs.merge(sanitize_candidates(diffusion, repaired_candidates,
+                                      RepairPolicy::kRepair));
+    candidates = &repaired_candidates;
+  }
+
+  util::Timer extraction_timer;
   CascadeForest forest =
-      extract_cascade_forest(diffusion, states, config.extraction);
-  if (!config.candidates.empty())
-    apply_candidate_mask(forest, config.candidates);
+      extract_cascade_forest(diffusion, view, config.extraction);
+  const double extraction_seconds = extraction_timer.seconds();
+  if (!candidates->empty()) apply_candidate_mask(forest, *candidates);
+
   DetectionResult result = run_rid_on_forest(forest, config);
+  result.diagnostics.repairs = std::move(repairs.repairs);
+  result.diagnostics.extraction_seconds = extraction_seconds;
+  result.diagnostics.total_seconds = timer.seconds();
   util::log_debug("run_rid(beta=", config.beta, "): ", result.initiators.size(),
-                  " initiators from ", result.num_trees, " trees");
+                  " initiators from ", result.num_trees, " trees (",
+                  result.diagnostics.num_degraded, " degraded, ",
+                  result.diagnostics.num_failed, " failed)");
   return result;
 }
 

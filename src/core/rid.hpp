@@ -3,6 +3,14 @@
 //   snapshot -> infected components -> cascade trees (Chu-Liu/Edmonds)
 //            -> binarized k-ISOMIT-BT DP with beta penalty per tree
 //            -> initiators (number + identities + initial states).
+//
+// Robustness contract (see DESIGN.md "Robustness & degradation"): per-tree
+// faults are isolated. A tree whose DP throws or blows the configured
+// WorkBudget contributes its RID-Tree fallback (root as sole initiator)
+// instead of aborting the run; every other tree's answer is unaffected, and
+// DetectionResult::diagnostics records what degraded and why. With the
+// default (unlimited) budget and clean inputs the pipeline behaves exactly
+// as the budget-free implementation did.
 #pragma once
 
 #include <span>
@@ -10,6 +18,8 @@
 #include "core/cascade_extraction.hpp"
 #include "core/isomit.hpp"
 #include "core/tree_dp.hpp"
+#include "core/validate.hpp"
+#include "util/work_budget.hpp"
 
 namespace rid::core {
 
@@ -28,6 +38,19 @@ struct RidConfig {
   /// Results are identical regardless of thread count (trees are
   /// independent and assembled in deterministic order).
   std::size_t num_threads = 1;
+  /// Work budget for the superlinear per-tree solves, armed when
+  /// run_rid_on_forest starts. Trees that exceed it degrade to the RID-Tree
+  /// root-only fallback. The deterministic caps (max_tree_nodes, max_k)
+  /// degrade the same trees on every run and thread count; the wall-clock
+  /// deadline is timing-dependent by nature. Extraction itself is exempt —
+  /// it is the base of the fallback ladder (see ExtractionConfig::budget
+  /// for bounding it directly). Default: unlimited (no behavior change).
+  util::WorkBudget budget;
+  /// Input handling for run_rid: kReject (default) keeps the historical
+  /// behavior — malformed snapshots throw. kRepair sanitizes a copy of the
+  /// snapshot and candidate mask first (see core/validate.hpp) and records
+  /// every repair in DetectionResult::diagnostics.
+  RepairPolicy repair_policy = RepairPolicy::kReject;
 };
 
 /// Runs RID on a snapshot of the diffusion network. States vector must have

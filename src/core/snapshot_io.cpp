@@ -5,12 +5,14 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/errors.hpp"
+
 namespace rid::core {
 
 namespace {
 [[noreturn]] void fail(std::size_t line_no, const std::string& what) {
-  throw std::runtime_error("snapshot_io: line " + std::to_string(line_no) +
-                           ": " + what);
+  throw util::InputError("snapshot_io: line " + std::to_string(line_no) +
+                         ": " + what);
 }
 }  // namespace
 
@@ -26,7 +28,7 @@ void save_snapshot(std::span<const graph::NodeState> states,
 void save_snapshot_file(std::span<const graph::NodeState> states,
                         const std::string& path) {
   std::ofstream out(path);
-  if (!out) throw std::runtime_error("snapshot_io: cannot open " + path);
+  if (!out) throw util::InputError("snapshot_io: cannot open " + path);
   save_snapshot(states, out);
 }
 
@@ -72,7 +74,7 @@ std::vector<graph::NodeState> load_snapshot(std::istream& in,
 std::vector<graph::NodeState> load_snapshot_file(const std::string& path,
                                                  graph::NodeId num_nodes) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("snapshot_io: cannot open " + path);
+  if (!in) throw util::InputError("snapshot_io: cannot open " + path);
   return load_snapshot(in, num_nodes);
 }
 

@@ -16,6 +16,28 @@ constexpr std::uint32_t kRowZ = 0xffffffffu;  // symbolic "zero coverage" j
 /// Safety limit on the choice table (entries, 4 bytes each).
 constexpr std::size_t kMaxTableEntries = 120'000'000;
 
+/// Entry gate shared by solve_tree / solve_tree_betas: rejects a solve whose
+/// armed budget is already blown or whose tree exceeds the deterministic
+/// node cap, before any DP memory is allocated.
+void check_tree_budget(const util::BudgetScope* budget,
+                       std::size_t tree_size) {
+  if (!budget) return;
+  budget->check();
+  const std::uint32_t cap = budget->budget().max_tree_nodes;
+  if (cap != 0 && tree_size > cap) {
+    throw util::BudgetExceededError(
+        "work budget: tree size " + std::to_string(tree_size) +
+        " exceeds max_tree_nodes " + std::to_string(cap));
+  }
+}
+
+/// max_k is a quality cap on the adaptive k growth, not an error condition.
+std::uint32_t effective_k_cap(const util::BudgetScope* budget,
+                              std::uint32_t hard_k_cap) {
+  if (budget == nullptr || budget->budget().max_k == 0) return hard_k_cap;
+  return std::min(hard_k_cap, budget->budget().max_k);
+}
+
 }  // namespace
 
 BinarizedTreeDp::BinarizedTreeDp(const CascadeTree& tree,
@@ -100,8 +122,11 @@ std::uint32_t BinarizedTreeDp::child_row(std::int32_t child,
   return std::min(child_j, layout_[child].reach);
 }
 
-const std::vector<double>& BinarizedTreeDp::compute(std::uint32_t k_max,
-                                                    bool force_root) {
+const std::vector<double>& BinarizedTreeDp::compute(
+    std::uint32_t k_max, bool force_root, const util::BudgetScope* budget) {
+  // Each postorder node costs O(rows * k^2), so poll the budget every few
+  // nodes rather than the default (coarser) checker interval.
+  util::BudgetChecker checker(budget, /*interval=*/64);
   // A root that is masked out of the candidate set cannot be forced.
   force_root_ = force_root && eligible_[tree_.root];
   k_max_ = std::min(k_max, num_real_);
@@ -120,6 +145,7 @@ const std::vector<double>& BinarizedTreeDp::compute(std::uint32_t k_max,
   choices_.assign(total, Choice{});
 
   for (const std::int32_t v : postorder_) {
+    checker.tick();
     const NodeLayout& nl = layout_[v];
     const bool dummy = tree_.is_dummy(v);
     const std::int32_t lc = tree_.left[v];
@@ -296,10 +322,13 @@ TreeSolution solve_tree(const CascadeTree& tree, double beta,
                         const TreeDpOptions& options) {
   if (tree.size() == 0)
     throw std::invalid_argument("solve_tree: empty tree");
+  check_tree_budget(options.budget, tree.size());
+  const std::uint32_t hard_k_cap =
+      effective_k_cap(options.budget, options.hard_k_cap);
   BinarizedTreeDp dp(tree, options.max_reach);
   const std::uint32_t n_real = dp.num_real();
   std::uint32_t cap = std::max<std::uint32_t>(
-      1, std::min({options.initial_k_cap, options.hard_k_cap, n_real}));
+      1, std::min({options.initial_k_cap, hard_k_cap, n_real}));
 
   const auto objective = [&](const std::vector<double>& opt,
                              std::uint32_t k) {
@@ -307,7 +336,8 @@ TreeSolution solve_tree(const CascadeTree& tree, double beta,
   };
 
   while (true) {
-    const std::vector<double>& opt = dp.compute(cap, options.force_root);
+    const std::vector<double>& opt =
+        dp.compute(cap, options.force_root, options.budget);
     std::uint32_t best_k = 1;
     if (options.greedy_stop) {
       while (best_k + 1 <= cap &&
@@ -320,8 +350,8 @@ TreeSolution solve_tree(const CascadeTree& tree, double beta,
       }
     }
     const bool hit_cap = best_k == cap;
-    if (hit_cap && cap < std::min<std::uint32_t>(n_real, options.hard_k_cap)) {
-      cap = std::min({cap * 2, n_real, options.hard_k_cap});
+    if (hit_cap && cap < std::min<std::uint32_t>(n_real, hard_k_cap)) {
+      cap = std::min({cap * 2, n_real, hard_k_cap});
       continue;
     }
     if (opt[best_k] == kNegInf) {
@@ -364,10 +394,13 @@ std::vector<TreeSolution> solve_tree_betas(const CascadeTree& tree,
   std::vector<TreeSolution> out(betas.size());
   if (betas.empty()) return out;
 
+  check_tree_budget(options.budget, tree.size());
+  const std::uint32_t hard_k_cap =
+      effective_k_cap(options.budget, options.hard_k_cap);
   BinarizedTreeDp dp(tree, options.max_reach);
   const std::uint32_t n_real = dp.num_real();
   std::uint32_t cap = std::max<std::uint32_t>(
-      1, std::min({options.initial_k_cap, options.hard_k_cap, n_real}));
+      1, std::min({options.initial_k_cap, hard_k_cap, n_real}));
 
   const auto objective = [](const std::vector<double>& opt, std::uint32_t k,
                             double beta) {
@@ -391,11 +424,12 @@ std::vector<TreeSolution> solve_tree_betas(const CascadeTree& tree,
 
   // Grow the shared cap until no beta's optimum is clipped by it.
   while (true) {
-    const std::vector<double>& opt = dp.compute(cap, options.force_root);
+    const std::vector<double>& opt =
+        dp.compute(cap, options.force_root, options.budget);
     bool clipped = false;
     for (const double beta : betas) {
       if (pick_k(opt, beta) == cap &&
-          cap < std::min<std::uint32_t>(n_real, options.hard_k_cap)) {
+          cap < std::min<std::uint32_t>(n_real, hard_k_cap)) {
         clipped = true;
         break;
       }
@@ -414,7 +448,7 @@ std::vector<TreeSolution> solve_tree_betas(const CascadeTree& tree,
       }
       return out;
     }
-    cap = std::min({cap * 2, n_real, options.hard_k_cap});
+    cap = std::min({cap * 2, n_real, hard_k_cap});
   }
 }
 

@@ -34,6 +34,7 @@
 
 #include "algo/binary_transform.hpp"
 #include "core/cascade_extraction.hpp"
+#include "util/work_budget.hpp"
 
 namespace rid::core {
 
@@ -61,6 +62,12 @@ struct TreeDpOptions {
   /// is one). When false the DP may leave the root uncovered if an interior
   /// initiator explains the tree better.
   bool force_root = true;
+  /// Optional armed work budget (non-owning; must outlive the solve). The
+  /// solve checks it on entry and from the DP's per-node loop, throwing
+  /// util::BudgetExceededError on deadline/cancellation and when the tree
+  /// exceeds budget->budget().max_tree_nodes; max_k additionally caps the
+  /// adaptive k growth (a quality cap, not an error). Null = unbudgeted.
+  const util::BudgetScope* budget = nullptr;
 };
 
 /// Solution for one cascade tree.
@@ -90,9 +97,11 @@ class BinarizedTreeDp {
 
   /// Computes the table for budgets up to k_max (clamped to num_real()).
   /// Returns opt indexed by k (size k_max+1, [0] = -inf). With `force_root`
-  /// the root is required to be an initiator.
+  /// the root is required to be an initiator. A non-null `budget` is polled
+  /// per DP node; overruns throw util::BudgetExceededError mid-computation.
   const std::vector<double>& compute(std::uint32_t k_max,
-                                     bool force_root = true);
+                                     bool force_root = true,
+                                     const util::BudgetScope* budget = nullptr);
 
   /// Tree-local initiator indices of the optimal exact-k solution.
   /// Requires compute(k_max >= k) first and opt[k] > -inf.

@@ -1,0 +1,107 @@
+#include "core/validate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/errors.hpp"
+
+namespace rid::core {
+
+namespace {
+
+/// kReject path: every issue becomes one InputError so the caller sees the
+/// full damage in a single round trip.
+[[noreturn]] void reject(const std::string& what,
+                         const std::vector<std::string>& issues) {
+  std::ostringstream out;
+  out << what << ": " << issues.size() << " issue(s)";
+  for (const std::string& issue : issues) out << "; " << issue;
+  throw util::InputError(out.str());
+}
+
+bool valid_state_byte(graph::NodeState s) {
+  return s == graph::NodeState::kInactive || s == graph::NodeState::kPositive ||
+         s == graph::NodeState::kNegative || s == graph::NodeState::kUnknown;
+}
+
+}  // namespace
+
+SanitizeReport sanitize_states(const graph::SignedGraph& diffusion,
+                               std::vector<graph::NodeState>& states,
+                               RepairPolicy policy) {
+  SanitizeReport report;
+  const std::size_t n = diffusion.num_nodes();
+  if (states.size() != n) {
+    std::ostringstream issue;
+    issue << "snapshot has " << states.size() << " states for " << n
+          << " nodes";
+    if (policy == RepairPolicy::kReject)
+      reject("sanitize_states", {issue.str()});
+    issue << (states.size() < n ? " (padded with inactive)" : " (truncated)");
+    states.resize(n, graph::NodeState::kInactive);
+    report.repairs.push_back(issue.str());
+  }
+  std::size_t bad_bytes = 0;
+  std::size_t first_bad = 0;
+  for (std::size_t v = 0; v < states.size(); ++v) {
+    if (valid_state_byte(states[v])) continue;
+    if (bad_bytes++ == 0) first_bad = v;
+    if (policy == RepairPolicy::kRepair) states[v] = graph::NodeState::kInactive;
+  }
+  if (bad_bytes > 0) {
+    std::ostringstream issue;
+    issue << bad_bytes << " state value(s) outside {+1, -1, 0, ?} (first at "
+          << "node " << first_bad << ")";
+    if (policy == RepairPolicy::kReject)
+      reject("sanitize_states", {issue.str()});
+    issue << " reset to inactive";
+    report.repairs.push_back(issue.str());
+  }
+  return report;
+}
+
+SanitizeReport sanitize_candidates(const graph::SignedGraph& diffusion,
+                                   std::vector<bool>& candidates,
+                                   RepairPolicy policy) {
+  SanitizeReport report;
+  const std::size_t n = diffusion.num_nodes();
+  if (candidates.empty() || candidates.size() == n) return report;
+  std::ostringstream issue;
+  issue << "candidate mask has " << candidates.size() << " entries for " << n
+        << " nodes";
+  if (policy == RepairPolicy::kReject)
+    reject("sanitize_candidates", {issue.str()});
+  issue << (candidates.size() < n ? " (padded eligible)" : " (truncated)");
+  candidates.resize(n, true);
+  report.repairs.push_back(issue.str());
+  return report;
+}
+
+SanitizeReport sanitize_graph_weights(graph::SignedGraph& graph,
+                                      RepairPolicy policy) {
+  SanitizeReport report;
+  std::size_t bad = 0;
+  graph::EdgeId first_bad = 0;
+  for (graph::EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const double w = graph.edge_weight(e);
+    if (w >= 0.0 && w <= 1.0) continue;  // NaN fails this comparison too
+    if (bad++ == 0) first_bad = e;
+    if (policy == RepairPolicy::kRepair) {
+      const double repaired = std::isnan(w) ? 0.0 : std::clamp(w, 0.0, 1.0);
+      graph.set_edge_weight(e, repaired);
+    }
+  }
+  if (bad > 0) {
+    std::ostringstream issue;
+    issue << bad << " edge weight(s) outside [0, 1] or non-finite (first at "
+          << "edge " << first_bad << ")";
+    if (policy == RepairPolicy::kReject)
+      reject("sanitize_graph_weights", {issue.str()});
+    issue << " clamped (NaN -> 0)";
+    report.repairs.push_back(issue.str());
+  }
+  return report;
+}
+
+}  // namespace rid::core

@@ -5,7 +5,10 @@
 #include <sstream>
 #include <stdexcept>
 #include <string_view>
+#include <system_error>
 #include <unordered_map>
+
+#include "util/errors.hpp"
 
 namespace rid::graph {
 
@@ -19,8 +22,8 @@ struct RawEdge {
 };
 
 [[noreturn]] void fail(std::size_t line_no, const std::string& what) {
-  throw std::runtime_error("graph_io: line " + std::to_string(line_no) + ": " +
-                           what);
+  throw util::InputError("graph_io: line " + std::to_string(line_no) + ": " +
+                         what);
 }
 
 /// Splits on whitespace; returns false for blank/comment lines.
@@ -127,28 +130,35 @@ LoadedGraph load_weighted(std::istream& in) { return load_impl(in, true); }
 
 LoadedGraph load_snap_file(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("graph_io: cannot open " + path);
+  if (!in) throw util::InputError("graph_io: cannot open " + path);
   return load_snap(in);
 }
 
 LoadedGraph load_weighted_file(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("graph_io: cannot open " + path);
+  if (!in) throw util::InputError("graph_io: cannot open " + path);
   return load_weighted(in);
 }
 
 void save_weighted(const SignedGraph& graph, std::ostream& out) {
   out << "# src dst sign weight\n";
+  // Shortest round-trip formatting: a load of the saved file reproduces
+  // every weight bit-for-bit (ostream's default 6 significant digits would
+  // not).
+  char buf[64];
   for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const auto res =
+        std::to_chars(buf, buf + sizeof(buf), graph.edge_weight(e));
     out << graph.edge_src(e) << '\t' << graph.edge_dst(e) << '\t'
-        << sign_value(graph.edge_sign(e)) << '\t' << graph.edge_weight(e)
+        << sign_value(graph.edge_sign(e)) << '\t'
+        << std::string_view(buf, static_cast<std::size_t>(res.ptr - buf))
         << '\n';
   }
 }
 
 void save_weighted_file(const SignedGraph& graph, const std::string& path) {
   std::ofstream out(path);
-  if (!out) throw std::runtime_error("graph_io: cannot open " + path);
+  if (!out) throw util::InputError("graph_io: cannot open " + path);
   save_weighted(graph, out);
 }
 

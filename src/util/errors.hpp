@@ -1,0 +1,28 @@
+// Shared exception taxonomy so callers (and the CLI exit-code contract) can
+// tell *why* a run failed:
+//  * InputError          — the caller's data is malformed (parse errors,
+//                          out-of-range ids, size mismatches). Retrying with
+//                          the same input cannot succeed; fix the input.
+//  * BudgetExceededError — a WorkBudget limit (deadline, cancellation, or a
+//                          per-tree cap) stopped the computation. The input
+//                          is fine; rerun with a larger budget, or accept the
+//                          degraded per-tree fallback answer.
+// Anything else escaping the library is an internal error.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace rid::util {
+
+class InputError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class BudgetExceededError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace rid::util

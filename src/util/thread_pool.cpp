@@ -83,4 +83,35 @@ void parallel_for_each(std::size_t count, std::size_t num_threads,
   if (first_error) std::rethrow_exception(first_error);
 }
 
+std::vector<std::exception_ptr> parallel_for_each_collect(
+    std::size_t count, std::size_t num_threads,
+    const std::function<void(std::size_t)>& fn) {
+  std::vector<std::exception_ptr> errors(count);
+  if (count == 0) return errors;
+  const auto run_one = [&](std::size_t i) {
+    try {
+      fn(i);
+    } catch (...) {
+      errors[i] = std::current_exception();
+    }
+  };
+  if (num_threads <= 1 || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) run_one(i);
+    return errors;
+  }
+  ThreadPool pool(std::min(num_threads, count));
+  std::atomic<std::size_t> next{0};
+  for (std::size_t t = 0; t < pool.num_threads(); ++t) {
+    pool.submit([&] {
+      while (true) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= count) return;
+        run_one(i);  // errors[i] is this index's slot: no lock needed
+      }
+    });
+  }
+  pool.wait_idle();
+  return errors;
+}
+
 }  // namespace rid::util

@@ -52,4 +52,12 @@ class ThreadPool {
 void parallel_for_each(std::size_t count, std::size_t num_threads,
                        const std::function<void(std::size_t)>& fn);
 
+/// Fault-isolating variant: every index runs to completion even when some
+/// invocations throw. Returns one slot per index — null where fn(i)
+/// succeeded, the captured exception otherwise — so callers keep every
+/// surviving result instead of losing the batch to its first failure.
+std::vector<std::exception_ptr> parallel_for_each_collect(
+    std::size_t count, std::size_t num_threads,
+    const std::function<void(std::size_t)>& fn);
+
 }  // namespace rid::util

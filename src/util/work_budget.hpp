@@ -1,0 +1,151 @@
+// Cooperative work budgets for long-running detection runs.
+//
+// A WorkBudget is a declarative, copyable limit set: a wall-clock deadline,
+// a cancellation token shared with the caller, and optional per-tree caps on
+// problem size. Arming a budget produces a BudgetScope — the deadline is
+// resolved to a fixed time point at that moment — which worker threads poll
+// from their hot loops through a BudgetChecker (an amortized ticker so the
+// clock is not read on every iteration).
+//
+// Semantics:
+//  * the default WorkBudget is unlimited and adds no overhead beyond a null
+//    pointer test in the hot loops;
+//  * deadline/cancellation overruns throw BudgetExceededError from check();
+//    callers either propagate (strict mode) or catch per work item and fall
+//    back to a cheaper answer (see core::run_rid's per-tree degradation);
+//  * max_tree_nodes / max_k are *deterministic* caps: they depend only on
+//    the input, never on timing, so degradation decisions made from them are
+//    reproducible across machines and thread counts. Wall-clock deadlines
+//    are inherently timing-dependent; use the caps when determinism matters.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <memory>
+
+#include "util/errors.hpp"
+
+namespace rid::util {
+
+/// Shared cancellation flag. Default-constructed tokens are "null": they can
+/// never be cancelled and cost one pointer test to poll. Use
+/// CancelToken::create() for a token the caller can actually trip (e.g. from
+/// a signal handler or another thread).
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  static CancelToken create() {
+    CancelToken token;
+    token.flag_ = std::make_shared<std::atomic<bool>>(false);
+    return token;
+  }
+
+  /// No-op on a null token.
+  void request_cancel() const noexcept {
+    if (flag_) flag_->store(true, std::memory_order_relaxed);
+  }
+
+  bool cancel_requested() const noexcept {
+    return flag_ && flag_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+inline constexpr double kUnlimitedSeconds =
+    std::numeric_limits<double>::infinity();
+
+struct WorkBudget {
+  /// Wall-clock allowance, measured from the moment the budget is armed
+  /// (BudgetScope construction). Infinity = unlimited; 0 = already expired,
+  /// which degrades every budgeted work item immediately.
+  double deadline_seconds = kUnlimitedSeconds;
+  /// Largest cascade tree the DP will attempt (0 = unlimited). Bigger trees
+  /// degrade to the root-only fallback. Deterministic.
+  std::uint32_t max_tree_nodes = 0;
+  /// Cap on the DP's adaptive k growth (0 = unlimited). A quality cap, not
+  /// an error: the solve still returns the best solution with <= max_k
+  /// initiators per tree. Deterministic.
+  std::uint32_t max_k = 0;
+  /// Cooperative cancellation; polled alongside the deadline.
+  CancelToken cancel;
+
+  bool unlimited() const noexcept {
+    return deadline_seconds == kUnlimitedSeconds && max_tree_nodes == 0 &&
+           max_k == 0 && !cancel.cancel_requested();
+  }
+};
+
+/// An armed budget: the deadline is fixed at construction. Immutable after
+/// construction, so sharing one scope across worker threads is safe.
+class BudgetScope {
+ public:
+  explicit BudgetScope(const WorkBudget& budget)
+      : budget_(budget), start_(Clock::now()) {
+    has_deadline_ = budget_.deadline_seconds != kUnlimitedSeconds;
+    if (has_deadline_) {
+      deadline_ =
+          start_ + std::chrono::duration_cast<Clock::duration>(
+                       std::chrono::duration<double>(
+                           budget_.deadline_seconds < 0.0
+                               ? 0.0
+                               : budget_.deadline_seconds));
+    }
+  }
+
+  const WorkBudget& budget() const noexcept { return budget_; }
+
+  /// Non-throwing query (used to report *why* a run degraded).
+  bool exceeded() const noexcept {
+    if (budget_.cancel.cancel_requested()) return true;
+    return has_deadline_ && Clock::now() >= deadline_;
+  }
+
+  /// Throws BudgetExceededError when the deadline passed or the caller
+  /// cancelled. Hot loops call this through a BudgetChecker.
+  void check() const {
+    if (budget_.cancel.cancel_requested())
+      throw BudgetExceededError("work budget: cancelled by caller");
+    if (has_deadline_ && Clock::now() >= deadline_)
+      throw BudgetExceededError("work budget: wall-clock deadline exceeded");
+  }
+
+  double elapsed_seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  WorkBudget budget_;
+  Clock::time_point start_;
+  Clock::time_point deadline_{};
+  bool has_deadline_ = false;
+};
+
+/// Amortized per-thread poller: tick() defers to scope->check() every
+/// `interval` calls, keeping steady_clock reads off the per-iteration path.
+/// A null scope makes tick() a no-op — pass-through for unbudgeted runs.
+class BudgetChecker {
+ public:
+  explicit BudgetChecker(const BudgetScope* scope,
+                         std::uint32_t interval = 1024) noexcept
+      : scope_(scope), interval_(interval) {}
+
+  void tick() {
+    if (scope_ && ++count_ >= interval_) {
+      count_ = 0;
+      scope_->check();
+    }
+  }
+
+ private:
+  const BudgetScope* scope_;
+  std::uint32_t interval_;
+  std::uint32_t count_ = 0;
+};
+
+}  // namespace rid::util

@@ -7,6 +7,7 @@
 
 #include "algo/components.hpp"
 #include "algo/scc.hpp"
+#include "core/rid.hpp"
 #include "core/snapshot_io.hpp"
 #include "core/tree_dp.hpp"
 #include "diffusion/mfc.hpp"
@@ -46,6 +47,37 @@ TEST(GoldenRng, Seed42StreamIsStable) {
   EXPECT_DOUBLE_EQ(doubles.next_double(), 0.083862971059882163);
   EXPECT_DOUBLE_EQ(doubles.next_double(), 0.37898025066266861);
   EXPECT_DOUBLE_EQ(doubles.next_double(), 0.68004341102813937);
+}
+
+// --- robustness ------------------------------------------------------------------
+
+TEST(Fuzz, SanitizedRidNeverThrowsOnCorruptedSnapshots) {
+  // Arbitrary garbage state vectors (wrong sizes, invalid bytes) must never
+  // crash a kRepair run — the contract behind RepairPolicy::kRepair.
+  util::Rng rng(5151);
+  for (int trial = 0; trial < 12; ++trial) {
+    const NodeId n = 10 + static_cast<NodeId>(rng.next_below(70));
+    const SignedGraph g = random_graph(rng, n, 3 * n);
+    // Wrong length in either direction, random bytes in [-6, 6].
+    const std::size_t len = rng.next_below(2 * n + 1);
+    std::vector<NodeState> states(len);
+    for (auto& s : states)
+      s = static_cast<NodeState>(static_cast<int>(rng.next_below(13)) - 6);
+
+    core::RidConfig config;
+    config.repair_policy = core::RepairPolicy::kRepair;
+    config.budget.max_tree_nodes = 32;  // also exercise degradation
+    core::DetectionResult result;
+    ASSERT_NO_THROW(result = core::run_rid(g, states, config))
+        << "trial " << trial;
+    // Diagnostics cover every tree; degradations never abort the run.
+    EXPECT_EQ(result.diagnostics.trees.size(), result.num_trees)
+        << "trial " << trial;
+    EXPECT_EQ(result.diagnostics.num_ok + result.diagnostics.num_degraded +
+                  result.diagnostics.num_failed,
+              result.num_trees)
+        << "trial " << trial;
+  }
 }
 
 // --- round trips -----------------------------------------------------------------
