@@ -21,6 +21,14 @@
 //   --max-k=K             cap the initiator count explored per tree
 //   --repair              sanitize malformed snapshots instead of rejecting
 //
+// Observability flags (any subcommand; see DESIGN.md §9):
+//   --trace=FILE          record pipeline spans, write Chrome trace-event
+//                         JSON on exit (chrome://tracing / Perfetto).
+//                         Requires an RID_TRACING=ON build; otherwise a
+//                         warning is printed and no file is written.
+//   --metrics=FILE        write the metrics registry snapshot (counters/
+//                         gauges/histograms) as flat JSON on exit
+//
 // Exit codes (documented contract, also in README.md):
 //   0  success, every tree solved exactly
 //   1  internal error (bug or resource failure)
@@ -49,6 +57,8 @@
 #include "util/errors.hpp"
 #include "util/flags.hpp"
 #include "util/logging.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace {
 
@@ -284,12 +294,7 @@ int cmd_pipeline(const util::Flags& flags) {
   return finish_detection(result);
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  if (argc < 2) return usage();
-  const std::string command = argv[1];
-  const auto flags = rid::util::Flags::parse(argc - 1, argv + 1);
+int dispatch(const std::string& command, const rid::util::Flags& flags) {
   try {
     if (command == "generate") return cmd_generate(flags);
     if (command == "simulate") return cmd_simulate(flags);
@@ -307,4 +312,54 @@ int main(int argc, char** argv) {
     return kExitInternal;
   }
   return usage();
+}
+
+/// Written after the subcommand so the artifacts cover the full run,
+/// including degraded (exit 4) and failed attempts. Never changes the
+/// subcommand's exit code.
+void write_observability_artifacts(const std::string& trace_path,
+                                   const std::string& metrics_path) {
+  namespace trace = rid::util::trace;
+  if (!trace_path.empty() && trace::compiled()) {
+    trace::stop();
+    if (trace::write_chrome_trace_file(trace_path)) {
+      std::fprintf(stderr, "wrote trace %s (%zu spans)\n", trace_path.c_str(),
+                   trace::snapshot().spans.size());
+    } else {
+      std::fprintf(stderr, "ridnet_cli: cannot write trace file %s\n",
+                   trace_path.c_str());
+    }
+  }
+  if (!metrics_path.empty()) {
+    if (rid::util::metrics::write_metrics_json_file(metrics_path)) {
+      std::fprintf(stderr, "wrote metrics %s (%zu series)\n",
+                   metrics_path.c_str(),
+                   rid::util::metrics::global().snapshot().num_series());
+    } else {
+      std::fprintf(stderr, "ridnet_cli: cannot write metrics file %s\n",
+                   metrics_path.c_str());
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const auto flags = rid::util::Flags::parse(argc - 1, argv + 1);
+  const std::string trace_path = flags.get_string("trace", "");
+  const std::string metrics_path = flags.get_string("metrics", "");
+  if (!trace_path.empty()) {
+    if (rid::util::trace::compiled()) {
+      rid::util::trace::start();
+    } else {
+      std::fprintf(stderr,
+                   "ridnet_cli: --trace ignored (built with RID_TRACING=OFF; "
+                   "no trace file will be written)\n");
+    }
+  }
+  const int code = dispatch(command, flags);
+  write_observability_artifacts(trace_path, metrics_path);
+  return code;
 }

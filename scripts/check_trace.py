@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Validate ridnet_cli observability artifacts (CI gate).
+
+Usage: check_trace.py TRACE.json METRICS.json
+
+Checks that the Chrome trace-event file is valid JSON with the span set the
+RID pipeline promises (extraction, per-tree solves, DP computes), that every
+complete event is well-formed, and that the metrics snapshot carries at
+least 10 named series. Exits non-zero with a message on the first failure.
+Stdlib only — no third-party imports.
+"""
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_trace(path: str) -> None:
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)  # raises on invalid JSON
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: traceEvents missing or empty")
+
+    spans = [e for e in events if e.get("ph") == "X"]
+    for e in spans:
+        for key in ("name", "ts", "dur", "pid", "tid"):
+            if key not in e:
+                fail(f"{path}: complete event missing '{key}': {e}")
+        if e["dur"] < 0 or e["ts"] < 0:
+            fail(f"{path}: negative ts/dur: {e}")
+
+    names = {e["name"] for e in spans}
+    required = {"extract_forest", "solve_tree", "dp_compute", "run_rid"}
+    missing = required - names
+    if missing:
+        fail(f"{path}: missing expected spans {sorted(missing)}; got {sorted(names)}")
+
+    solves = [e for e in spans if e["name"] == "solve_tree"]
+    indices = sorted(e.get("args", {}).get("tree_index", -1) for e in solves)
+    if indices != list(range(len(solves))):
+        fail(f"{path}: solve_tree tree_index tags not 0..n-1: {indices}")
+    for e in solves:
+        if e.get("args", {}).get("status") not in ("ok", "degraded", "failed"):
+            fail(f"{path}: solve_tree span without a valid status tag: {e}")
+
+    print(
+        f"check_trace: {path}: OK — {len(spans)} spans, "
+        f"{len(solves)} trees, {len(names)} distinct stages"
+    )
+
+
+def check_metrics(path: str, min_series: int = 10) -> None:
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    for section in ("counters", "gauges", "histograms"):
+        if section not in doc or not isinstance(doc[section], dict):
+            fail(f"{path}: missing '{section}' object")
+    num = sum(len(doc[s]) for s in ("counters", "gauges", "histograms"))
+    if num < min_series:
+        fail(f"{path}: only {num} series (need >= {min_series})")
+    for name, h in doc["histograms"].items():
+        bucket_total = sum(b["count"] for b in h.get("buckets", []))
+        if bucket_total != h.get("count"):
+            fail(f"{path}: histogram {name}: count {h.get('count')} != "
+                 f"sum(buckets) {bucket_total}")
+    print(f"check_trace: {path}: OK — {num} metric series")
+
+
+def main() -> None:
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    check_trace(sys.argv[1])
+    check_metrics(sys.argv[2])
+
+
+if __name__ == "__main__":
+    main()

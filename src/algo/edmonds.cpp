@@ -16,8 +16,25 @@
 
 #include "algo/skew_heap.hpp"
 #include "algo/union_find.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace rid::algo {
+
+namespace {
+
+/// Shared instrumentation entry for both solver variants: one span per
+/// invocation (the "Edmonds" slice of the extraction phase) plus run/arc
+/// counters.
+void count_branching_run(util::trace::TraceSpan& span, graph::NodeId n,
+                         std::size_t num_arcs) {
+  span.tag("nodes", static_cast<std::int64_t>(n));
+  span.tag("arcs", static_cast<std::int64_t>(num_arcs));
+  util::metrics::global().counter("edmonds.runs").add(1);
+  util::metrics::global().counter("edmonds.arcs").add(num_arcs);
+}
+
+}  // namespace
 
 namespace {
 
@@ -87,6 +104,8 @@ Branching max_branching_simple(graph::NodeId num_nodes,
                                const util::BudgetScope* budget) {
   const graph::NodeId n = num_nodes;
   if (n == 0) return Branching{};
+  util::trace::TraceSpan span("edmonds_simple");
+  count_branching_run(span, n, arcs.size());
   util::BudgetChecker checker(budget);
   const double big = compute_big(arcs);
 
@@ -226,6 +245,8 @@ Branching max_branching_fast(graph::NodeId num_nodes,
                              const util::BudgetScope* budget) {
   const graph::NodeId n = num_nodes;
   if (n == 0) return Branching{};
+  util::trace::TraceSpan span("edmonds");
+  count_branching_run(span, n, arcs.size());
   util::BudgetChecker checker(budget);
   const double big = compute_big(arcs);
 

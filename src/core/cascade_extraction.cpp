@@ -9,6 +9,8 @@
 #include "algo/forest.hpp"
 #include "core/isomit.hpp"
 #include "util/logging.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace rid::core {
 
@@ -72,6 +74,7 @@ CascadeForest extract_cascade_forest(const graph::SignedGraph& diffusion,
     throw std::invalid_argument(
         "extract_cascade_forest: score_floor outside (0, 1)");
 
+  util::trace::TraceSpan span("extract_forest");
   CascadeForest out;
   util::BudgetChecker checker(config.budget);
   const std::vector<graph::NodeId> infected = infected_nodes(states);
@@ -188,6 +191,15 @@ CascadeForest extract_cascade_forest(const graph::SignedGraph& diffusion,
     for (const graph::NodeId v : members) to_local[v] = graph::kInvalidNode;
   }
 
+  span.tag("infected", static_cast<std::int64_t>(infected.size()));
+  span.tag("components", static_cast<std::int64_t>(out.num_components));
+  span.tag("trees", static_cast<std::int64_t>(out.trees.size()));
+  span.tag("arcs", static_cast<std::int64_t>(out.num_candidate_arcs));
+  util::metrics::global().counter("extract.runs").add(1);
+  util::metrics::global().counter("extract.trees").add(out.trees.size());
+  util::metrics::global()
+      .counter("extract.candidate_arcs")
+      .add(out.num_candidate_arcs);
   util::log_debug("extract_cascade_forest: ", infected.size(),
                   " infected nodes, ", out.num_components, " components, ",
                   out.trees.size(), " trees, ", out.num_candidate_arcs,

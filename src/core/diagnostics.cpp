@@ -4,7 +4,7 @@
 
 namespace rid::core {
 
-std::string to_string(TreeStatus status) {
+const char* status_name(TreeStatus status) noexcept {
   switch (status) {
     case TreeStatus::kOk:
       return "ok";
@@ -15,6 +15,8 @@ std::string to_string(TreeStatus status) {
   }
   return "unknown";
 }
+
+std::string to_string(TreeStatus status) { return status_name(status); }
 
 void RunDiagnostics::record(TreeDiagnostics tree) {
   switch (tree.status) {
@@ -34,8 +36,11 @@ void RunDiagnostics::record(TreeDiagnostics tree) {
 
 std::string RunDiagnostics::summary() const {
   std::ostringstream out;
+  // The header line is unconditional so every caller gets positive
+  // confirmation that diagnostics ran, including all-ok runs.
   out << "diagnostics: " << trees.size() << " trees (" << num_ok << " ok, "
       << num_degraded << " degraded, " << num_failed << " failed)";
+  if (all_ok()) out << ", all trees ok";
   if (budget_hit) out << ", budget hit";
   if (!repairs.empty()) out << ", " << repairs.size() << " input repairs";
   out << ", " << total_seconds << " s total";
@@ -50,6 +55,13 @@ std::string RunDiagnostics::summary() const {
     if (!tree.error.empty()) out << " — " << tree.error;
   }
   for (const std::string& repair : repairs) out << "\n  repair: " << repair;
+  // Per-stage breakdown (tracing builds only): where the run — and, on a
+  // degraded run, the budget — actually went.
+  for (const StageTotal& stage : stages) {
+    out << "\n  stage " << stage.name << ": " << stage.count
+        << (stage.count == 1 ? " span, " : " spans, ") << stage.seconds
+        << " s";
+  }
   return out.str();
 }
 

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,19 @@ namespace rid::core {
 enum class TreeStatus : std::uint8_t { kOk, kDegraded, kFailed };
 
 std::string to_string(TreeStatus status);
+
+/// Static-lifetime name ("ok"/"degraded"/"failed") — usable as a span tag.
+const char* status_name(TreeStatus status) noexcept;
+
+/// Aggregated wall time of one pipeline stage (one trace span name): the
+/// extraction → Edmonds → binarization → DP breakdown surfaced by
+/// summary(). Populated from the trace when tracing is enabled; empty
+/// otherwise (and in RID_TRACING=OFF builds).
+struct StageTotal {
+  std::string name;
+  std::uint64_t count = 0;  // spans aggregated into this stage
+  double seconds = 0.0;     // summed span wall time (threads overlap)
+};
 
 struct TreeDiagnostics {
   std::size_t tree_index = 0;  // position in the forest's tree order
@@ -48,14 +62,19 @@ struct RunDiagnostics {
   /// Input repairs applied by sanitize (RepairPolicy::kRepair); empty when
   /// the input was clean or repair was not requested.
   std::vector<std::string> repairs;
+  /// Per-stage wall-time totals from the tracing layer (empty unless
+  /// tracing was enabled during the run; see util/trace.hpp).
+  std::vector<StageTotal> stages;
 
   bool all_ok() const noexcept { return num_degraded == 0 && num_failed == 0; }
 
   /// Folds a per-tree entry into the counters (keeps them consistent).
   void record(TreeDiagnostics tree);
 
-  /// Human-readable multi-line report: one header line with the counters,
-  /// then one line per non-ok tree and per repair. Used by the CLI (stderr).
+  /// Human-readable multi-line report. The counters header line is always
+  /// present — an all-ok run still confirms "all trees ok" — followed by
+  /// one line per non-ok tree, per repair, and (when tracing supplied
+  /// them) per pipeline stage. Used by the CLI (stderr).
   std::string summary() const;
 };
 

@@ -4,6 +4,8 @@
 
 #include "algo/forest.hpp"
 #include "core/tree_dp.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace rid::core {
 
@@ -14,6 +16,10 @@ constexpr std::uint32_t kRowZ = 0xffffffffu;
 std::vector<double> general_tree_opt_curve(const CascadeTree& tree,
                                            std::uint32_t k_max,
                                            const util::BudgetScope* budget) {
+  util::trace::TraceSpan span("general_dp");
+  span.tag("nodes", static_cast<std::int64_t>(tree.size()));
+  span.tag("k_cap", static_cast<std::int64_t>(k_max));
+  util::metrics::global().counter("dp.general_computes").add(1);
   util::BudgetChecker checker(budget, /*interval=*/64);
   const auto n = static_cast<graph::NodeId>(tree.size());
   const algo::RootedForest forest(tree.parent);

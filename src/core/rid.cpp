@@ -6,12 +6,37 @@
 #include <utility>
 
 #include "util/logging.hpp"
+#include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
-#include "util/timer.hpp"
+#include "util/trace.hpp"
 
 namespace rid::core {
 
 namespace {
+
+namespace trace = util::trace;
+
+/// Pipeline-level metrics series (looked up once; see util/metrics.hpp).
+struct RidMetrics {
+  util::metrics::Counter& runs = util::metrics::global().counter("rid.runs");
+  util::metrics::Counter& trees_ok =
+      util::metrics::global().counter("rid.trees_ok");
+  util::metrics::Counter& trees_degraded =
+      util::metrics::global().counter("rid.trees_degraded");
+  util::metrics::Counter& trees_failed =
+      util::metrics::global().counter("rid.trees_failed");
+  util::metrics::Counter& budget_tree_hits =
+      util::metrics::global().counter("rid.budget_tree_hits");
+  util::metrics::Histogram& tree_solve_ns =
+      util::metrics::global().histogram("rid.tree_solve_ns");
+  util::metrics::Histogram& extraction_ns =
+      util::metrics::global().histogram("rid.extraction_ns");
+};
+
+RidMetrics& rid_metrics() {
+  static RidMetrics instance;
+  return instance;
+}
 
 /// RID-Tree fallback for a tree whose DP failed: the extracted root is the
 /// sole initiator, with its observed/imputed state and the real objective
@@ -56,24 +81,31 @@ void solve_trees_isolated(const CascadeForest& forest,
                           const Fallback& fallback,
                           RunDiagnostics& diagnostics) {
   const std::size_t n = forest.trees.size();
-  std::vector<double> seconds(n, 0.0);
+  // Per-tree timing is captured on the worker (trace-clock timestamps plus
+  // thread id); the solve_tree span is emitted after the join, once the
+  // tree's final TreeStatus is known and can be tagged.
+  std::vector<std::uint64_t> start_ns(n, 0);
+  std::vector<std::uint64_t> end_ns(n, 0);
+  std::vector<std::uint32_t> tid(n, 0);
   const std::vector<std::exception_ptr> errors =
       util::parallel_for_each_collect(n, num_threads, [&](std::size_t i) {
-        util::Timer timer;
+        start_ns[i] = trace::now_ns();
+        tid[i] = trace::current_tid();
         try {
           solve(i);
         } catch (...) {
-          seconds[i] = timer.seconds();
+          end_ns[i] = trace::now_ns();
           throw;
         }
-        seconds[i] = timer.seconds();
+        end_ns[i] = trace::now_ns();
       });
 
+  RidMetrics& rm = rid_metrics();
   for (std::size_t t = 0; t < n; ++t) {
     TreeDiagnostics tree;
     tree.tree_index = t;
     tree.num_nodes = forest.trees[t].size();
-    tree.seconds = seconds[t];
+    tree.seconds = static_cast<double>(end_ns[t] - start_ns[t]) * 1e-9;
     if (errors[t]) {
       const FailureInfo failure = describe_failure(errors[t]);
       tree.budget_hit = failure.budget;
@@ -84,8 +116,37 @@ void solve_trees_isolated(const CascadeForest& forest,
       tree.status =
           tree.fallback_root_only ? TreeStatus::kDegraded : TreeStatus::kFailed;
     }
+    switch (tree.status) {
+      case TreeStatus::kOk:
+        rm.trees_ok.add(1);
+        break;
+      case TreeStatus::kDegraded:
+        rm.trees_degraded.add(1);
+        break;
+      case TreeStatus::kFailed:
+        rm.trees_failed.add(1);
+        break;
+    }
+    if (tree.budget_hit) rm.budget_tree_hits.add(1);
+    rm.tree_solve_ns.observe(end_ns[t] - start_ns[t]);
+    const trace::TagValue tags[] = {
+        {"tree_index", nullptr, static_cast<std::int64_t>(t)},
+        {"nodes", nullptr, static_cast<std::int64_t>(tree.num_nodes)},
+        {"status", status_name(tree.status), 0},
+    };
+    trace::emit_span("solve_tree", start_ns[t], end_ns[t], tid[t], tags);
     diagnostics.record(std::move(tree));
   }
+}
+
+/// Copies the trace's per-stage totals into the diagnostics when tracing is
+/// live (the breakdown covers every span recorded since trace::start(), so
+/// in multi-run processes it is cumulative — exactly what the CLI wants).
+void attach_stage_totals(RunDiagnostics& diagnostics) {
+  if (!trace::enabled()) return;
+  diagnostics.stages.clear();
+  for (const trace::StageTotal& stage : trace::aggregate_stage_totals())
+    diagnostics.stages.push_back({stage.name, stage.count, stage.seconds});
 }
 
 void merge_solutions(const CascadeForest& forest,
@@ -119,7 +180,8 @@ DetectionResult run_rid_on_forest(const CascadeForest& forest,
   out.num_components = forest.num_components;
   out.num_trees = forest.trees.size();
 
-  util::Timer timer;
+  trace::TraceSpan span("solve_forest");
+  span.tag("trees", static_cast<std::int64_t>(forest.trees.size()));
   const util::BudgetScope scope(config.budget);
   TreeDpOptions dp = config.dp;
   if (!config.budget.unlimited()) dp.budget = &scope;
@@ -141,7 +203,8 @@ DetectionResult run_rid_on_forest(const CascadeForest& forest,
   std::vector<const TreeSolution*> views(solutions.size());
   for (std::size_t t = 0; t < solutions.size(); ++t) views[t] = &solutions[t];
   merge_solutions(forest, views, out);
-  out.diagnostics.total_seconds = timer.seconds();
+  out.diagnostics.total_seconds = span.seconds();
+  attach_stage_totals(out.diagnostics);
   return out;
 }
 
@@ -154,7 +217,9 @@ std::vector<DetectionResult> run_rid_betas(const CascadeForest& forest,
     result.num_trees = forest.trees.size();
   }
 
-  util::Timer timer;
+  trace::TraceSpan span("solve_forest_betas");
+  span.tag("trees", static_cast<std::int64_t>(forest.trees.size()));
+  span.tag("betas", static_cast<std::int64_t>(betas.size()));
   const util::BudgetScope scope(config.budget);
   TreeDpOptions dp = config.dp;
   if (!config.budget.unlimited()) dp.budget = &scope;
@@ -175,7 +240,8 @@ std::vector<DetectionResult> run_rid_betas(const CascadeForest& forest,
         return !betas.empty() && !solutions[i][0].initiators.empty();
       },
       diagnostics);
-  diagnostics.total_seconds = timer.seconds();
+  diagnostics.total_seconds = span.seconds();
+  attach_stage_totals(diagnostics);
 
   for (std::size_t b = 0; b < betas.size(); ++b) {
     std::vector<const TreeSolution*> views(solutions.size());
@@ -190,7 +256,8 @@ std::vector<DetectionResult> run_rid_betas(const CascadeForest& forest,
 DetectionResult run_rid(const graph::SignedGraph& diffusion,
                         std::span<const graph::NodeState> states,
                         const RidConfig& config) {
-  util::Timer timer;
+  trace::TraceSpan span("run_rid");
+  rid_metrics().runs.add(1);
   // kRepair sanitizes copies of the snapshot and candidate mask up front;
   // kReject leaves validation to extract_cascade_forest (which throws on a
   // size mismatch, exactly as before).
@@ -210,16 +277,22 @@ DetectionResult run_rid(const graph::SignedGraph& diffusion,
     candidates = &repaired_candidates;
   }
 
-  util::Timer extraction_timer;
+  // extract_cascade_forest records its own "extract_forest" span; the
+  // timestamps here only feed the diagnostics field.
+  const std::uint64_t extraction_start_ns = trace::now_ns();
   CascadeForest forest =
       extract_cascade_forest(diffusion, view, config.extraction);
-  const double extraction_seconds = extraction_timer.seconds();
+  const std::uint64_t extraction_end_ns = trace::now_ns();
+  rid_metrics().extraction_ns.observe(extraction_end_ns -
+                                      extraction_start_ns);
   if (!candidates->empty()) apply_candidate_mask(forest, *candidates);
 
   DetectionResult result = run_rid_on_forest(forest, config);
   result.diagnostics.repairs = std::move(repairs.repairs);
-  result.diagnostics.extraction_seconds = extraction_seconds;
-  result.diagnostics.total_seconds = timer.seconds();
+  result.diagnostics.extraction_seconds =
+      static_cast<double>(extraction_end_ns - extraction_start_ns) * 1e-9;
+  result.diagnostics.total_seconds = span.seconds();
+  attach_stage_totals(result.diagnostics);
   util::log_debug("run_rid(beta=", config.beta, "): ", result.initiators.size(),
                   " initiators from ", result.num_trees, " trees (",
                   result.diagnostics.num_degraded, " degraded, ",

@@ -6,10 +6,29 @@
 
 #include "algo/binary_transform.hpp"
 #include "algo/forest.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace rid::core {
 
 namespace {
+
+/// DP-layer metrics series (one lookup per program; see util/metrics.hpp).
+struct DpMetrics {
+  util::metrics::Counter& computes =
+      util::metrics::global().counter("dp.computes");
+  util::metrics::Counter& k_growths =
+      util::metrics::global().counter("dp.k_growths");
+  util::metrics::Counter& nodes_processed =
+      util::metrics::global().counter("dp.nodes_processed");
+  util::metrics::Histogram& final_k =
+      util::metrics::global().histogram("dp.final_k");
+};
+
+DpMetrics& dp_metrics() {
+  static DpMetrics instance;
+  return instance;
+}
 
 constexpr std::uint32_t kRowZ = 0xffffffffu;  // symbolic "zero coverage" j
 
@@ -25,6 +44,7 @@ void check_tree_budget(const util::BudgetScope* budget,
   budget->check();
   const std::uint32_t cap = budget->budget().max_tree_nodes;
   if (cap != 0 && tree_size > cap) {
+    util::metrics::global().counter("budget.tree_cap_hits").add(1);
     throw util::BudgetExceededError(
         "work budget: tree size " + std::to_string(tree_size) +
         " exceeds max_tree_nodes " + std::to_string(cap));
@@ -44,6 +64,8 @@ BinarizedTreeDp::BinarizedTreeDp(const CascadeTree& tree,
                                  std::uint32_t max_reach) {
   if (max_reach == 0)
     throw std::invalid_argument("BinarizedTreeDp: max_reach must be >= 1");
+  util::trace::TraceSpan span("binarize");
+  span.tag("nodes", static_cast<std::int64_t>(tree.size()));
   tree_ = algo::binarize_tree(tree.parent, tree.in_g, /*identity=*/1.0);
   num_real_ = static_cast<std::uint32_t>(tree.size());
   // Side-evidence factor and initiator eligibility per binarized node
@@ -124,6 +146,12 @@ std::uint32_t BinarizedTreeDp::child_row(std::int32_t child,
 
 const std::vector<double>& BinarizedTreeDp::compute(
     std::uint32_t k_max, bool force_root, const util::BudgetScope* budget) {
+  util::trace::TraceSpan span("dp_compute");
+  span.tag("k_cap", static_cast<std::int64_t>(k_max));
+  span.tag("nodes", static_cast<std::int64_t>(num_real_));
+  DpMetrics& dm = dp_metrics();
+  dm.computes.add(1);
+  dm.nodes_processed.add(postorder_.size());
   // Each postorder node costs O(rows * k^2), so poll the budget every few
   // nodes rather than the default (coarser) checker interval.
   util::BudgetChecker checker(budget, /*interval=*/64);
@@ -352,8 +380,10 @@ TreeSolution solve_tree(const CascadeTree& tree, double beta,
     const bool hit_cap = best_k == cap;
     if (hit_cap && cap < std::min<std::uint32_t>(n_real, hard_k_cap)) {
       cap = std::min({cap * 2, n_real, hard_k_cap});
+      dp_metrics().k_growths.add(1);
       continue;
     }
+    dp_metrics().final_k.observe(best_k);
     if (opt[best_k] == kNegInf) {
       // No eligible initiator in this tree (fully masked): empty solution.
       return TreeSolution{};
@@ -437,6 +467,7 @@ std::vector<TreeSolution> solve_tree_betas(const CascadeTree& tree,
     if (!clipped) {
       for (std::size_t i = 0; i < betas.size(); ++i) {
         const std::uint32_t k = pick_k(opt, betas[i]);
+        dp_metrics().final_k.observe(k);
         if (opt[k] == kNegInf) continue;  // fully masked tree: empty
         out[i].k = k;
         out[i].opt = opt[k];
@@ -449,6 +480,7 @@ std::vector<TreeSolution> solve_tree_betas(const CascadeTree& tree,
       return out;
     }
     cap = std::min({cap * 2, n_real, hard_k_cap});
+    dp_metrics().k_growths.add(1);
   }
 }
 

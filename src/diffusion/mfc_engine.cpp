@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
+#include "util/trace.hpp"
 
 namespace rid::diffusion {
 
@@ -174,6 +176,17 @@ MfcBatchResult MfcEngine::run_batch(std::span<const SeedSet> seed_sets,
   result.trials.resize(total);
   if (total == 0) return result;
 
+  util::trace::TraceSpan span("mfc_run_batch");
+  span.tag("seed_sets", static_cast<std::int64_t>(seed_sets.size()));
+  span.tag("trials", static_cast<std::int64_t>(total));
+  util::metrics::Counter& trials_counter =
+      util::metrics::global().counter("mfc.trials");
+  util::metrics::Counter& infected_counter =
+      util::metrics::global().counter("mfc.infected_total");
+  util::metrics::Counter& attempts_counter =
+      util::metrics::global().counter("mfc.attempts_total");
+  util::metrics::global().counter("mfc.batches").add(1);
+
   // Each thread owns one workspace and a strided subset of trial indices;
   // trial (s, t) always draws from Rng(mix_seed(base_seed, s*num_trials+t))
   // and lands at a fixed slot, so the result does not depend on the stride.
@@ -181,10 +194,21 @@ MfcBatchResult MfcEngine::run_batch(std::span<const SeedSet> seed_sets,
       std::max<std::size_t>(1, std::min(num_threads, total));
   util::parallel_for_each(stride, stride, [&](std::size_t chunk) {
     MfcWorkspace ws;
+    // Throughput counters accumulate chunk-locally: one atomic add per
+    // chunk, nothing per trial.
+    std::size_t chunk_trials = 0;
+    std::size_t chunk_infected = 0;
+    std::size_t chunk_attempts = 0;
     for (std::size_t i = chunk; i < total; i += stride) {
       util::Rng rng(util::mix_seed(base_seed, i));
       result.trials[i] = run(seed_sets[i / num_trials], ws, rng);
+      ++chunk_trials;
+      chunk_infected += result.trials[i].num_infected;
+      chunk_attempts += result.trials[i].num_attempts;
     }
+    trials_counter.add(chunk_trials);
+    infected_counter.add(chunk_infected);
+    attempts_counter.add(chunk_attempts);
   });
   return result;
 }

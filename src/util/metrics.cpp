@@ -1,0 +1,201 @@
+#include "util/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+namespace rid::util::metrics {
+
+std::size_t Histogram::bucket_index(std::uint64_t value) noexcept {
+  if (value == 0) return 0;
+  return std::min<std::size_t>(std::bit_width(value), kNumBuckets - 1);
+}
+
+std::uint64_t Histogram::bucket_upper_bound(std::size_t i) noexcept {
+  if (i >= kNumBuckets - 1) return ~0ull;
+  return (1ull << i) - 1;
+}
+
+void Histogram::observe(std::uint64_t value) noexcept {
+  buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  std::uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::reset() noexcept {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(~0ull, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+struct Registry::Impl {
+  mutable std::mutex mutex;
+  // std::map keeps iteration (and therefore snapshots) name-sorted;
+  // unique_ptr keeps series addresses stable across rehash-free growth.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+};
+
+Registry::Registry() : impl_(new Impl) {}
+
+Registry::~Registry() { delete impl_; }
+
+namespace {
+
+template <typename Map>
+auto& find_or_create(Map& map, std::string_view name, std::mutex& mutex) {
+  const std::lock_guard<std::mutex> lock(mutex);
+  auto it = map.find(name);
+  if (it == map.end()) {
+    it = map.emplace(std::string(name),
+                     std::make_unique<typename Map::mapped_type::element_type>())
+             .first;
+  }
+  return *it->second;
+}
+
+}  // namespace
+
+Counter& Registry::counter(std::string_view name) {
+  return find_or_create(impl_->counters, name, impl_->mutex);
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  return find_or_create(impl_->gauges, name, impl_->mutex);
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  return find_or_create(impl_->histograms, name, impl_->mutex);
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot out;
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  out.counters.reserve(impl_->counters.size());
+  for (const auto& [name, counter] : impl_->counters)
+    out.counters.push_back({name, counter->value()});
+  out.gauges.reserve(impl_->gauges.size());
+  for (const auto& [name, gauge] : impl_->gauges)
+    out.gauges.push_back({name, gauge->value()});
+  out.histograms.reserve(impl_->histograms.size());
+  for (const auto& [name, histogram] : impl_->histograms) {
+    HistogramSample sample;
+    sample.name = name;
+    // Read the buckets first and derive the count from those reads: the
+    // sample is then internally consistent (count == sum of buckets) even
+    // while other threads keep observing.
+    for (std::size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      const std::uint64_t n =
+          histogram->buckets_[i].load(std::memory_order_relaxed);
+      if (n == 0) continue;
+      sample.count += n;
+      sample.buckets.emplace_back(Histogram::bucket_upper_bound(i), n);
+    }
+    sample.sum = histogram->sum_.load(std::memory_order_relaxed);
+    if (sample.count > 0) {
+      sample.min = histogram->min_.load(std::memory_order_relaxed);
+      sample.max = histogram->max_.load(std::memory_order_relaxed);
+    }
+    out.histograms.push_back(std::move(sample));
+  }
+  return out;
+}
+
+void Registry::reset() {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  for (const auto& [name, counter] : impl_->counters) counter->reset();
+  for (const auto& [name, gauge] : impl_->gauges) gauge->reset();
+  for (const auto& [name, histogram] : impl_->histograms) histogram->reset();
+}
+
+namespace {
+
+void append_json_string(std::ostringstream& out, std::string_view s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::to_json() const {
+  std::ostringstream out;
+  out << "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    out << (i ? ",\n    " : "\n    ");
+    append_json_string(out, counters[i].name);
+    out << ": " << counters[i].value;
+  }
+  out << (counters.empty() ? "}" : "\n  }");
+  out << ",\n  \"gauges\": {";
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    out << (i ? ",\n    " : "\n    ");
+    append_json_string(out, gauges[i].name);
+    out << ": " << gauges[i].value;
+  }
+  out << (gauges.empty() ? "}" : "\n  }");
+  out << ",\n  \"histograms\": {";
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramSample& h = histograms[i];
+    out << (i ? ",\n    " : "\n    ");
+    append_json_string(out, h.name);
+    out << ": {\"count\": " << h.count << ", \"sum\": " << h.sum
+        << ", \"min\": " << h.min << ", \"max\": " << h.max
+        << ", \"buckets\": [";
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      if (b) out << ", ";
+      out << "{\"le\": " << h.buckets[b].first
+          << ", \"count\": " << h.buckets[b].second << "}";
+    }
+    out << "]}";
+  }
+  out << (histograms.empty() ? "}" : "\n  }");
+  out << "\n}\n";
+  return out.str();
+}
+
+Registry& global() {
+  static Registry registry;
+  return registry;
+}
+
+bool write_metrics_json_file(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (!file) return false;
+  const std::string json = global().snapshot().to_json();
+  std::fwrite(json.data(), 1, json.size(), file);
+  std::fclose(file);
+  return true;
+}
+
+}  // namespace rid::util::metrics

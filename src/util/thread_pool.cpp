@@ -3,7 +3,30 @@
 #include <algorithm>
 #include <atomic>
 
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+
 namespace rid::util {
+
+namespace {
+
+/// Pool utilization metrics. Tasks are coarse (one per worker per
+/// parallel_for_each call), so per-task accounting is cheap. Deliberately
+/// metrics-only — pool activity depends on the thread count, and trace
+/// span content must not (see util/trace.hpp).
+struct PoolMetrics {
+  metrics::Counter& tasks = metrics::global().counter("pool.tasks");
+  metrics::Gauge& queue_depth_max =
+      metrics::global().gauge("pool.queue_depth_max");
+  metrics::Histogram& task_ns = metrics::global().histogram("pool.task_ns");
+};
+
+PoolMetrics& pool_metrics() {
+  static PoolMetrics instance;
+  return instance;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   const std::size_t count = std::max<std::size_t>(1, num_threads);
@@ -22,11 +45,14 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  PoolMetrics& pm = pool_metrics();
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     queue_.push(std::move(task));
     ++in_flight_;
+    pm.queue_depth_max.set_max(static_cast<double>(queue_.size()));
   }
+  pm.tasks.add(1);
   has_work_.notify_one();
 }
 
@@ -46,7 +72,9 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
+    const std::uint64_t task_start_ns = trace::now_ns();
     task();
+    pool_metrics().task_ns.observe(trace::now_ns() - task_start_ns);
     {
       const std::lock_guard<std::mutex> lock(mutex_);
       if (--in_flight_ == 0) idle_.notify_all();

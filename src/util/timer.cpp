@@ -6,10 +6,12 @@
 
 namespace rid::util {
 
-ScopedTimer::ScopedTimer(std::string label) : label_(std::move(label)) {}
+ScopedTimer::ScopedTimer(std::string label)
+    : label_(std::move(label)), span_(label_) {}
 
 ScopedTimer::~ScopedTimer() {
-  log_info(label_, ": ", format_duration(timer_.seconds()));
+  // Logged before span_'s destructor records the span itself.
+  log_info(label_, ": ", format_duration(span_.seconds()));
 }
 
 std::string format_duration(double seconds) {

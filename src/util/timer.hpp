@@ -4,6 +4,8 @@
 #include <chrono>
 #include <string>
 
+#include "util/trace.hpp"
+
 namespace rid::util {
 
 /// Monotonic stopwatch. Starts running on construction.
@@ -25,7 +27,9 @@ class Timer {
   Clock::time_point start_;
 };
 
-/// Logs "<label>: <elapsed> ms" at Info level when the scope exits.
+/// Logs "<label>: <elapsed> ms" at Info level when the scope exits. Timing
+/// rides on a trace::TraceSpan, so every ScopedTimer scope also shows up as
+/// a span named after the label whenever tracing is enabled.
 class ScopedTimer {
  public:
   explicit ScopedTimer(std::string label);
@@ -35,7 +39,7 @@ class ScopedTimer {
 
  private:
   std::string label_;
-  Timer timer_;
+  trace::TraceSpan span_;  // declared after label_: span name copies from it
 };
 
 /// Human-readable duration string, e.g. "1.23 s", "45.6 ms", "789 us".

@@ -1,0 +1,240 @@
+#include "util/trace.hpp"
+
+#if defined(RID_TRACING_ENABLED)
+
+#include <atomic>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+namespace rid::util::trace {
+
+namespace {
+
+/// Spans kept per thread before the ring wraps (oldest records drop first).
+constexpr std::size_t kRingCapacity = 1 << 14;
+
+struct ThreadRing {
+  std::uint32_t tid = 0;
+  /// Total records ever pushed; the owning thread is the only writer and
+  /// publishes each record with a release store so snapshot readers never
+  /// see a half-written slot below the count they load.
+  std::atomic<std::uint64_t> count{0};
+  std::vector<SpanRecord> slots;
+};
+
+struct Collector {
+  std::atomic<bool> enabled{false};
+  std::uint64_t trace_start_ns = 0;
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadRing>> rings;
+  std::uint32_t next_tid = 0;
+};
+
+Collector& collector() {
+  static Collector instance;
+  return instance;
+}
+
+// The shared_ptr keeps a ring (and its records) alive in the collector
+// after its thread exits — pool workers are short-lived but their spans
+// must survive until export.
+thread_local std::shared_ptr<ThreadRing> t_ring;
+
+ThreadRing& local_ring() {
+  if (!t_ring) {
+    auto ring = std::make_shared<ThreadRing>();
+    ring->slots.resize(kRingCapacity);
+    Collector& c = collector();
+    const std::lock_guard<std::mutex> lock(c.mutex);
+    ring->tid = c.next_tid++;
+    c.rings.push_back(ring);
+    t_ring = std::move(ring);
+  }
+  return *t_ring;
+}
+
+void push_record(const SpanRecord& record) {
+  ThreadRing& ring = local_ring();
+  const std::uint64_t n = ring.count.load(std::memory_order_relaxed);
+  ring.slots[n % kRingCapacity] = record;
+  ring.count.store(n + 1, std::memory_order_release);
+}
+
+void append_json_string(std::ostringstream& out, std::string_view s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+bool enabled() noexcept {
+  return collector().enabled.load(std::memory_order_acquire);
+}
+
+void start() {
+  Collector& c = collector();
+  const std::lock_guard<std::mutex> lock(c.mutex);
+  for (const auto& ring : c.rings)
+    ring->count.store(0, std::memory_order_relaxed);
+  c.trace_start_ns = now_ns();
+  c.enabled.store(true, std::memory_order_release);
+}
+
+void stop() { collector().enabled.store(false, std::memory_order_release); }
+
+std::uint32_t current_tid() noexcept {
+  if (!enabled()) return 0;
+  return local_ring().tid;
+}
+
+void emit_span(std::string_view name, std::uint64_t start_ns,
+               std::uint64_t end_ns, std::uint32_t tid,
+               std::span<const TagValue> tags) {
+  if (!enabled()) return;
+  SpanRecord record;
+  const std::size_t n = std::min(name.size(), kMaxNameLength);
+  std::memcpy(record.name, name.data(), n);
+  record.name[n] = '\0';
+  record.start_ns = start_ns;
+  record.end_ns = end_ns;
+  record.tid = tid;
+  record.num_tags =
+      static_cast<std::uint8_t>(std::min(tags.size(), kMaxTags));
+  for (std::size_t i = 0; i < record.num_tags; ++i) record.tags[i] = tags[i];
+  push_record(record);
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_ || !enabled()) return;
+  SpanRecord record;
+  std::memcpy(record.name, name_, sizeof(record.name));
+  record.start_ns = start_;
+  record.end_ns = now_ns();
+  record.tid = local_ring().tid;
+  record.num_tags = num_tags_;
+  for (std::size_t i = 0; i < num_tags_; ++i) record.tags[i] = tags_[i];
+  push_record(record);
+}
+
+TraceSnapshot snapshot() {
+  TraceSnapshot out;
+  Collector& c = collector();
+  const std::lock_guard<std::mutex> lock(c.mutex);
+  out.start_ns = c.trace_start_ns;
+  for (const auto& ring : c.rings) {
+    const std::uint64_t n = ring->count.load(std::memory_order_acquire);
+    const std::uint64_t take = std::min<std::uint64_t>(n, kRingCapacity);
+    out.dropped += n - take;
+    for (std::uint64_t i = 0; i < take; ++i)
+      out.spans.push_back(ring->slots[(n - take + i) % kRingCapacity]);
+  }
+  std::sort(out.spans.begin(), out.spans.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              if (a.end_ns != b.end_ns) return a.end_ns < b.end_ns;
+              return std::strcmp(a.name, b.name) < 0;
+            });
+  return out;
+}
+
+std::vector<StageTotal> aggregate_stage_totals() {
+  const TraceSnapshot snap = snapshot();
+  std::map<std::string, StageTotal> totals;
+  for (const SpanRecord& span : snap.spans) {
+    StageTotal& total = totals[span.name];
+    ++total.count;
+    total.seconds +=
+        static_cast<double>(span.end_ns - span.start_ns) * 1e-9;
+  }
+  std::vector<StageTotal> out;
+  out.reserve(totals.size());
+  for (auto& [name, total] : totals) {
+    total.name = name;
+    out.push_back(std::move(total));
+  }
+  return out;
+}
+
+std::string chrome_trace_json() {
+  const TraceSnapshot snap = snapshot();
+  std::ostringstream out;
+  out << "{\"traceEvents\": [\n";
+  // Thread-name metadata so Perfetto labels the lanes.
+  std::map<std::uint32_t, bool> tids;
+  for (const SpanRecord& span : snap.spans) tids.emplace(span.tid, true);
+  bool first = true;
+  for (const auto& [tid, unused] : tids) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+           "\"tid\": "
+        << tid << ", \"args\": {\"name\": \""
+        << (tid == 0 ? std::string("main") : "worker-" + std::to_string(tid))
+        << "\"}}";
+  }
+  for (const SpanRecord& span : snap.spans) {
+    if (!first) out << ",\n";
+    first = false;
+    // Complete ("X") events; timestamps in microseconds relative to start().
+    out << "  {\"name\": ";
+    append_json_string(out, span.name);
+    out << ", \"cat\": \"rid\", \"ph\": \"X\", \"ts\": "
+        << static_cast<double>(span.start_ns - snap.start_ns) * 1e-3
+        << ", \"dur\": "
+        << static_cast<double>(span.end_ns - span.start_ns) * 1e-3
+        << ", \"pid\": 1, \"tid\": " << span.tid;
+    if (span.num_tags > 0) {
+      out << ", \"args\": {";
+      for (std::size_t i = 0; i < span.num_tags; ++i) {
+        if (i) out << ", ";
+        append_json_string(out, span.tags[i].key);
+        out << ": ";
+        if (span.tags[i].sval) {
+          append_json_string(out, span.tags[i].sval);
+        } else {
+          out << span.tags[i].ival;
+        }
+      }
+      out << "}";
+    }
+    out << "}";
+  }
+  out << "\n], \"displayTimeUnit\": \"ms\"";
+  if (snap.dropped > 0) out << ", \"droppedSpans\": " << snap.dropped;
+  out << "}\n";
+  return out.str();
+}
+
+bool write_chrome_trace_file(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (!file) return false;
+  const std::string json = chrome_trace_json();
+  std::fwrite(json.data(), 1, json.size(), file);
+  std::fclose(file);
+  return true;
+}
+
+}  // namespace rid::util::trace
+
+#endif  // RID_TRACING_ENABLED

@@ -26,6 +26,7 @@
 #include <memory>
 
 #include "util/errors.hpp"
+#include "util/metrics.hpp"
 
 namespace rid::util {
 
@@ -106,12 +107,18 @@ class BudgetScope {
   }
 
   /// Throws BudgetExceededError when the deadline passed or the caller
-  /// cancelled. Hot loops call this through a BudgetChecker.
+  /// cancelled. Hot loops call this through a BudgetChecker. The metric
+  /// lookups sit on the throwing paths only, so the happy path stays a
+  /// flag test plus (with a deadline) one clock read.
   void check() const {
-    if (budget_.cancel.cancel_requested())
+    if (budget_.cancel.cancel_requested()) {
+      metrics::global().counter("budget.cancelled").add(1);
       throw BudgetExceededError("work budget: cancelled by caller");
-    if (has_deadline_ && Clock::now() >= deadline_)
+    }
+    if (has_deadline_ && Clock::now() >= deadline_) {
+      metrics::global().counter("budget.deadline_exceeded").add(1);
       throw BudgetExceededError("work budget: wall-clock deadline exceeded");
+    }
   }
 
   double elapsed_seconds() const noexcept {

@@ -1,0 +1,325 @@
+// Tests for the observability layer: the metrics registry
+// (util/metrics.hpp) and the pipeline tracer (util/trace.hpp), including
+// the span content the RID pipeline emits. See DESIGN.md §9.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/rid.hpp"
+#include "util/metrics.hpp"
+#include "util/thread_pool.hpp"
+#include "util/trace.hpp"
+
+namespace rid::util::metrics {
+namespace {
+
+TEST(Metrics, CounterConcurrentIncrementsSumExactly) {
+  global().reset();
+  Counter& counter = global().counter("test.concurrent");
+  constexpr std::size_t kTasks = 64;
+  constexpr std::size_t kAddsPerTask = 1000;
+  parallel_for_each(kTasks, /*num_threads=*/8, [&](std::size_t) {
+    for (std::size_t i = 0; i < kAddsPerTask; ++i) counter.add(1);
+  });
+  EXPECT_EQ(counter.value(), kTasks * kAddsPerTask);
+}
+
+TEST(Metrics, HistogramBucketBoundaries) {
+  // Bucket 0 holds the value 0; bucket i >= 1 holds [2^(i-1), 2^i - 1].
+  EXPECT_EQ(Histogram::bucket_index(0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(1), 1u);
+  EXPECT_EQ(Histogram::bucket_index(2), 2u);
+  EXPECT_EQ(Histogram::bucket_index(3), 2u);
+  EXPECT_EQ(Histogram::bucket_index(4), 3u);
+  EXPECT_EQ(Histogram::bucket_index(7), 3u);
+  EXPECT_EQ(Histogram::bucket_index(8), 4u);
+  EXPECT_EQ(Histogram::bucket_index(1024), 11u);
+  EXPECT_EQ(Histogram::bucket_index(~0ull), 63u);
+  // Boundaries are exact: every bucket's upper bound maps into the bucket
+  // and the next value maps into the following one.
+  for (std::size_t i = 1; i < 20; ++i) {
+    const std::uint64_t ub = Histogram::bucket_upper_bound(i);
+    EXPECT_EQ(Histogram::bucket_index(ub), i) << "upper bound of bucket " << i;
+    EXPECT_EQ(Histogram::bucket_index(ub + 1), i + 1);
+  }
+  EXPECT_EQ(Histogram::bucket_upper_bound(0), 0u);
+  EXPECT_EQ(Histogram::bucket_upper_bound(1), 1u);
+  EXPECT_EQ(Histogram::bucket_upper_bound(2), 3u);
+  EXPECT_EQ(Histogram::bucket_upper_bound(10), 1023u);
+}
+
+TEST(Metrics, HistogramSnapshotFields) {
+  global().reset();
+  Histogram& h = global().histogram("test.hist");
+  h.observe(0);
+  h.observe(3);
+  h.observe(3);
+  h.observe(100);
+  // The snapshot may also hold series registered by other instrumentation
+  // (e.g. the thread pool's pool.task_ns) — find ours by name.
+  const MetricsSnapshot snap = global().snapshot();
+  const auto it =
+      std::find_if(snap.histograms.begin(), snap.histograms.end(),
+                   [](const HistogramSample& h) { return h.name == "test.hist"; });
+  ASSERT_NE(it, snap.histograms.end());
+  const HistogramSample& s = *it;
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_EQ(s.sum, 106u);
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, 100u);
+  // Non-empty buckets only: {0}, [2,3], [64,127].
+  ASSERT_EQ(s.buckets.size(), 3u);
+  EXPECT_EQ(s.buckets[0], (std::pair<std::uint64_t, std::uint64_t>{0, 1}));
+  EXPECT_EQ(s.buckets[1], (std::pair<std::uint64_t, std::uint64_t>{3, 2}));
+  EXPECT_EQ(s.buckets[2], (std::pair<std::uint64_t, std::uint64_t>{127, 1}));
+}
+
+TEST(Metrics, HistogramSnapshotIsInternallyConsistent) {
+  // count must equal the sum of bucket counts in every snapshot, even while
+  // other threads keep observing.
+  global().reset();
+  Histogram& h = global().histogram("test.racing");
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    std::uint64_t v = 0;
+    while (!stop.load(std::memory_order_relaxed)) h.observe(++v & 1023);
+  });
+  for (int round = 0; round < 200; ++round) {
+    const MetricsSnapshot snap = global().snapshot();
+    for (const HistogramSample& s : snap.histograms) {
+      std::uint64_t bucket_total = 0;
+      for (const auto& [le, count] : s.buckets) bucket_total += count;
+      EXPECT_EQ(s.count, bucket_total) << s.name;
+    }
+  }
+  stop.store(true);
+  writer.join();
+}
+
+TEST(Metrics, ResetKeepsReferencesValid) {
+  Counter& counter = global().counter("test.survives_reset");
+  counter.add(5);
+  Gauge& gauge = global().gauge("test.gauge");
+  gauge.set_max(3.0);
+  gauge.set_max(2.0);  // lower than the running max: must not stick
+  EXPECT_DOUBLE_EQ(gauge.value(), 3.0);
+  global().reset();
+  EXPECT_EQ(counter.value(), 0u);
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+  counter.add(2);  // same object, still registered
+  EXPECT_EQ(global().counter("test.survives_reset").value(), 2u);
+}
+
+TEST(Metrics, SnapshotIsSortedAndJsonHasSections) {
+  global().reset();
+  global().counter("test.b").add(1);
+  global().counter("test.a").add(1);
+  const MetricsSnapshot snap = global().snapshot();
+  ASSERT_GE(snap.counters.size(), 2u);
+  for (std::size_t i = 1; i < snap.counters.size(); ++i)
+    EXPECT_LT(snap.counters[i - 1].name, snap.counters[i].name);
+  const std::string json = snap.to_json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.a\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rid::util::metrics
+
+namespace rid::core {
+namespace {
+
+namespace trace = util::trace;
+using graph::NodeState;
+using graph::Sign;
+using graph::SignedGraph;
+using graph::SignedGraphBuilder;
+
+/// Same two-component snapshot as test_rid_pipeline.cpp: chains seeded at
+/// 0 and 5, so RID extracts exactly two cascade trees.
+struct TwoChains {
+  SignedGraph graph;
+  std::vector<NodeState> states;
+};
+
+TwoChains make_two_chains() {
+  SignedGraphBuilder builder(10);
+  builder.add_edge(0, 1, Sign::kPositive, 0.2)
+      .add_edge(1, 2, Sign::kPositive, 0.2);
+  builder.add_edge(5, 6, Sign::kNegative, 0.5)
+      .add_edge(6, 7, Sign::kPositive, 0.2);
+  TwoChains out{builder.build(),
+                std::vector<NodeState>(10, NodeState::kInactive)};
+  out.states[0] = out.states[1] = out.states[2] = NodeState::kPositive;
+  out.states[5] = NodeState::kPositive;
+  out.states[6] = NodeState::kNegative;
+  out.states[7] = NodeState::kNegative;
+  return out;
+}
+
+/// The deterministic part of a span: name plus tag keys/values (timings and
+/// thread attribution are excluded on purpose).
+std::string span_content(const trace::SpanRecord& span) {
+  std::string out = span.name;
+  for (std::uint8_t i = 0; i < span.num_tags; ++i) {
+    out += ' ';
+    out += span.tags[i].key;
+    out += '=';
+    if (span.tags[i].sval != nullptr) {
+      out += span.tags[i].sval;
+    } else {
+      out += std::to_string(span.tags[i].ival);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> traced_run(std::size_t num_threads) {
+  const TwoChains tc = make_two_chains();
+  RidConfig config;
+  config.beta = 1.4;
+  config.num_threads = num_threads;
+  trace::start();
+  const DetectionResult result = run_rid(tc.graph, tc.states, config);
+  trace::stop();
+  EXPECT_EQ(result.num_trees, 2u);
+  const trace::TraceSnapshot snap = trace::snapshot();
+  EXPECT_EQ(snap.dropped, 0u);
+  std::vector<std::string> content;
+  content.reserve(snap.spans.size());
+  for (const trace::SpanRecord& span : snap.spans)
+    content.push_back(span_content(span));
+  std::sort(content.begin(), content.end());
+  return content;
+}
+
+TEST(Trace, RunRidEmitsOneSolveTreeSpanPerTree) {
+  if (!trace::compiled()) GTEST_SKIP() << "built with RID_TRACING=OFF";
+  const TwoChains tc = make_two_chains();
+  RidConfig config;
+  config.beta = 1.4;
+  config.num_threads = 2;
+  trace::start();
+  const DetectionResult result = run_rid(tc.graph, tc.states, config);
+  trace::stop();
+  ASSERT_EQ(result.num_trees, 2u);
+
+  const trace::TraceSnapshot snap = trace::snapshot();
+  EXPECT_EQ(snap.dropped, 0u);
+  std::vector<std::int64_t> tree_indices;
+  bool saw_run_rid = false;
+  bool saw_extract = false;
+  for (const trace::SpanRecord& span : snap.spans) {
+    const std::string name = span.name;
+    if (name == "run_rid") saw_run_rid = true;
+    if (name == "extract_forest") saw_extract = true;
+    if (name != "solve_tree") continue;
+    ASSERT_GE(span.num_tags, 3);
+    std::int64_t index = -1;
+    std::int64_t nodes = -1;
+    const char* status = nullptr;
+    for (std::uint8_t i = 0; i < span.num_tags; ++i) {
+      const std::string key = span.tags[i].key;
+      if (key == "tree_index") index = span.tags[i].ival;
+      if (key == "nodes") nodes = span.tags[i].ival;
+      if (key == "status") status = span.tags[i].sval;
+    }
+    EXPECT_GT(nodes, 0);
+    ASSERT_NE(status, nullptr);
+    EXPECT_STREQ(status, "ok");
+    EXPECT_LE(span.start_ns, span.end_ns);
+    tree_indices.push_back(index);
+  }
+  EXPECT_TRUE(saw_run_rid);
+  EXPECT_TRUE(saw_extract);
+  std::sort(tree_indices.begin(), tree_indices.end());
+  EXPECT_EQ(tree_indices, (std::vector<std::int64_t>{0, 1}));
+}
+
+TEST(Trace, SpanContentIsDeterministicAcrossThreadCounts) {
+  if (!trace::compiled()) GTEST_SKIP() << "built with RID_TRACING=OFF";
+  const std::vector<std::string> serial = traced_run(1);
+  const std::vector<std::string> threaded = traced_run(4);
+  EXPECT_EQ(serial, threaded);
+  EXPECT_FALSE(serial.empty());
+}
+
+TEST(Trace, StageTotalsAggregateByName) {
+  if (!trace::compiled()) GTEST_SKIP() << "built with RID_TRACING=OFF";
+  traced_run(2);
+  const std::vector<trace::StageTotal> stages =
+      trace::aggregate_stage_totals();
+  bool found = false;
+  for (const trace::StageTotal& stage : stages) {
+    EXPECT_GE(stage.seconds, 0.0);
+    if (stage.name == "solve_tree") {
+      found = true;
+      EXPECT_EQ(stage.count, 2u);
+    }
+  }
+  EXPECT_TRUE(found);
+  for (std::size_t i = 1; i < stages.size(); ++i)
+    EXPECT_LT(stages[i - 1].name, stages[i].name);
+}
+
+TEST(Trace, ChromeJsonIsStructurallySound) {
+  if (!trace::compiled()) GTEST_SKIP() << "built with RID_TRACING=OFF";
+  traced_run(2);
+  const std::string json = trace::chrome_trace_json();
+  EXPECT_EQ(json.rfind("{\"traceEvents\": [", 0), 0u);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"solve_tree\""), std::string::npos);
+  EXPECT_NE(json.find("\"tree_index\""), std::string::npos);
+  // Balanced braces/brackets outside of strings: the spans carry no
+  // user-controlled strings here, so a raw scan is sufficient.
+  std::int64_t braces = 0;
+  std::int64_t brackets = 0;
+  for (const char c : json) {
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(Trace, WriteFileMatchesCompileMode) {
+  const std::string path = ::testing::TempDir() + "ridnet_trace_test.json";
+  std::remove(path.c_str());
+  if (trace::compiled()) {
+    traced_run(1);
+    ASSERT_TRUE(trace::write_chrome_trace_file(path));
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::fclose(f);
+    std::remove(path.c_str());
+  } else {
+    // RID_TRACING=OFF builds must never create the file.
+    trace::start();
+    EXPECT_FALSE(trace::enabled());
+    EXPECT_FALSE(trace::write_chrome_trace_file(path));
+    EXPECT_EQ(std::fopen(path.c_str(), "rb"), nullptr);
+    trace::stop();
+  }
+}
+
+TEST(Trace, SpanSecondsWorksRegardlessOfMode) {
+  // ScopedTimer and RunDiagnostics rely on the clock being live even when
+  // recording is compiled out or idle.
+  const trace::TraceSpan span("clock_check");
+  EXPECT_GE(span.seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace rid::core
