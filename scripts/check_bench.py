@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Validate a bench_tree_dp report (CI perf-smoke gate).
+
+Usage: check_bench.py BENCH_tree_dp.json
+
+Checks that the report is valid JSON with a non-empty results array, that
+every row carries the full column set, that the optimized solver matched the
+seed baseline bit-for-bit (match == true), that the incremental k-cap growth
+never recomputed a column (cols_recomputed == 0), and that timings/speedups
+are positive and self-consistent. Exits non-zero with a message on the first
+failure. Stdlib only — no third-party imports.
+"""
+import json
+import sys
+
+REQUIRED_KEYS = (
+    "nodes", "threads", "k", "baseline_ms", "optimized_ms",
+    "speedup", "cols_fresh", "cols_recomputed", "match",
+)
+
+
+def fail(msg: str) -> None:
+    print(f"check_bench: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check(path: str) -> None:
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)  # raises on invalid JSON
+
+    if doc.get("benchmark") != "tree_dp":
+        fail(f"{path}: benchmark tag is {doc.get('benchmark')!r}, want 'tree_dp'")
+    if doc.get("unit") != "ms/solve":
+        fail(f"{path}: unit is {doc.get('unit')!r}, want 'ms/solve'")
+    if not isinstance(doc.get("smoke"), bool):
+        fail(f"{path}: 'smoke' flag missing or not a bool")
+
+    rows = doc.get("results")
+    if not isinstance(rows, list) or not rows:
+        fail(f"{path}: results missing or empty")
+
+    for i, row in enumerate(rows):
+        for key in REQUIRED_KEYS:
+            if key not in row:
+                fail(f"{path}: results[{i}] missing '{key}': {row}")
+        if row["match"] is not True:
+            fail(f"{path}: results[{i}] ({row['nodes']} nodes, "
+                 f"{row['threads']} threads): optimized solution does not "
+                 f"match the seed baseline")
+        if row["cols_recomputed"] != 0:
+            fail(f"{path}: results[{i}] ({row['nodes']} nodes, "
+                 f"{row['threads']} threads): {row['cols_recomputed']} "
+                 f"k-columns recomputed across cap doublings (want 0)")
+        if row["baseline_ms"] <= 0 or row["optimized_ms"] <= 0:
+            fail(f"{path}: results[{i}]: non-positive timing: {row}")
+        if row["speedup"] <= 0:
+            fail(f"{path}: results[{i}]: non-positive speedup: {row}")
+        ratio = row["baseline_ms"] / row["optimized_ms"]
+        if abs(ratio - row["speedup"]) > 0.05 * ratio + 0.01:
+            fail(f"{path}: results[{i}]: speedup {row['speedup']} inconsistent "
+                 f"with baseline/optimized ratio {ratio:.3f}")
+        # cols_fresh counts k-columns computed beyond each previous cap, so
+        # the total equals the final cap, which must cover the answer k*.
+        if row["cols_fresh"] < row["k"]:
+            fail(f"{path}: results[{i}]: cols_fresh {row['cols_fresh']} < "
+                 f"k* = {row['k']} — table never reached the answer")
+
+    sizes = sorted({row["nodes"] for row in rows})
+    kind = "smoke" if doc["smoke"] else "full"
+    print(f"check_bench: {path}: OK — {len(rows)} rows ({kind}), "
+          f"sizes {sizes}, all matched, 0 recomputed columns")
+
+
+def main() -> None:
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    check(sys.argv[1])
+
+
+if __name__ == "__main__":
+    main()

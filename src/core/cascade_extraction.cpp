@@ -10,6 +10,7 @@
 #include "core/isomit.hpp"
 #include "util/logging.hpp"
 #include "util/metrics.hpp"
+#include "util/thread_pool.hpp"
 #include "util/trace.hpp"
 
 namespace rid::core {
@@ -76,7 +77,6 @@ CascadeForest extract_cascade_forest(const graph::SignedGraph& diffusion,
 
   util::trace::TraceSpan span("extract_forest");
   CascadeForest out;
-  util::BudgetChecker checker(config.budget);
   const std::vector<graph::NodeId> infected = infected_nodes(states);
   if (infected.empty()) return out;
 
@@ -85,10 +85,21 @@ CascadeForest extract_cascade_forest(const graph::SignedGraph& diffusion,
   out.num_components = comps.count;
   const auto groups = comps.groups();
 
-  // Scratch local-index map, reset per component (avoids O(n) per group).
+  // Scratch local-index map shared by all component tasks: component member
+  // sets are disjoint, and any edge endpoint outside the component is
+  // uninfected (an infected endpoint would have merged the components), so
+  // each task writes/resets only its own members' cells and only ever reads
+  // other cells in their never-written kInvalidNode state — race-free.
   std::vector<graph::NodeId> to_local(diffusion.num_nodes(),
                                       graph::kInvalidNode);
-  for (const std::vector<graph::NodeId>& members : groups) {
+  // Per-component outputs, merged in component order after the join so the
+  // forest is bit-identical for any thread count.
+  std::vector<std::vector<CascadeTree>> group_trees(groups.size());
+  std::vector<std::size_t> group_arcs(groups.size(), 0);
+
+  const auto process_group = [&](std::size_t gi) {
+    const std::vector<graph::NodeId>& members = groups[gi];
+    util::BudgetChecker checker(config.budget);
     for (graph::NodeId i = 0; i < members.size(); ++i)
       to_local[members[i]] = i;
 
@@ -105,7 +116,7 @@ CascadeForest extract_cascade_forest(const graph::SignedGraph& diffusion,
                         std::log(std::max(score, config.score_floor)), e});
       }
     }
-    out.num_candidate_arcs += arcs.size();
+    group_arcs[gi] = arcs.size();
 
     const algo::Branching branching =
         config.use_fast_solver
@@ -185,10 +196,19 @@ CascadeForest extract_cascade_forest(const graph::SignedGraph& diffusion,
           }
         }
       }
-      out.trees.push_back(std::move(tree));
+      group_trees[gi].push_back(std::move(tree));
     }
 
     for (const graph::NodeId v : members) to_local[v] = graph::kInvalidNode;
+  };
+
+  util::parallel_for_each(groups.size(), std::max<std::size_t>(1, config.num_threads),
+                          process_group);
+
+  for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+    out.num_candidate_arcs += group_arcs[gi];
+    for (CascadeTree& tree : group_trees[gi])
+      out.trees.push_back(std::move(tree));
   }
 
   span.tag("infected", static_cast<std::int64_t>(infected.size()));

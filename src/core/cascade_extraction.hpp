@@ -85,6 +85,13 @@ struct ExtractionConfig {
   /// extract_cascade_forest directly and a hard stop is preferable to any
   /// answer. Null = unbudgeted.
   const util::BudgetScope* budget = nullptr;
+  /// Worker threads for per-component extraction: each weakly-connected
+  /// component's arc building, Edmonds run, and tree assembly is independent
+  /// of the others, so components run as thread-pool tasks and the resulting
+  /// trees are merged back in component order. Results are bit-identical for
+  /// any value. 0 or 1 = serial when calling extract_cascade_forest
+  /// directly; run_rid substitutes RidConfig::num_threads.
+  std::size_t num_threads = 0;
 };
 
 struct CascadeForest {

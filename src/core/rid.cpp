@@ -149,6 +149,20 @@ void attach_stage_totals(RunDiagnostics& diagnostics) {
     diagnostics.stages.push_back({stage.name, stage.count, stage.seconds});
 }
 
+/// Resolves TreeDpOptions::num_threads == 0 (inherit) to this run's per-tree
+/// share of the pool: the tree-level parallelism claims min(threads, trees)
+/// workers and the leftover goes to the intra-tree DP — so the
+/// giant-component case (one tree) hands the whole pool to the DP. Depends
+/// only on the config and the forest shape, never on scheduling, keeping
+/// results and instrumentation deterministic.
+std::size_t intra_tree_threads(const RidConfig& config,
+                               const CascadeForest& forest) {
+  const std::size_t pool = std::max<std::size_t>(1, config.num_threads);
+  const std::size_t outer =
+      std::min(pool, std::max<std::size_t>(1, forest.trees.size()));
+  return std::max<std::size_t>(1, pool / outer);
+}
+
 void merge_solutions(const CascadeForest& forest,
                      const std::vector<const TreeSolution*>& solutions,
                      DetectionResult& out) {
@@ -185,6 +199,7 @@ DetectionResult run_rid_on_forest(const CascadeForest& forest,
   const util::BudgetScope scope(config.budget);
   TreeDpOptions dp = config.dp;
   if (!config.budget.unlimited()) dp.budget = &scope;
+  if (dp.num_threads == 0) dp.num_threads = intra_tree_threads(config, forest);
 
   // Trees are independent; solve them (optionally) in parallel with per-tree
   // fault isolation, then merge in deterministic tree order.
@@ -223,6 +238,7 @@ std::vector<DetectionResult> run_rid_betas(const CascadeForest& forest,
   const util::BudgetScope scope(config.budget);
   TreeDpOptions dp = config.dp;
   if (!config.budget.unlimited()) dp.budget = &scope;
+  if (dp.num_threads == 0) dp.num_threads = intra_tree_threads(config, forest);
 
   // Per-tree multi-beta solves (optionally parallel over trees, isolated
   // per tree), merged in deterministic tree order per beta.
@@ -280,8 +296,9 @@ DetectionResult run_rid(const graph::SignedGraph& diffusion,
   // extract_cascade_forest records its own "extract_forest" span; the
   // timestamps here only feed the diagnostics field.
   const std::uint64_t extraction_start_ns = trace::now_ns();
-  CascadeForest forest =
-      extract_cascade_forest(diffusion, view, config.extraction);
+  ExtractionConfig extraction = config.extraction;
+  if (extraction.num_threads == 0) extraction.num_threads = config.num_threads;
+  CascadeForest forest = extract_cascade_forest(diffusion, view, extraction);
   const std::uint64_t extraction_end_ns = trace::now_ns();
   rid_metrics().extraction_ns.observe(extraction_end_ns -
                                       extraction_start_ns);

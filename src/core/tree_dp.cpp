@@ -1,12 +1,13 @@
 #include "core/tree_dp.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <stdexcept>
-#include <unordered_map>
 
 #include "algo/binary_transform.hpp"
 #include "algo/forest.hpp"
 #include "util/metrics.hpp"
+#include "util/thread_pool.hpp"
 #include "util/trace.hpp"
 
 namespace rid::core {
@@ -21,6 +22,10 @@ struct DpMetrics {
       util::metrics::global().counter("dp.k_growths");
   util::metrics::Counter& nodes_processed =
       util::metrics::global().counter("dp.nodes_processed");
+  util::metrics::Counter& cols_fresh =
+      util::metrics::global().counter("dp.cols_fresh");
+  util::metrics::Counter& cols_recomputed =
+      util::metrics::global().counter("dp.cols_recomputed");
   util::metrics::Histogram& final_k =
       util::metrics::global().histogram("dp.final_k");
 };
@@ -32,7 +37,7 @@ DpMetrics& dp_metrics() {
 
 constexpr std::uint32_t kRowZ = 0xffffffffu;  // symbolic "zero coverage" j
 
-/// Safety limit on the choice table (entries, 4 bytes each).
+/// Safety limit on each arena (entries; values 8 bytes, choices 4).
 constexpr std::size_t kMaxTableEntries = 120'000'000;
 
 /// Entry gate shared by solve_tree / solve_tree_betas: rejects a solve whose
@@ -61,7 +66,8 @@ std::uint32_t effective_k_cap(const util::BudgetScope* budget,
 }  // namespace
 
 BinarizedTreeDp::BinarizedTreeDp(const CascadeTree& tree,
-                                 std::uint32_t max_reach) {
+                                 std::uint32_t max_reach,
+                                 std::uint32_t parallel_grain) {
   if (max_reach == 0)
     throw std::invalid_argument("BinarizedTreeDp: max_reach must be >= 1");
   util::trace::TraceSpan span("binarize");
@@ -89,7 +95,10 @@ BinarizedTreeDp::BinarizedTreeDp(const CascadeTree& tree,
     if (tree_.right[v] >= 0) parent_[tree_.right[v]] = v;
   }
 
-  // Preorder via stack; reversed it gives children-before-parents.
+  // Preorder via stack; reversed it gives children-before-parents, and —
+  // since the reverse of a preorder is a postorder — every subtree is a
+  // contiguous postorder segment ending at its root. The parallel
+  // decomposition below leans on that.
   std::vector<std::int32_t> preorder;
   preorder.reserve(n);
   std::vector<std::int32_t> stack{tree_.root};
@@ -118,17 +127,47 @@ BinarizedTreeDp::BinarizedTreeDp(const CascadeTree& tree,
         std::min({depth_[v], zrun_[v], max_reach});
     layout_[v].reach = reach;
     layout_[v].rows = reach + 2;  // row 0 + rows 1..reach + Z row
+    rows_total_ += reach + 2;
     pathprod_[v].assign(reach + 1, 1.0);
     for (std::uint32_t j = 1; j <= reach; ++j)
       pathprod_[v][j] = tree_.in_value[v] * pathprod_[parent_[v]][j - 1];
   }
 
-  for (const std::int32_t v : postorder_) {
+  // Binarized subtree sizes + postorder positions drive both the real-count
+  // feasibility clamp and the parallel decomposition.
+  std::vector<std::uint32_t> bsize(n, 0);
+  std::vector<std::uint32_t> pos(n, 0);
+  for (std::uint32_t i = 0; i < static_cast<std::uint32_t>(n); ++i) {
+    const std::int32_t v = postorder_[i];
+    pos[v] = i;
+    bsize[v] = 1;
     layout_[v].real_count = tree_.is_dummy(v) ? 0 : 1;
-    if (tree_.left[v] >= 0)
+    if (tree_.left[v] >= 0) {
+      bsize[v] += bsize[tree_.left[v]];
       layout_[v].real_count += layout_[tree_.left[v]].real_count;
-    if (tree_.right[v] >= 0)
+    }
+    if (tree_.right[v] >= 0) {
+      bsize[v] += bsize[tree_.right[v]];
       layout_[v].real_count += layout_[tree_.right[v]].real_count;
+    }
+  }
+
+  // Heavy-subtree cut: nodes whose binarized subtree exceeds the grain form
+  // the serial spine (a connected crown including the root); every maximal
+  // subtree at or under the grain becomes one independent task segment. The
+  // grain depends only on the tree — never on the thread count — so the
+  // decomposition (and everything derived from it: metrics, trace tags,
+  // results) is schedule-independent.
+  const std::uint32_t grain =
+      parallel_grain != 0
+          ? parallel_grain
+          : std::max<std::uint32_t>(512, static_cast<std::uint32_t>(n) / 64);
+  for (const std::int32_t v : postorder_) {
+    if (bsize[v] > grain) {
+      spine_postorder_.push_back(v);
+    } else if (parent_[v] < 0 || bsize[parent_[v]] > grain) {
+      tasks_.push_back({pos[v] + 1 - bsize[v], pos[v] + 1});
+    }
   }
 }
 
@@ -144,115 +183,295 @@ std::uint32_t BinarizedTreeDp::child_row(std::int32_t child,
   return std::min(child_j, layout_[child].reach);
 }
 
-const std::vector<double>& BinarizedTreeDp::compute(
-    std::uint32_t k_max, bool force_root, const util::BudgetScope* budget) {
-  util::trace::TraceSpan span("dp_compute");
-  span.tag("k_cap", static_cast<std::int64_t>(k_max));
-  span.tag("nodes", static_cast<std::int64_t>(num_real_));
-  DpMetrics& dm = dp_metrics();
-  dm.computes.add(1);
-  dm.nodes_processed.add(postorder_.size());
-  // Each postorder node costs O(rows * k^2), so poll the budget every few
-  // nodes rather than the default (coarser) checker interval.
-  util::BudgetChecker checker(budget, /*interval=*/64);
-  // A root that is masked out of the candidate set cannot be forced.
-  force_root_ = force_root && eligible_[tree_.root];
-  k_max_ = std::min(k_max, num_real_);
-  if (k_max_ == 0) k_max_ = 1;
-  const std::uint32_t cols = k_max_ + 1;
-
-  std::size_t total = 0;
-  for (auto& nl : layout_) {
-    nl.offset = total;
-    total += static_cast<std::size_t>(nl.rows) * cols;
+void BinarizedTreeDp::fill_columns(std::uint32_t col_lo, std::uint32_t col_hi) {
+  // Columns come into use uninitialized, and almost every cell in them is
+  // written by process_node before any parent (or opt_/extract) reads it.
+  // The only cells read without ever being written are row 0 of ineligible
+  // nodes (the eligibility skip) and every node's (row 0, k = 0) cell (an
+  // initiator needs budget): both are -inf by construction and are filled
+  // here, so the fill traffic is O(nodes), not O(table). The choice arena
+  // needs no fill at all — it is only read at cells whose value is finite,
+  // and those were written together with their choice.
+  for (std::size_t v = 0; v < layout_.size(); ++v) {
+    double* const row0 = values_.get() + layout_[v].offset;
+    if (!eligible_[v]) {
+      std::fill(row0 + col_lo, row0 + col_hi, kNegInf);
+    } else if (col_lo == 0) {
+      row0[0] = kNegInf;
+    }
   }
-  if (total > kMaxTableEntries)
+  filled_cols_ = std::max(filled_cols_, col_hi);
+}
+
+void BinarizedTreeDp::fresh_layout(std::uint32_t cols,
+                                   std::uint32_t reserve_cols) {
+  computed_k_ = 0;
+  if (cols_ < cols) {
+    // (Re)stride for max(cols, reserve_cols), clamped so the arena stays
+    // under the deterministic entry limit; the columns actually requested
+    // must fit or the solve is rejected outright.
+    if (rows_total_ * cols > kMaxTableEntries)
+      throw std::runtime_error(
+          "BinarizedTreeDp: table too large (tree too deep for this k cap)");
+    const auto fit = static_cast<std::uint32_t>(
+        std::min<std::size_t>(kMaxTableEntries / rows_total_, 0xffffffffu));
+    const std::uint32_t stride = std::min(std::max(cols, reserve_cols), fit);
+    std::size_t offset = 0;
+    for (auto& nl : layout_) {
+      nl.offset = offset;
+      offset += static_cast<std::size_t>(nl.rows) * stride;
+    }
+    cols_ = stride;
+    filled_cols_ = 0;  // new buffers are uninitialized; refill below
+    values_ = std::make_unique_for_overwrite<double[]>(rows_total_ * stride);
+    choices_ = std::make_unique_for_overwrite<Choice[]>(rows_total_ * stride);
+  }
+  // Only ever initialize a column once: cells are pure functions of the
+  // (fixed) tree, so values surviving from earlier computes are bitwise
+  // what a recompute would write, and never-written cells stay -inf.
+  if (filled_cols_ < cols) fill_columns(filled_cols_, cols);
+}
+
+void BinarizedTreeDp::grow_layout(std::uint32_t cols) {
+  if (cols <= cols_) {
+    // Within the reserved stride: growth is just initializing the fresh
+    // columns — no data moves, offsets are unchanged.
+    if (filled_cols_ < cols) fill_columns(filled_cols_, cols);
+    return;
+  }
+  // Growth past the reservation: widen every (node, row) block into fresh
+  // buffers. Only the initialized column prefix carries data worth moving;
+  // the widened tail is then -inf/default initialized.
+  const std::uint32_t old_cols = cols_;
+  const std::uint32_t live_cols = filled_cols_;
+  if (rows_total_ * cols > kMaxTableEntries)  // throw before mutating
     throw std::runtime_error(
         "BinarizedTreeDp: table too large (tree too deep for this k cap)");
-  values_.assign(tree_.size(), {});
-  choices_.assign(total, Choice{});
+  auto new_values = std::make_unique_for_overwrite<double[]>(rows_total_ * cols);
+  auto new_choices = std::make_unique_for_overwrite<Choice[]>(rows_total_ * cols);
+  // memcpy, not element copy: the live prefix may contain never-touched
+  // cells (beyond a node's feasible k); moving them as raw bytes keeps this
+  // a plain block transfer. The widened tail is -inf/zero filled outright —
+  // a superset of what fill_columns would initialize.
+  for (std::size_t r = 0; r < rows_total_; ++r) {
+    const std::size_t src = r * old_cols;
+    const std::size_t dst = r * cols;
+    std::memcpy(new_values.get() + dst, values_.get() + src,
+                live_cols * sizeof(double));
+    std::memcpy(new_choices.get() + dst, choices_.get() + src,
+                live_cols * sizeof(Choice));
+    std::fill(new_values.get() + dst + live_cols, new_values.get() + dst + cols,
+              kNegInf);
+    std::fill(new_choices.get() + dst + live_cols,
+              new_choices.get() + dst + cols, Choice{});
+  }
+  values_ = std::move(new_values);
+  choices_ = std::move(new_choices);
+  std::size_t offset = 0;
+  for (auto& nl : layout_) {
+    nl.offset = offset;
+    offset += static_cast<std::size_t>(nl.rows) * cols;
+  }
+  cols_ = cols;
+  filled_cols_ = cols;
+}
 
-  for (const std::int32_t v : postorder_) {
-    checker.tick();
-    const NodeLayout& nl = layout_[v];
-    const bool dummy = tree_.is_dummy(v);
-    const std::int32_t lc = tree_.left[v];
-    const std::int32_t rc = tree_.right[v];
-    const std::uint32_t z_row = nl.reach + 1;
-    values_[v].assign(static_cast<std::size_t>(nl.rows) * cols, kNegInf);
+void BinarizedTreeDp::process_node(std::int32_t v, std::uint32_t k_lo,
+                                   std::uint32_t k_hi, DpScratch& scratch) {
+  const NodeLayout& nl = layout_[v];
+  const bool dummy = tree_.is_dummy(v);
+  const std::int32_t lc = tree_.left[v];
+  const std::int32_t rc = tree_.right[v];
+  const std::uint32_t z_row = nl.reach + 1;
+  // Feasibility clamps: an exact-k value with k beyond the subtree's real
+  // node count is -inf by construction, and so is any child split handing a
+  // side more budget than its real count. Clamping the loops there skips
+  // only provably -inf entries, so results are bit-identical to the
+  // unclamped recurrence — it just stops paying O(k) per node for columns
+  // that small subtrees can never fill.
+  const std::uint32_t k_top = std::min(k_hi, nl.real_count);
+  const std::uint32_t lcnt = lc >= 0 ? layout_[lc].real_count : 0;
+  const std::uint32_t rcnt = rc >= 0 ? layout_[rc].real_count : 0;
+  double* const vbase = values_.get() + nl.offset;
+  Choice* const cbase = choices_.get() + nl.offset;
 
-    for (std::uint32_t row = 0; row < nl.rows; ++row) {
-      if (row == 0 && !eligible_[v]) continue;  // dummies/masked nodes
-      // Contribution of v itself and the symbolic j seen by the children.
-      // Non-initiators score P = 1 - (1 - treepath) * Q(v); Q = 1 recovers
-      // the pure tree objective.
-      double contrib;
-      std::uint32_t child_j;
-      if (row == 0) {
-        contrib = 1.0;
-        child_j = 1;
-      } else if (row == z_row) {
-        contrib = dummy ? 0.0 : 1.0 - side_q_[v];
-        child_j = kRowZ;
-      } else {
-        contrib =
-            dummy ? 0.0 : 1.0 - (1.0 - pathprod_[v][row]) * side_q_[v];
-        child_j = row + 1;
-      }
+  for (std::uint32_t row = 0; row < nl.rows; ++row) {
+    if (row == 0 && !eligible_[v]) continue;  // dummies/masked nodes
+    // Contribution of v itself and the symbolic j seen by the children.
+    // Non-initiators score P = 1 - (1 - treepath) * Q(v); Q = 1 recovers
+    // the pure tree objective.
+    double contrib;
+    std::uint32_t child_j;
+    if (row == 0) {
+      contrib = 1.0;
+      child_j = 1;
+    } else if (row == z_row) {
+      contrib = dummy ? 0.0 : 1.0 - side_q_[v];
+      child_j = kRowZ;
+    } else {
+      contrib =
+          dummy ? 0.0 : 1.0 - (1.0 - pathprod_[v][row]) * side_q_[v];
+      child_j = row + 1;
+    }
 
-      const std::uint32_t lrow = lc >= 0 ? child_row(lc, child_j) : 0;
-      const std::uint32_t rrow = rc >= 0 ? child_row(rc, child_j) : 0;
+    const std::uint32_t lrow = lc >= 0 ? child_row(lc, child_j) : 0;
+    const std::uint32_t rrow = rc >= 0 ? child_row(rc, child_j) : 0;
+    double* const vrow = vbase + static_cast<std::size_t>(row) * cols_;
+    Choice* const crow = cbase + static_cast<std::size_t>(row) * cols_;
 
-      for (std::uint32_t k = 0; k <= k_max_; ++k) {
-        if (row == 0 && k == 0) continue;  // initiator needs budget
-        const std::uint32_t kk = row == 0 ? k - 1 : k;
-        double best = kNegInf;
-        Choice choice;
-        if (lc < 0 && rc < 0) {
-          if (kk == 0) best = 0.0;
-        } else if (rc < 0) {
-          // Single (left) child takes the whole budget.
+    const double* lrow_p = nullptr;
+    const double* l0_p = nullptr;
+    const double* rrow_p = nullptr;
+    const double* r0_p = nullptr;
+    if (lc >= 0 && rc >= 0) {
+      // Max-plus split setup: build each child's best-of-{covered,
+      // as-initiator} prefix once per row; the k loop below then scans two
+      // flat arrays instead of re-reading four arena cells per split.
+      lrow_p = values_.get() + layout_[lc].offset +
+               static_cast<std::size_t>(lrow) * cols_;
+      l0_p = values_.get() + layout_[lc].offset;
+      rrow_p = values_.get() + layout_[rc].offset +
+               static_cast<std::size_t>(rrow) * cols_;
+      r0_p = values_.get() + layout_[rc].offset;
+      const std::uint32_t l_hi = std::min(lcnt, k_top);
+      const std::uint32_t r_hi = std::min(rcnt, k_top);
+      for (std::uint32_t a = 0; a <= l_hi; ++a)
+        scratch.lbest[a] = std::max(lrow_p[a], l0_p[a]);
+      for (std::uint32_t b = 0; b <= r_hi; ++b)
+        scratch.rbest[b] = std::max(rrow_p[b], r0_p[b]);
+    }
+    const double* const lb = scratch.lbest.data();
+    const double* const rb = scratch.rbest.data();
+
+    for (std::uint32_t k = k_lo; k <= k_top; ++k) {
+      if (row == 0 && k == 0) continue;  // initiator needs budget
+      const std::uint32_t kk = row == 0 ? k - 1 : k;
+      double best = kNegInf;
+      Choice choice{};
+      if (lc < 0 && rc < 0) {
+        if (kk == 0) best = 0.0;
+      } else if (rc < 0) {
+        // Single (left) child takes the whole budget.
+        if (kk <= lcnt) {
           const double covered = value(lc, lrow, kk);
           const double as_init = value(lc, 0, kk);
           best = std::max(covered, as_init);
           choice.left_budget = static_cast<std::uint16_t>(kk);
           if (as_init > covered) choice.flags |= 1;
-        } else {
-          for (std::uint32_t a = 0; a <= kk; ++a) {
-            const double lcov = value(lc, lrow, a);
-            const double lini = value(lc, 0, a);
-            const double lbest = std::max(lcov, lini);
-            if (lbest == kNegInf) continue;
-            const std::uint32_t b = kk - a;
-            const double rcov = value(rc, rrow, b);
-            const double rini = value(rc, 0, b);
-            const double rbest = std::max(rcov, rini);
-            if (rbest == kNegInf) continue;
-            if (lbest + rbest > best) {
-              best = lbest + rbest;
-              choice.left_budget = static_cast<std::uint16_t>(a);
-              choice.flags = 0;
-              if (lini > lcov) choice.flags |= 1;
-              if (rini > rcov) choice.flags |= 2;
-            }
+        }
+      } else {
+        // -inf operands propagate through the sum, so infeasible entries
+        // lose automatically; the strict > keeps the smallest winning a,
+        // exactly like a direct scan of the four-cell recurrence.
+        const std::uint32_t a_lo = kk > rcnt ? kk - rcnt : 0;
+        const std::uint32_t a_hi = std::min(kk, lcnt);
+        std::uint32_t best_a = a_lo;
+        for (std::uint32_t a = a_lo; a <= a_hi; ++a) {
+          const double sum = lb[a] + rb[kk - a];
+          if (sum > best) {
+            best = sum;
+            best_a = a;
           }
         }
-        if (best == kNegInf) continue;
-        values_[v][static_cast<std::size_t>(row) * cols + k] =
-            contrib + best;
-        choices_[nl.offset + static_cast<std::size_t>(row) * cols + k] =
-            choice;
+        if (best != kNegInf) {
+          const std::uint32_t b = kk - best_a;
+          choice.left_budget = static_cast<std::uint16_t>(best_a);
+          if (l0_p[best_a] > lrow_p[best_a]) choice.flags |= 1;
+          if (r0_p[b] > rrow_p[b]) choice.flags |= 2;
+        }
       }
+      // Unconditional write (contrib + -inf == -inf): every visited cell is
+      // a pure function of the children, so a re-run after a mid-compute
+      // budget throw cannot observe stale partial state.
+      vrow[k] = contrib + best;
+      crow[k] = choice;
     }
-    // The children's value tables have been fully consumed.
-    if (lc >= 0) std::vector<double>().swap(values_[lc]);
-    if (rc >= 0) std::vector<double>().swap(values_[rc]);
+  }
+}
+
+void BinarizedTreeDp::process_segment(std::uint32_t begin, std::uint32_t end,
+                                      std::uint32_t k_lo, std::uint32_t k_hi,
+                                      const util::BudgetScope* budget) {
+  // Each postorder node costs O(rows * k^2), so poll the budget every few
+  // nodes rather than the default (coarser) checker interval.
+  util::BudgetChecker checker(budget, /*interval=*/64);
+  DpScratch scratch;
+  scratch.lbest.resize(cols_);
+  scratch.rbest.resize(cols_);
+  for (std::uint32_t i = begin; i < end; ++i) {
+    checker.tick();
+    process_node(postorder_[i], k_lo, k_hi, scratch);
+  }
+}
+
+const std::vector<double>& BinarizedTreeDp::compute(
+    std::uint32_t k_max, bool force_root, const util::BudgetScope* budget,
+    std::size_t num_threads, bool incremental, std::uint32_t k_reserve) {
+  util::trace::TraceSpan span("dp_compute");
+  DpMetrics& dm = dp_metrics();
+  dm.computes.add(1);
+  // A root that is masked out of the candidate set cannot be forced.
+  force_root_ = force_root && eligible_[tree_.root];
+  std::uint32_t target_k = std::min(k_max, num_real_);
+  if (target_k == 0) target_k = 1;
+
+  const std::uint32_t prev_k = computed_k_;
+  const bool extend = incremental && prev_k > 0;
+  std::uint32_t k_lo;
+  if (extend) {
+    if (target_k >= filled_cols_) grow_layout(target_k + 1);
+    k_lo = prev_k + 1;  // columns <= prev_k are kept, not recomputed
+  } else {
+    const std::uint32_t reserve =
+        std::min(std::max(k_reserve, target_k), num_real_) + 1;
+    fresh_layout(target_k + 1, reserve);
+    k_lo = 0;
+  }
+  const std::uint32_t fresh = target_k > prev_k ? target_k - prev_k : 0;
+  const std::uint32_t recomputed =
+      extend ? 0 : std::min(prev_k, target_k);
+  dm.cols_fresh.add(fresh);
+  dm.cols_recomputed.add(recomputed);
+  span.tag("k_cap", static_cast<std::int64_t>(target_k));
+  span.tag("nodes", static_cast<std::int64_t>(num_real_));
+  span.tag("cols_fresh", static_cast<std::int64_t>(fresh));
+  span.tag("cols_recomputed", static_cast<std::int64_t>(recomputed));
+
+  if (k_lo <= target_k) {
+    dm.nodes_processed.add(postorder_.size());
+    const std::size_t threads = num_threads == 0 ? 1 : num_threads;
+    if (threads > 1 && tasks_.size() > 1) {
+      // Independent subtree segments write disjoint arena blocks and read
+      // only within themselves; the residual spine then folds the finished
+      // subtrees serially. Each node's value is a pure function of its
+      // children's, so any schedule produces bit-identical tables. A budget
+      // throw in any task is rethrown here after the pool drains.
+      util::parallel_for_each(
+          tasks_.size(), threads, [&](std::size_t t) {
+            process_segment(tasks_[t].begin, tasks_[t].end, k_lo, target_k,
+                            budget);
+          });
+      util::BudgetChecker checker(budget, /*interval=*/64);
+      DpScratch scratch;
+      scratch.lbest.resize(cols_);
+      scratch.rbest.resize(cols_);
+      for (const std::int32_t v : spine_postorder_) {
+        checker.tick();
+        process_node(v, k_lo, target_k, scratch);
+      }
+    } else {
+      process_segment(0, static_cast<std::uint32_t>(postorder_.size()), k_lo,
+                      target_k, budget);
+    }
+    // Only on success: a throw above leaves the previously computed columns
+    // (fresh path: none) still correctly advertised.
+    computed_k_ = std::max(computed_k_, target_k);
   }
 
-  opt_.assign(cols, kNegInf);
+  opt_.assign(cols_, kNegInf);
   const std::int32_t root = tree_.root;
   const std::uint32_t root_z = layout_[root].reach + 1;
-  for (std::uint32_t k = 1; k <= k_max_; ++k) {
+  for (std::uint32_t k = 1; k <= computed_k_; ++k) {
     opt_[k] = force_root_
                   ? value(root, 0, k)
                   : std::max(value(root, 0, k), value(root, root_z, k));
@@ -260,33 +479,30 @@ const std::vector<double>& BinarizedTreeDp::compute(
   return opt_;
 }
 
-std::vector<graph::NodeId> BinarizedTreeDp::extract(std::uint32_t k) const {
-  if (k > k_max_ || k == 0 || opt_.empty() || opt_[k] == kNegInf)
+void BinarizedTreeDp::extract_into(std::uint32_t k,
+                                   std::vector<graph::NodeId>& out,
+                                   std::vector<ExtractFrame>& scratch) const {
+  if (k > computed_k_ || k == 0 || opt_.empty() || opt_[k] == kNegInf)
     throw std::invalid_argument("BinarizedTreeDp::extract: bad k");
-  const std::uint32_t cols = k_max_ + 1;
-  std::vector<graph::NodeId> initiators;
+  out.clear();
+  scratch.clear();
 
-  struct Frame {
-    std::int32_t node;
-    std::uint32_t row;
-    std::uint32_t k;
-  };
   const std::int32_t root = tree_.root;
   const std::uint32_t root_z = layout_[root].reach + 1;
   const std::uint32_t root_row =
       force_root_ || value(root, 0, k) >= value(root, root_z, k) ? 0 : root_z;
-  std::vector<Frame> stack{{root, root_row, k}};
-  while (!stack.empty()) {
-    const Frame f = stack.back();
-    stack.pop_back();
+  scratch.push_back({root, root_row, k});
+  while (!scratch.empty()) {
+    const ExtractFrame f = scratch.back();
+    scratch.pop_back();
     const NodeLayout& nl = layout_[f.node];
     const std::size_t idx =
-        nl.offset + static_cast<std::size_t>(f.row) * cols + f.k;
+        nl.offset + static_cast<std::size_t>(f.row) * cols_ + f.k;
     const Choice choice = choices_[idx];
     std::uint32_t child_j;
     std::uint32_t kk = f.k;
     if (f.row == 0) {
-      initiators.push_back(tree_.original[f.node]);
+      out.push_back(tree_.original[f.node]);
       child_j = 1;
       kk = f.k - 1;
     } else if (f.row == nl.reach + 1) {
@@ -300,15 +516,21 @@ std::vector<graph::NodeId> BinarizedTreeDp::extract(std::uint32_t k) const {
       const std::uint32_t a = choice.left_budget;
       const std::uint32_t lrow =
           (choice.flags & 1) ? 0 : child_row(lc, child_j);
-      stack.push_back({lc, lrow, a});
+      scratch.push_back({lc, lrow, a});
       if (rc >= 0) {
         const std::uint32_t rrow =
             (choice.flags & 2) ? 0 : child_row(rc, child_j);
-        stack.push_back({rc, rrow, kk - a});
+        scratch.push_back({rc, rrow, kk - a});
       }
     }
   }
-  std::sort(initiators.begin(), initiators.end());
+  std::sort(out.begin(), out.end());
+}
+
+std::vector<graph::NodeId> BinarizedTreeDp::extract(std::uint32_t k) const {
+  std::vector<graph::NodeId> initiators;
+  std::vector<ExtractFrame> scratch;
+  extract_into(k, initiators, scratch);
   return initiators;
 }
 
@@ -353,7 +575,11 @@ TreeSolution solve_tree(const CascadeTree& tree, double beta,
   check_tree_budget(options.budget, tree.size());
   const std::uint32_t hard_k_cap =
       effective_k_cap(options.budget, options.hard_k_cap);
-  BinarizedTreeDp dp(tree, options.max_reach);
+  BinarizedTreeDp dp(tree, options.max_reach, options.parallel_grain);
+  // 0 = inherit: run_rid fills in this tree's thread share; direct callers
+  // default to serial.
+  const std::size_t dp_threads =
+      options.num_threads == 0 ? 1 : options.num_threads;
   const std::uint32_t n_real = dp.num_real();
   std::uint32_t cap = std::max<std::uint32_t>(
       1, std::min({options.initial_k_cap, hard_k_cap, n_real}));
@@ -363,9 +589,15 @@ TreeSolution solve_tree(const CascadeTree& tree, double beta,
     return -opt[k] + static_cast<double>(k - 1) * beta;
   };
 
+  // Reserving the effective hard cap up front keeps every adaptive cap
+  // doubling a pure column append (no table moves); the reservation is
+  // bounded by the same entry limit that guards a from-scratch compute.
+  const std::uint32_t k_reserve = std::min(n_real, hard_k_cap);
+
   while (true) {
     const std::vector<double>& opt =
-        dp.compute(cap, options.force_root, options.budget);
+        dp.compute(cap, options.force_root, options.budget, dp_threads,
+                   options.incremental_growth, k_reserve);
     std::uint32_t best_k = 1;
     if (options.greedy_stop) {
       while (best_k + 1 <= cap &&
@@ -403,15 +635,26 @@ TreeSolution solve_tree(const CascadeTree& tree, double beta,
 
 void rank_initiators(const BinarizedTreeDp& dp, TreeSolution& solution) {
   solution.entry_k.assign(solution.initiators.size(), solution.k);
-  // Map tree-local id -> position in the solution's initiator list.
-  std::unordered_map<graph::NodeId, std::size_t> position;
+  if (solution.k <= 1 || solution.initiators.empty()) return;
+  // Flat tree-local-id -> solution-position index (ids are < num_real()),
+  // instead of a hash map probed once per extracted node.
+  constexpr std::uint32_t npos = 0xffffffffu;
+  std::vector<std::uint32_t> position(dp.num_real(), npos);
   for (std::size_t i = 0; i < solution.initiators.size(); ++i)
-    position.emplace(solution.initiators[i], i);
-  for (std::uint32_t k = 1; k < solution.k; ++k) {
-    for (const graph::NodeId v : dp.extract(k)) {
-      const auto it = position.find(v);
-      if (it != position.end() && solution.entry_k[it->second] > k)
-        solution.entry_k[it->second] = k;
+    position[solution.initiators[i]] = static_cast<std::uint32_t>(i);
+  // Ascending k means the first set an initiator appears in is its minimum;
+  // stop as soon as every initiator's entry budget is pinned.
+  std::size_t unresolved = solution.initiators.size();
+  std::vector<graph::NodeId> buf;
+  std::vector<BinarizedTreeDp::ExtractFrame> scratch;
+  for (std::uint32_t k = 1; k < solution.k && unresolved > 0; ++k) {
+    dp.extract_into(k, buf, scratch);
+    for (const graph::NodeId v : buf) {
+      const std::uint32_t i = position[v];
+      if (i != npos && solution.entry_k[i] > k) {
+        solution.entry_k[i] = k;
+        --unresolved;
+      }
     }
   }
 }
@@ -427,7 +670,9 @@ std::vector<TreeSolution> solve_tree_betas(const CascadeTree& tree,
   check_tree_budget(options.budget, tree.size());
   const std::uint32_t hard_k_cap =
       effective_k_cap(options.budget, options.hard_k_cap);
-  BinarizedTreeDp dp(tree, options.max_reach);
+  BinarizedTreeDp dp(tree, options.max_reach, options.parallel_grain);
+  const std::size_t dp_threads =
+      options.num_threads == 0 ? 1 : options.num_threads;
   const std::uint32_t n_real = dp.num_real();
   std::uint32_t cap = std::max<std::uint32_t>(
       1, std::min({options.initial_k_cap, hard_k_cap, n_real}));
@@ -452,10 +697,15 @@ std::vector<TreeSolution> solve_tree_betas(const CascadeTree& tree,
     return best_k;
   };
 
+  // Reserve the effective hard cap so shared-cap doublings append columns
+  // without moving the tables (see solve_tree).
+  const std::uint32_t k_reserve = std::min(n_real, hard_k_cap);
+
   // Grow the shared cap until no beta's optimum is clipped by it.
   while (true) {
     const std::vector<double>& opt =
-        dp.compute(cap, options.force_root, options.budget);
+        dp.compute(cap, options.force_root, options.budget, dp_threads,
+                   options.incremental_growth, k_reserve);
     bool clipped = false;
     for (const double beta : betas) {
       if (pick_k(opt, beta) == cap &&
@@ -476,6 +726,7 @@ std::vector<TreeSolution> solve_tree_betas(const CascadeTree& tree,
         out[i].states.reserve(k);
         for (const graph::NodeId v : out[i].initiators)
           out[i].states.push_back(tree.state[v]);
+        if (options.rank_initiators) rank_initiators(dp, out[i]);
       }
       return out;
     }

@@ -26,10 +26,21 @@
 // Dummy (binarization) nodes contribute nothing, cannot be initiators, and
 // carry pass-through edges with g = 1 — the equivalence with the direct
 // general-tree DP (general_tree_dp.hpp) is property-tested.
+//
+// Storage & scheduling (see DESIGN.md §10). Value and choice tables live in
+// two flat arenas indexed through NodeLayout::offset — one allocation per
+// solve, reused and extended in place when the adaptive k cap grows, so
+// columns k <= old cap are moved, never recomputed. The postorder is split
+// into independent subtree segments (heavy-subtree cut at `parallel_grain`
+// binarized nodes) solved as thread-pool tasks plus a serial residual spine;
+// every node's arithmetic depends only on its children's finished tables, so
+// results are bit-identical for any thread count and for incremental vs
+// from-scratch computes.
 #pragma once
 
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <vector>
 
 #include "algo/binary_transform.hpp"
@@ -63,11 +74,28 @@ struct TreeDpOptions {
   /// initiator explains the tree better.
   bool force_root = true;
   /// Optional armed work budget (non-owning; must outlive the solve). The
-  /// solve checks it on entry and from the DP's per-node loop, throwing
-  /// util::BudgetExceededError on deadline/cancellation and when the tree
-  /// exceeds budget->budget().max_tree_nodes; max_k additionally caps the
-  /// adaptive k growth (a quality cap, not an error). Null = unbudgeted.
+  /// solve checks it on entry and from the DP's per-node loop (including the
+  /// parallel subtree tasks), throwing util::BudgetExceededError on
+  /// deadline/cancellation and when the tree exceeds
+  /// budget->budget().max_tree_nodes; max_k additionally caps the adaptive
+  /// k growth (a quality cap, not an error). Null = unbudgeted.
   const util::BudgetScope* budget = nullptr;
+  /// Worker threads for the intra-tree DP: independent subtree segments run
+  /// as thread-pool tasks (see DESIGN.md §10). 0 = inherit — run_rid
+  /// substitutes this tree's share of RidConfig::num_threads; direct
+  /// solve_tree callers get serial. Results are bit-identical for any value.
+  std::size_t num_threads = 0;
+  /// Extend the DP tables with new k-columns when the adaptive cap grows
+  /// instead of recomputing from scratch. Bit-identical either way; the
+  /// incremental path retains every node's value table for the lifetime of
+  /// the solve (~3x the choice-table footprint) — disable to trade the
+  /// redundant recompute back for the smaller frontier-only peak.
+  bool incremental_growth = true;
+  /// Minimum binarized-subtree size (nodes) for one parallel DP task; the
+  /// residual spine above the cut runs serially. 0 = auto
+  /// (max(512, nodes/64)). Depends only on the tree — never on num_threads —
+  /// so traces and dp.* metrics are schedule-independent.
+  std::uint32_t parallel_grain = 0;
 };
 
 /// Solution for one cascade tree.
@@ -90,40 +118,122 @@ struct TreeSolution {
 class BinarizedTreeDp {
  public:
   explicit BinarizedTreeDp(const CascadeTree& tree,
-                           std::uint32_t max_reach = 48);
+                           std::uint32_t max_reach = 48,
+                           std::uint32_t parallel_grain = 0);
 
   /// Number of real (non-dummy) nodes == tree.size().
   std::uint32_t num_real() const noexcept { return num_real_; }
 
   /// Computes the table for budgets up to k_max (clamped to num_real()).
-  /// Returns opt indexed by k (size k_max+1, [0] = -inf). With `force_root`
-  /// the root is required to be an initiator. A non-null `budget` is polled
-  /// per DP node; overruns throw util::BudgetExceededError mid-computation.
+  /// Returns opt indexed by k (size >= k_max+1, [0] = -inf). With
+  /// `force_root` the root is required to be an initiator. A non-null
+  /// `budget` is polled per DP node; overruns throw
+  /// util::BudgetExceededError mid-computation. With num_threads > 1 the
+  /// subtree tasks run on a thread pool; with `incremental` a second call
+  /// with a larger k_max extends the existing tables (columns <= the old cap
+  /// are kept in place, not recomputed). `k_reserve` is a capacity hint: the
+  /// arena stride is sized for max(k_max, k_reserve) columns up front, so
+  /// later incremental growth up to k_reserve appends fresh columns without
+  /// moving a byte (the adaptive solve loop passes its effective hard cap).
+  /// The reservation is clamped to the deterministic table-entry limit;
+  /// growth beyond it falls back to a widen-and-move pass. Results are
+  /// bit-identical across thread counts, across incremental/from-scratch
+  /// computes, and for any k_reserve.
   const std::vector<double>& compute(std::uint32_t k_max,
                                      bool force_root = true,
-                                     const util::BudgetScope* budget = nullptr);
+                                     const util::BudgetScope* budget = nullptr,
+                                     std::size_t num_threads = 1,
+                                     bool incremental = true,
+                                     std::uint32_t k_reserve = 0);
 
   /// Tree-local initiator indices of the optimal exact-k solution.
   /// Requires compute(k_max >= k) first and opt[k] > -inf.
   std::vector<graph::NodeId> extract(std::uint32_t k) const;
 
+  /// Stack frame of the choice-table walk (public so callers can hold the
+  /// reusable scratch buffer for extract_into).
+  struct ExtractFrame {
+    std::int32_t node;
+    std::uint32_t row;
+    std::uint32_t k;
+  };
+
+  /// Allocation-reusing extract: clears `out` and fills it with the sorted
+  /// tree-local initiator indices (see extract). `scratch` holds the walk
+  /// stack between calls.
+  void extract_into(std::uint32_t k, std::vector<graph::NodeId>& out,
+                    std::vector<ExtractFrame>& scratch) const;
+
+  /// Largest k whose column is currently computed (0 before compute()).
+  std::uint32_t computed_k() const noexcept { return computed_k_; }
+
+  /// Parallel decomposition shape: independent subtree segments and the
+  /// serial residual spine (nodes). Fixed at construction; independent of
+  /// num_threads.
+  std::size_t num_parallel_tasks() const noexcept { return tasks_.size(); }
+  std::size_t spine_size() const noexcept { return spine_postorder_.size(); }
+
  private:
   struct NodeLayout {
     std::uint32_t rows = 0;       // 1 (initiator) + R + 1 (Z row)
     std::uint32_t reach = 0;      // R = min(depth, run of non-zero in_g)
-    std::size_t offset = 0;       // into values_/choices_ (rows * (k+1))
+    std::size_t offset = 0;       // into values_/choices_ (rows * cols_)
     std::uint32_t real_count = 0; // real nodes in subtree (incl. self)
   };
+  /// Deliberately without default member initializers: the choice arena is
+  /// allocated uninitialized (make_unique_for_overwrite) and only cells the
+  /// DP writes are ever read back. Use Choice{} for a zeroed value.
   struct Choice {
-    std::uint16_t left_budget = 0;
-    std::uint8_t flags = 0;  // bit0: left child initiator; bit1: right child
+    std::uint16_t left_budget;
+    std::uint8_t flags;  // bit0: left child initiator; bit1: right child
+  };
+  /// One parallel DP task: a maximal subtree below the spine cut, as a
+  /// half-open postorder segment (children before parents, root last).
+  struct TaskSegment {
+    std::uint32_t begin = 0;
+    std::uint32_t end = 0;
   };
 
   double value(std::int32_t node, std::uint32_t row, std::uint32_t k) const {
-    return values_[node][row * (k_max_ + 1) + k];
+    return values_[layout_[node].offset +
+                   static_cast<std::size_t>(row) * cols_ + k];
   }
   /// Maps a symbolic distance-to-initiator onto the child's compact rows.
   std::uint32_t child_row(std::int32_t child, std::uint32_t child_j) const;
+
+  /// Ensures the arena holds at least `cols` columns with a stride of at
+  /// least `reserve_cols` (clamped to the entry limit), initializing any
+  /// not-yet-filled columns; marks all columns as uncomputed. Keeps an
+  /// already-wide-enough arena in place — filled cells are pure functions of
+  /// the tree, so stale values are exactly what a recompute would write.
+  void fresh_layout(std::uint32_t cols, std::uint32_t reserve_cols);
+  /// Extends the layout to `cols` columns, preserving computed ones. Within
+  /// the reserved stride this only initializes the fresh columns (no data
+  /// moves); beyond it, every (node, row) block is widened in place
+  /// back-to-front and offsets are rewritten.
+  void grow_layout(std::uint32_t cols);
+  /// -inf/default fills columns [col_lo, col_hi) of every (node, row) block
+  /// and advances filled_cols_.
+  void fill_columns(std::uint32_t col_lo, std::uint32_t col_hi);
+  /// Per-worker scratch for process_node's max-plus split: each child's
+  /// best-of-{covered, as-initiator} prefix, built once per (node, row) and
+  /// scanned by every k. Sized to the arena stride by process_segment (or
+  /// the spine loop); one instance per concurrent worker.
+  struct DpScratch {
+    std::vector<double> lbest;
+    std::vector<double> rbest;
+  };
+
+  /// DP transition for one node over columns [k_lo, min(k_hi, feasible)].
+  /// Writes only into v's arena block; reads only the children's blocks.
+  void process_node(std::int32_t v, std::uint32_t k_lo, std::uint32_t k_hi,
+                    DpScratch& scratch);
+  /// Runs process_node over postorder_[begin, end) under its own budget
+  /// checker and scratch. Disjoint segments touch disjoint arena blocks, so
+  /// independent subtree segments are safe to run concurrently.
+  void process_segment(std::uint32_t begin, std::uint32_t end,
+                       std::uint32_t k_lo, std::uint32_t k_hi,
+                       const util::BudgetScope* budget);
 
   algo::BinarizedTree tree_;
   std::vector<double> side_q_;           // per binarized node (1 for dummies)
@@ -136,19 +246,36 @@ class BinarizedTreeDp {
   std::vector<std::int32_t> postorder_;
   std::uint32_t num_real_ = 0;
 
-  std::uint32_t k_max_ = 0;
+  /// Heavy-subtree cut (see DESIGN.md §10): maximal subtrees of binarized
+  /// size <= the grain become independent tasks (contiguous postorder
+  /// segments); the nodes above the cut form the serial spine, stored in
+  /// postorder order.
+  std::vector<TaskSegment> tasks_;
+  std::vector<std::int32_t> spine_postorder_;
+
+  std::size_t rows_total_ = 0;     // sum of NodeLayout::rows over all nodes
+  std::uint32_t cols_ = 0;         // arena stride (reserved columns per row)
+  std::uint32_t filled_cols_ = 0;  // columns [0, filled_cols_) initialized
+  std::uint32_t computed_k_ = 0;   // columns 1..computed_k_ are valid
   bool force_root_ = true;
-  /// Per-node value tables, freed once the parent has consumed them (only
-  /// the root's survives compute()); choices_ stays resident for extract().
-  std::vector<std::vector<double>> values_;
-  std::vector<Choice> choices_;
+  /// Flat arenas for every node's value/choice rows, addressed via
+  /// NodeLayout::offset (replaces the seed's per-node heap vectors). values_
+  /// is retained across incremental growth — a parent's new columns read its
+  /// children's old ones — which is the memory cost of never recomputing.
+  /// Allocated uninitialized: columns are -inf/zero filled lazily the first
+  /// time they come into use (fill_columns), so reserving capacity for the
+  /// hard cap costs no up-front memory traffic.
+  std::unique_ptr<double[]> values_;
+  std::unique_ptr<Choice[]> choices_;
   std::vector<double> opt_;
 };
 
-/// Fills solution.entry_k by re-extracting the optimal sets for
-/// k' = 1..solution.k from the solver's table. Initiators absent from every
-/// smaller set get entry_k == solution.k. Requires `dp` to have computed at
-/// least solution.k budgets (solve_tree guarantees it).
+/// Fills solution.entry_k with the smallest k' (<= solution.k) at which each
+/// initiator first appears in the optimal exact-k' set, re-extracting from
+/// the solver's table with a flat position index and reused buffers; stops
+/// early once every initiator's entry budget is known. Initiators absent
+/// from every smaller set get entry_k == solution.k. Requires `dp` to have
+/// computed at least solution.k budgets (solve_tree guarantees it).
 void rank_initiators(const BinarizedTreeDp& dp, TreeSolution& solution);
 
 /// Full per-tree solve: adaptive k growth + beta-penalized selection.

@@ -281,5 +281,46 @@ TEST(CascadeExtraction, MfcGroundTruthMostlyRecoverable) {
   EXPECT_LE(forest.trees.size(), cascade.num_infected());
 }
 
+TEST(CascadeExtraction, ParallelExtractionBitIdentical) {
+  // Sparse graph + scattered seeds: many weakly-connected components, so
+  // the per-component thread-pool path actually fans out.
+  util::Rng rng(29);
+  const auto el = gen::erdos_renyi(400, 500, rng);
+  SignedGraph g =
+      gen::assign_signs_uniform(el, {.positive_probability = 0.8}, rng);
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e)
+    g.set_edge_weight(e, rng.uniform(0.05, 0.3));
+  diffusion::SeedSet seeds;
+  for (NodeId v = 0; v < 16; ++v) {
+    seeds.nodes.push_back(v * 25);
+    seeds.states.push_back(v % 2 == 0 ? NodeState::kPositive
+                                      : NodeState::kNegative);
+  }
+  const diffusion::Cascade cascade =
+      diffusion::simulate_mfc(g, seeds, diffusion::MfcConfig{}, rng);
+
+  ExtractionConfig config;
+  const CascadeForest base = extract_cascade_forest(g, cascade.state, config);
+  ASSERT_GT(base.num_components, 2u);
+  for (const std::size_t threads :
+       {std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    config.num_threads = threads;
+    const CascadeForest forest =
+        extract_cascade_forest(g, cascade.state, config);
+    EXPECT_EQ(forest.num_components, base.num_components);
+    EXPECT_EQ(forest.num_candidate_arcs, base.num_candidate_arcs);
+    ASSERT_EQ(forest.trees.size(), base.trees.size());
+    for (std::size_t t = 0; t < base.trees.size(); ++t) {
+      EXPECT_EQ(forest.trees[t].global, base.trees[t].global);
+      EXPECT_EQ(forest.trees[t].parent, base.trees[t].parent);
+      EXPECT_EQ(forest.trees[t].parent_edge, base.trees[t].parent_edge);
+      EXPECT_EQ(forest.trees[t].in_g, base.trees[t].in_g);
+      EXPECT_EQ(forest.trees[t].state, base.trees[t].state);
+      EXPECT_EQ(forest.trees[t].side_q, base.trees[t].side_q);
+      EXPECT_EQ(forest.trees[t].root, base.trees[t].root);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace rid::core

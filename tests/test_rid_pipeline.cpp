@@ -290,5 +290,90 @@ TEST(Rid, FullSimulationBeatsOrMatchesBaselinesOnF1) {
   EXPECT_GE(rid_scores.f1 + 1e-9, positive_scores.f1);
 }
 
+/// Simulated snapshot big enough that extraction, the tree-level fan-out,
+/// and the intra-tree parallel DP all engage.
+struct SimulatedSnapshot {
+  SignedGraph graph;
+  std::vector<NodeState> states;
+};
+
+SimulatedSnapshot make_parallel_snapshot() {
+  util::Rng rng(59);
+  const auto el = gen::erdos_renyi(350, 2500, rng);
+  SignedGraph g =
+      gen::assign_signs_uniform(el, {.positive_probability = 0.8}, rng);
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e)
+    g.set_edge_weight(e, rng.uniform(0.02, 0.25));
+  diffusion::SeedSet seeds;
+  for (NodeId v = 0; v < 10; ++v) {
+    seeds.nodes.push_back(v * 33);
+    seeds.states.push_back(v % 2 ? NodeState::kNegative : NodeState::kPositive);
+  }
+  diffusion::Cascade cascade =
+      diffusion::simulate_mfc(g, seeds, diffusion::MfcConfig{}, rng);
+  return {std::move(g), std::move(cascade.state)};
+}
+
+TEST(Rid, DetectionResultThreadInvariant) {
+  const SimulatedSnapshot sim = make_parallel_snapshot();
+  RidConfig config;
+  config.beta = 0.05;
+  config.dp.parallel_grain = 8;  // force subtree decomposition on every tree
+  config.dp.rank_initiators = true;
+  DetectionResult base;
+  for (const std::size_t threads :
+       {std::size_t{1}, std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    config.num_threads = threads;
+    const DetectionResult result = run_rid(sim.graph, sim.states, config);
+    if (threads == 1) {
+      base = result;
+      EXPECT_FALSE(base.initiators.empty());
+      continue;
+    }
+    EXPECT_EQ(result.initiators, base.initiators) << "threads " << threads;
+    EXPECT_EQ(result.states, base.states);
+    EXPECT_EQ(result.total_opt, base.total_opt);
+    EXPECT_EQ(result.total_objective, base.total_objective);
+    ASSERT_EQ(result.diagnostics.trees.size(), base.diagnostics.trees.size());
+    for (std::size_t t = 0; t < base.diagnostics.trees.size(); ++t)
+      EXPECT_EQ(result.diagnostics.trees[t].status,
+                base.diagnostics.trees[t].status);
+  }
+}
+
+TEST(RidBetas, DetectionResultThreadInvariant) {
+  const SimulatedSnapshot sim = make_parallel_snapshot();
+  const std::vector<double> betas{0.0, 0.1, 0.5};
+  RidConfig config;
+  config.dp.parallel_grain = 8;
+  config.dp.rank_initiators = true;
+  const CascadeForest forest =
+      extract_cascade_forest(sim.graph, sim.states, config.extraction);
+  std::vector<DetectionResult> base;
+  for (const std::size_t threads :
+       {std::size_t{1}, std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    config.num_threads = threads;
+    const std::vector<DetectionResult> results =
+        run_rid_betas(forest, betas, config);
+    ASSERT_EQ(results.size(), betas.size());
+    if (threads == 1) {
+      base = results;
+      continue;
+    }
+    for (std::size_t b = 0; b < betas.size(); ++b) {
+      EXPECT_EQ(results[b].initiators, base[b].initiators)
+          << "threads " << threads << " beta " << betas[b];
+      EXPECT_EQ(results[b].states, base[b].states);
+      EXPECT_EQ(results[b].total_opt, base[b].total_opt);
+      EXPECT_EQ(results[b].total_objective, base[b].total_objective);
+      ASSERT_EQ(results[b].diagnostics.trees.size(),
+                base[b].diagnostics.trees.size());
+      for (std::size_t t = 0; t < base[b].diagnostics.trees.size(); ++t)
+        EXPECT_EQ(results[b].diagnostics.trees[t].status,
+                  base[b].diagnostics.trees[t].status);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace rid::core
