@@ -21,6 +21,30 @@
 //   --max-k=K             cap the initiator count explored per tree
 //   --repair              sanitize malformed snapshots instead of rejecting
 //
+// Crash isolation (detect/pipeline, method=rid; see DESIGN.md §11):
+//   --shards=N            solve the forest in N forked worker processes,
+//                         streaming per-tree checkpoints into --run-dir.
+//                         The merged result is bit-identical to the
+//                         in-process run. 0 (default) = in-process.
+//   --run-dir=DIR         checkpoint/run directory (default ridnet-run)
+//   --resume              adopt completed trees already checkpointed in
+//                         --run-dir instead of recomputing them (default:
+//                         a fresh run deletes stale *.ckpt files)
+//   --shard-attempts=N    worker attempts per shard before its remaining
+//                         trees degrade to the root-only fallback
+//   --shard-heartbeat=S   kill a worker whose checkpoint stream makes no
+//                         progress for S seconds
+//   --shard-deadline=S    kill a worker attempt that outlives S seconds
+//   --failpoints=SPEC     arm deterministic fault injection, e.g.
+//                         "tree_dp.compute=throw@2;checkpoint.append=abort"
+//                         (also read from $RID_FAILPOINTS; see
+//                         util/failpoint.hpp for the grammar)
+//
+// Signals: the first SIGINT/SIGTERM requests cooperative cancellation —
+// in-flight trees degrade, workers are killed, and trace/metrics/
+// diagnostics (and any checkpoints already streamed) are still written
+// before exiting with code 5. A second signal exits immediately (128+sig).
+//
 // Observability flags (any subcommand; see DESIGN.md §9):
 //   --trace=FILE          record pipeline spans, write Chrome trace-event
 //                         JSON on exit (chrome://tracing / Perfetto).
@@ -36,6 +60,10 @@
 //   3  bad input (malformed graph/snapshot files, invalid flag values)
 //   4  completed but degraded (some trees fell back to RID-Tree answers;
 //      results were still written, diagnostics on stderr say why)
+//   5  interrupted (SIGINT/SIGTERM): partial results and observability
+//      artifacts were flushed before exiting
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -55,6 +83,7 @@
 #include "metrics/classification.hpp"
 #include "metrics/states.hpp"
 #include "util/errors.hpp"
+#include "util/failpoint.hpp"
 #include "util/flags.hpp"
 #include "util/logging.hpp"
 #include "util/metrics.hpp"
@@ -69,6 +98,28 @@ constexpr int kExitInternal = 1;
 constexpr int kExitUsage = 2;
 constexpr int kExitBadInput = 3;
 constexpr int kExitDegraded = 4;
+constexpr int kExitInterrupted = 5;
+
+// Signal handling: the first SIGINT/SIGTERM trips the cancel token every
+// budget (and the shard supervisor) polls, so the run unwinds cooperatively
+// and main still flushes artifacts; a second signal exits on the spot.
+std::atomic<int> g_signal{0};
+
+util::CancelToken& cli_cancel_token() {
+  static util::CancelToken token = util::CancelToken::create();
+  return token;
+}
+
+extern "C" void handle_cli_signal(int sig) {
+  if (g_signal.exchange(sig) != 0) std::_Exit(128 + sig);
+  // request_cancel is a relaxed atomic store — async-signal-safe.
+  cli_cancel_token().request_cancel();
+}
+
+void install_signal_handlers() {
+  std::signal(SIGINT, handle_cli_signal);
+  std::signal(SIGTERM, handle_cli_signal);
+}
 
 int usage() {
   std::fprintf(stderr,
@@ -176,6 +227,7 @@ core::DetectionResult detect_on(const graph::SignedGraph& diffusion,
         static_cast<std::uint32_t>(flags.get_int("max-tree-nodes", 0));
     config.budget.max_k =
         static_cast<std::uint32_t>(flags.get_int("max-k", 0));
+    config.budget.cancel = cli_cancel_token();
     if (flags.get_bool("repair", false))
       config.repair_policy = core::RepairPolicy::kRepair;
     // --early=<snapshot file>: two-snapshot temporal detection.
@@ -185,6 +237,22 @@ core::DetectionResult detect_on(const graph::SignedGraph& diffusion,
           core::load_snapshot_file(early_path, diffusion.num_nodes());
       return core::run_rid_with_early_snapshot(diffusion, early, snapshot,
                                                config);
+    }
+    // --shards=N: crash-isolated multi-process execution with checkpoints.
+    const int shards = flags.get_int("shards", 0);
+    if (shards > 0) {
+      core::ShardedConfig sharded;
+      sharded.num_shards = static_cast<std::size_t>(shards);
+      sharded.run_dir = flags.get_string("run-dir", "ridnet-run");
+      sharded.resume = flags.get_bool("resume", false);
+      sharded.supervisor.max_shard_attempts =
+          static_cast<std::uint32_t>(flags.get_int("shard-attempts", 5));
+      sharded.supervisor.heartbeat_timeout_seconds =
+          flags.get_double("shard-heartbeat", util::kUnlimitedSeconds);
+      sharded.supervisor.shard_deadline_seconds =
+          flags.get_double("shard-deadline", util::kUnlimitedSeconds);
+      sharded.supervisor.cancel = cli_cancel_token();
+      return core::run_rid_sharded(diffusion, snapshot, config, sharded);
     }
     return core::run_rid(diffusion, snapshot, config);
   }
@@ -348,6 +416,16 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   const auto flags = rid::util::Flags::parse(argc - 1, argv + 1);
+  install_signal_handlers();
+  // Fault injection: $RID_FAILPOINTS first, then --failpoints on top.
+  try {
+    rid::util::failpoint::arm_from_env();
+    const std::string failpoints = flags.get_string("failpoints", "");
+    if (!failpoints.empty()) rid::util::failpoint::arm(failpoints);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "ridnet_cli: bad failpoint spec: %s\n", error.what());
+    return kExitUsage;
+  }
   const std::string trace_path = flags.get_string("trace", "");
   const std::string metrics_path = flags.get_string("metrics", "");
   if (!trace_path.empty()) {
@@ -359,7 +437,14 @@ int main(int argc, char** argv) {
                    "no trace file will be written)\n");
     }
   }
-  const int code = dispatch(command, flags);
+  int code = dispatch(command, flags);
+  // Artifacts flush even on an interrupted run — that is the whole point of
+  // the cooperative first-signal path.
   write_observability_artifacts(trace_path, metrics_path);
+  if (g_signal.load() != 0) {
+    std::fprintf(stderr, "ridnet_cli: interrupted by signal %d\n",
+                 g_signal.load());
+    code = kExitInterrupted;
+  }
   return code;
 }

@@ -1,0 +1,195 @@
+#!/usr/bin/env python3
+"""Validate a RID sharded-run checkpoint directory (CI gate).
+
+Usage: check_checkpoint.py RUN_DIR [--min-trees N]
+
+Independently re-implements the on-disk format documented in
+src/core/checkpoint.hpp (and DESIGN.md §11) with the Python stdlib only:
+header magic/version/fingerprint, length-prefixed record framing, FNV-1a32
+payload checksums, and full payload structure down to per-initiator state
+bytes. Every *.ckpt file in RUN_DIR must parse end to end — this gate runs
+after a *finished* (possibly crash-recovered) run, where a trailing partial
+record would mean the writer's flush-per-record contract broke. The
+tolerant-prefix recovery path for genuinely damaged files is covered by the
+C++ tests (test_checkpoint.cpp).
+
+Exits 0 with a summary line, 1 on the first violation, 2 on usage errors.
+"""
+import os
+import struct
+import sys
+
+MAGIC = b"RIDNCKP1"
+FORMAT_VERSION = 1
+HEADER_SIZE = 8 + 4 + 4 + 8
+STATUS_NAMES = {0: "ok", 1: "degraded", 2: "failed"}
+VALID_STATES = {-1, 0, 1, 2}  # NodeState: negative/inactive/positive/unknown
+
+
+def fail(msg: str) -> None:
+    print(f"check_checkpoint: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def fnv1a32(data: bytes) -> int:
+    h = 2166136261
+    for b in data:
+        h = ((h ^ b) * 16777619) & 0xFFFFFFFF
+    return h
+
+
+class Reader:
+    """Bounds-checked little-endian cursor over one record payload."""
+
+    def __init__(self, data: bytes, where: str):
+        self.data = data
+        self.pos = 0
+        self.where = where
+
+    def take(self, n: int) -> bytes:
+        if len(self.data) - self.pos < n:
+            fail(f"{self.where}: payload truncated at offset {self.pos}")
+        out = self.data[self.pos : self.pos + n]
+        self.pos += n
+        return out
+
+    def u8(self) -> int:
+        return self.take(1)[0]
+
+    def i8(self) -> int:
+        return struct.unpack("<b", self.take(1))[0]
+
+    def u32(self) -> int:
+        return struct.unpack("<I", self.take(4))[0]
+
+    def u64(self) -> int:
+        return struct.unpack("<Q", self.take(8))[0]
+
+    def f64(self) -> float:
+        return struct.unpack("<d", self.take(8))[0]
+
+    def done(self) -> bool:
+        return self.pos == len(self.data)
+
+
+def check_payload(payload: bytes, where: str) -> int:
+    """Validates one record payload; returns its tree index."""
+    r = Reader(payload, where)
+    tree_index = r.u64()
+    status = r.u8()
+    if status not in STATUS_NAMES:
+        fail(f"{where}: invalid status byte {status}")
+    budget_hit = r.u8()
+    fallback = r.u8()
+    reserved = r.u8()
+    if budget_hit > 1 or fallback > 1 or reserved != 0:
+        fail(f"{where}: bad flag bytes (budget={budget_hit}, "
+             f"fallback={fallback}, reserved={reserved})")
+    k = r.u32()
+    r.f64()  # opt — any bit pattern is legal (raw IEEE-754 round trip)
+    r.f64()  # objective
+    seconds = r.f64()
+    if seconds == seconds and seconds < 0:  # NaN-safe negativity check
+        fail(f"{where}: negative seconds {seconds}")
+    num_initiators = r.u32()
+    for _ in range(num_initiators):
+        r.u32()  # node id (tree-local; range is checked by the library)
+        state = r.i8()
+        if state not in VALID_STATES:
+            fail(f"{where}: invalid initiator state byte {state}")
+    if k != num_initiators:
+        fail(f"{where}: k={k} but {num_initiators} initiators recorded")
+    num_entry = r.u32()
+    for _ in range(num_entry):
+        r.u32()
+    error = r.take(r.u32())
+    if not r.done():
+        fail(f"{where}: {len(r.data) - r.pos} trailing payload bytes")
+    if status == 0 and error:
+        fail(f"{where}: ok record carries an error: {error[:80]!r}")
+    if status != 0 and not error:
+        fail(f"{where}: {STATUS_NAMES[status]} record without an error text")
+    return tree_index
+
+
+def check_file(path: str):
+    """Returns (fingerprint, tree_indices) for one checkpoint file."""
+    with open(path, "rb") as f:
+        data = f.read()
+    if len(data) < HEADER_SIZE:
+        fail(f"{path}: truncated header ({len(data)} bytes)")
+    if data[:8] != MAGIC:
+        fail(f"{path}: bad magic {data[:8]!r}")
+    version, reserved, fingerprint = struct.unpack_from("<IIQ", data, 8)
+    if version != FORMAT_VERSION:
+        fail(f"{path}: format version {version} (expected {FORMAT_VERSION})")
+    if reserved != 0:
+        fail(f"{path}: nonzero reserved header field {reserved}")
+    if fingerprint == 0:
+        fail(f"{path}: zero forest fingerprint (the writer never emits 0)")
+
+    trees = []
+    pos = HEADER_SIZE
+    while pos < len(data):
+        where = f"{path}: record {len(trees)}"
+        if len(data) - pos < 8:
+            fail(f"{where}: truncated frame ({len(data) - pos} trailing bytes)")
+        length, checksum = struct.unpack_from("<II", data, pos)
+        if len(data) - pos - 8 < length:
+            fail(f"{where}: truncated payload (want {length} bytes, "
+                 f"have {len(data) - pos - 8})")
+        payload = data[pos + 8 : pos + 8 + length]
+        if fnv1a32(payload) != checksum:
+            fail(f"{where}: checksum mismatch")
+        trees.append(check_payload(payload, where))
+        pos += 8 + length
+    return fingerprint, trees
+
+
+def main() -> None:
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    min_trees = 1
+    for a in sys.argv[1:]:
+        if a.startswith("--min-trees="):
+            min_trees = int(a.split("=", 1)[1])
+        elif a.startswith("--"):
+            print(__doc__, file=sys.stderr)
+            sys.exit(2)
+    if len(args) != 1:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    run_dir = args[0]
+    if not os.path.isdir(run_dir):
+        fail(f"{run_dir}: not a directory")
+
+    paths = sorted(
+        os.path.join(run_dir, name)
+        for name in os.listdir(run_dir)
+        if name.endswith(".ckpt")
+    )
+    if not paths:
+        fail(f"{run_dir}: no *.ckpt files")
+
+    fingerprints = set()
+    trees = set()
+    records = 0
+    for path in paths:
+        fingerprint, file_trees = check_file(path)
+        fingerprints.add(fingerprint)
+        trees.update(file_trees)
+        records += len(file_trees)
+    if len(fingerprints) != 1:
+        fail(f"{run_dir}: files from different forests: "
+             f"{sorted(f'{f:#x}' for f in fingerprints)}")
+    if len(trees) < min_trees:
+        fail(f"{run_dir}: only {len(trees)} distinct trees checkpointed "
+             f"(need >= {min_trees})")
+    print(
+        f"check_checkpoint: {run_dir}: OK — {len(paths)} files, "
+        f"{records} records, {len(trees)} distinct trees, "
+        f"fingerprint {next(iter(fingerprints)):#x}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -16,6 +16,7 @@
 
 #include "algo/skew_heap.hpp"
 #include "algo/union_find.hpp"
+#include "util/failpoint.hpp"
 #include "util/metrics.hpp"
 #include "util/trace.hpp"
 
@@ -104,6 +105,7 @@ Branching max_branching_simple(graph::NodeId num_nodes,
                                const util::BudgetScope* budget) {
   const graph::NodeId n = num_nodes;
   if (n == 0) return Branching{};
+  RID_FAILPOINT("edmonds.solve");
   util::trace::TraceSpan span("edmonds_simple");
   count_branching_run(span, n, arcs.size());
   util::BudgetChecker checker(budget);
@@ -245,6 +247,7 @@ Branching max_branching_fast(graph::NodeId num_nodes,
                              const util::BudgetScope* budget) {
   const graph::NodeId n = num_nodes;
   if (n == 0) return Branching{};
+  RID_FAILPOINT("edmonds.solve");
   util::trace::TraceSpan span("edmonds");
   count_branching_run(span, n, arcs.size());
   util::BudgetChecker checker(budget);

@@ -8,6 +8,7 @@
 #include "algo/components.hpp"
 #include "algo/forest.hpp"
 #include "core/isomit.hpp"
+#include "util/failpoint.hpp"
 #include "util/logging.hpp"
 #include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
@@ -98,6 +99,7 @@ CascadeForest extract_cascade_forest(const graph::SignedGraph& diffusion,
   std::vector<std::size_t> group_arcs(groups.size(), 0);
 
   const auto process_group = [&](std::size_t gi) {
+    RID_FAILPOINT("extract.component");
     const std::vector<graph::NodeId>& members = groups[gi];
     util::BudgetChecker checker(config.budget);
     for (graph::NodeId i = 0; i < members.size(); ++i)

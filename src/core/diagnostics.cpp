@@ -46,6 +46,11 @@ std::string RunDiagnostics::summary() const {
   out << ", " << total_seconds << " s total";
   if (extraction_seconds > 0.0)
     out << " (" << extraction_seconds << " s extraction)";
+  if (shard_count > 0) {
+    out << "\n  shards: " << shard_count << " (" << shard_retries
+        << " retries, " << shard_crashes << " crashes, " << shard_poison_trees
+        << " poisoned trees, " << resumed_trees << " resumed trees)";
+  }
   for (const TreeDiagnostics& tree : trees) {
     if (tree.status == TreeStatus::kOk) continue;
     out << "\n  tree " << tree.tree_index << " (n=" << tree.num_nodes
@@ -55,6 +60,8 @@ std::string RunDiagnostics::summary() const {
     if (!tree.error.empty()) out << " — " << tree.error;
   }
   for (const std::string& repair : repairs) out << "\n  repair: " << repair;
+  for (const std::string& event : shard_events)
+    out << "\n  shard: " << event;
   // Per-stage breakdown (tracing builds only): where the run — and, on a
   // degraded run, the budget — actually went.
   for (const StageTotal& stage : stages) {

@@ -66,6 +66,24 @@ struct RunDiagnostics {
   /// tracing was enabled during the run; see util/trace.hpp).
   std::vector<StageTotal> stages;
 
+  // Sharded-run accounting (run_rid_sharded only; see DESIGN.md §11).
+  /// Worker shards the run was partitioned into (0 = in-process run).
+  std::size_t shard_count = 0;
+  /// Worker attempts beyond the first per shard (crash/hang requeues).
+  std::uint64_t shard_retries = 0;
+  /// Worker deaths observed by the supervisor (nonzero exit, signal, or a
+  /// supervisor kill after a heartbeat/deadline overrun).
+  std::uint64_t shard_crashes = 0;
+  /// Trees demoted to the root-only fallback after killing
+  /// poison_threshold workers (status kDegraded, reason in the tree entry).
+  std::size_t shard_poison_trees = 0;
+  /// Trees whose results were loaded from the checkpoint directory instead
+  /// of being recomputed (resume).
+  std::size_t resumed_trees = 0;
+  /// Supervisor event log (spawns, exits, kills, requeues, demotions) plus
+  /// any checkpoint-file damage notes from the resume load.
+  std::vector<std::string> shard_events;
+
   bool all_ok() const noexcept { return num_degraded == 0 && num_failed == 0; }
 
   /// Folds a per-tree entry into the counters (keeps them consistent).

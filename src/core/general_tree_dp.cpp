@@ -4,6 +4,7 @@
 
 #include "algo/forest.hpp"
 #include "core/tree_dp.hpp"
+#include "util/failpoint.hpp"
 #include "util/metrics.hpp"
 #include "util/trace.hpp"
 
@@ -16,6 +17,7 @@ constexpr std::uint32_t kRowZ = 0xffffffffu;
 std::vector<double> general_tree_opt_curve(const CascadeTree& tree,
                                            std::uint32_t k_max,
                                            const util::BudgetScope* budget) {
+  RID_FAILPOINT("general_dp.compute");
   util::trace::TraceSpan span("general_dp");
   span.tag("nodes", static_cast<std::int64_t>(tree.size()));
   span.tag("k_cap", static_cast<std::int64_t>(k_max));

@@ -5,6 +5,8 @@
 #include <numeric>
 #include <utility>
 
+#include "core/rid_internal.hpp"
+#include "util/failpoint.hpp"
 #include "util/logging.hpp"
 #include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
@@ -38,43 +40,12 @@ RidMetrics& rid_metrics() {
   return instance;
 }
 
-/// RID-Tree fallback for a tree whose DP failed: the extracted root is the
-/// sole initiator, with its observed/imputed state and the real objective
-/// value of that one-initiator assignment. Returns an empty solution when
-/// the root is excluded by the candidate mask (nothing to fall back to).
-TreeSolution root_only_fallback(const CascadeTree& tree) {
-  TreeSolution solution;
-  if (!tree.can_initiate.empty() && !tree.can_initiate[tree.root])
-    return solution;
-  solution.k = 1;
-  solution.initiators = {tree.root};
-  solution.states = {tree.state[tree.root]};
-  solution.opt = evaluate_initiators(tree, solution.initiators);
-  solution.objective = -solution.opt;
-  return solution;
-}
-
-struct FailureInfo {
-  bool budget = false;
-  std::string message;
-};
-
-FailureInfo describe_failure(const std::exception_ptr& error) {
-  try {
-    std::rethrow_exception(error);
-  } catch (const util::BudgetExceededError& e) {
-    return {true, e.what()};
-  } catch (const std::exception& e) {
-    return {false, e.what()};
-  } catch (...) {
-    return {false, "unknown error"};
-  }
-}
-
 /// Shared fault-isolation harness for the single-beta and multi-beta runs:
 /// solves every tree (optionally in parallel), converts failures into
 /// root-only fallbacks via `fallback`, and files one diagnostics entry per
-/// tree into `diagnostics`.
+/// tree into `diagnostics`. Every failing tree keeps its own error text —
+/// a multi-tree failure surfaces one line per tree in summary(), never just
+/// the first exception.
 template <typename Solve, typename Fallback>
 void solve_trees_isolated(const CascadeForest& forest,
                           std::size_t num_threads, const Solve& solve,
@@ -92,6 +63,7 @@ void solve_trees_isolated(const CascadeForest& forest,
         start_ns[i] = trace::now_ns();
         tid[i] = trace::current_tid();
         try {
+          RID_FAILPOINT("rid.solve_tree");
           solve(i);
         } catch (...) {
           end_ns[i] = trace::now_ns();
@@ -107,12 +79,22 @@ void solve_trees_isolated(const CascadeForest& forest,
     tree.num_nodes = forest.trees[t].size();
     tree.seconds = static_cast<double>(end_ns[t] - start_ns[t]) * 1e-9;
     if (errors[t]) {
-      const FailureInfo failure = describe_failure(errors[t]);
+      const internal::FailureInfo failure =
+          internal::describe_failure(errors[t]);
       tree.budget_hit = failure.budget;
       tree.error = failure.message;
       // Degrade to the RID-Tree answer; failed outright when even that is
-      // unavailable (root excluded by the candidate mask).
-      tree.fallback_root_only = fallback(t);
+      // unavailable (root excluded by the candidate mask) or the fallback
+      // itself threw — in which case both error texts are preserved rather
+      // than collapsing the tree's entry to the first exception.
+      try {
+        tree.fallback_root_only = fallback(t);
+      } catch (...) {
+        const internal::FailureInfo second =
+            internal::describe_failure(std::current_exception());
+        tree.error += "; fallback: " + second.message;
+        tree.fallback_root_only = false;
+      }
       tree.status =
           tree.fallback_root_only ? TreeStatus::kDegraded : TreeStatus::kFailed;
     }
@@ -149,14 +131,39 @@ void attach_stage_totals(RunDiagnostics& diagnostics) {
     diagnostics.stages.push_back({stage.name, stage.count, stage.seconds});
 }
 
-/// Resolves TreeDpOptions::num_threads == 0 (inherit) to this run's per-tree
-/// share of the pool: the tree-level parallelism claims min(threads, trees)
-/// workers and the leftover goes to the intra-tree DP — so the
-/// giant-component case (one tree) hands the whole pool to the DP. Depends
-/// only on the config and the forest shape, never on scheduling, keeping
-/// results and instrumentation deterministic.
+}  // namespace
+
+namespace internal {
+
+TreeSolution root_only_fallback(const CascadeTree& tree) {
+  TreeSolution solution;
+  if (!tree.can_initiate.empty() && !tree.can_initiate[tree.root])
+    return solution;
+  solution.k = 1;
+  solution.initiators = {tree.root};
+  solution.states = {tree.state[tree.root]};
+  solution.opt = evaluate_initiators(tree, solution.initiators);
+  solution.objective = -solution.opt;
+  return solution;
+}
+
+FailureInfo describe_failure(const std::exception_ptr& error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const util::BudgetExceededError& e) {
+    return {true, e.what()};
+  } catch (const std::exception& e) {
+    return {false, e.what()};
+  } catch (...) {
+    return {false, "unknown error"};
+  }
+}
+
 std::size_t intra_tree_threads(const RidConfig& config,
                                const CascadeForest& forest) {
+  // The tree-level parallelism claims min(threads, trees) workers and the
+  // leftover goes to the intra-tree DP — so the giant-component case (one
+  // tree) hands the whole pool to the DP.
   const std::size_t pool = std::max<std::size_t>(1, config.num_threads);
   const std::size_t outer =
       std::min(pool, std::max<std::size_t>(1, forest.trees.size()));
@@ -186,7 +193,32 @@ void merge_solutions(const CascadeForest& forest,
   }
 }
 
-}  // namespace
+void solve_tree_guarded(const CascadeTree& cascade, double beta,
+                        const TreeDpOptions& dp, TreeSolution& solution,
+                        TreeDiagnostics& tree) {
+  try {
+    RID_FAILPOINT("rid.solve_tree");
+    solution = solve_tree(cascade, beta, dp);
+    return;
+  } catch (...) {
+    const FailureInfo failure = describe_failure(std::current_exception());
+    tree.budget_hit = failure.budget;
+    tree.error = failure.message;
+  }
+  try {
+    solution = root_only_fallback(cascade);
+    tree.fallback_root_only = !solution.initiators.empty();
+  } catch (...) {
+    const FailureInfo second = describe_failure(std::current_exception());
+    tree.error += "; fallback: " + second.message;
+    solution = TreeSolution{};
+    tree.fallback_root_only = false;
+  }
+  tree.status =
+      tree.fallback_root_only ? TreeStatus::kDegraded : TreeStatus::kFailed;
+}
+
+}  // namespace internal
 
 DetectionResult run_rid_on_forest(const CascadeForest& forest,
                                   const RidConfig& config) {
@@ -199,7 +231,8 @@ DetectionResult run_rid_on_forest(const CascadeForest& forest,
   const util::BudgetScope scope(config.budget);
   TreeDpOptions dp = config.dp;
   if (!config.budget.unlimited()) dp.budget = &scope;
-  if (dp.num_threads == 0) dp.num_threads = intra_tree_threads(config, forest);
+  if (dp.num_threads == 0)
+    dp.num_threads = internal::intra_tree_threads(config, forest);
 
   // Trees are independent; solve them (optionally) in parallel with per-tree
   // fault isolation, then merge in deterministic tree order.
@@ -210,14 +243,14 @@ DetectionResult run_rid_on_forest(const CascadeForest& forest,
         solutions[i] = solve_tree(forest.trees[i], config.beta, dp);
       },
       [&](std::size_t i) {
-        solutions[i] = root_only_fallback(forest.trees[i]);
+        solutions[i] = internal::root_only_fallback(forest.trees[i]);
         return !solutions[i].initiators.empty();
       },
       out.diagnostics);
 
   std::vector<const TreeSolution*> views(solutions.size());
   for (std::size_t t = 0; t < solutions.size(); ++t) views[t] = &solutions[t];
-  merge_solutions(forest, views, out);
+  internal::merge_solutions(forest, views, out);
   out.diagnostics.total_seconds = span.seconds();
   attach_stage_totals(out.diagnostics);
   return out;
@@ -238,7 +271,8 @@ std::vector<DetectionResult> run_rid_betas(const CascadeForest& forest,
   const util::BudgetScope scope(config.budget);
   TreeDpOptions dp = config.dp;
   if (!config.budget.unlimited()) dp.budget = &scope;
-  if (dp.num_threads == 0) dp.num_threads = intra_tree_threads(config, forest);
+  if (dp.num_threads == 0)
+    dp.num_threads = internal::intra_tree_threads(config, forest);
 
   // Per-tree multi-beta solves (optionally parallel over trees, isolated
   // per tree), merged in deterministic tree order per beta.
@@ -252,7 +286,8 @@ std::vector<DetectionResult> run_rid_betas(const CascadeForest& forest,
       [&](std::size_t i) {
         // The fallback does not depend on beta: one root-only solution,
         // replicated per beta (objective = -opt since k = 1).
-        solutions[i].assign(betas.size(), root_only_fallback(forest.trees[i]));
+        solutions[i].assign(betas.size(),
+                            internal::root_only_fallback(forest.trees[i]));
         return !betas.empty() && !solutions[i][0].initiators.empty();
       },
       diagnostics);
@@ -263,7 +298,7 @@ std::vector<DetectionResult> run_rid_betas(const CascadeForest& forest,
     std::vector<const TreeSolution*> views(solutions.size());
     for (std::size_t t = 0; t < solutions.size(); ++t)
       views[t] = &solutions[t][b];
-    merge_solutions(forest, views, out[b]);
+    internal::merge_solutions(forest, views, out[b]);
     out[b].diagnostics = diagnostics;
   }
   return out;

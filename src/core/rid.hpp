@@ -19,6 +19,7 @@
 #include "core/isomit.hpp"
 #include "core/tree_dp.hpp"
 #include "core/validate.hpp"
+#include "util/proc_supervisor.hpp"
 #include "util/work_budget.hpp"
 
 namespace rid::core {
@@ -74,5 +75,49 @@ DetectionResult run_rid_on_forest(const CascadeForest& forest,
 std::vector<DetectionResult> run_rid_betas(const CascadeForest& forest,
                                            std::span<const double> betas,
                                            const RidConfig& config);
+
+/// Crash-isolated sharded execution (see DESIGN.md §11): the forest's trees
+/// are partitioned into shards, each shard is solved by a forked worker
+/// process that streams per-tree checkpoint records into `run_dir`, and a
+/// supervisor (util/proc_supervisor.hpp) requeues crashed/hung shards.
+struct ShardedConfig {
+  /// Shards to partition the trees into (capped at the tree count).
+  std::size_t num_shards = 2;
+  /// Run directory holding the checkpoint stream. Required: this is both
+  /// the workers' durable store and the resume source.
+  std::string run_dir;
+  /// true: trees already checkpointed in run_dir (with a matching forest
+  /// fingerprint) are loaded instead of recomputed. false: stale "*.ckpt"
+  /// files in run_dir are deleted and everything is recomputed.
+  bool resume = true;
+  /// Worker lifecycle policy: parallelism, retry/backoff, heartbeat and
+  /// deadline kills, poison threshold, cancellation.
+  util::SupervisorOptions supervisor;
+};
+
+/// Deterministic size-balanced shard plan: trees sorted by (nodes desc,
+/// index asc) are greedily assigned to the least-loaded shard; each shard
+/// processes its trees in ascending index order. At most `num_shards`
+/// shards, fewer when there are fewer trees.
+std::vector<util::ShardWork> plan_shards(const CascadeForest& forest,
+                                         std::size_t num_shards);
+
+/// run_rid with process-sharded execution. The merged DetectionResult
+/// (initiators, states, totals) is bit-identical to run_rid for any shard
+/// count, including a resume after a mid-run crash; only the diagnostics
+/// carry extra shard fields. Trees a worker cannot survive (poison pills)
+/// or that exhaust their shard's attempts degrade to the RID-Tree root-only
+/// fallback exactly like an in-process DP failure. On platforms without
+/// fork() this transparently runs in-process.
+DetectionResult run_rid_sharded(const graph::SignedGraph& diffusion,
+                                std::span<const graph::NodeState> states,
+                                const RidConfig& config,
+                                const ShardedConfig& sharded);
+
+/// Sharded counterpart of run_rid_on_forest (shared extraction, e.g. the
+/// CLI's --shards path after its own extraction step).
+DetectionResult run_rid_sharded_on_forest(const CascadeForest& forest,
+                                          const RidConfig& config,
+                                          const ShardedConfig& sharded);
 
 }  // namespace rid::core

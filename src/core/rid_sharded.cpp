@@ -1,0 +1,438 @@
+// Crash-isolated sharded RID runner: plan shards, fork one worker per shard
+// (util/proc_supervisor.hpp), stream per-tree results into the run
+// directory's checkpoint files (core/checkpoint.hpp), and merge in the
+// parent with the exact in-process accumulation order so the result is
+// bit-identical to run_rid for any shard count — including a resume after a
+// mid-run crash. See DESIGN.md §11.
+#include <algorithm>
+#include <filesystem>
+#include <numeric>
+#include <sstream>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "core/checkpoint.hpp"
+#include "core/rid.hpp"
+#include "core/rid_internal.hpp"
+#include "util/errors.hpp"
+#include "util/failpoint.hpp"
+#include "util/logging.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
+
+namespace rid::core {
+
+namespace {
+
+namespace fs = std::filesystem;
+namespace trace = util::trace;
+
+/// Sharded-runner metrics series (the supervisor's shard.* counters live in
+/// util/proc_supervisor.cpp; these mirror rid.cpp's per-tree outcome ones).
+struct ShardedRidMetrics {
+  util::metrics::Counter& runs =
+      util::metrics::global().counter("rid.sharded_runs");
+  util::metrics::Counter& trees_ok =
+      util::metrics::global().counter("rid.trees_ok");
+  util::metrics::Counter& trees_degraded =
+      util::metrics::global().counter("rid.trees_degraded");
+  util::metrics::Counter& trees_failed =
+      util::metrics::global().counter("rid.trees_failed");
+  util::metrics::Counter& resumed =
+      util::metrics::global().counter("rid.trees_resumed");
+};
+
+ShardedRidMetrics& sharded_metrics() {
+  static ShardedRidMetrics instance;
+  return instance;
+}
+
+std::uint64_t own_pid() {
+#if !defined(_WIN32)
+  return static_cast<std::uint64_t>(::getpid());
+#else
+  return 0;
+#endif
+}
+
+/// Checkpoint file for one worker attempt. The pid keeps names unique
+/// across runs sharing a resumed directory (each attempt gets a fresh file:
+/// appending to an old file after a crash could land records after a
+/// partial trailing record, hiding them behind the damaged prefix).
+std::string attempt_file(const std::string& run_dir, std::size_t shard_id,
+                         std::uint32_t attempt) {
+  std::ostringstream name;
+  name << run_dir << "/shard-" << shard_id << "-p" << own_pid() << "-a"
+       << attempt << kCheckpointExtension;
+  return name.str();
+}
+
+/// Size-balanced deterministic plan over an arbitrary subset of trees
+/// (resume plans only the trees missing from the checkpoint directory).
+std::vector<util::ShardWork> plan_over(const CascadeForest& forest,
+                                       std::vector<std::size_t> trees,
+                                       std::size_t num_shards) {
+  if (num_shards == 0)
+    throw util::InputError("sharded RID run requires num_shards >= 1");
+  std::vector<util::ShardWork> shards;
+  if (trees.empty()) return shards;
+  // Longest-processing-time greedy: biggest trees first (index breaks
+  // ties), each onto the lightest shard (shard id breaks ties). Depends
+  // only on the forest shape, never on scheduling.
+  std::sort(trees.begin(), trees.end(), [&](std::size_t a, std::size_t b) {
+    const std::size_t sa = forest.trees[a].size();
+    const std::size_t sb = forest.trees[b].size();
+    if (sa != sb) return sa > sb;
+    return a < b;
+  });
+  shards.resize(std::min(num_shards, trees.size()));
+  for (std::size_t s = 0; s < shards.size(); ++s) shards[s].shard_id = s;
+  std::vector<std::size_t> load(shards.size(), 0);
+  for (const std::size_t tree : trees) {
+    const std::size_t lightest = static_cast<std::size_t>(
+        std::min_element(load.begin(), load.end()) - load.begin());
+    shards[lightest].items.push_back(tree);
+    load[lightest] += std::max<std::size_t>(1, forest.trees[tree].size());
+  }
+  // Workers process (and the poison suspect is defined over) ascending tree
+  // order within the shard.
+  for (util::ShardWork& shard : shards)
+    std::sort(shard.items.begin(), shard.items.end());
+  return shards;
+}
+
+void ensure_run_dir(const std::string& run_dir, bool resume,
+                    std::vector<std::string>& events) {
+  std::error_code ec;
+  fs::create_directories(run_dir, ec);
+  if (ec) {
+    throw util::InputError("cannot create run directory '" + run_dir +
+                           "': " + ec.message());
+  }
+  if (resume) return;
+  // Fresh run: stale checkpoint files would otherwise look durable to the
+  // supervisor and be merged back in.
+  std::size_t removed = 0;
+  for (const fs::directory_entry& entry : fs::directory_iterator(run_dir, ec)) {
+    if (ec) break;
+    if (entry.path().extension() != kCheckpointExtension) continue;
+    std::error_code remove_ec;
+    if (fs::remove(entry.path(), remove_ec)) ++removed;
+  }
+  if (removed > 0) {
+    std::ostringstream event;
+    event << "fresh run: removed " << removed << " stale checkpoint file"
+          << (removed == 1 ? "" : "s") << " from " << run_dir;
+    events.push_back(event.str());
+  }
+}
+
+/// Parent-side demotion for a tree no worker could complete (poison pill,
+/// attempts exhausted, or cancellation): the same RID-Tree root-only ladder
+/// an in-process DP failure takes.
+TreeCheckpointRecord demote_tree(const CascadeForest& forest,
+                                 std::size_t tree_index,
+                                 const std::string& reason) {
+  TreeCheckpointRecord record;
+  record.tree_index = tree_index;
+  record.error = reason;
+  try {
+    record.solution = internal::root_only_fallback(forest.trees[tree_index]);
+    record.fallback_root_only = !record.solution.initiators.empty();
+  } catch (...) {
+    const internal::FailureInfo second =
+        internal::describe_failure(std::current_exception());
+    record.error += "; fallback: " + second.message;
+    record.solution = TreeSolution{};
+    record.fallback_root_only = false;
+  }
+  record.status = record.fallback_root_only ? TreeStatus::kDegraded
+                                            : TreeStatus::kFailed;
+  return record;
+}
+
+/// Copies the trace's per-stage totals into the diagnostics (same policy as
+/// rid.cpp's attach_stage_totals).
+void attach_stage_totals(RunDiagnostics& diagnostics) {
+  if (!trace::enabled()) return;
+  diagnostics.stages.clear();
+  for (const trace::StageTotal& stage : trace::aggregate_stage_totals())
+    diagnostics.stages.push_back({stage.name, stage.count, stage.seconds});
+}
+
+}  // namespace
+
+std::vector<util::ShardWork> plan_shards(const CascadeForest& forest,
+                                         std::size_t num_shards) {
+  std::vector<std::size_t> trees(forest.trees.size());
+  std::iota(trees.begin(), trees.end(), 0);
+  return plan_over(forest, std::move(trees), num_shards);
+}
+
+DetectionResult run_rid_sharded_on_forest(const CascadeForest& forest,
+                                          const RidConfig& config,
+                                          const ShardedConfig& sharded) {
+  if (sharded.run_dir.empty()) {
+    throw util::InputError(
+        "sharded RID run requires a run directory (ShardedConfig::run_dir)");
+  }
+  if (!util::process_isolation_supported()) {
+    // No fork() on this platform: degrade to the in-process pipeline (same
+    // answer — the whole point of the bit-identity contract).
+    DetectionResult result = run_rid_on_forest(forest, config);
+    result.diagnostics.shard_events.push_back(
+        "process isolation unsupported on this platform - ran in-process");
+    return result;
+  }
+  sharded_metrics().runs.add(1);
+
+  trace::TraceSpan span("solve_forest_sharded");
+  span.tag("trees", static_cast<std::int64_t>(forest.trees.size()));
+  span.tag("shards", static_cast<std::int64_t>(sharded.num_shards));
+
+  DetectionResult out;
+  out.num_components = forest.num_components;
+  out.num_trees = forest.trees.size();
+  RunDiagnostics& diagnostics = out.diagnostics;
+
+  ensure_run_dir(sharded.run_dir, sharded.resume, diagnostics.shard_events);
+  const std::uint64_t fingerprint = forest_fingerprint(forest);
+  const std::size_t n = forest.trees.size();
+
+  // Resume: adopt every durable tree (first record wins; records for the
+  // same tree are byte-identical on a deterministic pipeline), recompute
+  // the rest. Damaged files surface as shard events, never as a crash.
+  std::vector<bool> have(n, false);
+  std::vector<TreeCheckpointRecord> records(n);
+  const auto adopt_records = [&](CheckpointLoad& load, bool counts_as_resume) {
+    for (TreeCheckpointRecord& record : load.records) {
+      if (record.tree_index >= n) {
+        std::ostringstream event;
+        event << "ignoring checkpoint record for out-of-range tree "
+              << record.tree_index;
+        diagnostics.shard_events.push_back(event.str());
+        continue;
+      }
+      const std::size_t t = static_cast<std::size_t>(record.tree_index);
+      if (have[t]) continue;
+      have[t] = true;
+      records[t] = std::move(record);
+      if (counts_as_resume) ++diagnostics.resumed_trees;
+    }
+    for (std::string& error : load.errors)
+      diagnostics.shard_events.push_back("checkpoint: " + std::move(error));
+  };
+  if (sharded.resume) {
+    CheckpointLoad load = load_checkpoint_dir(sharded.run_dir, fingerprint);
+    adopt_records(load, /*counts_as_resume=*/true);
+  }
+  sharded_metrics().resumed.add(diagnostics.resumed_trees);
+
+  // Plan only the missing trees.
+  std::vector<std::size_t> pending;
+  for (std::size_t t = 0; t < n; ++t)
+    if (!have[t]) pending.push_back(t);
+  const std::vector<util::ShardWork> shards =
+      plan_over(forest, pending, sharded.num_shards);
+  diagnostics.shard_count = shards.size();
+
+  std::vector<std::unordered_set<std::size_t>> shard_items(shards.size());
+  for (const util::ShardWork& shard : shards)
+    shard_items[shard.shard_id].insert(shard.items.begin(),
+                                       shard.items.end());
+
+  // Worker body (runs in the forked child). Trees are solved serially in
+  // shard order — the supervisor's poison suspect ("first incomplete item")
+  // depends on it — with the exact per-tree isolation ladder of
+  // run_rid_on_forest, and each finished tree is flushed before the next
+  // starts so a crash loses at most the in-flight tree.
+  const auto child_body = [&](std::size_t shard_id,
+                              const std::vector<std::size_t>& items,
+                              std::uint32_t attempt) {
+    const util::BudgetScope scope(config.budget);
+    TreeDpOptions dp = config.dp;
+    if (!config.budget.unlimited()) dp.budget = &scope;
+    // Resolved against the full forest, like run_rid_on_forest — the DP is
+    // bit-identical across thread counts, so the shard subset may safely
+    // use the whole pool's share.
+    if (dp.num_threads == 0)
+      dp.num_threads = internal::intra_tree_threads(config, forest);
+    CheckpointWriter writer(attempt_file(sharded.run_dir, shard_id, attempt),
+                            fingerprint);
+    for (const std::size_t item : items) {
+      RID_FAILPOINT("shard.worker_tree");
+      TreeCheckpointRecord record;
+      record.tree_index = item;
+      TreeDiagnostics tree;
+      const std::uint64_t start_ns = trace::now_ns();
+      internal::solve_tree_guarded(forest.trees[item], config.beta, dp,
+                                   record.solution, tree);
+      record.seconds =
+          static_cast<double>(trace::now_ns() - start_ns) * 1e-9;
+      record.status = tree.status;
+      record.budget_hit = tree.budget_hit;
+      record.fallback_root_only = tree.fallback_root_only;
+      record.error = std::move(tree.error);
+      writer.append(record);
+    }
+  };
+
+  // Parent-side durability probe: which of a shard's trees are already on
+  // disk (tolerant load — a worker may have died mid-record).
+  const auto durable = [&](std::size_t shard_id) {
+    std::vector<std::size_t> done;
+    CheckpointLoad load = load_checkpoint_dir(sharded.run_dir, fingerprint);
+    std::unordered_set<std::size_t> seen;
+    for (const TreeCheckpointRecord& record : load.records) {
+      const std::size_t t = static_cast<std::size_t>(record.tree_index);
+      if (shard_items[shard_id].count(t) && seen.insert(t).second)
+        done.push_back(t);
+    }
+    return done;
+  };
+
+  const util::SupervisorReport report =
+      util::supervise_shards(shards, sharded.supervisor, child_body, durable);
+  diagnostics.shard_retries = report.retries;
+  diagnostics.shard_crashes = report.crashes;
+  for (const std::string& event : report.events)
+    diagnostics.shard_events.push_back(event);
+
+  // Collect what the workers persisted.
+  {
+    CheckpointLoad load = load_checkpoint_dir(sharded.run_dir, fingerprint);
+    adopt_records(load, /*counts_as_resume=*/false);
+  }
+
+  // Poison pills: demote in the parent and *persist* the demotion, so a
+  // later resume keeps the verdict instead of feeding the killer tree to a
+  // fresh worker. Abandoned or cancelled trees are demoted in memory only —
+  // a clean resume should recompute them.
+  if (!report.poisoned_items.empty()) {
+    std::ostringstream reason;
+    reason << "poison pill: tree killed " << sharded.supervisor.poison_threshold
+           << " workers; demoted to root-only fallback";
+    try {
+      CheckpointWriter poison_writer(
+          sharded.run_dir + "/poison-p" + std::to_string(own_pid()) +
+              kCheckpointExtension,
+          fingerprint);
+      for (const std::size_t item : report.poisoned_items) {
+        if (item >= n || have[item]) continue;
+        records[item] = demote_tree(forest, item, reason.str());
+        have[item] = true;
+        ++diagnostics.shard_poison_trees;
+        poison_writer.append(records[item]);
+      }
+    } catch (const std::exception& e) {
+      diagnostics.shard_events.push_back(
+          std::string("failed to persist poison demotions: ") + e.what());
+      for (const std::size_t item : report.poisoned_items) {
+        if (item >= n || have[item]) continue;
+        records[item] = demote_tree(forest, item, reason.str());
+        have[item] = true;
+        ++diagnostics.shard_poison_trees;
+      }
+    }
+  }
+  for (const std::size_t item : report.abandoned_items) {
+    if (item >= n || have[item]) continue;
+    std::ostringstream reason;
+    reason << "abandoned after " << sharded.supervisor.max_shard_attempts
+           << " worker attempts";
+    records[item] = demote_tree(forest, item, reason.str());
+    have[item] = true;
+  }
+  for (std::size_t t = 0; t < n; ++t) {
+    if (have[t]) continue;
+    records[t] = demote_tree(forest, t,
+                             report.cancelled
+                                 ? "cancelled before completion"
+                                 : "not completed by any worker");
+    have[t] = true;
+  }
+
+  // Per-tree diagnostics and the merge, both in tree order — the merge
+  // accumulation order is the bit-identity contract with run_rid.
+  ShardedRidMetrics& rm = sharded_metrics();
+  for (std::size_t t = 0; t < n; ++t) {
+    TreeDiagnostics tree;
+    tree.tree_index = t;
+    tree.num_nodes = forest.trees[t].size();
+    tree.status = records[t].status;
+    tree.seconds = records[t].seconds;
+    tree.budget_hit = records[t].budget_hit;
+    tree.fallback_root_only = records[t].fallback_root_only;
+    tree.error = records[t].error;
+    switch (tree.status) {
+      case TreeStatus::kOk:
+        rm.trees_ok.add(1);
+        break;
+      case TreeStatus::kDegraded:
+        rm.trees_degraded.add(1);
+        break;
+      case TreeStatus::kFailed:
+        rm.trees_failed.add(1);
+        break;
+    }
+    diagnostics.record(std::move(tree));
+  }
+  std::vector<const TreeSolution*> views(n);
+  for (std::size_t t = 0; t < n; ++t) views[t] = &records[t].solution;
+  internal::merge_solutions(forest, views, out);
+
+  diagnostics.total_seconds = span.seconds();
+  attach_stage_totals(diagnostics);
+  util::log_debug("run_rid_sharded(beta=", config.beta, ", shards=",
+                  diagnostics.shard_count, "): ", out.initiators.size(),
+                  " initiators from ", n, " trees (",
+                  diagnostics.resumed_trees, " resumed, ", report.retries,
+                  " retries, ", report.crashes, " crashes)");
+  return out;
+}
+
+DetectionResult run_rid_sharded(const graph::SignedGraph& diffusion,
+                                std::span<const graph::NodeState> states,
+                                const RidConfig& config,
+                                const ShardedConfig& sharded) {
+  trace::TraceSpan span("run_rid_sharded");
+  // Same front half as run_rid: optional repair, extraction (in the parent,
+  // once — workers inherit the forest copy-on-write), candidate mask.
+  std::vector<graph::NodeState> repaired_states;
+  std::vector<bool> repaired_candidates;
+  std::span<const graph::NodeState> view = states;
+  const std::vector<bool>* candidates = &config.candidates;
+  SanitizeReport repairs;
+  if (config.repair_policy == RepairPolicy::kRepair) {
+    repaired_states.assign(states.begin(), states.end());
+    repairs.merge(
+        sanitize_states(diffusion, repaired_states, RepairPolicy::kRepair));
+    view = repaired_states;
+    repaired_candidates = config.candidates;
+    repairs.merge(sanitize_candidates(diffusion, repaired_candidates,
+                                      RepairPolicy::kRepair));
+    candidates = &repaired_candidates;
+  }
+
+  const std::uint64_t extraction_start_ns = trace::now_ns();
+  ExtractionConfig extraction = config.extraction;
+  if (extraction.num_threads == 0) extraction.num_threads = config.num_threads;
+  CascadeForest forest = extract_cascade_forest(diffusion, view, extraction);
+  const std::uint64_t extraction_end_ns = trace::now_ns();
+  if (!candidates->empty()) apply_candidate_mask(forest, *candidates);
+
+  DetectionResult result = run_rid_sharded_on_forest(forest, config, sharded);
+  result.diagnostics.repairs = std::move(repairs.repairs);
+  result.diagnostics.extraction_seconds =
+      static_cast<double>(extraction_end_ns - extraction_start_ns) * 1e-9;
+  result.diagnostics.total_seconds = span.seconds();
+  attach_stage_totals(result.diagnostics);
+  return result;
+}
+
+}  // namespace rid::core

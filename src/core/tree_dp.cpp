@@ -6,6 +6,7 @@
 
 #include "algo/binary_transform.hpp"
 #include "algo/forest.hpp"
+#include "util/failpoint.hpp"
 #include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
 #include "util/trace.hpp"
@@ -392,6 +393,7 @@ void BinarizedTreeDp::process_node(std::int32_t v, std::uint32_t k_lo,
 void BinarizedTreeDp::process_segment(std::uint32_t begin, std::uint32_t end,
                                       std::uint32_t k_lo, std::uint32_t k_hi,
                                       const util::BudgetScope* budget) {
+  RID_FAILPOINT("tree_dp.segment");
   // Each postorder node costs O(rows * k^2), so poll the budget every few
   // nodes rather than the default (coarser) checker interval.
   util::BudgetChecker checker(budget, /*interval=*/64);
@@ -407,6 +409,7 @@ void BinarizedTreeDp::process_segment(std::uint32_t begin, std::uint32_t end,
 const std::vector<double>& BinarizedTreeDp::compute(
     std::uint32_t k_max, bool force_root, const util::BudgetScope* budget,
     std::size_t num_threads, bool incremental, std::uint32_t k_reserve) {
+  RID_FAILPOINT("tree_dp.compute");
   util::trace::TraceSpan span("dp_compute");
   DpMetrics& dm = dp_metrics();
   dm.computes.add(1);

@@ -1,0 +1,373 @@
+#include "util/proc_supervisor.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+
+#if !defined(_WIN32)
+#define RID_HAS_FORK 1
+#include <cerrno>
+#include <csignal>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#else
+#define RID_HAS_FORK 0
+#endif
+
+namespace rid::util {
+
+bool process_isolation_supported() noexcept { return RID_HAS_FORK != 0; }
+
+#if RID_HAS_FORK
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Exit code for a C++ exception escaping the child body (a "soft" failure,
+/// still a worker loss from the supervisor's point of view).
+constexpr int kChildExceptionExit = 99;
+
+/// Supervisor-side metrics (names shared with the RID diagnostics).
+struct ShardMetrics {
+  metrics::Counter& spawned =
+      metrics::global().counter("shard.workers_spawned");
+  metrics::Counter& crashes = metrics::global().counter("shard.crashes");
+  metrics::Counter& retries = metrics::global().counter("shard.retries");
+  metrics::Counter& kills = metrics::global().counter("shard.kills");
+  metrics::Counter& poisoned = metrics::global().counter("shard.poison_trees");
+};
+
+ShardMetrics& shard_metrics() {
+  static ShardMetrics instance;
+  return instance;
+}
+
+struct ShardState {
+  enum class Phase { kReady, kRunning, kDone };
+
+  std::size_t shard_id = 0;
+  std::vector<std::size_t> remaining;  // processing order
+  std::uint32_t attempts = 0;          // workers spawned so far
+  Phase phase = Phase::kReady;
+  Clock::time_point ready_at{};  // backoff gate (kReady)
+  pid_t pid = -1;
+  Clock::time_point attempt_start{};
+  Clock::time_point last_progress{};
+  std::size_t last_durable = 0;
+  std::uint64_t span_start_ns = 0;
+};
+
+double backoff_ms(const SupervisorOptions& options, std::uint32_t attempts) {
+  double ms = options.backoff_initial_ms;
+  for (std::uint32_t i = 1; i < attempts && ms < options.backoff_max_ms; ++i)
+    ms *= 2.0;
+  return std::min(ms, options.backoff_max_ms);
+}
+
+/// Encodes an attempt's end for the trace span: exit code, or 128+signal
+/// for a signal death (the shell convention), or -1 while unknowable.
+int encode_exit(int status) {
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  if (WIFSIGNALED(status)) return 128 + WTERMSIG(status);
+  return -1;
+}
+
+}  // namespace
+
+SupervisorReport supervise_shards(const std::vector<ShardWork>& shards,
+                                  const SupervisorOptions& options,
+                                  const ShardChildBody& child_body,
+                                  const ShardDurableItems& durable) {
+  SupervisorReport report;
+  ShardMetrics& sm = shard_metrics();
+
+  std::vector<ShardState> states;
+  states.reserve(shards.size());
+  const Clock::time_point start = Clock::now();
+  for (const ShardWork& shard : shards) {
+    ShardState state;
+    state.shard_id = shard.shard_id;
+    state.remaining = shard.items;
+    state.ready_at = start;
+    if (state.remaining.empty()) state.phase = ShardState::Phase::kDone;
+    states.push_back(std::move(state));
+  }
+
+  // item -> workers it was in flight on when they died (poison detection).
+  std::unordered_map<std::size_t, std::uint32_t> suspect_kills;
+  const std::size_t max_parallel =
+      options.max_parallel == 0 ? states.size() : options.max_parallel;
+  const bool heartbeat_enabled =
+      options.heartbeat_timeout_seconds != kUnlimitedSeconds;
+  const bool deadline_enabled =
+      options.shard_deadline_seconds != kUnlimitedSeconds;
+
+  const auto log_event = [&](const std::string& text) {
+    report.events.push_back(text);
+  };
+
+  const auto emit_attempt_span = [&](const ShardState& state, int exit_code) {
+    const trace::TagValue tags[] = {
+        {"shard", nullptr, static_cast<std::int64_t>(state.shard_id)},
+        {"attempt", nullptr, static_cast<std::int64_t>(state.attempts)},
+        {"exit", nullptr, static_cast<std::int64_t>(exit_code)},
+    };
+    trace::emit_span("shard_worker", state.span_start_ns, trace::now_ns(),
+                     trace::current_tid(), tags);
+  };
+
+  /// Removes durable items from state.remaining (keeping order) and returns
+  /// how many were completed.
+  const auto drop_durable = [&](ShardState& state) {
+    const std::vector<std::size_t> done = durable(state.shard_id);
+    const std::unordered_set<std::size_t> done_set(done.begin(), done.end());
+    const std::size_t before = state.remaining.size();
+    std::erase_if(state.remaining, [&](std::size_t item) {
+      return done_set.count(item) > 0;
+    });
+    return before - state.remaining.size();
+  };
+
+  /// Requeues (with backoff), abandons, or completes a shard after a worker
+  /// ended. `abnormal` = crash/signal/kill (runs poison detection).
+  const auto after_attempt = [&](ShardState& state, bool abnormal) {
+    if (abnormal && !state.remaining.empty()) {
+      const std::size_t suspect = state.remaining.front();
+      const std::uint32_t kills = ++suspect_kills[suspect];
+      if (kills >= options.poison_threshold) {
+        report.poisoned_items.push_back(suspect);
+        sm.poisoned.add(1);
+        state.remaining.erase(state.remaining.begin());
+        std::ostringstream event;
+        event << "shard " << state.shard_id << ": item " << suspect
+              << " killed " << kills << " workers - poisoned";
+        log_event(event.str());
+      }
+    }
+    if (state.remaining.empty()) {
+      state.phase = ShardState::Phase::kDone;
+      return;
+    }
+    if (state.attempts >= options.max_shard_attempts) {
+      std::ostringstream event;
+      event << "shard " << state.shard_id << ": attempts exhausted - "
+            << "abandoning " << state.remaining.size() << " items";
+      log_event(event.str());
+      for (const std::size_t item : state.remaining)
+        report.abandoned_items.push_back(item);
+      state.remaining.clear();
+      state.phase = ShardState::Phase::kDone;
+      return;
+    }
+    const double wait_ms = backoff_ms(options, state.attempts);
+    ++report.retries;
+    sm.retries.add(1);
+    state.phase = ShardState::Phase::kReady;
+    state.ready_at = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                        std::chrono::duration<double, std::milli>(
+                                            wait_ms));
+    std::ostringstream event;
+    event << "shard " << state.shard_id << ": requeued "
+          << state.remaining.size() << " items (next attempt "
+          << state.attempts + 1 << ", backoff " << wait_ms << " ms)";
+    log_event(event.str());
+  };
+
+  const auto spawn = [&](ShardState& state) {
+    ++state.attempts;
+    state.span_start_ns = trace::now_ns();
+    const pid_t pid = fork();
+    if (pid == 0) {
+      // Worker. Never return into the parent's stack: convert exceptions to
+      // an exit code and leave via _exit (no atexit handlers, no flushing
+      // of streams duplicated from the parent).
+      try {
+        child_body(state.shard_id, state.remaining, state.attempts);
+      } catch (...) {
+        _exit(kChildExceptionExit);
+      }
+      _exit(0);
+    }
+    if (pid < 0) {
+      // fork failure (e.g. EAGAIN under load): same path as a crash, so the
+      // backoff gives the system room.
+      std::ostringstream event;
+      event << "shard " << state.shard_id << ": fork failed (errno " << errno
+            << ")";
+      log_event(event.str());
+      ++report.crashes;
+      sm.crashes.add(1);
+      after_attempt(state, /*abnormal=*/false);
+      return;
+    }
+    ++report.workers_spawned;
+    sm.spawned.add(1);
+    state.pid = pid;
+    state.phase = ShardState::Phase::kRunning;
+    state.attempt_start = state.last_progress = Clock::now();
+    state.last_durable = heartbeat_enabled ? durable(state.shard_id).size() : 0;
+    std::ostringstream event;
+    event << "shard " << state.shard_id << ": spawned worker (attempt "
+          << state.attempts << ", " << state.remaining.size() << " items)";
+    log_event(event.str());
+  };
+
+  const auto reap = [&](ShardState& state, int status) {
+    state.pid = -1;
+    const int exit_code = encode_exit(status);
+    emit_attempt_span(state, exit_code);
+    const std::size_t completed = drop_durable(state);
+    const bool clean = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+    std::ostringstream event;
+    event << "shard " << state.shard_id << ": worker ";
+    if (WIFSIGNALED(status)) {
+      event << "died on signal " << WTERMSIG(status);
+    } else {
+      event << "exited " << WEXITSTATUS(status);
+    }
+    event << " (attempt " << state.attempts << ", " << completed
+          << " items completed, " << state.remaining.size() << " left)";
+    log_event(event.str());
+    if (clean && !state.remaining.empty()) {
+      // A clean exit that skipped items is a worker bug, but the recovery
+      // path is the same requeue (minus poison suspicion).
+      after_attempt(state, /*abnormal=*/false);
+      return;
+    }
+    if (!clean) {
+      ++report.crashes;
+      sm.crashes.add(1);
+      after_attempt(state, /*abnormal=*/true);
+      return;
+    }
+    state.phase = ShardState::Phase::kDone;
+  };
+
+  const auto kill_worker = [&](ShardState& state, const char* why,
+                               double seconds) {
+    ::kill(state.pid, SIGKILL);
+    ++report.kills;
+    sm.kills.add(1);
+    std::ostringstream event;
+    event << "shard " << state.shard_id << ": " << why << " for " << seconds
+          << " s - killing worker (attempt " << state.attempts << ")";
+    log_event(event.str());
+    // The death is observed (and requeued) by the normal waitpid path.
+  };
+
+  while (true) {
+    if (options.cancel.cancel_requested()) {
+      report.cancelled = true;
+      for (ShardState& state : states) {
+        if (state.phase != ShardState::Phase::kRunning) continue;
+        ::kill(state.pid, SIGKILL);
+        ++report.kills;
+        sm.kills.add(1);
+        int status = 0;
+        while (waitpid(state.pid, &status, 0) < 0 && errno == EINTR) {
+        }
+        emit_attempt_span(state, encode_exit(status));
+        drop_durable(state);
+        state.phase = ShardState::Phase::kDone;
+        std::ostringstream event;
+        event << "shard " << state.shard_id << ": cancelled - killed worker";
+        log_event(event.str());
+      }
+      break;
+    }
+
+    bool all_done = true;
+    std::size_t running = 0;
+    for (const ShardState& state : states) {
+      if (state.phase != ShardState::Phase::kDone) all_done = false;
+      if (state.phase == ShardState::Phase::kRunning) ++running;
+    }
+    if (all_done) break;
+
+    const Clock::time_point now = Clock::now();
+    for (ShardState& state : states) {
+      if (running >= max_parallel) break;
+      if (state.phase != ShardState::Phase::kReady || now < state.ready_at)
+        continue;
+      spawn(state);
+      if (state.phase == ShardState::Phase::kRunning) ++running;
+    }
+
+    for (ShardState& state : states) {
+      if (state.phase != ShardState::Phase::kRunning) continue;
+      int status = 0;
+      const pid_t r = waitpid(state.pid, &status, WNOHANG);
+      if (r == state.pid) {
+        reap(state, status);
+        continue;
+      }
+      if (r < 0 && errno != EINTR) {
+        // Lost track of the child (should not happen) — treat as a crash.
+        state.pid = -1;
+        emit_attempt_span(state, -1);
+        drop_durable(state);
+        ++report.crashes;
+        sm.crashes.add(1);
+        std::ostringstream event;
+        event << "shard " << state.shard_id << ": waitpid failed (errno "
+              << errno << ") - treating worker as crashed";
+        log_event(event.str());
+        after_attempt(state, /*abnormal=*/true);
+        continue;
+      }
+      // Still running: heartbeat + per-attempt deadline.
+      const Clock::time_point poll_now = Clock::now();
+      if (heartbeat_enabled) {
+        const std::size_t durable_count = durable(state.shard_id).size();
+        if (durable_count > state.last_durable) {
+          state.last_durable = durable_count;
+          state.last_progress = poll_now;
+        } else {
+          const double stalled =
+              std::chrono::duration<double>(poll_now - state.last_progress)
+                  .count();
+          if (stalled > options.heartbeat_timeout_seconds)
+            kill_worker(state, "no progress", stalled);
+        }
+      }
+      if (deadline_enabled) {
+        const double alive =
+            std::chrono::duration<double>(poll_now - state.attempt_start)
+                .count();
+        if (alive > options.shard_deadline_seconds)
+          kill_worker(state, "attempt deadline exceeded", alive);
+      }
+    }
+
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        std::max(0.1, options.poll_interval_ms)));
+  }
+
+  return report;
+}
+
+#else  // !RID_HAS_FORK
+
+SupervisorReport supervise_shards(const std::vector<ShardWork>&,
+                                  const SupervisorOptions&,
+                                  const ShardChildBody&,
+                                  const ShardDurableItems&) {
+  SupervisorReport report;
+  report.supported = false;
+  report.events.emplace_back(
+      "process isolation unsupported on this platform - run in-process");
+  return report;
+}
+
+#endif
+
+}  // namespace rid::util

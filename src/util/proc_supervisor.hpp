@@ -1,0 +1,125 @@
+// Crash-isolating process supervisor for sharded work.
+//
+// The RID pipeline's per-tree fault isolation (core/rid.cpp) catches C++
+// exceptions, but a segfault, OOM kill, or runaway allocation in one tree
+// still takes down the whole process. The supervisor moves that isolation
+// boundary across a process fork: work is partitioned into *shards*, one
+// forked worker per shard, and the parent watches worker lifetimes instead
+// of trusting them.
+//
+// Supervisor state machine per shard (see DESIGN.md §11):
+//
+//   kReady --spawn--> kRunning --exit(0), all items durable--> kDone
+//     ^                  |
+//     |                  +--crash / nonzero exit / kill------> requeue:
+//     +--[backoff]-------+   * completed items (durable set) are kept;
+//                            * the first *incomplete* item in shard order
+//                              is the suspect — an item that was in flight
+//                              when `poison_threshold` workers died is
+//                              demoted (reported in `poisoned_items`) and
+//                              never requeued;
+//                            * remaining items respawn after a capped
+//                              exponential backoff, up to
+//                              `max_shard_attempts` attempts, after which
+//                              they are reported in `abandoned_items`.
+//
+// Workers are monitored two ways while running: a *heartbeat* (the durable
+// item count must grow within heartbeat_timeout_seconds) and a per-attempt
+// wall-clock deadline. A worker that violates either is SIGKILLed and
+// treated as a crash — this is how hangs (e.g. a deadlock or a failpoint
+// sleep) are converted into the same requeue path as crashes.
+//
+// Durability is the caller's job: the child body must persist each finished
+// item (the RID runner streams checkpoint records), and `durable` must
+// report, from the parent, which items of a shard are already persisted.
+// The supervisor never passes data between processes itself — everything
+// flows through the caller's durable store, which is exactly what makes
+// resume-after-crash work.
+//
+// POSIX only (fork/waitpid/kill). On non-POSIX builds run() reports
+// supported = false and does nothing; callers fall back to in-process
+// execution. fork() without exec() inherits the parent's memory (the forest
+// is shared copy-on-write), so child bodies must not rely on threads
+// created before the fork and must terminate via _exit — run() handles the
+// _exit, and catches exceptions escaping the body into exit code 99.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/work_budget.hpp"
+
+namespace rid::util {
+
+/// One shard: an id plus the items it must complete, in processing order.
+/// Item ids are caller-defined (the RID runner uses forest tree indices).
+struct ShardWork {
+  std::size_t shard_id = 0;
+  std::vector<std::size_t> items;
+};
+
+struct SupervisorOptions {
+  /// Workers running concurrently (0 = one per shard).
+  std::size_t max_parallel = 0;
+  /// Worker attempts per shard before its remaining items are abandoned.
+  std::uint32_t max_shard_attempts = 5;
+  /// Capped exponential backoff between a shard's attempts:
+  /// min(backoff_max_ms, backoff_initial_ms * 2^(attempt-1)).
+  double backoff_initial_ms = 20.0;
+  double backoff_max_ms = 1000.0;
+  /// Kill a worker whose durable item count has not grown for this long
+  /// (unlimited = no hang detection; per-item granularity, so set it above
+  /// the slowest expected single item).
+  double heartbeat_timeout_seconds = kUnlimitedSeconds;
+  /// Kill a worker attempt that outlives this wall-clock allowance.
+  double shard_deadline_seconds = kUnlimitedSeconds;
+  /// Workers an in-flight item may kill before it is demoted (poisoned).
+  std::uint32_t poison_threshold = 2;
+  /// Parent polling cadence (waitpid/heartbeat/backoff timers).
+  double poll_interval_ms = 5.0;
+  /// Cooperative cancellation: running workers are killed, nothing is
+  /// requeued, and the report is marked cancelled.
+  CancelToken cancel;
+};
+
+/// What happened, for diagnostics and tests. Item-level outcomes matter to
+/// the caller: durable items are in its own store; poisoned/abandoned ones
+/// need a caller-side fallback.
+struct SupervisorReport {
+  bool supported = true;  // false = no fork() on this platform; nothing ran
+  bool cancelled = false;
+  std::uint64_t workers_spawned = 0;
+  std::uint64_t crashes = 0;  // nonzero exits, signals, and supervisor kills
+  std::uint64_t kills = 0;    // supervisor-initiated (hang/deadline/cancel)
+  std::uint64_t retries = 0;  // shard requeues after a failure
+  std::vector<std::size_t> poisoned_items;   // demoted via poison_threshold
+  std::vector<std::size_t> abandoned_items;  // attempts exhausted
+  std::vector<std::string> events;           // human-readable log
+};
+
+/// Runs in the forked child: complete the given items (persisting each one)
+/// and return. A throw is converted to exit code 99; a crash is a crash.
+using ShardChildBody =
+    std::function<void(std::size_t shard_id,
+                       const std::vector<std::size_t>& items,
+                       std::uint32_t attempt)>;
+
+/// Parent-side durability probe: which of `shard`'s items are persisted
+/// right now. Called on worker exit (to decide completion vs requeue) and
+/// periodically while running (heartbeat).
+using ShardDurableItems =
+    std::function<std::vector<std::size_t>(std::size_t shard_id)>;
+
+/// Supervises the shards to completion (or cancellation). Blocking;
+/// single-threaded parent loop. See the file header for semantics.
+SupervisorReport supervise_shards(const std::vector<ShardWork>& shards,
+                                  const SupervisorOptions& options,
+                                  const ShardChildBody& child_body,
+                                  const ShardDurableItems& durable);
+
+/// True when this platform can fork workers (POSIX).
+bool process_isolation_supported() noexcept;
+
+}  // namespace rid::util

@@ -1,0 +1,133 @@
+// Deterministic fault-injection framework (util/failpoint.hpp): arming
+// grammar, trigger-on-Nth-hit counting, actions, and the disarmed fast
+// path. The abort action is exercised in test_sharded_rid.cpp, where a
+// forked worker is allowed to die.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <new>
+#include <stdexcept>
+
+#include "util/failpoint.hpp"
+
+namespace rid::util::failpoint {
+namespace {
+
+/// Every test leaves the process-global registry clean.
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { disarm_all(); }
+  void TearDown() override { disarm_all(); }
+};
+
+TEST_F(FailpointTest, DisarmedHitIsANoOp) {
+  EXPECT_FALSE(any_armed());
+  EXPECT_NO_THROW(hit("never.armed"));
+  EXPECT_EQ(hit_count("never.armed"), 0u);
+}
+
+TEST_F(FailpointTest, ThrowActionFiresOnEveryHit) {
+  arm("unit.throw=throw");
+  EXPECT_TRUE(any_armed());
+  EXPECT_THROW(hit("unit.throw"), FailpointError);
+  EXPECT_THROW(hit("unit.throw"), FailpointError);
+  EXPECT_EQ(hit_count("unit.throw"), 2u);
+  // Other names stay unaffected.
+  EXPECT_NO_THROW(hit("unit.other"));
+}
+
+TEST_F(FailpointTest, TriggerOnNthHitOnly) {
+  arm("unit.nth=throw@3");
+  EXPECT_NO_THROW(hit("unit.nth"));
+  EXPECT_NO_THROW(hit("unit.nth"));
+  EXPECT_THROW(hit("unit.nth"), FailpointError);
+  // Hits after the Nth pass through again.
+  EXPECT_NO_THROW(hit("unit.nth"));
+  EXPECT_EQ(hit_count("unit.nth"), 4u);
+}
+
+TEST_F(FailpointTest, OomActionThrowsBadAlloc) {
+  arm("unit.oom=oom");
+  EXPECT_THROW(hit("unit.oom"), std::bad_alloc);
+}
+
+TEST_F(FailpointTest, SleepActionBlocksForTheGivenMilliseconds) {
+  arm("unit.sleep=sleep(30)");
+  const auto start = std::chrono::steady_clock::now();
+  hit("unit.sleep");
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_GE(elapsed_ms, 25.0);
+}
+
+TEST_F(FailpointTest, MultiPointSpecAndSeparators) {
+  arm("unit.a=throw@2; unit.b=oom , unit.c=sleep(1)@5");
+  const auto names = armed_names();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "unit.a");
+  EXPECT_EQ(names[1], "unit.b");
+  EXPECT_EQ(names[2], "unit.c");
+  EXPECT_NO_THROW(hit("unit.a"));
+  EXPECT_THROW(hit("unit.a"), FailpointError);
+  EXPECT_THROW(hit("unit.b"), std::bad_alloc);
+}
+
+TEST_F(FailpointTest, RearmingReplacesActionAndResetsCount) {
+  arm("unit.rearm=throw@1");
+  EXPECT_THROW(hit("unit.rearm"), FailpointError);
+  arm("unit.rearm=throw@2");
+  EXPECT_EQ(hit_count("unit.rearm"), 0u);
+  EXPECT_NO_THROW(hit("unit.rearm"));
+  EXPECT_THROW(hit("unit.rearm"), FailpointError);
+}
+
+TEST_F(FailpointTest, DisarmOneKeepsTheRest) {
+  arm("unit.x=throw;unit.y=throw");
+  disarm("unit.x");
+  EXPECT_TRUE(any_armed());
+  EXPECT_NO_THROW(hit("unit.x"));
+  EXPECT_THROW(hit("unit.y"), FailpointError);
+  disarm_all();
+  EXPECT_FALSE(any_armed());
+  EXPECT_NO_THROW(hit("unit.y"));
+}
+
+TEST_F(FailpointTest, MalformedSpecsAreRejected) {
+  EXPECT_THROW(arm("noequals"), std::invalid_argument);
+  EXPECT_THROW(arm("=throw"), std::invalid_argument);
+  EXPECT_THROW(arm("unit.bad=explode"), std::invalid_argument);
+  EXPECT_THROW(arm("unit.bad=sleep"), std::invalid_argument);      // needs (MS)
+  EXPECT_THROW(arm("unit.bad=sleep(x)"), std::invalid_argument);
+  EXPECT_THROW(arm("unit.bad=throw@0"), std::invalid_argument);    // counts from 1
+  EXPECT_THROW(arm("unit.bad=throw@"), std::invalid_argument);
+  EXPECT_THROW(arm("unit.bad=throw(5)"), std::invalid_argument);   // throw takes no arg
+  // A rejected spec must not leave partial arming behind for that point.
+  EXPECT_FALSE(any_armed());
+}
+
+TEST_F(FailpointTest, ArmFromEnvReadsRidFailpoints) {
+#if !defined(_WIN32)
+  ::setenv("RID_FAILPOINTS", "unit.env=throw@1", 1);
+  arm_from_env();
+  ::unsetenv("RID_FAILPOINTS");
+  EXPECT_THROW(hit("unit.env"), FailpointError);
+#else
+  GTEST_SKIP() << "setenv not available";
+#endif
+}
+
+TEST_F(FailpointTest, FailpointErrorIsARuntimeErrorNotInputError) {
+  arm("unit.type=throw");
+  try {
+    hit("unit.type");
+    FAIL() << "expected a throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("unit.type"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace rid::util::failpoint

@@ -1,0 +1,388 @@
+// Crash-isolated sharded RID runner (run_rid_sharded): bit-identity with
+// the in-process pipeline across shard counts, checkpoint resume (including
+// after injected worker crashes and corrupted checkpoint files), poison-pill
+// demotion, hang kills, and cancellation. Workers really fork and really
+// die here — every recovery decision is driven through armed failpoints,
+// never simulated in-process.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.hpp"
+#include "core/rid.hpp"
+#include "diffusion/mfc.hpp"
+#include "gen/sign_assigner.hpp"
+#include "gen/topologies.hpp"
+#include "util/failpoint.hpp"
+#include "util/proc_supervisor.hpp"
+#include "util/rng.hpp"
+
+namespace rid::core {
+namespace {
+
+namespace fs = std::filesystem;
+using graph::NodeId;
+using graph::NodeState;
+
+std::uint64_t double_bits(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+/// The bit-identity contract: everything a caller consumes from the merged
+/// result must match the in-process run exactly, doubles included.
+void expect_identical(const DetectionResult& got, const DetectionResult& want) {
+  EXPECT_EQ(got.num_components, want.num_components);
+  EXPECT_EQ(got.num_trees, want.num_trees);
+  EXPECT_EQ(got.initiators, want.initiators);
+  EXPECT_EQ(got.states, want.states);
+  EXPECT_EQ(double_bits(got.total_opt), double_bits(want.total_opt));
+  EXPECT_EQ(double_bits(got.total_objective), double_bits(want.total_objective));
+}
+
+/// Simulated multi-tree snapshot: ~12 cascade trees of varied size (a few
+/// nodes up to ~20) on a sparse 250-node ER signed graph, so shard counts
+/// up to 8 stay meaningful.
+struct Scenario {
+  graph::SignedGraph graph;
+  std::vector<NodeState> states;
+  RidConfig config;
+};
+
+const Scenario& scenario() {
+  static const Scenario instance = [] {
+    Scenario s;
+    util::Rng rng(3);
+    const auto el = gen::erdos_renyi(250, 500, rng);
+    s.graph = gen::assign_signs_uniform(el, {.positive_probability = 0.8}, rng);
+    for (graph::EdgeId e = 0; e < s.graph.num_edges(); ++e)
+      s.graph.set_edge_weight(e, rng.uniform(0.02, 0.25));
+    diffusion::SeedSet seeds;
+    for (NodeId v = 0; v < 16; ++v) {
+      seeds.nodes.push_back(v * 15);
+      seeds.states.push_back(v % 2 ? NodeState::kNegative
+                                   : NodeState::kPositive);
+    }
+    const diffusion::Cascade cascade =
+        diffusion::simulate_mfc(s.graph, seeds, diffusion::MfcConfig{}, rng);
+    s.states = cascade.state;
+    s.config.beta = 0.1;
+    s.config.num_threads = 2;
+    return s;
+  }();
+  return instance;
+}
+
+class ShardedRidTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!util::process_isolation_supported())
+      GTEST_SKIP() << "no fork() on this platform";
+    util::failpoint::disarm_all();
+  }
+  void TearDown() override { util::failpoint::disarm_all(); }
+
+  /// Fresh run directory for this test.
+  std::string run_dir(const std::string& name) {
+    const fs::path dir =
+        fs::path(::testing::TempDir()) / ("sharded_" + name);
+    fs::remove_all(dir);
+    return dir.string();
+  }
+
+  /// Fast supervision defaults for tests: tiny backoffs, quick polling.
+  ShardedConfig sharded(std::size_t shards, const std::string& dir) {
+    ShardedConfig config;
+    config.num_shards = shards;
+    config.run_dir = dir;
+    config.resume = false;
+    config.supervisor.backoff_initial_ms = 1.0;
+    config.supervisor.backoff_max_ms = 20.0;
+    config.supervisor.poll_interval_ms = 2.0;
+    return config;
+  }
+};
+
+TEST_F(ShardedRidTest, PlanIsDeterministicCompleteAndBalanced) {
+  const Scenario& s = scenario();
+  const CascadeForest forest =
+      extract_cascade_forest(s.graph, s.states, s.config.extraction);
+  ASSERT_GE(forest.trees.size(), 4u);
+
+  const auto plan = plan_shards(forest, 4);
+  const auto again = plan_shards(forest, 4);
+  ASSERT_EQ(plan.size(), again.size());
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    EXPECT_EQ(plan[i].shard_id, again[i].shard_id);
+    EXPECT_EQ(plan[i].items, again[i].items);
+  }
+
+  // Every tree appears exactly once, each shard's items are sorted.
+  std::set<std::size_t> seen;
+  for (const auto& shard : plan) {
+    EXPECT_TRUE(std::is_sorted(shard.items.begin(), shard.items.end()));
+    for (const std::size_t item : shard.items) {
+      EXPECT_LT(item, forest.trees.size());
+      EXPECT_TRUE(seen.insert(item).second) << "tree assigned twice";
+    }
+  }
+  EXPECT_EQ(seen.size(), forest.trees.size());
+
+  // Size balance: no shard carries more than the LPT bound of the total
+  // node load (max load <= mean + largest tree).
+  std::vector<std::size_t> load(plan.size(), 0);
+  std::size_t total = 0;
+  std::size_t largest = 0;
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    for (const std::size_t item : plan[i].items) {
+      load[i] += forest.trees[item].size();
+      largest = std::max(largest, forest.trees[item].size());
+    }
+    total += load[i];
+  }
+  for (const std::size_t l : load)
+    EXPECT_LE(l, total / plan.size() + largest);
+
+  // More shards than trees: one tree per shard, no empties.
+  const auto wide = plan_shards(forest, forest.trees.size() + 50);
+  EXPECT_EQ(wide.size(), forest.trees.size());
+}
+
+TEST_F(ShardedRidTest, BitIdenticalToInProcessAcrossShardCounts) {
+  const Scenario& s = scenario();
+  const DetectionResult want = run_rid(s.graph, s.states, s.config);
+  for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+    const std::string dir =
+        run_dir("identity_" + std::to_string(shards));
+    const DetectionResult got = run_rid_sharded(
+        s.graph, s.states, s.config, sharded(shards, dir));
+    expect_identical(got, want);
+    EXPECT_EQ(got.diagnostics.num_ok, want.diagnostics.num_ok)
+        << "shards=" << shards;
+    EXPECT_GT(got.diagnostics.shard_count, 0u);
+    EXPECT_EQ(got.diagnostics.shard_crashes, 0u);
+    EXPECT_EQ(got.diagnostics.resumed_trees, 0u);
+  }
+}
+
+TEST_F(ShardedRidTest, ResumeAdoptsEveryCompletedTree) {
+  const Scenario& s = scenario();
+  const std::string dir = run_dir("resume");
+  const DetectionResult first =
+      run_rid_sharded(s.graph, s.states, s.config, sharded(2, dir));
+
+  ShardedConfig resume = sharded(2, dir);
+  resume.resume = true;
+  const DetectionResult second =
+      run_rid_sharded(s.graph, s.states, s.config, resume);
+  expect_identical(second, first);
+  EXPECT_EQ(second.diagnostics.resumed_trees, second.num_trees);
+  // Nothing left to shard out; no worker ran.
+  EXPECT_EQ(second.diagnostics.shard_count, 0u);
+
+  // resume = false wipes the stale files and recomputes from scratch.
+  const DetectionResult fresh =
+      run_rid_sharded(s.graph, s.states, s.config, sharded(2, dir));
+  expect_identical(fresh, first);
+  EXPECT_EQ(fresh.diagnostics.resumed_trees, 0u);
+}
+
+TEST_F(ShardedRidTest, CrashingWorkersRecoverBitIdentical) {
+  const Scenario& s = scenario();
+  const DetectionResult want = run_rid(s.graph, s.states, s.config);
+  // Every worker dies (SIGABRT) when it reaches its second tree; each
+  // attempt checkpoints one tree, so shards drain one tree per attempt.
+  util::failpoint::arm("shard.worker_tree=abort@2");
+  ShardedConfig config = sharded(2, run_dir("crashes"));
+  config.supervisor.max_shard_attempts = 64;
+  const DetectionResult got =
+      run_rid_sharded(s.graph, s.states, s.config, config);
+  util::failpoint::disarm_all();
+
+  expect_identical(got, want);
+  EXPECT_TRUE(got.diagnostics.all_ok());
+  EXPECT_GT(got.diagnostics.shard_crashes, 0u);
+  EXPECT_GT(got.diagnostics.shard_retries, 0u);
+  EXPECT_EQ(got.diagnostics.shard_poison_trees, 0u);
+}
+
+TEST_F(ShardedRidTest, KillMidRunThenResumeIsBitIdentical) {
+  const Scenario& s = scenario();
+  const DetectionResult want = run_rid(s.graph, s.states, s.config);
+  for (const std::size_t shards : {1u, 2u, 4u}) {
+    const std::string dir = run_dir("kill_" + std::to_string(shards));
+
+    // Phase 1: workers die at their second tree and the single attempt is
+    // never retried — the run ends with a partial checkpoint directory and
+    // in-memory demotions for the unfinished trees.
+    util::failpoint::arm("shard.worker_tree=abort@2");
+    ShardedConfig crash = sharded(shards, dir);
+    crash.supervisor.max_shard_attempts = 1;
+    const DetectionResult partial =
+        run_rid_sharded(s.graph, s.states, s.config, crash);
+    util::failpoint::disarm_all();
+    EXPECT_GT(partial.diagnostics.shard_crashes, 0u);
+    EXPECT_FALSE(partial.diagnostics.all_ok()) << "abandonment expected";
+
+    // Phase 2: clean resume recomputes exactly the missing trees and must
+    // merge to the uninterrupted in-process answer, bit for bit.
+    ShardedConfig resume = sharded(shards, dir);
+    resume.resume = true;
+    const DetectionResult got =
+        run_rid_sharded(s.graph, s.states, s.config, resume);
+    expect_identical(got, want);
+    EXPECT_TRUE(got.diagnostics.all_ok()) << "shards=" << shards;
+    EXPECT_GT(got.diagnostics.resumed_trees, 0u);
+    EXPECT_LT(got.diagnostics.resumed_trees, got.num_trees);
+  }
+}
+
+TEST_F(ShardedRidTest, PoisonPillIsDemotedAndItsVerdictPersists) {
+  const Scenario& s = scenario();
+  // Every worker aborts on the first tree it touches: the suspect is the
+  // same tree on both attempts, so it crosses poison_threshold = 2 and is
+  // demoted; with attempts capped the rest of the shard is abandoned.
+  util::failpoint::arm("shard.worker_tree=abort@1");
+  const std::string dir = run_dir("poison");
+  ShardedConfig config = sharded(1, dir);
+  config.supervisor.max_shard_attempts = 6;
+  const DetectionResult got =
+      run_rid_sharded(s.graph, s.states, s.config, config);
+  util::failpoint::disarm_all();
+
+  EXPECT_GT(got.diagnostics.shard_poison_trees, 0u);
+  std::size_t poisoned_seen = 0;
+  for (const TreeDiagnostics& tree : got.diagnostics.trees) {
+    if (tree.error.find("poison pill") == std::string::npos) continue;
+    ++poisoned_seen;
+    EXPECT_EQ(tree.status, TreeStatus::kDegraded);
+    EXPECT_TRUE(tree.fallback_root_only);
+  }
+  EXPECT_EQ(poisoned_seen, got.diagnostics.shard_poison_trees);
+
+  // The demotions were persisted: a clean resume adopts the poisoned
+  // verdicts instead of re-running the killer trees.
+  ShardedConfig resume = sharded(1, dir);
+  resume.resume = true;
+  const DetectionResult after =
+      run_rid_sharded(s.graph, s.states, s.config, resume);
+  std::size_t adopted = 0;
+  for (const TreeDiagnostics& tree : after.diagnostics.trees) {
+    if (tree.error.find("poison pill") != std::string::npos) ++adopted;
+  }
+  EXPECT_EQ(adopted, got.diagnostics.shard_poison_trees);
+  // Everything that was merely abandoned (not poisoned) is recomputed.
+  EXPECT_EQ(after.diagnostics.num_failed, 0u);
+  EXPECT_EQ(after.diagnostics.num_degraded, adopted);
+}
+
+TEST_F(ShardedRidTest, HangingWorkerIsKilledAndWorkRecovered) {
+  const Scenario& s = scenario();
+  const DetectionResult want = run_rid(s.graph, s.states, s.config);
+  // The worker stalls "forever" on its second tree; the heartbeat (durable
+  // record count stagnant) must SIGKILL it and requeue the remainder.
+  util::failpoint::arm("shard.worker_tree=sleep(60000)@2");
+  ShardedConfig config = sharded(1, run_dir("hang"));
+  config.supervisor.heartbeat_timeout_seconds = 0.3;
+  config.supervisor.poison_threshold = 1000;  // isolate the kill path
+  config.supervisor.max_shard_attempts = 64;
+  const DetectionResult got =
+      run_rid_sharded(s.graph, s.states, s.config, config);
+  util::failpoint::disarm_all();
+
+  expect_identical(got, want);
+  EXPECT_TRUE(got.diagnostics.all_ok());
+  EXPECT_GT(got.diagnostics.shard_crashes, 0u);
+  bool saw_kill_event = false;
+  for (const std::string& event : got.diagnostics.shard_events)
+    if (event.find("no progress") != std::string::npos) saw_kill_event = true;
+  EXPECT_TRUE(saw_kill_event);
+}
+
+TEST_F(ShardedRidTest, CorruptCheckpointIsReportedAndRecomputed) {
+  const Scenario& s = scenario();
+  const DetectionResult want = run_rid(s.graph, s.states, s.config);
+  const std::string dir = run_dir("corrupt");
+  run_rid_sharded(s.graph, s.states, s.config, sharded(2, dir));
+
+  // Flip one byte near the end of every checkpoint file: the tail records
+  // fail their checksum and must be recomputed on resume, the intact
+  // prefix is still adopted, and nothing crashes.
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    std::fstream file(entry.path(),
+                      std::ios::in | std::ios::out | std::ios::binary);
+    file.seekg(0, std::ios::end);
+    const auto size = static_cast<std::streamoff>(file.tellg());
+    ASSERT_GT(size, 30);
+    file.seekp(size - 5);
+    char byte = 0;
+    file.seekg(size - 5);
+    file.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x5a);
+    file.seekp(size - 5);
+    file.write(&byte, 1);
+  }
+
+  ShardedConfig resume = sharded(2, dir);
+  resume.resume = true;
+  const DetectionResult got =
+      run_rid_sharded(s.graph, s.states, s.config, resume);
+  expect_identical(got, want);
+  EXPECT_TRUE(got.diagnostics.all_ok());
+  bool noted = false;
+  for (const std::string& event : got.diagnostics.shard_events)
+    if (event.find("checkpoint:") != std::string::npos) noted = true;
+  EXPECT_TRUE(noted) << "corruption must be surfaced, not silently dropped";
+}
+
+TEST_F(ShardedRidTest, CancelledRunCoversEveryTreeAndFlushesNothingBroken) {
+  const Scenario& s = scenario();
+  ShardedConfig config = sharded(2, run_dir("cancel"));
+  config.supervisor.cancel = util::CancelToken::create();
+  config.supervisor.cancel.request_cancel();  // cancelled before any spawn
+  const DetectionResult got =
+      run_rid_sharded(s.graph, s.states, s.config, config);
+  ASSERT_EQ(got.diagnostics.trees.size(), got.num_trees);
+  for (const TreeDiagnostics& tree : got.diagnostics.trees)
+    EXPECT_NE(tree.error.find("cancelled"), std::string::npos);
+}
+
+TEST_F(ShardedRidTest, EmptyRunDirIsRejected) {
+  const Scenario& s = scenario();
+  ShardedConfig config;
+  config.run_dir.clear();
+  EXPECT_THROW(run_rid_sharded(s.graph, s.states, s.config, config),
+               util::InputError);
+}
+
+TEST_F(ShardedRidTest, InProcessFailuresKeepPerTreeErrorTexts) {
+  // Regression guard for the diagnostics contract the sharded merge relies
+  // on: when several trees fail in one in-process run, each keeps its own
+  // error line — the summary never collapses to the first exception.
+  const Scenario& s = scenario();
+  util::failpoint::arm("rid.solve_tree=throw");
+  const DetectionResult got = run_rid(s.graph, s.states, s.config);
+  util::failpoint::disarm_all();
+
+  ASSERT_GE(got.num_trees, 2u);
+  EXPECT_EQ(got.diagnostics.num_ok, 0u);
+  for (const TreeDiagnostics& tree : got.diagnostics.trees) {
+    EXPECT_NE(tree.status, TreeStatus::kOk);
+    EXPECT_NE(tree.error.find("rid.solve_tree"), std::string::npos)
+        << "tree " << tree.tree_index << " lost its error text";
+  }
+  const std::string summary = got.diagnostics.summary();
+  for (const TreeDiagnostics& tree : got.diagnostics.trees) {
+    EXPECT_NE(summary.find("tree " + std::to_string(tree.tree_index)),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace rid::core
