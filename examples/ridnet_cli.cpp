@@ -8,12 +8,30 @@
 //   ridnet_cli evaluate  --graph=graph.txt --detected=detected.txt ...
 //                        --truth=truth.txt
 //   ridnet_cli pipeline  --profile=slashdot --scale=0.05 --n=50 --beta=2.0
+//   ridnet_cli convert   --graph=graph.txt --out=graph.ridg ...
+//                        [--snapshot=snap.txt] [--social]
+//   ridnet_cli checkpoints --run-dir=ridnet-run [--verify] [--gc]
 //
 // Graph files are the library's weighted signed edge-list format
 // ("src dst sign weight"; see graph/graph_io.hpp) holding the *social*
 // network; snapshots/truth/detections are "node state" files
 // (core/snapshot_io.hpp). `generate` already applies Jaccard weighting, so
 // `simulate`/`detect` only reverse into the diffusion network.
+//
+// Columnar storage (graph/columnar.hpp, DESIGN.md §12): `convert` writes the
+// binary .ridg format — by default the *diffusion* reversal of the input
+// (what detect consumes), with `--social` the graph as-is; `--snapshot`
+// embeds the observed states so one file carries the whole detection input.
+// Conversion is byte-deterministic: converting the same input twice yields
+// identical files. `detect` auto-detects .ridg inputs by magic and mmaps
+// them zero-copy (method=rid only; baselines and --early need the in-RAM
+// graph); `--snapshot` then overrides any embedded state column.
+//
+// `checkpoints` inspects a --run-dir of sharded-run checkpoint files (path,
+// version, forest fingerprint, valid record prefix, damage); `--verify`
+// exits 3 if any file is damaged, `--gc` compacts every salvageable record
+// into one compact.ckpt (first record per tree wins, exactly like --resume)
+// and prunes superseded attempt/poison files.
 //
 // Robustness flags (detect/pipeline, method=rid):
 //   --deadline=SECONDS    wall-clock budget for the per-tree solves
@@ -62,13 +80,17 @@
 //      results were still written, diagnostics on stderr say why)
 //   5  interrupted (SIGINT/SIGTERM): partial results and observability
 //      artifacts were flushed before exiting
+#include <algorithm>
 #include <atomic>
 #include <csignal>
 #include <cstdio>
+#include <filesystem>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "core/baselines.hpp"
+#include "core/checkpoint.hpp"
 #include "core/jordan_center.hpp"
 #include "core/rid.hpp"
 #include "core/rumor_centrality.hpp"
@@ -76,6 +98,7 @@
 #include "core/snapshot_io.hpp"
 #include "diffusion/mfc.hpp"
 #include "gen/profiles.hpp"
+#include "graph/columnar.hpp"
 #include "graph/diffusion_network.hpp"
 #include "graph/graph_io.hpp"
 #include "graph/jaccard.hpp"
@@ -124,7 +147,7 @@ void install_signal_handlers() {
 int usage() {
   std::fprintf(stderr,
                "usage: ridnet_cli <generate|simulate|detect|evaluate|"
-               "pipeline> [--flags]\n"
+               "pipeline|convert|checkpoints> [--flags]\n"
                "run with a subcommand and no flags for its defaults; see the "
                "header of examples/ridnet_cli.cpp for details\n");
   return kExitUsage;
@@ -211,25 +234,45 @@ int finish_detection(const core::DetectionResult& result) {
   return result.diagnostics.all_ok() ? 0 : kExitDegraded;
 }
 
+core::RidConfig rid_config_from_flags(const util::Flags& flags) {
+  core::RidConfig config;
+  config.beta = flags.get_double("beta", 2.0);
+  config.extraction.likelihood.alpha = flags.get_double("alpha", 3.0);
+  config.num_threads = static_cast<std::size_t>(flags.get_int("threads", 1));
+  config.budget.deadline_seconds =
+      flags.get_double("deadline", util::kUnlimitedSeconds);
+  config.budget.max_tree_nodes =
+      static_cast<std::uint32_t>(flags.get_int("max-tree-nodes", 0));
+  config.budget.max_k =
+      static_cast<std::uint32_t>(flags.get_int("max-k", 0));
+  config.budget.cancel = cli_cancel_token();
+  if (flags.get_bool("repair", false))
+    config.repair_policy = core::RepairPolicy::kRepair;
+  return config;
+}
+
+core::ShardedConfig sharded_config_from_flags(const util::Flags& flags,
+                                              int shards) {
+  core::ShardedConfig sharded;
+  sharded.num_shards = static_cast<std::size_t>(shards);
+  sharded.run_dir = flags.get_string("run-dir", "ridnet-run");
+  sharded.resume = flags.get_bool("resume", false);
+  sharded.supervisor.max_shard_attempts =
+      static_cast<std::uint32_t>(flags.get_int("shard-attempts", 5));
+  sharded.supervisor.heartbeat_timeout_seconds =
+      flags.get_double("shard-heartbeat", util::kUnlimitedSeconds);
+  sharded.supervisor.shard_deadline_seconds =
+      flags.get_double("shard-deadline", util::kUnlimitedSeconds);
+  sharded.supervisor.cancel = cli_cancel_token();
+  return sharded;
+}
+
 core::DetectionResult detect_on(const graph::SignedGraph& diffusion,
                                 std::span<const graph::NodeState> snapshot,
                                 const util::Flags& flags) {
   const std::string method = flags.get_string("method", "rid");
   if (method == "rid") {
-    core::RidConfig config;
-    config.beta = flags.get_double("beta", 2.0);
-    config.extraction.likelihood.alpha = flags.get_double("alpha", 3.0);
-    config.num_threads =
-        static_cast<std::size_t>(flags.get_int("threads", 1));
-    config.budget.deadline_seconds =
-        flags.get_double("deadline", util::kUnlimitedSeconds);
-    config.budget.max_tree_nodes =
-        static_cast<std::uint32_t>(flags.get_int("max-tree-nodes", 0));
-    config.budget.max_k =
-        static_cast<std::uint32_t>(flags.get_int("max-k", 0));
-    config.budget.cancel = cli_cancel_token();
-    if (flags.get_bool("repair", false))
-      config.repair_policy = core::RepairPolicy::kRepair;
+    const core::RidConfig config = rid_config_from_flags(flags);
     // --early=<snapshot file>: two-snapshot temporal detection.
     const std::string early_path = flags.get_string("early", "");
     if (!early_path.empty()) {
@@ -240,20 +283,9 @@ core::DetectionResult detect_on(const graph::SignedGraph& diffusion,
     }
     // --shards=N: crash-isolated multi-process execution with checkpoints.
     const int shards = flags.get_int("shards", 0);
-    if (shards > 0) {
-      core::ShardedConfig sharded;
-      sharded.num_shards = static_cast<std::size_t>(shards);
-      sharded.run_dir = flags.get_string("run-dir", "ridnet-run");
-      sharded.resume = flags.get_bool("resume", false);
-      sharded.supervisor.max_shard_attempts =
-          static_cast<std::uint32_t>(flags.get_int("shard-attempts", 5));
-      sharded.supervisor.heartbeat_timeout_seconds =
-          flags.get_double("shard-heartbeat", util::kUnlimitedSeconds);
-      sharded.supervisor.shard_deadline_seconds =
-          flags.get_double("shard-deadline", util::kUnlimitedSeconds);
-      sharded.supervisor.cancel = cli_cancel_token();
-      return core::run_rid_sharded(diffusion, snapshot, config, sharded);
-    }
+    if (shards > 0)
+      return core::run_rid_sharded(diffusion, snapshot, config,
+                                   sharded_config_from_flags(flags, shards));
     return core::run_rid(diffusion, snapshot, config);
   }
   core::BaselineConfig base;
@@ -270,16 +302,33 @@ core::DetectionResult detect_on(const graph::SignedGraph& diffusion,
       " (rid|rid-tree|rid-positive|rumor-centrality|jordan)");
 }
 
-int cmd_detect(const util::Flags& flags) {
-  const auto loaded =
-      graph::load_weighted_file(flags.get_string("graph", "graph.txt"));
-  const graph::SignedGraph diffusion =
-      graph::make_diffusion_network(loaded.graph);
-  const auto snapshot = core::load_snapshot_file(
-      flags.get_string("snapshot", "snap.txt"), diffusion.num_nodes());
-  const core::DetectionResult result = detect_on(diffusion, snapshot, flags);
+/// Zero-copy detection over a mmap-ed .ridg file. Only method=rid is
+/// templated over the columnar backend; baselines and the temporal
+/// (--early) path need the in-RAM SignedGraph, so they ask for the text
+/// input instead of silently materializing one.
+core::DetectionResult detect_on(const graph::ColumnarGraphView& diffusion,
+                                std::span<const graph::NodeState> snapshot,
+                                const util::Flags& flags) {
+  const std::string method = flags.get_string("method", "rid");
+  if (method != "rid")
+    throw util::InputError("method '" + method +
+                           "' needs a text graph; .ridg inputs support "
+                           "--method=rid only");
+  if (!flags.get_string("early", "").empty())
+    throw util::InputError(
+        "--early needs a text graph; pass the edge-list file instead of "
+        "a .ridg input");
+  const core::RidConfig config = rid_config_from_flags(flags);
+  const int shards = flags.get_int("shards", 0);
+  if (shards > 0)
+    return core::run_rid_sharded(diffusion, snapshot, config,
+                                 sharded_config_from_flags(flags, shards));
+  return core::run_rid(diffusion, snapshot, config);
+}
 
-  std::vector<graph::NodeState> detected(diffusion.num_nodes(),
+int write_detection(const core::DetectionResult& result,
+                    graph::NodeId num_nodes, const util::Flags& flags) {
+  std::vector<graph::NodeState> detected(num_nodes,
                                          graph::NodeState::kInactive);
   for (std::size_t i = 0; i < result.initiators.size(); ++i) {
     detected[result.initiators[i]] =
@@ -292,6 +341,37 @@ int cmd_detect(const util::Flags& flags) {
             << " initiators from " << result.num_trees << " trees, "
             << result.num_components << " components)\n";
   return finish_detection(result);
+}
+
+int cmd_detect(const util::Flags& flags) {
+  const std::string graph_path = flags.get_string("graph", "graph.txt");
+  if (graph::is_ridg_file(graph_path)) {
+    const auto view = graph::ColumnarGraphView::open(graph_path);
+    if ((view.flags() & graph::kRidgFlagDiffusion) == 0)
+      throw util::InputError(
+          graph_path +
+          ": holds the social graph (converted with --social); detect "
+          "needs the diffusion reversal — reconvert without --social");
+    // An explicit --snapshot always wins; otherwise the embedded state
+    // column (convert --snapshot=...) makes the .ridg self-contained.
+    std::vector<graph::NodeState> snapshot;
+    if (!flags.has("snapshot") && view.has_states()) {
+      const auto states = view.states();
+      snapshot.assign(states.begin(), states.end());
+    } else {
+      snapshot = core::load_snapshot_file(
+          flags.get_string("snapshot", "snap.txt"), view.num_nodes());
+    }
+    const core::DetectionResult result = detect_on(view, snapshot, flags);
+    return write_detection(result, view.num_nodes(), flags);
+  }
+  const auto loaded = graph::load_weighted_file(graph_path);
+  const graph::SignedGraph diffusion =
+      graph::make_diffusion_network(loaded.graph);
+  const auto snapshot = core::load_snapshot_file(
+      flags.get_string("snapshot", "snap.txt"), diffusion.num_nodes());
+  const core::DetectionResult result = detect_on(diffusion, snapshot, flags);
+  return write_detection(result, diffusion.num_nodes(), flags);
 }
 
 struct LabeledStates {
@@ -362,6 +442,71 @@ int cmd_pipeline(const util::Flags& flags) {
   return finish_detection(result);
 }
 
+int cmd_convert(const util::Flags& flags) {
+  const std::string in_path = flags.get_string("graph", "graph.txt");
+  const std::string out_path = flags.get_string("out", "graph.ridg");
+  auto loaded = graph::load_weighted_file(in_path);
+  const bool social = flags.get_bool("social", false);
+  // Store the diffusion reversal by default: that is the graph detect runs
+  // on, and reversing at convert time is what lets detect mmap the file
+  // without materializing anything.
+  const graph::SignedGraph converted =
+      social ? std::move(loaded.graph)
+             : graph::make_diffusion_network(loaded.graph);
+  std::uint32_t ridg_flags = social ? 0u : graph::kRidgFlagDiffusion;
+  std::vector<graph::NodeState> states;
+  const std::string snapshot_path = flags.get_string("snapshot", "");
+  if (!snapshot_path.empty())
+    states = core::load_snapshot_file(snapshot_path, converted.num_nodes());
+  graph::write_columnar_file(converted, states, out_path, ridg_flags);
+  std::cout << "wrote " << out_path << " (" << converted.num_nodes()
+            << " nodes, " << converted.num_edges() << " edges, "
+            << (social ? "social" : "diffusion")
+            << (states.empty() ? "" : ", embedded snapshot") << ")\n";
+  return 0;
+}
+
+int cmd_checkpoints(const util::Flags& flags) {
+  const std::string run_dir = flags.get_string("run-dir", "ridnet-run");
+  if (!std::filesystem::is_directory(run_dir))
+    throw util::InputError(run_dir + ": not a directory");
+  if (flags.get_bool("gc", false)) {
+    const core::CompactionResult gc = core::compact_checkpoint_dir(run_dir);
+    for (const std::string& note : gc.errors)
+      std::fprintf(stderr, "ridnet_cli checkpoints: %s\n", note.c_str());
+    std::cout << "compacted " << run_dir << ": " << gc.files_before
+              << " files -> "
+              << (gc.output_file.empty() ? "(no records)" : gc.output_file)
+              << " (" << gc.records_kept << " records kept, "
+              << gc.duplicates_dropped << " duplicates dropped, "
+              << gc.files_removed << " files removed)\n";
+    return 0;
+  }
+  // Deterministic listing order regardless of directory iteration order.
+  std::vector<std::string> paths;
+  for (const auto& entry : std::filesystem::directory_iterator(run_dir)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".ckpt")
+      paths.push_back(entry.path().string());
+  }
+  std::sort(paths.begin(), paths.end());
+  std::size_t damaged = 0;
+  for (const std::string& path : paths) {
+    const core::CheckpointFileInfo info = core::inspect_checkpoint_file(path);
+    if (info.damaged) {
+      ++damaged;
+      std::printf("%s  DAMAGED (%s)\n", path.c_str(), info.error.c_str());
+    } else {
+      std::printf("%s  v%u fingerprint=%016llx records=%zu\n", path.c_str(),
+                  info.version,
+                  static_cast<unsigned long long>(info.fingerprint),
+                  info.records);
+    }
+  }
+  std::printf("%zu checkpoint file(s), %zu damaged\n", paths.size(), damaged);
+  if (flags.get_bool("verify", false) && damaged > 0) return kExitBadInput;
+  return 0;
+}
+
 int dispatch(const std::string& command, const rid::util::Flags& flags) {
   try {
     if (command == "generate") return cmd_generate(flags);
@@ -369,6 +514,8 @@ int dispatch(const std::string& command, const rid::util::Flags& flags) {
     if (command == "detect") return cmd_detect(flags);
     if (command == "evaluate") return cmd_evaluate(flags);
     if (command == "pipeline") return cmd_pipeline(flags);
+    if (command == "convert") return cmd_convert(flags);
+    if (command == "checkpoints") return cmd_checkpoints(flags);
   } catch (const rid::util::InputError& error) {
     std::fprintf(stderr, "ridnet_cli %s: %s\n", command.c_str(), error.what());
     return kExitBadInput;

@@ -1,22 +1,39 @@
 #!/usr/bin/env python3
-"""Validate a bench_tree_dp report (CI perf-smoke gate).
+"""Validate a bench JSON report (CI perf-smoke gate).
 
-Usage: check_bench.py BENCH_tree_dp.json
+Usage: check_bench.py BENCH_report.json
 
-Checks that the report is valid JSON with a non-empty results array, that
-every row carries the full column set, that the optimized solver matched the
-seed baseline bit-for-bit (match == true), that the incremental k-cap growth
-never recomputed a column (cols_recomputed == 0), and that timings/speedups
-are positive and self-consistent. Exits non-zero with a message on the first
-failure. Stdlib only — no third-party imports.
+Dispatches on the report's "benchmark" tag:
+
+  tree_dp        — seed-vs-optimized DP solve: every row must match the
+                   seed baseline bit-for-bit, recompute no k-columns across
+                   cap doublings, and carry self-consistent timings.
+  columnar_load  — .ridg mmap open vs text parse: every row must prove
+                   run_rid bit-identity between backends and carry
+                   self-consistent timings; full (non-smoke) reports must
+                   additionally show >= 10x load speedup on every row, a
+                   >= 1M-edge row, and sharded worker peak RSS on .ridg
+                   below the in-RAM baseline.
+
+Exits non-zero with a message on the first failure. Stdlib only — no
+third-party imports.
 """
 import json
 import sys
 
-REQUIRED_KEYS = (
+TREE_DP_KEYS = (
     "nodes", "threads", "k", "baseline_ms", "optimized_ms",
     "speedup", "cols_fresh", "cols_recomputed", "match",
 )
+
+COLUMNAR_KEYS = (
+    "nodes", "edges", "text_bytes", "ridg_bytes", "text_load_ms",
+    "ridg_open_ms", "speedup", "match", "sharded",
+    "rss_inram_kb", "rss_ridg_kb",
+)
+
+COLUMNAR_MIN_SPEEDUP = 10.0
+COLUMNAR_MIN_EDGES = 1_000_000
 
 
 def fail(msg: str) -> None:
@@ -24,23 +41,33 @@ def fail(msg: str) -> None:
     sys.exit(1)
 
 
-def check(path: str) -> None:
-    with open(path, "r", encoding="utf-8") as f:
-        doc = json.load(f)  # raises on invalid JSON
-
-    if doc.get("benchmark") != "tree_dp":
-        fail(f"{path}: benchmark tag is {doc.get('benchmark')!r}, want 'tree_dp'")
-    if doc.get("unit") != "ms/solve":
-        fail(f"{path}: unit is {doc.get('unit')!r}, want 'ms/solve'")
+def check_shape(path: str, doc: dict, unit: str) -> list:
+    if doc.get("unit") != unit:
+        fail(f"{path}: unit is {doc.get('unit')!r}, want {unit!r}")
     if not isinstance(doc.get("smoke"), bool):
         fail(f"{path}: 'smoke' flag missing or not a bool")
-
     rows = doc.get("results")
     if not isinstance(rows, list) or not rows:
         fail(f"{path}: results missing or empty")
+    return rows
 
+
+def check_speedup_consistency(path: str, i: int, row: dict,
+                              num_key: str, den_key: str) -> None:
+    if row[num_key] <= 0 or row[den_key] <= 0:
+        fail(f"{path}: results[{i}]: non-positive timing: {row}")
+    if row["speedup"] <= 0:
+        fail(f"{path}: results[{i}]: non-positive speedup: {row}")
+    ratio = row[num_key] / row[den_key]
+    if abs(ratio - row["speedup"]) > 0.05 * ratio + 0.01:
+        fail(f"{path}: results[{i}]: speedup {row['speedup']} inconsistent "
+             f"with {num_key}/{den_key} ratio {ratio:.3f}")
+
+
+def check_tree_dp(path: str, doc: dict) -> None:
+    rows = check_shape(path, doc, "ms/solve")
     for i, row in enumerate(rows):
-        for key in REQUIRED_KEYS:
+        for key in TREE_DP_KEYS:
             if key not in row:
                 fail(f"{path}: results[{i}] missing '{key}': {row}")
         if row["match"] is not True:
@@ -51,14 +78,7 @@ def check(path: str) -> None:
             fail(f"{path}: results[{i}] ({row['nodes']} nodes, "
                  f"{row['threads']} threads): {row['cols_recomputed']} "
                  f"k-columns recomputed across cap doublings (want 0)")
-        if row["baseline_ms"] <= 0 or row["optimized_ms"] <= 0:
-            fail(f"{path}: results[{i}]: non-positive timing: {row}")
-        if row["speedup"] <= 0:
-            fail(f"{path}: results[{i}]: non-positive speedup: {row}")
-        ratio = row["baseline_ms"] / row["optimized_ms"]
-        if abs(ratio - row["speedup"]) > 0.05 * ratio + 0.01:
-            fail(f"{path}: results[{i}]: speedup {row['speedup']} inconsistent "
-                 f"with baseline/optimized ratio {ratio:.3f}")
+        check_speedup_consistency(path, i, row, "baseline_ms", "optimized_ms")
         # cols_fresh counts k-columns computed beyond each previous cap, so
         # the total equals the final cap, which must cover the answer k*.
         if row["cols_fresh"] < row["k"]:
@@ -69,6 +89,59 @@ def check(path: str) -> None:
     kind = "smoke" if doc["smoke"] else "full"
     print(f"check_bench: {path}: OK — {len(rows)} rows ({kind}), "
           f"sizes {sizes}, all matched, 0 recomputed columns")
+
+
+def check_columnar_load(path: str, doc: dict) -> None:
+    rows = check_shape(path, doc, "ms/load")
+    full = not doc["smoke"]
+    for i, row in enumerate(rows):
+        for key in COLUMNAR_KEYS:
+            if key not in row:
+                fail(f"{path}: results[{i}] missing '{key}': {row}")
+        if row["match"] is not True:
+            fail(f"{path}: results[{i}] ({row['nodes']} nodes): columnar "
+                 f"run_rid diverged from the in-RAM backend")
+        check_speedup_consistency(path, i, row, "text_load_ms", "ridg_open_ms")
+        if full and row["speedup"] < COLUMNAR_MIN_SPEEDUP:
+            fail(f"{path}: results[{i}] ({row['edges']} edges): load speedup "
+                 f"{row['speedup']}x below the {COLUMNAR_MIN_SPEEDUP}x bar")
+        if row["sharded"]:
+            if row["rss_inram_kb"] <= 0 or row["rss_ridg_kb"] <= 0:
+                fail(f"{path}: results[{i}]: sharded ran but a peak-RSS "
+                     f"gauge is not positive: {row}")
+            if full and row["rss_ridg_kb"] >= row["rss_inram_kb"]:
+                fail(f"{path}: results[{i}] ({row['edges']} edges): worker "
+                     f"RSS on .ridg ({row['rss_ridg_kb']} KiB) not below the "
+                     f"in-RAM baseline ({row['rss_inram_kb']} KiB)")
+        elif full:
+            fail(f"{path}: results[{i}]: full report without the sharded "
+                 f"RSS comparison (fork unavailable?)")
+    if full and not any(r["edges"] >= COLUMNAR_MIN_EDGES for r in rows):
+        fail(f"{path}: full report has no row with >= "
+             f"{COLUMNAR_MIN_EDGES} edges")
+
+    sizes = sorted({row["edges"] for row in rows})
+    kind = "smoke" if doc["smoke"] else "full"
+    print(f"check_bench: {path}: OK — {len(rows)} rows ({kind}), "
+          f"edge counts {sizes}, all bit-identical across backends")
+
+
+CHECKERS = {
+    "tree_dp": check_tree_dp,
+    "columnar_load": check_columnar_load,
+}
+
+
+def check(path: str) -> None:
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)  # raises on invalid JSON
+
+    tag = doc.get("benchmark")
+    checker = CHECKERS.get(tag)
+    if checker is None:
+        fail(f"{path}: unknown benchmark tag {tag!r} "
+             f"(known: {sorted(CHECKERS)})")
+    checker(path, doc)
 
 
 def main() -> None:

@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""Validate a columnar .ridg graph file (CI gate).
+
+Usage: check_ridg.py FILE.ridg [--expect-nodes N] [--expect-edges M]
+
+Independently re-implements the on-disk format documented in
+src/graph/columnar.hpp (and DESIGN.md §12) with the Python stdlib only:
+the 64-byte header (magic, version, flags, counts, FNV-1a64 header checksum
+and data fingerprint), the 8-byte-aligned section layout as a pure function
+of (n, m), the exact file size, and the structural invariants the C++
+verify_data pass checks — monotone CSR offsets ending at m, node ids in
+range, signs in {-1, +1}, weights in [0, 1], and valid node-state bytes.
+A file that round-trips here is readable by ColumnarGraphView on any
+little-endian host.
+
+Exits 0 with a summary line, 1 on the first violation, 2 on usage errors.
+"""
+import struct
+import sys
+
+MAGIC = b"RIDGRPH1"
+FORMAT_VERSION = 1
+HEADER_SIZE = 64
+FLAG_DIFFUSION = 1 << 0
+FLAG_HAS_STATES = 1 << 1
+KNOWN_FLAGS = FLAG_DIFFUSION | FLAG_HAS_STATES
+VALID_STATES = {-1, 0, 1, 2}  # NodeState: negative/inactive/positive/unknown
+
+FNV64_BASIS = 14695981039346656037
+FNV64_PRIME = 1099511628211
+
+
+def fail(msg: str) -> None:
+    print(f"check_ridg: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def fnv1a64(data: bytes, h: int = FNV64_BASIS) -> int:
+    for b in data:
+        h = ((h ^ b) * FNV64_PRIME) & 0xFFFFFFFFFFFFFFFF
+    return h
+
+
+def align8(offset: int) -> int:
+    return (offset + 7) & ~7
+
+
+def layout(n: int, m: int) -> dict:
+    """Section byte offsets — mirrors RidgLayout::compute exactly."""
+    sections = {}
+    off = HEADER_SIZE
+    sections["out_offsets"] = off
+    off += 8 * (n + 1)
+    sections["dst"] = align8(off)
+    off = sections["dst"] + 4 * m
+    sections["src"] = align8(off)
+    off = sections["src"] + 4 * m
+    sections["sign"] = align8(off)
+    off = sections["sign"] + m
+    sections["weight"] = align8(off)
+    off = sections["weight"] + 8 * m
+    sections["in_offsets"] = align8(off)
+    off = sections["in_offsets"] + 8 * (n + 1)
+    sections["in_edge"] = align8(off)
+    off = sections["in_edge"] + 4 * m
+    sections["state"] = align8(off)
+    sections["file_size"] = sections["state"] + n
+    return sections
+
+
+def check_offsets(name: str, offsets, n: int, m: int) -> None:
+    if offsets[0] != 0:
+        fail(f"{name}[0] = {offsets[0]}, want 0")
+    for i in range(n):
+        if offsets[i + 1] < offsets[i]:
+            fail(f"{name}[{i + 1}] = {offsets[i + 1]} < {name}[{i}] = "
+                 f"{offsets[i]} (offsets must be monotone)")
+    if offsets[n] != m:
+        fail(f"{name}[{n}] = {offsets[n]}, want m = {m}")
+
+
+def check(path: str, expect_nodes: int | None, expect_edges: int | None) -> None:
+    with open(path, "rb") as f:
+        data = f.read()
+
+    if len(data) < HEADER_SIZE:
+        fail(f"{path}: {len(data)} bytes, smaller than the {HEADER_SIZE}-byte "
+             f"header")
+    magic = data[:8]
+    if magic != MAGIC:
+        fail(f"{path}: bad magic {magic!r}, want {MAGIC!r}")
+    version, flags, n, m, fingerprint, checksum = struct.unpack_from(
+        "<IIQQQQ", data, 8)
+    if version != FORMAT_VERSION:
+        fail(f"{path}: format version {version}, want {FORMAT_VERSION}")
+    if flags & ~KNOWN_FLAGS:
+        fail(f"{path}: unknown flag bits 0x{flags & ~KNOWN_FLAGS:x}")
+    if data[48:64] != b"\0" * 16:
+        fail(f"{path}: header padding bytes [48, 64) are not zero")
+    actual_checksum = fnv1a64(data[:40])
+    if checksum != actual_checksum:
+        fail(f"{path}: header checksum 0x{checksum:016x} != computed "
+             f"0x{actual_checksum:016x}")
+
+    sections = layout(n, m)
+    if len(data) != sections["file_size"]:
+        fail(f"{path}: file size {len(data)} != layout size "
+             f"{sections['file_size']} for n={n}, m={m}")
+    actual_fingerprint = fnv1a64(data[HEADER_SIZE:])
+    if fingerprint != actual_fingerprint:
+        fail(f"{path}: data fingerprint 0x{fingerprint:016x} != computed "
+             f"0x{actual_fingerprint:016x}")
+    if expect_nodes is not None and n != expect_nodes:
+        fail(f"{path}: {n} nodes, expected {expect_nodes}")
+    if expect_edges is not None and m != expect_edges:
+        fail(f"{path}: {m} edges, expected {expect_edges}")
+
+    out_offsets = struct.unpack_from(f"<{n + 1}Q", data, sections["out_offsets"])
+    in_offsets = struct.unpack_from(f"<{n + 1}Q", data, sections["in_offsets"])
+    check_offsets("out_offsets", out_offsets, n, m)
+    check_offsets("in_offsets", in_offsets, n, m)
+
+    dst = struct.unpack_from(f"<{m}I", data, sections["dst"])
+    src = struct.unpack_from(f"<{m}I", data, sections["src"])
+    in_edge = struct.unpack_from(f"<{m}I", data, sections["in_edge"])
+    sign = struct.unpack_from(f"<{m}b", data, sections["sign"])
+    weight = struct.unpack_from(f"<{m}d", data, sections["weight"])
+    for e in range(m):
+        if dst[e] >= n:
+            fail(f"{path}: dst[{e}] = {dst[e]} out of range (n = {n})")
+        if src[e] >= n:
+            fail(f"{path}: src[{e}] = {src[e]} out of range (n = {n})")
+        if in_edge[e] >= m:
+            fail(f"{path}: in_edge[{e}] = {in_edge[e]} out of range (m = {m})")
+        if sign[e] not in (-1, 1):
+            fail(f"{path}: sign[{e}] = {sign[e]}, want -1 or +1")
+        if not (0.0 <= weight[e] <= 1.0):
+            fail(f"{path}: weight[{e}] = {weight[e]} outside [0, 1]")
+    # The CSR contract: edge e lies in exactly the out-run of src[e], so
+    # out_offsets[src[e]] <= e < out_offsets[src[e] + 1].
+    for e in range(m):
+        u = src[e]
+        if not (out_offsets[u] <= e < out_offsets[u + 1]):
+            fail(f"{path}: edge {e} outside its source's CSR run "
+                 f"[{out_offsets[u]}, {out_offsets[u + 1]})")
+
+    states = struct.unpack_from(f"<{n}b", data, sections["state"])
+    for v in range(n):
+        if states[v] not in VALID_STATES:
+            fail(f"{path}: state[{v}] = {states[v]} is not a NodeState")
+    active = sum(1 for s in states if s != 0)
+    if not flags & FLAG_HAS_STATES and active:
+        fail(f"{path}: {active} active states but kRidgFlagHasStates unset")
+
+    flag_names = []
+    if flags & FLAG_DIFFUSION:
+        flag_names.append("diffusion")
+    if flags & FLAG_HAS_STATES:
+        flag_names.append("states")
+    print(f"check_ridg: {path}: OK — {n} nodes, {m} edges, "
+          f"flags [{', '.join(flag_names) or 'none'}], {active} active "
+          f"states, fingerprint 0x{fingerprint:016x}")
+
+
+def main() -> None:
+    args = sys.argv[1:]
+    path = None
+    expect_nodes = expect_edges = None
+    it = iter(args)
+    for arg in it:
+        if arg.startswith("--expect-nodes="):
+            expect_nodes = int(arg.split("=", 1)[1])
+        elif arg.startswith("--expect-edges="):
+            expect_edges = int(arg.split("=", 1)[1])
+        elif arg.startswith("-"):
+            print(__doc__, file=sys.stderr)
+            sys.exit(2)
+        elif path is None:
+            path = arg
+        else:
+            print(__doc__, file=sys.stderr)
+            sys.exit(2)
+    if path is None:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    check(path, expect_nodes, expect_edges)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,8 +1,35 @@
 #include "algo/components.hpp"
 
+#include <algorithm>
+
 #include "algo/union_find.hpp"
 
 namespace rid::algo {
+
+namespace {
+
+/// Edges per streamed window: large enough that the per-block budget check
+/// is noise, small enough that only a sliver of the edge columns has to be
+/// resident at once (64Ki edges = 512 KiB of src+dst).
+constexpr graph::EdgeId kEdgeBlock = 1u << 16;
+
+/// Assigns component labels by ascending node scan (the label order both
+/// backends must share for bit-identity).
+Components label_components(UnionFind& uf, graph::NodeId num_nodes,
+                            const std::vector<bool>* selected) {
+  Components out;
+  out.label.assign(num_nodes, graph::kInvalidNode);
+  std::vector<graph::NodeId> root_label(num_nodes, graph::kInvalidNode);
+  for (graph::NodeId v = 0; v < num_nodes; ++v) {
+    if (selected != nullptr && !(*selected)[v]) continue;
+    const auto root = uf.find(v);
+    if (root_label[root] == graph::kInvalidNode) root_label[root] = out.count++;
+    out.label[v] = root_label[root];
+  }
+  return out;
+}
+
+}  // namespace
 
 std::vector<std::vector<graph::NodeId>> Components::groups() const {
   std::vector<std::vector<graph::NodeId>> out(count);
@@ -16,17 +43,7 @@ Components weakly_connected_components(const graph::SignedGraph& graph) {
   UnionFind uf(graph.num_nodes());
   for (graph::EdgeId e = 0; e < graph.num_edges(); ++e)
     uf.unite(graph.edge_src(e), graph.edge_dst(e));
-
-  Components out;
-  out.label.assign(graph.num_nodes(), graph::kInvalidNode);
-  std::vector<graph::NodeId> root_label(graph.num_nodes(),
-                                        graph::kInvalidNode);
-  for (graph::NodeId v = 0; v < graph.num_nodes(); ++v) {
-    const auto root = uf.find(v);
-    if (root_label[root] == graph::kInvalidNode) root_label[root] = out.count++;
-    out.label[v] = root_label[root];
-  }
-  return out;
+  return label_components(uf, graph.num_nodes(), nullptr);
 }
 
 Components weakly_connected_components(
@@ -42,18 +59,44 @@ Components weakly_connected_components(
       if (selected[v]) uf.unite(u, v);
     }
   }
+  return label_components(uf, graph.num_nodes(), &selected);
+}
 
-  Components out;
-  out.label.assign(graph.num_nodes(), graph::kInvalidNode);
-  std::vector<graph::NodeId> root_label(graph.num_nodes(),
-                                        graph::kInvalidNode);
-  for (graph::NodeId v = 0; v < graph.num_nodes(); ++v) {
-    if (!selected[v]) continue;
-    const auto root = uf.find(v);
-    if (root_label[root] == graph::kInvalidNode) root_label[root] = out.count++;
-    out.label[v] = root_label[root];
+Components weakly_connected_components(const graph::ColumnarGraphView& graph,
+                                       const util::BudgetScope* budget) {
+  UnionFind uf(graph.num_nodes());
+  const auto num_edges = static_cast<graph::EdgeId>(graph.num_edges());
+  for (graph::EdgeId lo = 0; lo < num_edges; lo += kEdgeBlock) {
+    const graph::EdgeId hi = std::min<graph::EdgeId>(num_edges, lo + kEdgeBlock);
+    const graph::EdgeWindow w = graph.edge_range(lo, hi);
+    for (std::size_t i = 0; i < w.size(); ++i) uf.unite(w.srcs[i], w.dsts[i]);
+    if (budget != nullptr) budget->check();
   }
-  return out;
+  return label_components(uf, graph.num_nodes(), nullptr);
+}
+
+Components weakly_connected_components(
+    const graph::ColumnarGraphView& graph,
+    std::span<const graph::NodeId> restrict_to,
+    const util::BudgetScope* budget) {
+  std::vector<bool> selected(graph.num_nodes(), false);
+  for (const graph::NodeId v : restrict_to) selected[v] = true;
+
+  // Ascending-EdgeId sweep == per-selected-node walk (CSR edge order), so
+  // the unite sequence matches the SignedGraph overload exactly.
+  UnionFind uf(graph.num_nodes());
+  const auto num_edges = static_cast<graph::EdgeId>(graph.num_edges());
+  for (graph::EdgeId lo = 0; lo < num_edges; lo += kEdgeBlock) {
+    const graph::EdgeId hi = std::min<graph::EdgeId>(num_edges, lo + kEdgeBlock);
+    const graph::EdgeWindow w = graph.edge_range(lo, hi);
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      const graph::NodeId u = w.srcs[i];
+      const graph::NodeId v = w.dsts[i];
+      if (selected[u] && selected[v]) uf.unite(u, v);
+    }
+    if (budget != nullptr) budget->check();
+  }
+  return label_components(uf, graph.num_nodes(), &selected);
 }
 
 }  // namespace rid::algo

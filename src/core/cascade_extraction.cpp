@@ -21,7 +21,8 @@ namespace {
 /// Arc score before log: either the raw weight or the g-factor. Unknown
 /// states are treated optimistically (as if consistent) because imputation
 /// will later choose the consistent interpretation.
-double raw_arc_score(const graph::SignedGraph& diffusion, graph::EdgeId e,
+template <typename Graph>
+double raw_arc_score(const Graph& diffusion, graph::EdgeId e,
                      std::span<const graph::NodeState> states,
                      const ExtractionConfig& config) {
   if (config.arc_score == ArcScore::kRawWeight) return diffusion.edge_weight(e);
@@ -38,10 +39,9 @@ double raw_arc_score(const graph::SignedGraph& diffusion, graph::EdgeId e,
                              config.likelihood);
 }
 
-}  // namespace
-
-void annotate_g_factors(CascadeTree& tree, const graph::SignedGraph& diffusion,
-                        const diffusion::LikelihoodConfig& config) {
+template <typename Graph>
+void annotate_g_factors_impl(CascadeTree& tree, const Graph& diffusion,
+                             const diffusion::LikelihoodConfig& config) {
   for (std::size_t v = 0; v < tree.size(); ++v) {
     if (tree.parent[v] == graph::kInvalidNode) {
       tree.in_g[v] = 1.0;
@@ -52,6 +52,34 @@ void annotate_g_factors(CascadeTree& tree, const graph::SignedGraph& diffusion,
         diffusion::g_factor(tree.state[tree.parent[v]], diffusion.edge_sign(e),
                             tree.state[v], diffusion.edge_weight(e), config);
   }
+}
+
+/// Component discovery per backend: the columnar view streams the edge
+/// array in budgeted blocks, the in-RAM graph walks per-node adjacency.
+/// Both yield the same partition, hence the same labels.
+algo::Components infected_components(const graph::SignedGraph& diffusion,
+                                     std::span<const graph::NodeId> infected,
+                                     const ExtractionConfig&) {
+  return algo::weakly_connected_components(diffusion, infected);
+}
+
+algo::Components infected_components(const graph::ColumnarGraphView& diffusion,
+                                     std::span<const graph::NodeId> infected,
+                                     const ExtractionConfig& config) {
+  return algo::weakly_connected_components(diffusion, infected, config.budget);
+}
+
+}  // namespace
+
+void annotate_g_factors(CascadeTree& tree, const graph::SignedGraph& diffusion,
+                        const diffusion::LikelihoodConfig& config) {
+  annotate_g_factors_impl(tree, diffusion, config);
+}
+
+void annotate_g_factors(CascadeTree& tree,
+                        const graph::ColumnarGraphView& diffusion,
+                        const diffusion::LikelihoodConfig& config) {
+  annotate_g_factors_impl(tree, diffusion, config);
 }
 
 void apply_candidate_mask(CascadeForest& forest,
@@ -68,10 +96,13 @@ void apply_candidate_mask(CascadeForest& forest,
   }
 }
 
-CascadeForest extract_cascade_forest(const graph::SignedGraph& diffusion,
-                                     std::span<const graph::NodeState> states,
-                                     const ExtractionConfig& config) {
-  validate_snapshot(diffusion, states);
+namespace {
+
+template <typename Graph>
+CascadeForest extract_cascade_forest_impl(
+    const Graph& diffusion, std::span<const graph::NodeState> states,
+    const ExtractionConfig& config) {
+  validate_snapshot(diffusion.num_nodes(), states);
   if (config.score_floor <= 0.0 || config.score_floor >= 1.0)
     throw std::invalid_argument(
         "extract_cascade_forest: score_floor outside (0, 1)");
@@ -82,7 +113,7 @@ CascadeForest extract_cascade_forest(const graph::SignedGraph& diffusion,
   if (infected.empty()) return out;
 
   const algo::Components comps =
-      algo::weakly_connected_components(diffusion, infected);
+      infected_components(diffusion, infected, config);
   out.num_components = comps.count;
   const auto groups = comps.groups();
 
@@ -227,6 +258,20 @@ CascadeForest extract_cascade_forest(const graph::SignedGraph& diffusion,
                   out.trees.size(), " trees, ", out.num_candidate_arcs,
                   " candidate arcs");
   return out;
+}
+
+}  // namespace
+
+CascadeForest extract_cascade_forest(const graph::SignedGraph& diffusion,
+                                     std::span<const graph::NodeState> states,
+                                     const ExtractionConfig& config) {
+  return extract_cascade_forest_impl(diffusion, states, config);
+}
+
+CascadeForest extract_cascade_forest(const graph::ColumnarGraphView& diffusion,
+                                     std::span<const graph::NodeState> states,
+                                     const ExtractionConfig& config) {
+  return extract_cascade_forest_impl(diffusion, states, config);
 }
 
 }  // namespace rid::core

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "diffusion/likelihood.hpp"
+#include "graph/columnar.hpp"
 #include "graph/signed_graph.hpp"
 #include "util/work_budget.hpp"
 
@@ -100,13 +101,22 @@ struct CascadeForest {
   std::size_t num_candidate_arcs = 0;
 };
 
-/// Runs steps 1-4 for the whole snapshot.
+/// Runs steps 1-4 for the whole snapshot. The two overloads share one
+/// template body and produce bit-identical forests for the same graph
+/// content; the columnar variant streams component discovery over the
+/// mmap-ed edge array (algo/components) under ExtractionConfig::budget.
 CascadeForest extract_cascade_forest(const graph::SignedGraph& diffusion,
+                                     std::span<const graph::NodeState> states,
+                                     const ExtractionConfig& config);
+CascadeForest extract_cascade_forest(const graph::ColumnarGraphView& diffusion,
                                      std::span<const graph::NodeState> states,
                                      const ExtractionConfig& config);
 
 /// Recomputes in_g for a tree after state changes (used by tests).
 void annotate_g_factors(CascadeTree& tree, const graph::SignedGraph& diffusion,
+                        const diffusion::LikelihoodConfig& config);
+void annotate_g_factors(CascadeTree& tree,
+                        const graph::ColumnarGraphView& diffusion,
                         const diffusion::LikelihoodConfig& config);
 
 /// Restricts initiator eligibility across the forest: candidates[v] must be

@@ -4,9 +4,11 @@
 #include <cstring>
 #include <filesystem>
 #include <stdexcept>
+#include <unordered_set>
 
 #include "util/errors.hpp"
 #include "util/failpoint.hpp"
+#include "util/fnv.hpp"
 
 namespace rid::core {
 
@@ -83,22 +85,8 @@ class Reader {
   std::size_t pos_ = 0;
 };
 
-std::uint32_t fnv1a32(std::string_view data) {
-  std::uint32_t hash = 2166136261u;
-  for (const char c : data) {
-    hash ^= static_cast<unsigned char>(c);
-    hash *= 16777619u;
-  }
-  return hash;
-}
-
-std::uint64_t fnv1a64_step(std::uint64_t hash, std::uint64_t value) {
-  for (int i = 0; i < 8; ++i) {
-    hash ^= (value >> (8 * i)) & 0xffu;
-    hash *= 1099511628211ull;
-  }
-  return hash;
-}
+using util::fnv1a32;
+using util::fnv1a64_step;
 
 constexpr std::size_t kHeaderSize = 8 + 4 + 4 + 8;
 
@@ -167,9 +155,13 @@ std::vector<TreeCheckpointRecord> parse_records(std::string_view stream,
 }
 
 /// Reads the whole file and validates the header. Header problems are
-/// always fatal for the file (there is no valid prefix to keep).
+/// always fatal for the file (there is no valid prefix to keep). When
+/// `header_out` is non-null it receives the parsed version/fingerprint as
+/// soon as the magic checks out (before version/fingerprint validation), so
+/// inspection tools can report what a rejected file claims to be.
 std::string read_stream(const std::string& path,
-                        std::uint64_t expected_fingerprint) {
+                        std::uint64_t expected_fingerprint,
+                        CheckpointFileInfo* header_out = nullptr) {
   std::FILE* file = std::fopen(path.c_str(), "rb");
   if (file == nullptr)
     throw util::InputError("checkpoint file " + path + ": cannot open");
@@ -195,6 +187,10 @@ std::string read_stream(const std::string& path,
   const std::uint32_t version = header.u32();
   header.u32();  // reserved
   const std::uint64_t fingerprint = header.u64();
+  if (header_out != nullptr) {
+    header_out->version = version;
+    header_out->fingerprint = fingerprint;
+  }
   if (version != kCheckpointFormatVersion)
     throw util::InputError(
         "checkpoint file " + path + ": format version " +
@@ -210,7 +206,7 @@ std::string read_stream(const std::string& path,
 }  // namespace
 
 std::uint64_t forest_fingerprint(const CascadeForest& forest) {
-  std::uint64_t hash = 14695981039346656037ull;
+  std::uint64_t hash = util::kFnv64Basis;
   hash = fnv1a64_step(hash, forest.trees.size());
   hash = fnv1a64_step(hash, forest.num_components);
   for (const CascadeTree& tree : forest.trees) {
@@ -348,6 +344,112 @@ CheckpointLoad load_checkpoint_dir(const std::string& run_dir,
     }
   }
   return load;
+}
+
+CheckpointFileInfo inspect_checkpoint_file(const std::string& path) {
+  CheckpointFileInfo info;
+  info.path = path;
+  try {
+    // expected_fingerprint 0 = report whatever the header claims.
+    const std::string stream = read_stream(path, 0, &info);
+    std::string error;
+    const std::vector<TreeCheckpointRecord> records =
+        parse_records(stream, path, &error);
+    info.records = records.size();
+    if (!error.empty()) {
+      info.damaged = true;
+      info.error = error;
+    }
+  } catch (const util::InputError& e) {
+    info.damaged = true;
+    info.error = e.what();
+  }
+  return info;
+}
+
+CompactionResult compact_checkpoint_dir(const std::string& run_dir,
+                                        std::uint64_t expected_fingerprint) {
+  CompactionResult result;
+  std::error_code ec;
+  if (!fs::is_directory(run_dir, ec)) return result;
+
+  std::vector<std::string> paths;
+  for (const auto& entry : fs::directory_iterator(run_dir, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    if (entry.path().extension() == kCheckpointExtension)
+      paths.push_back(entry.path().string());
+  }
+  std::sort(paths.begin(), paths.end());
+  result.files_before = paths.size();
+  if (paths.empty()) return result;
+
+  std::uint64_t fingerprint = expected_fingerprint;
+  if (fingerprint == 0) {
+    // Adopt the first readable header as the run's identity; files written
+    // for another forest then count as stale.
+    for (const std::string& path : paths) {
+      const CheckpointFileInfo info = inspect_checkpoint_file(path);
+      if (!info.damaged || info.fingerprint != 0) {
+        fingerprint = info.fingerprint;
+        break;
+      }
+    }
+    if (fingerprint == 0) {
+      result.errors.push_back(run_dir +
+                              ": no readable checkpoint header; nothing to "
+                              "compact");
+      return result;
+    }
+  }
+
+  // Same merge as a resume: sorted file order, first record per tree wins.
+  std::vector<TreeCheckpointRecord> kept;
+  std::unordered_set<std::uint64_t> seen;
+  for (const std::string& path : paths) {
+    try {
+      const std::string stream = read_stream(path, fingerprint);
+      std::string error;
+      std::vector<TreeCheckpointRecord> records =
+          parse_records(stream, path, &error);
+      if (!error.empty()) result.errors.push_back(std::move(error));
+      for (TreeCheckpointRecord& record : records) {
+        if (!seen.insert(record.tree_index).second) {
+          ++result.duplicates_dropped;
+          continue;
+        }
+        kept.push_back(std::move(record));
+      }
+    } catch (const util::InputError& e) {
+      result.errors.emplace_back(e.what());
+    }
+  }
+  if (kept.empty()) {
+    result.errors.push_back(run_dir + ": no salvageable records; files left "
+                                      "untouched");
+    return result;
+  }
+
+  const std::string output = run_dir + "/compact" + kCheckpointExtension;
+  const std::string tmp = output + ".tmp";
+  try {
+    CheckpointWriter writer(tmp, fingerprint);
+    for (const TreeCheckpointRecord& record : kept) writer.append(record);
+  } catch (const std::exception& e) {
+    std::remove(tmp.c_str());
+    throw util::InputError(std::string("checkpoint compaction: ") + e.what());
+  }
+  if (std::rename(tmp.c_str(), output.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw util::InputError("checkpoint compaction: cannot rename " + tmp);
+  }
+  result.records_kept = kept.size();
+  result.output_file = output;
+
+  for (const std::string& path : paths) {
+    if (path == output) continue;  // re-compacting an already-compacted dir
+    if (std::remove(path.c_str()) == 0) ++result.files_removed;
+  }
+  return result;
 }
 
 }  // namespace rid::core

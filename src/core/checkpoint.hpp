@@ -125,4 +125,43 @@ struct CheckpointLoad {
 CheckpointLoad load_checkpoint_dir(const std::string& run_dir,
                                    std::uint64_t expected_fingerprint);
 
+/// What `ridnet_cli checkpoints` reports per file: claimed header fields
+/// plus how much of the record stream is readable.
+struct CheckpointFileInfo {
+  std::string path;
+  std::uint32_t version = 0;
+  std::uint64_t fingerprint = 0;
+  std::size_t records = 0;  // valid record prefix length
+  bool damaged = false;     // header unreadable or stream damaged mid-file
+  std::string error;        // description when damaged
+};
+
+/// Tolerantly inspects one checkpoint file: header fields (as far as they
+/// can be parsed) plus the length of the valid record prefix. Never throws
+/// on damaged data — damage lands in `damaged`/`error`.
+CheckpointFileInfo inspect_checkpoint_file(const std::string& path);
+
+/// Outcome of compact_checkpoint_dir.
+struct CompactionResult {
+  std::size_t files_before = 0;       // *.ckpt files scanned
+  std::size_t files_removed = 0;      // stale/damaged/superseded files pruned
+  std::size_t records_kept = 0;       // records in the compacted file
+  std::size_t duplicates_dropped = 0; // same tree_index finished twice
+  std::vector<std::string> errors;    // per-file damage notes (informational)
+  std::string output_file;            // empty when the dir had no records
+};
+
+/// Garbage-collects a run directory: merges every salvageable record (first
+/// record per tree_index wins — identical to resume semantics) into a single
+/// "compact.ckpt", then removes the superseded attempt/poison files. With
+/// expected_fingerprint == 0 the fingerprint is taken from the first
+/// readable header; files written for a *different* forest contribute no
+/// records and are pruned with the rest. When nothing at all is salvageable
+/// the directory is left untouched (a mistaken GC against the wrong forest
+/// must not destroy data). Resuming from the compacted directory yields the same
+/// merge as from the original. Throws util::InputError only when the new
+/// compact file cannot be written; damaged inputs never throw.
+CompactionResult compact_checkpoint_dir(const std::string& run_dir,
+                                        std::uint64_t expected_fingerprint = 0);
+
 }  // namespace rid::core

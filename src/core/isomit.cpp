@@ -13,11 +13,16 @@ std::vector<graph::NodeId> infected_nodes(
   return out;
 }
 
-void validate_snapshot(const graph::SignedGraph& diffusion,
+void validate_snapshot(graph::NodeId num_nodes,
                        std::span<const graph::NodeState> states) {
-  if (states.size() != diffusion.num_nodes())
+  if (states.size() != num_nodes)
     throw std::invalid_argument(
         "validate_snapshot: states size != num_nodes");
+}
+
+void validate_snapshot(const graph::SignedGraph& diffusion,
+                       std::span<const graph::NodeState> states) {
+  validate_snapshot(diffusion.num_nodes(), states);
 }
 
 }  // namespace rid::core

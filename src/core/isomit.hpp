@@ -38,6 +38,8 @@ std::vector<graph::NodeId> infected_nodes(
 
 /// Validates a snapshot: state vector sized to the graph; throws
 /// std::invalid_argument otherwise.
+void validate_snapshot(graph::NodeId num_nodes,
+                       std::span<const graph::NodeState> states);
 void validate_snapshot(const graph::SignedGraph& diffusion,
                        std::span<const graph::NodeState> states);
 

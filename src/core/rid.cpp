@@ -304,9 +304,15 @@ std::vector<DetectionResult> run_rid_betas(const CascadeForest& forest,
   return out;
 }
 
-DetectionResult run_rid(const graph::SignedGraph& diffusion,
-                        std::span<const graph::NodeState> states,
-                        const RidConfig& config) {
+namespace {
+
+/// Shared front-end for both storage backends: repair -> extract -> mask ->
+/// solve. Every step is either backend-agnostic or overloaded per backend,
+/// so the two public run_rid overloads are bit-identical on equal content.
+template <typename Graph>
+DetectionResult run_rid_impl(const Graph& diffusion,
+                             std::span<const graph::NodeState> states,
+                             const RidConfig& config) {
   trace::TraceSpan span("run_rid");
   rid_metrics().runs.add(1);
   // kRepair sanitizes copies of the snapshot and candidate mask up front;
@@ -319,11 +325,12 @@ DetectionResult run_rid(const graph::SignedGraph& diffusion,
   SanitizeReport repairs;
   if (config.repair_policy == RepairPolicy::kRepair) {
     repaired_states.assign(states.begin(), states.end());
-    repairs.merge(
-        sanitize_states(diffusion, repaired_states, RepairPolicy::kRepair));
+    repairs.merge(sanitize_states(diffusion.num_nodes(), repaired_states,
+                                  RepairPolicy::kRepair));
     view = repaired_states;
     repaired_candidates = config.candidates;
-    repairs.merge(sanitize_candidates(diffusion, repaired_candidates,
+    repairs.merge(sanitize_candidates(diffusion.num_nodes(),
+                                      repaired_candidates,
                                       RepairPolicy::kRepair));
     candidates = &repaired_candidates;
   }
@@ -350,6 +357,20 @@ DetectionResult run_rid(const graph::SignedGraph& diffusion,
                   result.diagnostics.num_degraded, " degraded, ",
                   result.diagnostics.num_failed, " failed)");
   return result;
+}
+
+}  // namespace
+
+DetectionResult run_rid(const graph::SignedGraph& diffusion,
+                        std::span<const graph::NodeState> states,
+                        const RidConfig& config) {
+  return run_rid_impl(diffusion, states, config);
+}
+
+DetectionResult run_rid(const graph::ColumnarGraphView& diffusion,
+                        std::span<const graph::NodeState> states,
+                        const RidConfig& config) {
+  return run_rid_impl(diffusion, states, config);
 }
 
 }  // namespace rid::core

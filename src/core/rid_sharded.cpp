@@ -8,6 +8,7 @@
 #include <filesystem>
 #include <numeric>
 #include <sstream>
+#include <type_traits>
 #include <unordered_set>
 #include <utility>
 #include <vector>
@@ -396,10 +397,13 @@ DetectionResult run_rid_sharded_on_forest(const CascadeForest& forest,
   return out;
 }
 
-DetectionResult run_rid_sharded(const graph::SignedGraph& diffusion,
-                                std::span<const graph::NodeState> states,
-                                const RidConfig& config,
-                                const ShardedConfig& sharded) {
+namespace {
+
+template <typename Graph>
+DetectionResult run_rid_sharded_impl(const Graph& diffusion,
+                                     std::span<const graph::NodeState> states,
+                                     const RidConfig& config,
+                                     const ShardedConfig& sharded) {
   trace::TraceSpan span("run_rid_sharded");
   // Same front half as run_rid: optional repair, extraction (in the parent,
   // once — workers inherit the forest copy-on-write), candidate mask.
@@ -410,11 +414,12 @@ DetectionResult run_rid_sharded(const graph::SignedGraph& diffusion,
   SanitizeReport repairs;
   if (config.repair_policy == RepairPolicy::kRepair) {
     repaired_states.assign(states.begin(), states.end());
-    repairs.merge(
-        sanitize_states(diffusion, repaired_states, RepairPolicy::kRepair));
+    repairs.merge(sanitize_states(diffusion.num_nodes(), repaired_states,
+                                  RepairPolicy::kRepair));
     view = repaired_states;
     repaired_candidates = config.candidates;
-    repairs.merge(sanitize_candidates(diffusion, repaired_candidates,
+    repairs.merge(sanitize_candidates(diffusion.num_nodes(),
+                                      repaired_candidates,
                                       RepairPolicy::kRepair));
     candidates = &repaired_candidates;
   }
@@ -426,6 +431,13 @@ DetectionResult run_rid_sharded(const graph::SignedGraph& diffusion,
   const std::uint64_t extraction_end_ns = trace::now_ns();
   if (!candidates->empty()) apply_candidate_mask(forest, *candidates);
 
+  // The solves only need the forest. On the columnar backend, drop the
+  // graph's resident pages *before* the supervisor forks workers, so each
+  // child's RSS is O(its shard's trees) instead of O(graph) — the pages
+  // re-fault from the file if the parent touches them again.
+  if constexpr (std::is_same_v<Graph, graph::ColumnarGraphView>)
+    diffusion.advise_dontneed();
+
   DetectionResult result = run_rid_sharded_on_forest(forest, config, sharded);
   result.diagnostics.repairs = std::move(repairs.repairs);
   result.diagnostics.extraction_seconds =
@@ -433,6 +445,22 @@ DetectionResult run_rid_sharded(const graph::SignedGraph& diffusion,
   result.diagnostics.total_seconds = span.seconds();
   attach_stage_totals(result.diagnostics);
   return result;
+}
+
+}  // namespace
+
+DetectionResult run_rid_sharded(const graph::SignedGraph& diffusion,
+                                std::span<const graph::NodeState> states,
+                                const RidConfig& config,
+                                const ShardedConfig& sharded) {
+  return run_rid_sharded_impl(diffusion, states, config, sharded);
+}
+
+DetectionResult run_rid_sharded(const graph::ColumnarGraphView& diffusion,
+                                std::span<const graph::NodeState> states,
+                                const RidConfig& config,
+                                const ShardedConfig& sharded) {
+  return run_rid_sharded_impl(diffusion, states, config, sharded);
 }
 
 }  // namespace rid::core

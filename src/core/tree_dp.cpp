@@ -27,6 +27,8 @@ struct DpMetrics {
       util::metrics::global().counter("dp.cols_fresh");
   util::metrics::Counter& cols_recomputed =
       util::metrics::global().counter("dp.cols_recomputed");
+  util::metrics::Counter& arena_spills =
+      util::metrics::global().counter("dp.arena_spills");
   util::metrics::Histogram& final_k =
       util::metrics::global().histogram("dp.final_k");
 };
@@ -38,8 +40,15 @@ DpMetrics& dp_metrics() {
 
 constexpr std::uint32_t kRowZ = 0xffffffffu;  // symbolic "zero coverage" j
 
-/// Safety limit on each arena (entries; values 8 bytes, choices 4).
-constexpr std::size_t kMaxTableEntries = 120'000'000;
+/// Default per-arena resident threshold (entries; values 8 bytes, choices
+/// 4). Arenas larger than this spill to unlinked temp-file mappings instead
+/// of being rejected — this used to be a hard cap.
+constexpr std::size_t kDefaultResidentEntries = 120'000'000;
+
+/// Absolute runaway guard per arena (entries), spilled or not. 2G entries is
+/// a 16 GiB values arena — far beyond any tree the pipeline produces, so
+/// hitting it means a pathological k cap rather than a big input.
+constexpr std::size_t kAbsoluteMaxEntries = 2'000'000'000;
 
 /// Entry gate shared by solve_tree / solve_tree_betas: rejects a solve whose
 /// armed budget is already blown or whose tree exceeds the deterministic
@@ -68,9 +77,12 @@ std::uint32_t effective_k_cap(const util::BudgetScope* budget,
 
 BinarizedTreeDp::BinarizedTreeDp(const CascadeTree& tree,
                                  std::uint32_t max_reach,
-                                 std::uint32_t parallel_grain) {
+                                 std::uint32_t parallel_grain,
+                                 std::size_t max_resident_entries) {
   if (max_reach == 0)
     throw std::invalid_argument("BinarizedTreeDp: max_reach must be >= 1");
+  resident_cap_ = max_resident_entries == 0 ? kDefaultResidentEntries
+                                            : max_resident_entries;
   util::trace::TraceSpan span("binarize");
   span.tag("nodes", static_cast<std::int64_t>(tree.size()));
   tree_ = algo::binarize_tree(tree.parent, tree.in_g, /*identity=*/1.0);
@@ -194,7 +206,7 @@ void BinarizedTreeDp::fill_columns(std::uint32_t col_lo, std::uint32_t col_hi) {
   // needs no fill at all — it is only read at cells whose value is finite,
   // and those were written together with their choice.
   for (std::size_t v = 0; v < layout_.size(); ++v) {
-    double* const row0 = values_.get() + layout_[v].offset;
+    double* const row0 = values_ + layout_[v].offset;
     if (!eligible_[v]) {
       std::fill(row0 + col_lo, row0 + col_hi, kNegInf);
     } else if (col_lo == 0) {
@@ -208,14 +220,17 @@ void BinarizedTreeDp::fresh_layout(std::uint32_t cols,
                                    std::uint32_t reserve_cols) {
   computed_k_ = 0;
   if (cols_ < cols) {
-    // (Re)stride for max(cols, reserve_cols), clamped so the arena stays
-    // under the deterministic entry limit; the columns actually requested
-    // must fit or the solve is rejected outright.
-    if (rows_total_ * cols > kMaxTableEntries)
+    // (Re)stride for max(cols, reserve_cols). The pure reservation (columns
+    // beyond the ones actually requested) is clamped so speculative capacity
+    // never pushes a resident arena into a spill; a request that genuinely
+    // needs more than the resident threshold spills instead of failing, and
+    // only the absolute runaway guard rejects a solve.
+    if (rows_total_ * cols > kAbsoluteMaxEntries)
       throw std::runtime_error(
           "BinarizedTreeDp: table too large (tree too deep for this k cap)");
-    const auto fit = static_cast<std::uint32_t>(
-        std::min<std::size_t>(kMaxTableEntries / rows_total_, 0xffffffffu));
+    const auto fit = static_cast<std::uint32_t>(std::min<std::size_t>(
+        std::max<std::size_t>(resident_cap_ / rows_total_, cols),
+        0xffffffffu));
     const std::uint32_t stride = std::min(std::max(cols, reserve_cols), fit);
     std::size_t offset = 0;
     for (auto& nl : layout_) {
@@ -224,8 +239,16 @@ void BinarizedTreeDp::fresh_layout(std::uint32_t cols,
     }
     cols_ = stride;
     filled_cols_ = 0;  // new buffers are uninitialized; refill below
-    values_ = std::make_unique_for_overwrite<double[]>(rows_total_ * stride);
-    choices_ = std::make_unique_for_overwrite<Choice[]>(rows_total_ * stride);
+    const std::size_t entries = rows_total_ * stride;
+    const bool spill = entries > resident_cap_;
+    values_arena_ =
+        util::SpillableBuffer::allocate(entries * sizeof(double), spill);
+    choices_arena_ =
+        util::SpillableBuffer::allocate(entries * sizeof(Choice), spill);
+    values_ = static_cast<double*>(values_arena_.data());
+    choices_ = static_cast<Choice*>(choices_arena_.data());
+    if (values_arena_.spilled() || choices_arena_.spilled())
+      dp_metrics().arena_spills.add(1);
   }
   // Only ever initialize a column once: cells are pure functions of the
   // (fixed) tree, so values surviving from earlier computes are bitwise
@@ -245,11 +268,19 @@ void BinarizedTreeDp::grow_layout(std::uint32_t cols) {
   // the widened tail is then -inf/default initialized.
   const std::uint32_t old_cols = cols_;
   const std::uint32_t live_cols = filled_cols_;
-  if (rows_total_ * cols > kMaxTableEntries)  // throw before mutating
+  if (rows_total_ * cols > kAbsoluteMaxEntries)  // throw before mutating
     throw std::runtime_error(
         "BinarizedTreeDp: table too large (tree too deep for this k cap)");
-  auto new_values = std::make_unique_for_overwrite<double[]>(rows_total_ * cols);
-  auto new_choices = std::make_unique_for_overwrite<Choice[]>(rows_total_ * cols);
+  const std::size_t entries = rows_total_ * cols;
+  const bool spill = entries > resident_cap_;
+  auto new_values_arena =
+      util::SpillableBuffer::allocate(entries * sizeof(double), spill);
+  auto new_choices_arena =
+      util::SpillableBuffer::allocate(entries * sizeof(Choice), spill);
+  if (new_values_arena.spilled() || new_choices_arena.spilled())
+    dp_metrics().arena_spills.add(1);
+  double* const new_values = static_cast<double*>(new_values_arena.data());
+  Choice* const new_choices = static_cast<Choice*>(new_choices_arena.data());
   // memcpy, not element copy: the live prefix may contain never-touched
   // cells (beyond a node's feasible k); moving them as raw bytes keeps this
   // a plain block transfer. The widened tail is -inf/zero filled outright —
@@ -257,17 +288,16 @@ void BinarizedTreeDp::grow_layout(std::uint32_t cols) {
   for (std::size_t r = 0; r < rows_total_; ++r) {
     const std::size_t src = r * old_cols;
     const std::size_t dst = r * cols;
-    std::memcpy(new_values.get() + dst, values_.get() + src,
-                live_cols * sizeof(double));
-    std::memcpy(new_choices.get() + dst, choices_.get() + src,
-                live_cols * sizeof(Choice));
-    std::fill(new_values.get() + dst + live_cols, new_values.get() + dst + cols,
-              kNegInf);
-    std::fill(new_choices.get() + dst + live_cols,
-              new_choices.get() + dst + cols, Choice{});
+    std::memcpy(new_values + dst, values_ + src, live_cols * sizeof(double));
+    std::memcpy(new_choices + dst, choices_ + src, live_cols * sizeof(Choice));
+    std::fill(new_values + dst + live_cols, new_values + dst + cols, kNegInf);
+    std::fill(new_choices + dst + live_cols, new_choices + dst + cols,
+              Choice{});
   }
-  values_ = std::move(new_values);
-  choices_ = std::move(new_choices);
+  values_arena_ = std::move(new_values_arena);
+  choices_arena_ = std::move(new_choices_arena);
+  values_ = new_values;
+  choices_ = new_choices;
   std::size_t offset = 0;
   for (auto& nl : layout_) {
     nl.offset = offset;
@@ -293,8 +323,8 @@ void BinarizedTreeDp::process_node(std::int32_t v, std::uint32_t k_lo,
   const std::uint32_t k_top = std::min(k_hi, nl.real_count);
   const std::uint32_t lcnt = lc >= 0 ? layout_[lc].real_count : 0;
   const std::uint32_t rcnt = rc >= 0 ? layout_[rc].real_count : 0;
-  double* const vbase = values_.get() + nl.offset;
-  Choice* const cbase = choices_.get() + nl.offset;
+  double* const vbase = values_ + nl.offset;
+  Choice* const cbase = choices_ + nl.offset;
 
   for (std::uint32_t row = 0; row < nl.rows; ++row) {
     if (row == 0 && !eligible_[v]) continue;  // dummies/masked nodes
@@ -328,12 +358,12 @@ void BinarizedTreeDp::process_node(std::int32_t v, std::uint32_t k_lo,
       // Max-plus split setup: build each child's best-of-{covered,
       // as-initiator} prefix once per row; the k loop below then scans two
       // flat arrays instead of re-reading four arena cells per split.
-      lrow_p = values_.get() + layout_[lc].offset +
+      lrow_p = values_ + layout_[lc].offset +
                static_cast<std::size_t>(lrow) * cols_;
-      l0_p = values_.get() + layout_[lc].offset;
-      rrow_p = values_.get() + layout_[rc].offset +
+      l0_p = values_ + layout_[lc].offset;
+      rrow_p = values_ + layout_[rc].offset +
                static_cast<std::size_t>(rrow) * cols_;
-      r0_p = values_.get() + layout_[rc].offset;
+      r0_p = values_ + layout_[rc].offset;
       const std::uint32_t l_hi = std::min(lcnt, k_top);
       const std::uint32_t r_hi = std::min(rcnt, k_top);
       for (std::uint32_t a = 0; a <= l_hi; ++a)
@@ -578,7 +608,8 @@ TreeSolution solve_tree(const CascadeTree& tree, double beta,
   check_tree_budget(options.budget, tree.size());
   const std::uint32_t hard_k_cap =
       effective_k_cap(options.budget, options.hard_k_cap);
-  BinarizedTreeDp dp(tree, options.max_reach, options.parallel_grain);
+  BinarizedTreeDp dp(tree, options.max_reach, options.parallel_grain,
+                     options.max_resident_table_entries);
   // 0 = inherit: run_rid fills in this tree's thread share; direct callers
   // default to serial.
   const std::size_t dp_threads =
@@ -673,7 +704,8 @@ std::vector<TreeSolution> solve_tree_betas(const CascadeTree& tree,
   check_tree_budget(options.budget, tree.size());
   const std::uint32_t hard_k_cap =
       effective_k_cap(options.budget, options.hard_k_cap);
-  BinarizedTreeDp dp(tree, options.max_reach, options.parallel_grain);
+  BinarizedTreeDp dp(tree, options.max_reach, options.parallel_grain,
+                     options.max_resident_table_entries);
   const std::size_t dp_threads =
       options.num_threads == 0 ? 1 : options.num_threads;
   const std::uint32_t n_real = dp.num_real();
@@ -718,19 +750,31 @@ std::vector<TreeSolution> solve_tree_betas(const CascadeTree& tree,
       }
     }
     if (!clipped) {
+      // k selection is a cheap scan of the shared opt curve; keep it serial
+      // so the final_k histogram fills in beta order. Extraction (and the
+      // optional per-budget ranking walk) is the expensive part of a dense
+      // sweep, so it runs as pool tasks: extract_into/rank_initiators only
+      // read the finished tables, each task writes its own out[i], and every
+      // task is a pure function of (tables, k) — bit-identical results for
+      // any thread count.
+      std::vector<std::uint32_t> ks(betas.size());
       for (std::size_t i = 0; i < betas.size(); ++i) {
-        const std::uint32_t k = pick_k(opt, betas[i]);
-        dp_metrics().final_k.observe(k);
-        if (opt[k] == kNegInf) continue;  // fully masked tree: empty
+        ks[i] = pick_k(opt, betas[i]);
+        dp_metrics().final_k.observe(ks[i]);
+      }
+      util::parallel_for_each(betas.size(), dp_threads, [&](std::size_t i) {
+        const std::uint32_t k = ks[i];
+        if (opt[k] == kNegInf) return;  // fully masked tree: empty
         out[i].k = k;
         out[i].opt = opt[k];
         out[i].objective = objective(opt, k, betas[i]);
-        out[i].initiators = dp.extract(k);
+        std::vector<BinarizedTreeDp::ExtractFrame> scratch;
+        dp.extract_into(k, out[i].initiators, scratch);
         out[i].states.reserve(k);
         for (const graph::NodeId v : out[i].initiators)
           out[i].states.push_back(tree.state[v]);
         if (options.rank_initiators) rank_initiators(dp, out[i]);
-      }
+      });
       return out;
     }
     cap = std::min({cap * 2, n_real, hard_k_cap});

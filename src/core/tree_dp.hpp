@@ -40,11 +40,11 @@
 
 #include <cstdint>
 #include <limits>
-#include <memory>
 #include <vector>
 
 #include "algo/binary_transform.hpp"
 #include "core/cascade_extraction.hpp"
+#include "util/mmap_buffer.hpp"
 #include "util/work_budget.hpp"
 
 namespace rid::core {
@@ -96,6 +96,13 @@ struct TreeDpOptions {
   /// (max(512, nodes/64)). Depends only on the tree — never on num_threads —
   /// so traces and dp.* metrics are schedule-independent.
   std::uint32_t parallel_grain = 0;
+  /// Entry threshold (per arena) above which the value/choice tables move
+  /// from the heap into mappings of unlinked temp files
+  /// (util::SpillableBuffer), letting deep ~100k-node trees exceed what RAM
+  /// alone would allow; each spill bumps the `dp.arena_spills` counter.
+  /// 0 = default (120M entries — the former hard cap). Spilling never
+  /// changes results, only where the bytes live.
+  std::size_t max_resident_table_entries = 0;
 };
 
 /// Solution for one cascade tree.
@@ -119,7 +126,8 @@ class BinarizedTreeDp {
  public:
   explicit BinarizedTreeDp(const CascadeTree& tree,
                            std::uint32_t max_reach = 48,
-                           std::uint32_t parallel_grain = 0);
+                           std::uint32_t parallel_grain = 0,
+                           std::size_t max_resident_entries = 0);
 
   /// Number of real (non-dummy) nodes == tree.size().
   std::uint32_t num_real() const noexcept { return num_real_; }
@@ -135,8 +143,9 @@ class BinarizedTreeDp {
   /// arena stride is sized for max(k_max, k_reserve) columns up front, so
   /// later incremental growth up to k_reserve appends fresh columns without
   /// moving a byte (the adaptive solve loop passes its effective hard cap).
-  /// The reservation is clamped to the deterministic table-entry limit;
-  /// growth beyond it falls back to a widen-and-move pass. Results are
+  /// The reservation is clamped to the resident-entry threshold; growth
+  /// beyond it falls back to a widen-and-move pass into spilled (temp-file
+  /// backed) arenas. Results are
   /// bit-identical across thread counts, across incremental/from-scratch
   /// computes, and for any k_reserve.
   const std::vector<double>& compute(std::uint32_t k_max,
@@ -181,8 +190,8 @@ class BinarizedTreeDp {
     std::uint32_t real_count = 0; // real nodes in subtree (incl. self)
   };
   /// Deliberately without default member initializers: the choice arena is
-  /// allocated uninitialized (make_unique_for_overwrite) and only cells the
-  /// DP writes are ever read back. Use Choice{} for a zeroed value.
+  /// allocated uninitialized (SpillableBuffer) and only cells the DP writes
+  /// are ever read back. Use Choice{} for a zeroed value.
   struct Choice {
     std::uint16_t left_budget;
     std::uint8_t flags;  // bit0: left child initiator; bit1: right child
@@ -202,7 +211,7 @@ class BinarizedTreeDp {
   std::uint32_t child_row(std::int32_t child, std::uint32_t child_j) const;
 
   /// Ensures the arena holds at least `cols` columns with a stride of at
-  /// least `reserve_cols` (clamped to the entry limit), initializing any
+  /// least `reserve_cols` (clamped to the resident threshold), initializing any
   /// not-yet-filled columns; marks all columns as uncomputed. Keeps an
   /// already-wide-enough arena in place — filled cells are pure functions of
   /// the tree, so stale values are exactly what a recompute would write.
@@ -264,9 +273,15 @@ class BinarizedTreeDp {
   /// children's old ones — which is the memory cost of never recomputing.
   /// Allocated uninitialized: columns are -inf/zero filled lazily the first
   /// time they come into use (fill_columns), so reserving capacity for the
-  /// hard cap costs no up-front memory traffic.
-  std::unique_ptr<double[]> values_;
-  std::unique_ptr<Choice[]> choices_;
+  /// hard cap costs no up-front memory traffic. Arenas above the resident
+  /// threshold live in mappings of unlinked temp files (SpillableBuffer), so
+  /// the kernel can page cold table regions out instead of OOM-killing;
+  /// values_/choices_ are raw views into the active arena storage.
+  std::size_t resident_cap_ = 0;  // entries per arena before spilling
+  util::SpillableBuffer values_arena_;
+  util::SpillableBuffer choices_arena_;
+  double* values_ = nullptr;
+  Choice* choices_ = nullptr;
   std::vector<double> opt_;
 };
 
@@ -285,7 +300,10 @@ TreeSolution solve_tree(const CascadeTree& tree, double beta,
 /// Solves one tree for several beta values while computing the DP table
 /// only once (the opt curve is beta-independent; only the k selection and
 /// extraction differ). Equivalent to calling solve_tree per beta, but this
-/// is what makes dense Figure-5/6 sweeps cheap. Results align with `betas`.
+/// is what makes dense Figure-5/6 sweeps cheap. Per-beta extraction (and
+/// rank_initiators, when enabled) runs as thread-pool tasks under
+/// options.num_threads — read-only walks of the shared tables, so results
+/// are bit-identical for any thread count. Results align with `betas`.
 std::vector<TreeSolution> solve_tree_betas(const CascadeTree& tree,
                                            std::span<const double> betas,
                                            const TreeDpOptions& options);

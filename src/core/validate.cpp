@@ -27,11 +27,11 @@ bool valid_state_byte(graph::NodeState s) {
 
 }  // namespace
 
-SanitizeReport sanitize_states(const graph::SignedGraph& diffusion,
+SanitizeReport sanitize_states(graph::NodeId num_nodes,
                                std::vector<graph::NodeState>& states,
                                RepairPolicy policy) {
   SanitizeReport report;
-  const std::size_t n = diffusion.num_nodes();
+  const std::size_t n = num_nodes;
   if (states.size() != n) {
     std::ostringstream issue;
     issue << "snapshot has " << states.size() << " states for " << n
@@ -61,11 +61,17 @@ SanitizeReport sanitize_states(const graph::SignedGraph& diffusion,
   return report;
 }
 
-SanitizeReport sanitize_candidates(const graph::SignedGraph& diffusion,
+SanitizeReport sanitize_states(const graph::SignedGraph& diffusion,
+                               std::vector<graph::NodeState>& states,
+                               RepairPolicy policy) {
+  return sanitize_states(diffusion.num_nodes(), states, policy);
+}
+
+SanitizeReport sanitize_candidates(graph::NodeId num_nodes,
                                    std::vector<bool>& candidates,
                                    RepairPolicy policy) {
   SanitizeReport report;
-  const std::size_t n = diffusion.num_nodes();
+  const std::size_t n = num_nodes;
   if (candidates.empty() || candidates.size() == n) return report;
   std::ostringstream issue;
   issue << "candidate mask has " << candidates.size() << " entries for " << n
@@ -76,6 +82,12 @@ SanitizeReport sanitize_candidates(const graph::SignedGraph& diffusion,
   candidates.resize(n, true);
   report.repairs.push_back(issue.str());
   return report;
+}
+
+SanitizeReport sanitize_candidates(const graph::SignedGraph& diffusion,
+                                   std::vector<bool>& candidates,
+                                   RepairPolicy policy) {
+  return sanitize_candidates(diffusion.num_nodes(), candidates, policy);
 }
 
 SanitizeReport sanitize_graph_weights(graph::SignedGraph& graph,

@@ -34,6 +34,11 @@ struct SanitizeReport {
 
 /// Snapshot repair: resizes `states` to the graph's node count (padding with
 /// kInactive) and resets state bytes outside {+1, -1, 0, ?} to kInactive.
+/// Only the node count matters, so backend-agnostic callers (columnar
+/// run_rid) use the num_nodes overload directly.
+SanitizeReport sanitize_states(graph::NodeId num_nodes,
+                               std::vector<graph::NodeState>& states,
+                               RepairPolicy policy);
 SanitizeReport sanitize_states(const graph::SignedGraph& diffusion,
                                std::vector<graph::NodeState>& states,
                                RepairPolicy policy);
@@ -41,6 +46,9 @@ SanitizeReport sanitize_states(const graph::SignedGraph& diffusion,
 /// Candidate-mask repair: an empty mask means "everyone eligible" and is
 /// left alone; otherwise the mask is resized to the node count, padding new
 /// nodes as eligible.
+SanitizeReport sanitize_candidates(graph::NodeId num_nodes,
+                                   std::vector<bool>& candidates,
+                                   RepairPolicy policy);
 SanitizeReport sanitize_candidates(const graph::SignedGraph& diffusion,
                                    std::vector<bool>& candidates,
                                    RepairPolicy policy);

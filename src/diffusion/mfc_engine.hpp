@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "diffusion/mfc.hpp"
+#include "graph/columnar.hpp"
 
 namespace rid::diffusion {
 
@@ -114,14 +115,29 @@ struct MfcBatchResult {
 /// pair. The referenced graph must outlive the engine; reassigning edge
 /// weights after construction requires building a new engine (the
 /// probability table is a snapshot).
+///
+/// Internally the hot loop runs over flat CSR columns (offset array +
+/// dst/sign spans aliasing the backing store), so the engine simulates over
+/// an in-RAM SignedGraph or a mmap-ed ColumnarGraphView identically — the
+/// Rng stream and every result are bit-for-bit equal for equal content.
 class MfcEngine {
  public:
   /// Validates the config (alpha >= 1) and precomputes the per-edge
   /// success-probability table. Throws std::invalid_argument on bad config.
   MfcEngine(const graph::SignedGraph& diffusion, const MfcConfig& config);
+  /// Columnar variant: dst/sign columns are read zero-copy from the mapped
+  /// file (the view must outlive the engine).
+  MfcEngine(const graph::ColumnarGraphView& diffusion,
+            const MfcConfig& config);
 
-  const graph::SignedGraph& graph() const noexcept { return *graph_; }
+  /// The bound SignedGraph. Throws std::logic_error for an engine built
+  /// over a ColumnarGraphView (which has no SignedGraph to return) — use
+  /// the CSR accessors below for backend-agnostic code.
+  const graph::SignedGraph& graph() const;
   const MfcConfig& config() const noexcept { return config_; }
+
+  graph::NodeId num_nodes() const noexcept { return num_nodes_; }
+  std::size_t num_edges() const noexcept { return dst_.size(); }
 
   /// Per-edge activation probability with the positive boost folded in.
   std::span<const double> edge_probabilities() const noexcept {
@@ -153,8 +169,18 @@ class MfcEngine {
                            std::size_t num_threads = 1) const;
 
  private:
-  const graph::SignedGraph* graph_;
+  template <typename Graph>
+  void init(const Graph& diffusion);
+
+  const graph::SignedGraph* graph_ = nullptr;  // null for columnar engines
   MfcConfig config_;
+  // Flat CSR view of the bound graph: out-edges of u are ids
+  // [out_begin_[u], out_begin_[u+1]). The offset array is copied (O(n));
+  // dst_/sign_ alias the backing store (zero-copy).
+  graph::NodeId num_nodes_ = 0;
+  std::vector<graph::EdgeId> out_begin_;  // n+1
+  std::span<const graph::NodeId> dst_;    // m
+  std::span<const graph::Sign> sign_;     // m
   std::vector<double> probability_;  // min(1, alpha*w) on boosted edges
 };
 

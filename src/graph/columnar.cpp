@@ -1,0 +1,272 @@
+#include "graph/columnar.hpp"
+
+#include <bit>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "util/errors.hpp"
+#include "util/fnv.hpp"
+
+namespace rid::graph {
+
+namespace {
+
+constexpr std::size_t align8(std::size_t x) { return (x + 7) & ~std::size_t{7}; }
+
+inline void store_u32(unsigned char* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<unsigned char>(v >> (8 * i));
+}
+
+inline void store_u64(unsigned char* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<unsigned char>(v >> (8 * i));
+}
+
+inline std::uint32_t load_u32(const unsigned char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t{p[i]} << (8 * i);
+  return v;
+}
+
+inline std::uint64_t load_u64(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{p[i]} << (8 * i);
+  return v;
+}
+
+[[noreturn]] void fail(const std::string& path, const std::string& what) {
+  throw util::InputError("ridg: " + path + ": " + what);
+}
+
+}  // namespace
+
+RidgLayout RidgLayout::compute(std::uint64_t num_nodes,
+                               std::uint64_t num_edges) {
+  RidgLayout l;
+  l.num_nodes = num_nodes;
+  l.num_edges = num_edges;
+  const auto n = static_cast<std::size_t>(num_nodes);
+  const auto m = static_cast<std::size_t>(num_edges);
+  std::size_t off = kRidgHeaderSize;
+  l.out_offsets = off;
+  off += 8 * (n + 1);
+  l.dst = align8(off);
+  off = l.dst + 4 * m;
+  l.src = align8(off);
+  off = l.src + 4 * m;
+  l.sign = align8(off);
+  off = l.sign + m;
+  l.weight = align8(off);
+  off = l.weight + 8 * m;
+  l.in_offsets = align8(off);
+  off = l.in_offsets + 8 * (n + 1);
+  l.in_edge = align8(off);
+  off = l.in_edge + 4 * m;
+  l.state = align8(off);
+  l.file_size = l.state + n;
+  return l;
+}
+
+void write_columnar_file(const SignedGraph& graph,
+                         std::span<const NodeState> states,
+                         const std::string& path, std::uint32_t flags) {
+  const std::size_t n = graph.num_nodes();
+  const std::size_t m = graph.num_edges();
+  if (!states.empty() && states.size() != n)
+    fail(path, "states size does not match num_nodes");
+  if (!states.empty()) flags |= kRidgFlagHasStates;
+
+  const RidgLayout l = RidgLayout::compute(n, m);
+  std::vector<unsigned char> buf(l.file_size, 0);
+
+  std::memcpy(buf.data(), kRidgMagic, sizeof(kRidgMagic));
+  store_u32(buf.data() + 8, kRidgFormatVersion);
+  store_u32(buf.data() + 12, flags);
+  store_u64(buf.data() + 16, n);
+  store_u64(buf.data() + 24, m);
+  // Fingerprint (32) and checksum (40) are filled in last.
+
+  const auto out_off = graph.csr_out_offsets();
+  for (std::size_t i = 0; i <= n; ++i)
+    store_u64(buf.data() + l.out_offsets + 8 * i, out_off[i]);
+  const auto dsts = graph.csr_dsts();
+  for (std::size_t e = 0; e < m; ++e)
+    store_u32(buf.data() + l.dst + 4 * e, dsts[e]);
+  const auto srcs = graph.csr_srcs();
+  for (std::size_t e = 0; e < m; ++e)
+    store_u32(buf.data() + l.src + 4 * e, srcs[e]);
+  const auto signs = graph.csr_signs();
+  for (std::size_t e = 0; e < m; ++e)
+    buf[l.sign + e] =
+        static_cast<unsigned char>(static_cast<std::int8_t>(signs[e]));
+  const auto weights = graph.csr_weights();
+  for (std::size_t e = 0; e < m; ++e)
+    store_u64(buf.data() + l.weight + 8 * e,
+              std::bit_cast<std::uint64_t>(weights[e]));
+  const auto in_off = graph.csr_in_offsets();
+  for (std::size_t i = 0; i <= n; ++i)
+    store_u64(buf.data() + l.in_offsets + 8 * i, in_off[i]);
+  const auto in_edges = graph.csr_in_edges();
+  for (std::size_t e = 0; e < m; ++e)
+    store_u32(buf.data() + l.in_edge + 4 * e, in_edges[e]);
+  for (std::size_t v = 0; v < states.size(); ++v)
+    buf[l.state + v] =
+        static_cast<unsigned char>(static_cast<std::int8_t>(states[v]));
+
+  store_u64(buf.data() + 32,
+            util::fnv1a64(buf.data() + kRidgHeaderSize,
+                          l.file_size - kRidgHeaderSize));
+  store_u64(buf.data() + 40, util::fnv1a64(buf.data(), 40));
+
+  // Write to a sibling temp file and rename so readers never see a torn
+  // .ridg and interrupted converts leave the old file intact.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) fail(path, "cannot open for writing");
+    out.write(reinterpret_cast<const char*>(buf.data()),
+              static_cast<std::streamsize>(buf.size()));
+    if (!out) {
+      std::remove(tmp.c_str());
+      fail(path, "write failed");
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    fail(path, "rename failed");
+  }
+}
+
+bool is_ridg_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  char magic[sizeof(kRidgMagic)] = {};
+  in.read(magic, sizeof(magic));
+  return in.gcount() == sizeof(magic) &&
+         std::memcmp(magic, kRidgMagic, sizeof(magic)) == 0;
+}
+
+ColumnarGraphView ColumnarGraphView::open(const std::string& path,
+                                          const OpenOptions& options) {
+  static_assert(std::endian::native == std::endian::little,
+                "ColumnarGraphView's zero-copy spans require a little-endian "
+                "host; port write/load loops before enabling big-endian");
+  static_assert(sizeof(Sign) == 1 && sizeof(NodeState) == 1);
+  static_assert(sizeof(double) == 8);
+
+  ColumnarGraphView view;
+  view.file_ = util::MappedFile::open(path);
+  const auto* base = reinterpret_cast<const unsigned char*>(view.file_.data());
+  const std::size_t size = view.file_.size();
+
+  if (size < kRidgHeaderSize) fail(path, "file shorter than header");
+  if (std::memcmp(base, kRidgMagic, sizeof(kRidgMagic)) != 0)
+    fail(path, "bad magic (not a .ridg file)");
+  const std::uint32_t version = load_u32(base + 8);
+  if (version != kRidgFormatVersion)
+    fail(path, "unsupported format version " + std::to_string(version));
+  if (load_u64(base + 40) != util::fnv1a64(base, 40))
+    fail(path, "header checksum mismatch");
+
+  const std::uint64_t n = load_u64(base + 16);
+  const std::uint64_t m = load_u64(base + 24);
+  if (n >= kInvalidNode || m >= kInvalidEdge)
+    fail(path, "node/edge count exceeds 32-bit id space");
+  const RidgLayout l = RidgLayout::compute(n, m);
+  if (size != l.file_size)
+    fail(path, "file size " + std::to_string(size) + " != expected " +
+                   std::to_string(l.file_size) + " (truncated or corrupt)");
+
+  view.num_nodes_ = static_cast<NodeId>(n);
+  view.num_edges_ = static_cast<std::size_t>(m);
+  view.flags_ = load_u32(base + 12);
+  view.fingerprint_ = load_u64(base + 32);
+
+  view.out_offsets_ = {
+      reinterpret_cast<const std::uint64_t*>(base + l.out_offsets),
+      static_cast<std::size_t>(n) + 1};
+  view.dst_ = {reinterpret_cast<const NodeId*>(base + l.dst),
+               static_cast<std::size_t>(m)};
+  view.src_ = {reinterpret_cast<const NodeId*>(base + l.src),
+               static_cast<std::size_t>(m)};
+  view.sign_ = {reinterpret_cast<const Sign*>(base + l.sign),
+                static_cast<std::size_t>(m)};
+  view.weight_ = {reinterpret_cast<const double*>(base + l.weight),
+                  static_cast<std::size_t>(m)};
+  view.in_offsets_ = {
+      reinterpret_cast<const std::uint64_t*>(base + l.in_offsets),
+      static_cast<std::size_t>(n) + 1};
+  view.in_edge_ = {reinterpret_cast<const EdgeId*>(base + l.in_edge),
+                   static_cast<std::size_t>(m)};
+  view.state_ = {reinterpret_cast<const NodeState*>(base + l.state),
+                 static_cast<std::size_t>(n)};
+
+  if (options.verify_data) {
+    if (view.fingerprint_ !=
+        util::fnv1a64(base + kRidgHeaderSize, size - kRidgHeaderSize))
+      fail(path, "data fingerprint mismatch");
+    auto check_offsets = [&](std::span<const std::uint64_t> off,
+                             const char* name) {
+      if (off[0] != 0) fail(path, std::string(name) + "[0] != 0");
+      for (std::size_t i = 0; i < off.size() - 1; ++i)
+        if (off[i] > off[i + 1])
+          fail(path, std::string(name) + " not monotone");
+      if (off[off.size() - 1] != m)
+        fail(path, std::string(name) + " terminal != num_edges");
+    };
+    check_offsets(view.out_offsets_, "out_offsets");
+    check_offsets(view.in_offsets_, "in_offsets");
+    for (std::size_t e = 0; e < m; ++e) {
+      if (view.src_[e] >= n || view.dst_[e] >= n)
+        fail(path, "edge endpoint out of range");
+      if (view.sign_[e] != Sign::kPositive && view.sign_[e] != Sign::kNegative)
+        fail(path, "invalid sign byte");
+      if (view.in_edge_[e] >= m) fail(path, "in_edge id out of range");
+    }
+    for (std::size_t v = 0; v < n; ++v) {
+      const NodeState s = view.state_[v];
+      if (s != NodeState::kNegative && s != NodeState::kInactive &&
+          s != NodeState::kPositive && s != NodeState::kUnknown)
+        fail(path, "invalid state byte");
+    }
+  }
+  return view;
+}
+
+PartialGraphView ColumnarGraphView::node_range(NodeId first,
+                                               NodeId last) const {
+  if (first > last || last > num_nodes_)
+    throw util::InputError("ridg: node_range [" + std::to_string(first) +
+                           ", " + std::to_string(last) + ") out of bounds");
+  return PartialGraphView(*this, first, last);
+}
+
+EdgeWindow ColumnarGraphView::edge_range(EdgeId first, EdgeId last) const {
+  if (first > last || last > num_edges_)
+    throw util::InputError("ridg: edge_range [" + std::to_string(first) +
+                           ", " + std::to_string(last) + ") out of bounds");
+  EdgeWindow w;
+  w.first = first;
+  const std::size_t count = last - first;
+  w.srcs = src_.subspan(first, count);
+  w.dsts = dst_.subspan(first, count);
+  w.signs = sign_.subspan(first, count);
+  w.weights = weight_.subspan(first, count);
+  return w;
+}
+
+SignedGraph materialize(const ColumnarGraphView& view) {
+  SignedGraphBuilder builder(view.num_nodes());
+  // CSR order is already sorted (by src, then dst), so re-adding in edge-id
+  // order rebuilds bit-identical arrays.
+  for (EdgeId e = 0; e < view.num_edges(); ++e)
+    builder.add_edge(view.edge_src(e), view.edge_dst(e), view.edge_sign(e),
+                     view.edge_weight(e));
+  // No normalization: the file already holds a normalized graph, and
+  // dropping anything here would break bit-identity with the source.
+  return builder.build({.drop_self_loops = false,
+                        .dedup_parallel_edges = false});
+}
+
+}  // namespace rid::graph

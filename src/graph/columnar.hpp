@@ -1,0 +1,310 @@
+// Columnar on-disk graph storage (.ridg) with a zero-copy mmap view.
+//
+// The .ridg format is a fixed-width little-endian serialization of the exact
+// CSR arrays SignedGraph holds in RAM, preceded by a 64-byte versioned,
+// checksummed header (FNV-1a 64, same constants as core/checkpoint):
+//
+//   offset  size  field
+//   ------  ----  -----------------------------------------------------------
+//        0     8  magic "RIDGRPH1"
+//        8     4  u32 format version (kRidgFormatVersion)
+//       12     4  u32 flags (kRidgFlag*)
+//       16     8  u64 num_nodes (n)
+//       24     8  u64 num_edges (m)
+//       32     8  u64 data fingerprint: FNV-1a64 over bytes [64, file size)
+//       40     8  u64 header checksum: FNV-1a64 over bytes [0, 40)
+//       48    16  zero padding
+//
+// followed by eight sections, each starting at an 8-byte-aligned offset
+// (zero padding between sections), in this fixed order:
+//
+//   out_offsets  u64 x (n+1)   CSR out-edge offsets
+//   dst          u32 x m       destination node per edge (CSR order)
+//   src          u32 x m       source node per edge
+//   sign         i8  x m       edge sign (+1 / -1)
+//   weight       f64 x m       edge weight in [0, 1]
+//   in_offsets   u64 x (n+1)   CSR in-edge offsets
+//   in_edge      u32 x m       incoming EdgeIds per node
+//   state        i8  x n       node-state snapshot column (NodeState values)
+//
+// The state column is always present; kRidgFlagHasStates says whether it
+// carries a real snapshot or just kInactive filler. Identical graph input
+// produces identical output bytes (no timestamps, no platform-dependent
+// padding), which is what makes `ridnet_cli convert` deterministic.
+//
+// ColumnarGraphView mmaps a .ridg read-only and exposes the same accessor
+// surface as SignedGraph (num_nodes, edge_src/dst/sign/weight, out_edge_ids,
+// in_edge_ids, out_neighbors, degrees), so algo/ and core/ code templated
+// over the graph type runs unchanged — and bit-identically — on either
+// backing store. Loading is O(1): pages fault in on first touch.
+// scripts/check_ridg.py re-implements this layout in stdlib Python; keep the
+// two in sync (version-bump on any change).
+#pragma once
+
+#include <cstdint>
+#include <iterator>
+#include <span>
+#include <string>
+
+#include "graph/signed_graph.hpp"
+#include "graph/types.hpp"
+#include "util/mmap_buffer.hpp"
+
+namespace rid::graph {
+
+inline constexpr char kRidgMagic[8] = {'R', 'I', 'D', 'G', 'R', 'P', 'H', '1'};
+inline constexpr std::uint32_t kRidgFormatVersion = 1;
+inline constexpr std::size_t kRidgHeaderSize = 64;
+
+/// Edges are oriented for diffusion (trusted -> truster), i.e. the graph was
+/// already reversed() from the social orientation.
+inline constexpr std::uint32_t kRidgFlagDiffusion = 1u << 0;
+/// The state column carries a real snapshot (otherwise it is kInactive
+/// filler and should be ignored).
+inline constexpr std::uint32_t kRidgFlagHasStates = 1u << 1;
+
+/// Byte offsets of every section for a given (n, m); all little-endian
+/// fixed-width, so the layout is a pure function of the two counts.
+struct RidgLayout {
+  std::uint64_t num_nodes = 0;
+  std::uint64_t num_edges = 0;
+  std::size_t out_offsets = 0;  // u64 x (n+1)
+  std::size_t dst = 0;          // u32 x m
+  std::size_t src = 0;          // u32 x m
+  std::size_t sign = 0;         // i8  x m
+  std::size_t weight = 0;       // f64 x m
+  std::size_t in_offsets = 0;   // u64 x (n+1)
+  std::size_t in_edge = 0;      // u32 x m
+  std::size_t state = 0;        // i8  x n
+  std::size_t file_size = 0;
+
+  static RidgLayout compute(std::uint64_t num_nodes, std::uint64_t num_edges);
+};
+
+/// Serializes `graph` (plus an optional per-node snapshot) to `path` in
+/// .ridg v1 format. `states` must be empty or exactly num_nodes long.
+/// Output bytes are deterministic for identical input. Flags other than
+/// kRidgFlagHasStates (set automatically) are passed through from `flags`.
+/// Throws util::InputError on I/O failure or size mismatch.
+void write_columnar_file(const SignedGraph& graph,
+                         std::span<const NodeState> states,
+                         const std::string& path, std::uint32_t flags = 0);
+
+/// True when the file at `path` starts with the .ridg magic (cheap sniff for
+/// CLI format dispatch; does not validate the rest of the header).
+bool is_ridg_file(const std::string& path);
+
+/// Lazily-materialized range of consecutive EdgeIds [first, last).
+/// Out-edges of a CSR node are exactly the contiguous ids
+/// [out_offsets[u], out_offsets[u+1]), so the columnar view can hand out
+/// edge-id ranges without storing the identity permutation SignedGraph keeps.
+class EdgeIdRange {
+ public:
+  class iterator {
+   public:
+    using iterator_category = std::random_access_iterator_tag;
+    using value_type = EdgeId;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const EdgeId*;
+    using reference = EdgeId;
+
+    iterator() = default;
+    explicit iterator(EdgeId id) : id_(id) {}
+    EdgeId operator*() const noexcept { return id_; }
+    iterator& operator++() noexcept {
+      ++id_;
+      return *this;
+    }
+    iterator operator++(int) noexcept {
+      iterator old = *this;
+      ++id_;
+      return old;
+    }
+    bool operator==(const iterator&) const = default;
+    difference_type operator-(const iterator& o) const noexcept {
+      return static_cast<difference_type>(id_) -
+             static_cast<difference_type>(o.id_);
+    }
+
+   private:
+    EdgeId id_ = 0;
+  };
+
+  EdgeIdRange() = default;
+  EdgeIdRange(EdgeId first, EdgeId last) : first_(first), last_(last) {}
+
+  iterator begin() const noexcept { return iterator(first_); }
+  iterator end() const noexcept { return iterator(last_); }
+  std::size_t size() const noexcept { return last_ - first_; }
+  bool empty() const noexcept { return first_ == last_; }
+  EdgeId operator[](std::size_t i) const noexcept {
+    return first_ + static_cast<EdgeId>(i);
+  }
+  EdgeId front() const noexcept { return first_; }
+
+ private:
+  EdgeId first_ = 0;
+  EdgeId last_ = 0;
+};
+
+/// A window [first, first + srcs.size()) of consecutive edges; spans alias
+/// the mapped file. Used to stream the edge array in blocks under a
+/// WorkBudget instead of touching all m edges' pages at once.
+struct EdgeWindow {
+  EdgeId first = 0;
+  std::span<const NodeId> srcs;
+  std::span<const NodeId> dsts;
+  std::span<const Sign> signs;
+  std::span<const double> weights;
+
+  std::size_t size() const noexcept { return srcs.size(); }
+};
+
+class PartialGraphView;
+
+/// Read-only zero-copy view over a mmap-ed .ridg file. Mirrors the
+/// SignedGraph accessor surface; spans and EdgeIdRanges alias the mapping
+/// and stay valid for the lifetime of the view (moves included).
+class ColumnarGraphView {
+ public:
+  struct OpenOptions {
+    /// Additionally verify the data fingerprint and structural invariants
+    /// (monotone offsets, ids in range, signs in {-1,+1}, valid states).
+    /// Header magic/version/size/checksum are always verified.
+    bool verify_data = false;
+  };
+
+  ColumnarGraphView() = default;
+
+  /// Maps `path`. Throws util::InputError on any validation failure.
+  static ColumnarGraphView open(const std::string& path,
+                                const OpenOptions& options);
+  static ColumnarGraphView open(const std::string& path) {
+    return open(path, OpenOptions{});
+  }
+
+  NodeId num_nodes() const noexcept { return num_nodes_; }
+  std::size_t num_edges() const noexcept { return num_edges_; }
+  std::uint32_t flags() const noexcept { return flags_; }
+  bool has_states() const noexcept {
+    return (flags_ & kRidgFlagHasStates) != 0;
+  }
+  std::uint64_t fingerprint() const noexcept { return fingerprint_; }
+
+  // --- per-edge accessors -------------------------------------------------
+  NodeId edge_src(EdgeId e) const noexcept { return src_[e]; }
+  NodeId edge_dst(EdgeId e) const noexcept { return dst_[e]; }
+  Sign edge_sign(EdgeId e) const noexcept { return sign_[e]; }
+  double edge_weight(EdgeId e) const noexcept { return weight_[e]; }
+
+  // --- adjacency ----------------------------------------------------------
+  EdgeIdRange out_edge_ids(NodeId u) const noexcept {
+    return {static_cast<EdgeId>(out_offsets_[u]),
+            static_cast<EdgeId>(out_offsets_[u + 1])};
+  }
+  std::span<const EdgeId> in_edge_ids(NodeId v) const noexcept {
+    return in_edge_.subspan(in_offsets_[v], in_offsets_[v + 1] -
+                                                in_offsets_[v]);
+  }
+  std::size_t out_degree(NodeId u) const noexcept {
+    return out_offsets_[u + 1] - out_offsets_[u];
+  }
+  std::size_t in_degree(NodeId v) const noexcept {
+    return in_offsets_[v + 1] - in_offsets_[v];
+  }
+  std::span<const NodeId> out_neighbors(NodeId u) const noexcept {
+    return dst_.subspan(out_offsets_[u],
+                        out_offsets_[u + 1] - out_offsets_[u]);
+  }
+
+  /// The embedded snapshot column (size num_nodes; meaningful only when
+  /// has_states()).
+  std::span<const NodeState> states() const noexcept { return state_; }
+
+  // --- raw CSR columns ----------------------------------------------------
+  // Same accessor names as SignedGraph (offsets are u64 on disk, EdgeId in
+  // RAM — callers copy/convert offsets, alias the rest).
+  std::span<const std::uint64_t> csr_out_offsets() const noexcept {
+    return out_offsets_;
+  }
+  std::span<const NodeId> csr_srcs() const noexcept { return src_; }
+  std::span<const NodeId> csr_dsts() const noexcept { return dst_; }
+  std::span<const Sign> csr_signs() const noexcept { return sign_; }
+  std::span<const double> csr_weights() const noexcept { return weight_; }
+  std::span<const std::uint64_t> csr_in_offsets() const noexcept {
+    return in_offsets_;
+  }
+  std::span<const EdgeId> csr_in_edges() const noexcept { return in_edge_; }
+
+  // --- partial views ------------------------------------------------------
+  /// Restriction to nodes [first, last); adjacency of nodes outside the
+  /// window is not accessible through it.
+  PartialGraphView node_range(NodeId first, NodeId last) const;
+  /// Window of consecutive edges [first, last) for streaming scans.
+  EdgeWindow edge_range(EdgeId first, EdgeId last) const;
+
+  /// Drops resident pages of the whole mapping (re-faulted from the file on
+  /// next access). Called before forking sharded workers so children do not
+  /// inherit O(graph) resident pages.
+  void advise_dontneed() const noexcept { file_.advise_dontneed(); }
+
+  /// Bytes of the underlying file (0 when default-constructed).
+  std::size_t file_bytes() const noexcept { return file_.size(); }
+
+ private:
+  util::MappedFile file_;
+  NodeId num_nodes_ = 0;
+  std::size_t num_edges_ = 0;
+  std::uint32_t flags_ = 0;
+  std::uint64_t fingerprint_ = 0;
+  // Typed spans into the mapping (little-endian host required; open()
+  // enforces this).
+  std::span<const std::uint64_t> out_offsets_;  // n+1
+  std::span<const NodeId> dst_;                 // m
+  std::span<const NodeId> src_;                 // m
+  std::span<const Sign> sign_;                  // m
+  std::span<const double> weight_;              // m
+  std::span<const std::uint64_t> in_offsets_;   // n+1
+  std::span<const EdgeId> in_edge_;             // m
+  std::span<const NodeState> state_;            // n
+};
+
+/// Node-window restriction of a ColumnarGraphView: same accessors, but only
+/// nodes in [node_begin, node_end) may be queried. Edge ids remain global,
+/// so results compose with whole-graph structures (union-find, component
+/// labels). The parent view must outlive the partial view.
+class PartialGraphView {
+ public:
+  PartialGraphView(const ColumnarGraphView& parent, NodeId first, NodeId last)
+      : parent_(&parent), first_(first), last_(last) {}
+
+  NodeId node_begin() const noexcept { return first_; }
+  NodeId node_end() const noexcept { return last_; }
+  std::size_t num_window_nodes() const noexcept { return last_ - first_; }
+
+  EdgeIdRange out_edge_ids(NodeId u) const noexcept {
+    return parent_->out_edge_ids(u);
+  }
+  std::span<const NodeId> out_neighbors(NodeId u) const noexcept {
+    return parent_->out_neighbors(u);
+  }
+  NodeId edge_src(EdgeId e) const noexcept { return parent_->edge_src(e); }
+  NodeId edge_dst(EdgeId e) const noexcept { return parent_->edge_dst(e); }
+  Sign edge_sign(EdgeId e) const noexcept { return parent_->edge_sign(e); }
+  double edge_weight(EdgeId e) const noexcept {
+    return parent_->edge_weight(e);
+  }
+  bool contains(NodeId u) const noexcept { return u >= first_ && u < last_; }
+
+ private:
+  const ColumnarGraphView* parent_;
+  NodeId first_;
+  NodeId last_;
+};
+
+/// Materializes the view back into an in-RAM SignedGraph (parse-free: a
+/// straight copy of the columns). Used by code paths that genuinely need
+/// the owning type (e.g. reversed()).
+SignedGraph materialize(const ColumnarGraphView& view);
+
+}  // namespace rid::graph

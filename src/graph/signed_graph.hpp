@@ -107,6 +107,21 @@ class SignedGraph {
   /// EdgeId of (src, dst) if present, else kInvalidEdge (binary search).
   EdgeId find_edge(NodeId src, NodeId dst) const noexcept;
 
+  // --- raw CSR columns ----------------------------------------------------
+  // Whole-array views used by the columnar serializer (graph/columnar) and
+  // the flat-span diffusion engine; indexed by NodeId (offsets) or EdgeId.
+  std::span<const EdgeId> csr_out_offsets() const noexcept {
+    return out_offsets_;
+  }
+  std::span<const NodeId> csr_srcs() const noexcept { return src_; }
+  std::span<const NodeId> csr_dsts() const noexcept { return dst_; }
+  std::span<const Sign> csr_signs() const noexcept { return sign_; }
+  std::span<const double> csr_weights() const noexcept { return weight_; }
+  std::span<const EdgeId> csr_in_offsets() const noexcept {
+    return in_offsets_;
+  }
+  std::span<const EdgeId> csr_in_edges() const noexcept { return in_edge_; }
+
   /// The reversed graph: edge (u, v) becomes (v, u) with the same sign and
   /// weight. This is exactly the paper's social -> diffusion transformation.
   SignedGraph reversed() const;

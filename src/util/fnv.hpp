@@ -1,0 +1,56 @@
+// Shared FNV-1a hashing primitives.
+//
+// One canonical implementation of the 32/64-bit FNV-1a constants used by
+// every on-disk format in the tree: the checkpoint stream (core/checkpoint)
+// frames records with fnv1a32 and fingerprints forests with fnv1a64_step;
+// the columnar graph format (graph/columnar) checksums its header and
+// fingerprints its data sections with fnv1a64. scripts/check_checkpoint.py
+// and scripts/check_ridg.py re-implement these byte-for-byte in Python, so
+// the constants here are a cross-language contract — never change them
+// without a format version bump.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace rid::util {
+
+inline constexpr std::uint32_t kFnv32Basis = 2166136261u;
+inline constexpr std::uint32_t kFnv32Prime = 16777619u;
+inline constexpr std::uint64_t kFnv64Basis = 14695981039346656037ull;
+inline constexpr std::uint64_t kFnv64Prime = 1099511628211ull;
+
+/// 32-bit FNV-1a over a byte string (checkpoint record checksums).
+constexpr std::uint32_t fnv1a32(std::string_view data) noexcept {
+  std::uint32_t hash = kFnv32Basis;
+  for (const char c : data) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= kFnv32Prime;
+  }
+  return hash;
+}
+
+/// 64-bit FNV-1a over a raw byte range.
+constexpr std::uint64_t fnv1a64(const void* data, std::size_t size,
+                                std::uint64_t hash = kFnv64Basis) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= p[i];
+    hash *= kFnv64Prime;
+  }
+  return hash;
+}
+
+/// Folds one 64-bit value into a running FNV-1a 64 hash, least-significant
+/// byte first (the forest-fingerprint convention).
+constexpr std::uint64_t fnv1a64_step(std::uint64_t hash,
+                                     std::uint64_t value) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (value >> (8 * i)) & 0xffu;
+    hash *= kFnv64Prime;
+  }
+  return hash;
+}
+
+}  // namespace rid::util

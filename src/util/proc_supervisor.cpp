@@ -15,6 +15,7 @@
 #define RID_HAS_FORK 1
 #include <cerrno>
 #include <csignal>
+#include <sys/resource.h>
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -44,7 +45,21 @@ struct ShardMetrics {
   metrics::Counter& retries = metrics::global().counter("shard.retries");
   metrics::Counter& kills = metrics::global().counter("shard.kills");
   metrics::Counter& poisoned = metrics::global().counter("shard.poison_trees");
+  /// High-water of any reaped worker's peak RSS (ru_maxrss, KiB). This is
+  /// the number that proves columnar workers run at O(shard trees) instead
+  /// of O(graph) — bench_columnar_load resets it between scenarios.
+  metrics::Gauge& rss_peak = metrics::global().gauge("shard.rss_peak_kb");
 };
+
+/// Per-child peak RSS via wait4's rusage (unlike RUSAGE_CHILDREN, which is
+/// a cumulative high-water across every reaped child and can't be reset).
+pid_t wait_child(pid_t pid, int* status, int flags, ShardMetrics& sm) {
+  struct rusage usage {};
+  const pid_t r = ::wait4(pid, status, flags, &usage);
+  if (r == pid && usage.ru_maxrss > 0)
+    sm.rss_peak.set_max(static_cast<double>(usage.ru_maxrss));
+  return r;
+}
 
 ShardMetrics& shard_metrics() {
   static ShardMetrics instance;
@@ -273,7 +288,7 @@ SupervisorReport supervise_shards(const std::vector<ShardWork>& shards,
         ++report.kills;
         sm.kills.add(1);
         int status = 0;
-        while (waitpid(state.pid, &status, 0) < 0 && errno == EINTR) {
+        while (wait_child(state.pid, &status, 0, sm) < 0 && errno == EINTR) {
         }
         emit_attempt_span(state, encode_exit(status));
         drop_durable(state);
@@ -305,7 +320,7 @@ SupervisorReport supervise_shards(const std::vector<ShardWork>& shards,
     for (ShardState& state : states) {
       if (state.phase != ShardState::Phase::kRunning) continue;
       int status = 0;
-      const pid_t r = waitpid(state.pid, &status, WNOHANG);
+      const pid_t r = wait_child(state.pid, &status, WNOHANG, sm);
       if (r == state.pid) {
         reap(state, status);
         continue;

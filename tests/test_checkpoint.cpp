@@ -280,5 +280,141 @@ TEST(Checkpoint, ForestFingerprintTracksShapeAndStates) {
   EXPECT_NE(forest_fingerprint(forest), forest_fingerprint(bigger));
 }
 
+TEST(CheckpointInspect, ReportsHeaderRecordsAndDamage) {
+  const fs::path dir = test_dir("inspect");
+  const std::string path = (dir / "a.ckpt").string();
+  {
+    CheckpointWriter writer(path, 42);
+    writer.append(sample_record(0));
+    writer.append(sample_record(1));
+  }
+  CheckpointFileInfo info = inspect_checkpoint_file(path);
+  EXPECT_EQ(info.path, path);
+  EXPECT_EQ(info.fingerprint, 42u);
+  EXPECT_EQ(info.records, 2u);
+  EXPECT_FALSE(info.damaged);
+  EXPECT_TRUE(info.error.empty());
+
+  // Truncation mid-record: valid prefix counted, damage described, no throw.
+  const std::string full = slurp(path);
+  dump(path, full.substr(0, full.size() - 3));
+  info = inspect_checkpoint_file(path);
+  EXPECT_EQ(info.records, 1u);
+  EXPECT_TRUE(info.damaged);
+  EXPECT_FALSE(info.error.empty());
+
+  // Unreadable header: damaged with zero records, still no throw.
+  dump(path, "short");
+  info = inspect_checkpoint_file(path);
+  EXPECT_EQ(info.records, 0u);
+  EXPECT_TRUE(info.damaged);
+  info = inspect_checkpoint_file((dir / "missing.ckpt").string());
+  EXPECT_TRUE(info.damaged);
+}
+
+TEST(CheckpointCompaction, MergesFirstWinsAndPrunes) {
+  const fs::path dir = test_dir("compact");
+  // Two attempt files with one overlapping tree: resume semantics keep the
+  // record from the lexicographically first file.
+  {
+    CheckpointWriter a((dir / "shard-0-a1.ckpt").string(), 42);
+    a.append(sample_record(0));
+    TreeCheckpointRecord dup = sample_record(2);
+    dup.seconds = 1.0;  // distinguishable from the attempt-2 duplicate
+    a.append(dup);
+  }
+  {
+    CheckpointWriter b((dir / "shard-0-a2.ckpt").string(), 42);
+    b.append(sample_record(2));
+    b.append(sample_record(5));
+  }
+  // A damaged file whose valid prefix must still be salvaged.
+  {
+    CheckpointWriter c((dir / "shard-1-a1.ckpt").string(), 42);
+    c.append(sample_record(7));
+    c.append(sample_record(8));
+  }
+  const std::string damaged_path = (dir / "shard-1-a1.ckpt").string();
+  const std::string full = slurp(damaged_path);
+  dump(damaged_path, full.substr(0, full.size() - 2));
+
+  const CompactionResult result = compact_checkpoint_dir(dir.string(), 42);
+  EXPECT_EQ(result.files_before, 3u);
+  EXPECT_EQ(result.records_kept, 4u);  // trees 0, 2, 5, 7
+  EXPECT_EQ(result.duplicates_dropped, 1u);
+  EXPECT_FALSE(result.errors.empty());
+  EXPECT_FALSE(result.output_file.empty());
+
+  // Only the compacted file remains, and resuming from it merges exactly
+  // what resuming from the original directory would have.
+  std::size_t ckpt_files = 0;
+  for (const auto& entry : fs::directory_iterator(dir))
+    if (entry.path().extension() == ".ckpt") ++ckpt_files;
+  EXPECT_EQ(ckpt_files, 1u);
+  const CheckpointLoad load = load_checkpoint_dir(dir.string(), 42);
+  ASSERT_EQ(load.records.size(), 4u);
+  EXPECT_TRUE(load.errors.empty());
+  bool saw_dup = false;
+  for (const auto& record : load.records) {
+    if (record.tree_index == 2) {
+      saw_dup = true;
+      EXPECT_EQ(double_bits(record.seconds), double_bits(1.0));  // first wins
+    }
+  }
+  EXPECT_TRUE(saw_dup);
+
+  // Wrong-forest files are stale: nothing merged from them, and they are
+  // pruned alongside the files the compact output supersedes.
+  const fs::path dir2 = test_dir("compact_stale");
+  {
+    CheckpointWriter stale((dir2 / "shard-0-a1.ckpt").string(), 41);
+    stale.append(sample_record(3));
+  }
+  {
+    CheckpointWriter good((dir2 / "shard-1-a1.ckpt").string(), 42);
+    good.append(sample_record(4));
+  }
+  const CompactionResult pruned = compact_checkpoint_dir(dir2.string(), 42);
+  EXPECT_EQ(pruned.records_kept, 1u);
+  EXPECT_EQ(pruned.files_removed, 2u);
+  const CheckpointLoad merged = load_checkpoint_dir(dir2.string(), 42);
+  ASSERT_EQ(merged.records.size(), 1u);
+  EXPECT_EQ(merged.records[0].tree_index, 4u);
+
+  // When *nothing* is salvageable the directory is left untouched — a
+  // mistaken --gc against the wrong forest must not destroy data.
+  const fs::path dir3 = test_dir("compact_all_stale");
+  {
+    CheckpointWriter stale((dir3 / "shard-0-a1.ckpt").string(), 41);
+    stale.append(sample_record(3));
+  }
+  const CompactionResult untouched = compact_checkpoint_dir(dir3.string(), 42);
+  EXPECT_EQ(untouched.records_kept, 0u);
+  EXPECT_TRUE(untouched.output_file.empty());
+  EXPECT_EQ(untouched.files_removed, 0u);
+  EXPECT_TRUE(fs::exists(dir3 / "shard-0-a1.ckpt"));
+}
+
+TEST(CheckpointCompaction, EmptyAndIdempotent) {
+  const fs::path dir = test_dir("compact_empty");
+  const CompactionResult empty = compact_checkpoint_dir(dir.string(), 0);
+  EXPECT_EQ(empty.files_before, 0u);
+  EXPECT_TRUE(empty.output_file.empty());
+
+  {
+    CheckpointWriter a((dir / "a.ckpt").string(), 9);
+    a.append(sample_record(1));
+  }
+  // Fingerprint 0 adopts the first readable header.
+  const CompactionResult first = compact_checkpoint_dir(dir.string(), 0);
+  EXPECT_EQ(first.records_kept, 1u);
+  const CompactionResult again = compact_checkpoint_dir(dir.string(), 9);
+  EXPECT_EQ(again.records_kept, 1u);
+  EXPECT_EQ(again.duplicates_dropped, 0u);
+  const CheckpointLoad load = load_checkpoint_dir(dir.string(), 9);
+  ASSERT_EQ(load.records.size(), 1u);
+  EXPECT_EQ(load.records[0].tree_index, 1u);
+}
+
 }  // namespace
 }  // namespace rid::core

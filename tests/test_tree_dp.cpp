@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 
 #include "core/general_tree_dp.hpp"
 #include "util/metrics.hpp"
@@ -447,6 +449,78 @@ TEST(TreeDpIncremental, CapDoublingsRecomputeZeroColumns) {
   scratch.incremental_growth = false;
   solve_tree(tree, 0.05, scratch);
   EXPECT_EQ(recomputed.value() - r1, 8u + 16u + 32u);
+}
+
+std::uint64_t dp_double_bits(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+TEST(TreeDpSpill, SpilledArenasAreBitIdentical) {
+  util::Rng rng(77);
+  const CascadeTree tree = random_tree(rng, 500, 0.1);
+  TreeDpOptions plain;
+  plain.rank_initiators = true;
+  const TreeSolution want = solve_tree(tree, 0.05, plain);
+
+  util::metrics::Counter& spills =
+      util::metrics::global().counter("dp.arena_spills");
+  const std::uint64_t before = spills.value();
+  TreeDpOptions tiny = plain;
+  tiny.max_resident_table_entries = 1;  // every arena exceeds this
+  const TreeSolution got = solve_tree(tree, 0.05, tiny);
+  // The threshold crossing is observable (heap fallback still counts the
+  // attempt only when the temp-file mapping succeeded, which it does on any
+  // platform this test runs on with a writable tmp dir).
+  EXPECT_GT(spills.value(), before);
+  EXPECT_EQ(got.k, want.k);
+  EXPECT_EQ(got.initiators, want.initiators);
+  EXPECT_EQ(got.states, want.states);
+  EXPECT_EQ(got.entry_k, want.entry_k);
+  EXPECT_EQ(dp_double_bits(got.opt), dp_double_bits(want.opt));
+  EXPECT_EQ(dp_double_bits(got.objective), dp_double_bits(want.objective));
+}
+
+TEST(TreeDpSpill, IncrementalGrowthAcrossSpilledArenas) {
+  // Force cap doublings (weak star keeps growing k) with a spilling arena:
+  // the widen-and-move growth path must also be bit-identical.
+  const CascadeTree tree = make_weak_star(40);
+  TreeDpOptions plain;
+  const TreeSolution want = solve_tree(tree, 0.0005, plain);
+  TreeDpOptions tiny = plain;
+  tiny.max_resident_table_entries = 1;
+  const TreeSolution got = solve_tree(tree, 0.0005, tiny);
+  EXPECT_EQ(got.k, want.k);
+  EXPECT_EQ(got.initiators, want.initiators);
+  EXPECT_EQ(dp_double_bits(got.opt), dp_double_bits(want.opt));
+}
+
+TEST(TreeDpBetaSweep, PoolExtractionThreadInvariant) {
+  util::Rng rng(99);
+  const CascadeTree tree = random_tree(rng, 800, 0.2);
+  std::vector<double> betas;
+  for (int i = 0; i < 33; ++i) betas.push_back(0.001 + 0.01 * i);
+  TreeDpOptions serial;
+  serial.rank_initiators = true;
+  serial.num_threads = 1;
+  const auto want = solve_tree_betas(tree, betas, serial);
+  ASSERT_EQ(want.size(), betas.size());
+  for (const std::size_t threads : {2u, 4u, 8u}) {
+    TreeDpOptions options = serial;
+    options.num_threads = threads;
+    const auto got = solve_tree_betas(tree, betas, options);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].k, want[i].k) << "beta " << betas[i];
+      EXPECT_EQ(got[i].initiators, want[i].initiators);
+      EXPECT_EQ(got[i].states, want[i].states);
+      EXPECT_EQ(got[i].entry_k, want[i].entry_k);
+      EXPECT_EQ(dp_double_bits(got[i].opt), dp_double_bits(want[i].opt));
+      EXPECT_EQ(dp_double_bits(got[i].objective),
+                dp_double_bits(want[i].objective));
+    }
+  }
 }
 
 TEST(TreeDpRanking, BetaSweepPopulatesEntryK) {
