@@ -11,6 +11,12 @@
 //   ridnet_cli convert   --graph=graph.txt --out=graph.ridg ...
 //                        [--snapshot=snap.txt] [--social]
 //   ridnet_cli checkpoints --run-dir=ridnet-run [--verify] [--gc]
+//   ridnet_cli serve     --run-dir=ridnet-serve [--endpoint=unix:PATH|tcp:P]
+//                        [--resume] [--transport=socket] [--max-queued=8] ...
+//   ridnet_cli submit    --connect=ridnet-serve/serve.sock --graph=g.ridg
+//                        --beta=2.0 --shards=2 [--wait [--timeout=S]]
+//   ridnet_cli query     --connect=ridnet-serve/serve.sock --job=1
+//   ridnet_cli worker    --connect=ENDPOINT --shard=N --attempt=N
 //
 // Graph files are the library's weighted signed edge-list format
 // ("src dst sign weight"; see graph/graph_io.hpp) holding the *social*
@@ -53,6 +59,18 @@
 //   --shard-heartbeat=S   kill a worker whose checkpoint stream makes no
 //                         progress for S seconds
 //   --shard-deadline=S    kill a worker attempt that outlives S seconds
+//   --shard-mem-limit=MIB cap each worker's address space (setrlimit); a
+//                         worker that blows it dies and is requeued like a
+//                         crash
+//   --shard-cpu-limit=S   cap each worker's CPU seconds (setrlimit)
+//   --transport=MODE      fork (default) or socket: fork+exec
+//                         "<worker-command> worker" per shard and dispatch
+//                         assignments over a local socket (.ridg input
+//                         required; see DESIGN.md §13)
+//   --worker-command=BIN  binary exec'd per socket worker (default: this
+//                         ridnet_cli binary itself)
+//   --worker-endpoint=EP  dispatcher endpoint (default: a unix socket in
+//                         --run-dir)
 //   --failpoints=SPEC     arm deterministic fault injection, e.g.
 //                         "tree_dp.compute=throw@2;checkpoint.append=abort"
 //                         (also read from $RID_FAILPOINTS; see
@@ -80,17 +98,32 @@
 //      results were still written, diagnostics on stderr say why)
 //   5  interrupted (SIGINT/SIGTERM): partial results and observability
 //      artifacts were flushed before exiting
+//   6  try again later (submit rejected over the admission budget with a
+//      retry-after hint; query/--wait on a still-pending job)
+//
+// Service mode (DESIGN.md §13): `serve` runs the long-lived daemon —
+// submissions land in a crash-safe journal under --run-dir, run as sharded
+// detections (multiplexed across jobs via --worker-slots), and leave
+// results in <run-dir>/job-<id>/result.txt, byte-identical to what
+// `detect --out` writes for the same input. `serve --resume` after a crash
+// or restart re-queues every journal-incomplete job and keeps finished
+// results. `submit`/`query` are the matching clients; `worker` is the
+// subprocess entry point the socket transport exec's — not for direct use.
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <filesystem>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/baselines.hpp"
 #include "core/checkpoint.hpp"
+#include "core/serve.hpp"
+#include "core/shard_transport.hpp"
 #include "core/jordan_center.hpp"
 #include "core/rid.hpp"
 #include "core/rumor_centrality.hpp"
@@ -122,6 +155,11 @@ constexpr int kExitUsage = 2;
 constexpr int kExitBadInput = 3;
 constexpr int kExitDegraded = 4;
 constexpr int kExitInterrupted = 5;
+constexpr int kExitRetryLater = 6;
+
+// Resolved in main(): the path socket-transport shard dispatch exec's as
+// "<worker_command> worker ..." when --worker-command is not given.
+std::string g_self_path;
 
 // Signal handling: the first SIGINT/SIGTERM trips the cancel token every
 // budget (and the shard supervisor) polls, so the run unwinds cooperatively
@@ -147,7 +185,8 @@ void install_signal_handlers() {
 int usage() {
   std::fprintf(stderr,
                "usage: ridnet_cli <generate|simulate|detect|evaluate|"
-               "pipeline|convert|checkpoints> [--flags]\n"
+               "pipeline|convert|checkpoints|serve|submit|query|worker> "
+               "[--flags]\n"
                "run with a subcommand and no flags for its defaults; see the "
                "header of examples/ridnet_cli.cpp for details\n");
   return kExitUsage;
@@ -252,7 +291,8 @@ core::RidConfig rid_config_from_flags(const util::Flags& flags) {
 }
 
 core::ShardedConfig sharded_config_from_flags(const util::Flags& flags,
-                                              int shards) {
+                                              int shards,
+                                              const std::string& graph_path) {
   core::ShardedConfig sharded;
   sharded.num_shards = static_cast<std::size_t>(shards);
   sharded.run_dir = flags.get_string("run-dir", "ridnet-run");
@@ -263,7 +303,24 @@ core::ShardedConfig sharded_config_from_flags(const util::Flags& flags,
       flags.get_double("shard-heartbeat", util::kUnlimitedSeconds);
   sharded.supervisor.shard_deadline_seconds =
       flags.get_double("shard-deadline", util::kUnlimitedSeconds);
+  sharded.supervisor.mem_limit_bytes =
+      static_cast<std::uint64_t>(flags.get_int("shard-mem-limit", 0)) << 20;
+  sharded.supervisor.cpu_limit_seconds =
+      flags.get_double("shard-cpu-limit", 0.0);
   sharded.supervisor.cancel = cli_cancel_token();
+  const std::string transport = flags.get_string("transport", "fork");
+  if (transport == "socket") {
+    sharded.transport = core::ShardTransport::kSocket;
+    sharded.worker_command = flags.get_string("worker-command", g_self_path);
+    sharded.worker_endpoint = flags.get_string("worker-endpoint", "");
+    // Empty for text-graph inputs; the core rejects that combination with
+    // an explanation (socket workers re-map the .ridg, there is no file to
+    // point them at otherwise).
+    sharded.graph_path = graph_path;
+  } else if (transport != "fork") {
+    throw std::invalid_argument("unknown transport: " + transport +
+                                " (fork|socket)");
+  }
   return sharded;
 }
 
@@ -284,8 +341,9 @@ core::DetectionResult detect_on(const graph::SignedGraph& diffusion,
     // --shards=N: crash-isolated multi-process execution with checkpoints.
     const int shards = flags.get_int("shards", 0);
     if (shards > 0)
-      return core::run_rid_sharded(diffusion, snapshot, config,
-                                   sharded_config_from_flags(flags, shards));
+      return core::run_rid_sharded(
+          diffusion, snapshot, config,
+          sharded_config_from_flags(flags, shards, ""));
     return core::run_rid(diffusion, snapshot, config);
   }
   core::BaselineConfig base;
@@ -308,7 +366,8 @@ core::DetectionResult detect_on(const graph::SignedGraph& diffusion,
 /// input instead of silently materializing one.
 core::DetectionResult detect_on(const graph::ColumnarGraphView& diffusion,
                                 std::span<const graph::NodeState> snapshot,
-                                const util::Flags& flags) {
+                                const util::Flags& flags,
+                                const std::string& graph_path) {
   const std::string method = flags.get_string("method", "rid");
   if (method != "rid")
     throw util::InputError("method '" + method +
@@ -321,8 +380,9 @@ core::DetectionResult detect_on(const graph::ColumnarGraphView& diffusion,
   const core::RidConfig config = rid_config_from_flags(flags);
   const int shards = flags.get_int("shards", 0);
   if (shards > 0)
-    return core::run_rid_sharded(diffusion, snapshot, config,
-                                 sharded_config_from_flags(flags, shards));
+    return core::run_rid_sharded(
+        diffusion, snapshot, config,
+        sharded_config_from_flags(flags, shards, graph_path));
   return core::run_rid(diffusion, snapshot, config);
 }
 
@@ -362,7 +422,8 @@ int cmd_detect(const util::Flags& flags) {
       snapshot = core::load_snapshot_file(
           flags.get_string("snapshot", "snap.txt"), view.num_nodes());
     }
-    const core::DetectionResult result = detect_on(view, snapshot, flags);
+    const core::DetectionResult result =
+        detect_on(view, snapshot, flags, graph_path);
     return write_detection(result, view.num_nodes(), flags);
   }
   const auto loaded = graph::load_weighted_file(graph_path);
@@ -507,6 +568,129 @@ int cmd_checkpoints(const util::Flags& flags) {
   return 0;
 }
 
+// Socket-transport worker entry point: exec'd by the shard dispatcher, not
+// meant for direct use. run_socket_worker owns the whole lifecycle and
+// returns the process exit code (its failures must look like worker
+// crashes to the supervisor, never like CLI usage errors).
+int cmd_worker(const util::Flags& flags) {
+  return core::run_socket_worker(
+      flags.get_string("connect", ""),
+      static_cast<std::size_t>(flags.get_int("shard", 0)),
+      static_cast<std::uint32_t>(flags.get_int("attempt", 1)));
+}
+
+int cmd_serve(const util::Flags& flags) {
+  core::ServeOptions options;
+  options.run_dir = flags.get_string("run-dir", "ridnet-serve");
+  options.endpoint = flags.get_string("endpoint", "");
+  options.resume = flags.get_bool("resume", false);
+  options.max_queued_jobs =
+      static_cast<std::size_t>(flags.get_int("max-queued", 8));
+  options.max_pending_nodes =
+      static_cast<std::uint64_t>(flags.get_int("max-pending-nodes", 0));
+  options.max_concurrent_jobs =
+      static_cast<std::size_t>(flags.get_int("max-concurrent", 2));
+  options.worker_slots =
+      static_cast<std::size_t>(flags.get_int("worker-slots", 0));
+  options.base_config = rid_config_from_flags(flags);
+  const core::ShardedConfig sharded = sharded_config_from_flags(flags, 0, "");
+  options.supervisor = sharded.supervisor;
+  options.transport = sharded.transport;
+  options.worker_command = sharded.worker_command;
+  options.cancel = cli_cancel_token();
+  options.on_listening = [](const std::string& endpoint) {
+    std::cout << "serving on " << endpoint << std::endl;  // flush: readiness
+  };
+  const core::ServeReport report = core::run_serve(options);
+  for (const std::string& event : report.events)
+    std::fprintf(stderr, "ridnet_cli serve: %s\n", event.c_str());
+  std::cout << "serve: accepted=" << report.jobs_accepted
+            << " rejected=" << report.jobs_rejected
+            << " completed=" << report.jobs_completed
+            << " recovered=" << report.jobs_recovered << "\n";
+  return 0;  // a stopping signal still maps to kExitInterrupted in main
+}
+
+/// Polls a submitted job until it finishes. Transient connection failures
+/// (the daemon restarting mid-drill) are retried until the timeout.
+int wait_for_job(const std::string& endpoint, std::uint64_t job_id,
+                 double timeout_seconds) {
+  const auto start = std::chrono::steady_clock::now();
+  for (;;) {
+    if (g_signal.load() != 0) return kExitInterrupted;
+    core::JobQueryResult result;
+    bool reachable = true;
+    try {
+      result = core::query_job(endpoint, job_id);
+    } catch (const util::InputError&) {
+      reachable = false;
+    }
+    if (reachable) {
+      if (result.phase == core::JobPhase::kDone) {
+        std::cout << "job " << job_id << ": " << result.message << "\n"
+                  << result.result_path << "\n";
+        return result.ok ? 0
+                         : (result.degraded ? kExitDegraded : kExitInternal);
+      }
+      if (result.phase == core::JobPhase::kUnknown) {
+        std::fprintf(stderr, "ridnet_cli submit: job %llu is unknown\n",
+                     static_cast<unsigned long long>(job_id));
+        return kExitBadInput;
+      }
+    }
+    const double waited =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (timeout_seconds > 0 && waited >= timeout_seconds) {
+      std::fprintf(stderr,
+                   "ridnet_cli submit: job %llu still pending after %.1fs\n",
+                   static_cast<unsigned long long>(job_id), waited);
+      return kExitRetryLater;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+}
+
+int cmd_submit(const util::Flags& flags) {
+  const std::string endpoint =
+      flags.get_string("connect", "ridnet-serve/serve.sock");
+  core::JobSpec spec;
+  spec.graph_path = flags.get_string("graph", "graph.ridg");
+  spec.beta = flags.get_double("beta", 2.0);
+  spec.num_shards = static_cast<std::size_t>(flags.get_int("shards", 2));
+  const core::SubmitOutcome outcome = core::submit_job(endpoint, spec);
+  if (!outcome.accepted) {
+    if (outcome.permanent) {
+      std::fprintf(stderr, "ridnet_cli submit: rejected: %s\n",
+                   outcome.reason.c_str());
+      return kExitBadInput;
+    }
+    std::fprintf(stderr,
+                 "ridnet_cli submit: rejected, retry after %.1fs: %s\n",
+                 outcome.retry_after_seconds, outcome.reason.c_str());
+    return kExitRetryLater;
+  }
+  std::cout << "accepted job " << outcome.job_id << " (" << outcome.job_dir
+            << ")\n";
+  if (!flags.get_bool("wait", false)) return 0;
+  return wait_for_job(endpoint, outcome.job_id,
+                      flags.get_double("timeout", 0.0));
+}
+
+int cmd_query(const util::Flags& flags) {
+  const std::string endpoint =
+      flags.get_string("connect", "ridnet-serve/serve.sock");
+  const auto job_id = static_cast<std::uint64_t>(flags.get_int("job", 0));
+  const core::JobQueryResult result = core::query_job(endpoint, job_id);
+  std::cout << result.message << "\n";
+  if (result.phase == core::JobPhase::kDone) {
+    std::cout << result.result_path << "\n";
+    return result.ok ? 0 : (result.degraded ? kExitDegraded : kExitInternal);
+  }
+  return result.phase == core::JobPhase::kPending ? kExitRetryLater
+                                                  : kExitBadInput;
+}
+
 int dispatch(const std::string& command, const rid::util::Flags& flags) {
   try {
     if (command == "generate") return cmd_generate(flags);
@@ -516,6 +700,10 @@ int dispatch(const std::string& command, const rid::util::Flags& flags) {
     if (command == "pipeline") return cmd_pipeline(flags);
     if (command == "convert") return cmd_convert(flags);
     if (command == "checkpoints") return cmd_checkpoints(flags);
+    if (command == "serve") return cmd_serve(flags);
+    if (command == "submit") return cmd_submit(flags);
+    if (command == "query") return cmd_query(flags);
+    if (command == "worker") return cmd_worker(flags);
   } catch (const rid::util::InputError& error) {
     std::fprintf(stderr, "ridnet_cli %s: %s\n", command.c_str(), error.what());
     return kExitBadInput;
@@ -562,6 +750,13 @@ void write_observability_artifacts(const std::string& trace_path,
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
+  {
+    // The socket transport re-execs this binary as its worker; prefer the
+    // kernel's answer over argv[0] (which may be a bare name from $PATH).
+    std::error_code ec;
+    const auto self = std::filesystem::read_symlink("/proc/self/exe", ec);
+    g_self_path = ec ? std::string(argv[0]) : self.string();
+  }
   const auto flags = rid::util::Flags::parse(argc - 1, argv + 1);
   install_signal_handlers();
   // Fault injection: $RID_FAILPOINTS first, then --failpoints on top.

@@ -9,6 +9,7 @@
 #include "util/errors.hpp"
 #include "util/failpoint.hpp"
 #include "util/fnv.hpp"
+#include "util/wire.hpp"
 
 namespace rid::core {
 
@@ -16,74 +17,17 @@ namespace {
 
 namespace fs = std::filesystem;
 
-// --- little-endian primitive (de)serialization -----------------------------
+// Little-endian (de)serialization lives in util/wire.hpp, shared with the
+// socket shard protocol and the serve job journal — one implementation
+// keeps all three formats byte-compatible. The "checkpoint record" context
+// preserves the historical error wording.
+using util::wire::put_f64;
+using util::wire::put_u32;
+using util::wire::put_u64;
 
-void put_u32(std::string& out, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+util::wire::Reader record_reader(std::string_view data) {
+  return util::wire::Reader(data, "checkpoint record");
 }
-
-void put_u64(std::string& out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
-}
-
-void put_f64(std::string& out, double v) {
-  std::uint64_t bits;
-  static_assert(sizeof(bits) == sizeof(v));
-  std::memcpy(&bits, &v, sizeof(bits));
-  put_u64(out, bits);
-}
-
-/// Bounds-checked reader over a payload; throws InputError on underflow so
-/// a truncated or garbled payload can never read out of bounds.
-class Reader {
- public:
-  explicit Reader(std::string_view data) : data_(data) {}
-
-  std::uint8_t u8() { return take(1)[0]; }
-
-  std::uint32_t u32() {
-    const auto* p = take(4);
-    std::uint32_t v = 0;
-    for (int i = 0; i < 4; ++i)
-      v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
-    return v;
-  }
-
-  std::uint64_t u64() {
-    const auto* p = take(8);
-    std::uint64_t v = 0;
-    for (int i = 0; i < 8; ++i)
-      v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
-    return v;
-  }
-
-  double f64() {
-    const std::uint64_t bits = u64();
-    double v;
-    std::memcpy(&v, &bits, sizeof(v));
-    return v;
-  }
-
-  std::string bytes(std::size_t n) {
-    const auto* p = take(n);
-    return std::string(reinterpret_cast<const char*>(p), n);
-  }
-
-  bool done() const noexcept { return pos_ == data_.size(); }
-
- private:
-  const unsigned char* take(std::size_t n) {
-    if (data_.size() - pos_ < n)
-      throw util::InputError("checkpoint record: payload truncated");
-    const auto* p =
-        reinterpret_cast<const unsigned char*>(data_.data()) + pos_;
-    pos_ += n;
-    return p;
-  }
-
-  std::string_view data_;
-  std::size_t pos_ = 0;
-};
 
 using util::fnv1a32;
 using util::fnv1a64_step;
@@ -134,7 +78,7 @@ std::vector<TreeCheckpointRecord> parse_records(std::string_view stream,
     if (stream.size() - pos < 8)
       return fail("truncated record frame (" +
                   std::to_string(stream.size() - pos) + " trailing bytes)");
-    Reader frame(stream.substr(pos, 8));
+    util::wire::Reader frame = record_reader(stream.substr(pos, 8));
     const std::uint32_t length = frame.u32();
     const std::uint32_t checksum = frame.u32();
     if (stream.size() - pos - 8 < length)
@@ -183,7 +127,8 @@ std::string read_stream(const std::string& path,
       0)
     throw util::InputError("checkpoint file " + path +
                            ": bad magic (not a RID checkpoint)");
-  Reader header(std::string_view(data).substr(8, kHeaderSize - 8));
+  util::wire::Reader header =
+      record_reader(std::string_view(data).substr(8, kHeaderSize - 8));
   const std::uint32_t version = header.u32();
   header.u32();  // reserved
   const std::uint64_t fingerprint = header.u64();
@@ -246,7 +191,7 @@ std::string encode_record(const TreeCheckpointRecord& record) {
 }
 
 TreeCheckpointRecord decode_record(std::string_view payload) {
-  Reader in(payload);
+  util::wire::Reader in = record_reader(payload);
   TreeCheckpointRecord record;
   record.tree_index = in.u64();
   record.status = status_from_byte(in.u8());
@@ -270,8 +215,7 @@ TreeCheckpointRecord decode_record(std::string_view payload) {
   for (std::uint32_t i = 0; i < num_entry; ++i)
     record.solution.entry_k.push_back(in.u32());
   record.error = in.bytes(in.u32());
-  if (!in.done())
-    throw util::InputError("checkpoint record: trailing bytes in payload");
+  in.expect_done();
   return record;
 }
 

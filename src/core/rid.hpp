@@ -81,9 +81,22 @@ std::vector<DetectionResult> run_rid_betas(const CascadeForest& forest,
                                            std::span<const double> betas,
                                            const RidConfig& config);
 
+/// How sharded workers come to exist (see DESIGN.md §11 and §13).
+enum class ShardTransport {
+  /// fork() a copy of this process per shard; the forest is inherited
+  /// copy-on-write. The default, and the only option without a .ridg file.
+  kFork,
+  /// fork+exec `<worker_command> worker` per shard and dispatch the
+  /// assignment over a Unix/TCP socket (core/shard_transport.hpp). Workers
+  /// re-map `graph_path`, re-extract the forest, and verify its
+  /// fingerprint, so execution no longer shares an address space with the
+  /// dispatcher. Results stay bit-identical for any transport.
+  kSocket,
+};
+
 /// Crash-isolated sharded execution (see DESIGN.md §11): the forest's trees
-/// are partitioned into shards, each shard is solved by a forked worker
-/// process that streams per-tree checkpoint records into `run_dir`, and a
+/// are partitioned into shards, each shard is solved by a worker process
+/// that streams per-tree checkpoint records into `run_dir`, and a
 /// supervisor (util/proc_supervisor.hpp) requeues crashed/hung shards.
 struct ShardedConfig {
   /// Shards to partition the trees into (capped at the tree count).
@@ -96,8 +109,22 @@ struct ShardedConfig {
   /// files in run_dir are deleted and everything is recomputed.
   bool resume = true;
   /// Worker lifecycle policy: parallelism, retry/backoff, heartbeat and
-  /// deadline kills, poison threshold, cancellation.
+  /// deadline kills, poison threshold, resource caps, cancellation.
   util::SupervisorOptions supervisor;
+  /// Worker transport. kSocket additionally requires `worker_command` and
+  /// `graph_path`, and rejects RidConfig::candidates and
+  /// RepairPolicy::kRepair: the forest fingerprint does not cover the
+  /// candidate mask or repaired states, so an exec'd worker re-extracting
+  /// from the raw snapshot could silently diverge — refused instead.
+  ShardTransport transport = ShardTransport::kFork;
+  /// kSocket: the binary exec'd as `<worker_command> worker ...` (normally
+  /// the running ridnet_cli's own path).
+  std::string worker_command;
+  /// kSocket: .ridg snapshot (with embedded states) workers re-map.
+  std::string graph_path;
+  /// kSocket: dispatcher endpoint in util::net::Endpoint::parse syntax.
+  /// Empty = a Unix socket inside run_dir.
+  std::string worker_endpoint;
 };
 
 /// Deterministic size-balanced shard plan: trees sorted by (nodes desc,

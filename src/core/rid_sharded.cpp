@@ -16,6 +16,7 @@
 #include "core/checkpoint.hpp"
 #include "core/rid.hpp"
 #include "core/rid_internal.hpp"
+#include "core/shard_transport.hpp"
 #include "util/errors.hpp"
 #include "util/failpoint.hpp"
 #include "util/logging.hpp"
@@ -182,7 +183,32 @@ DetectionResult run_rid_sharded_on_forest(const CascadeForest& forest,
     throw util::InputError(
         "sharded RID run requires a run directory (ShardedConfig::run_dir)");
   }
-  if (!util::process_isolation_supported()) {
+  const bool socket_transport =
+      sharded.transport == ShardTransport::kSocket;
+  if (socket_transport) {
+    if (sharded.worker_command.empty())
+      throw util::InputError(
+          "socket transport requires ShardedConfig::worker_command (the "
+          "binary exec'd as `<cmd> worker`)");
+    if (sharded.graph_path.empty())
+      throw util::InputError(
+          "socket transport requires ShardedConfig::graph_path (a .ridg "
+          "snapshot with embedded states for workers to re-map)");
+    // The forest fingerprint covers tree shapes and states but NOT the
+    // candidate mask or repaired states — an exec'd worker re-extracting
+    // from the raw snapshot would silently compute against a different
+    // eligibility set. Refuse instead of diverging.
+    if (!config.candidates.empty())
+      throw util::InputError(
+          "socket transport does not support RidConfig::candidates (the "
+          "mask is not covered by the forest fingerprint)");
+    if (config.repair_policy == RepairPolicy::kRepair)
+      throw util::InputError(
+          "socket transport does not support RepairPolicy::kRepair "
+          "(repaired states are not covered by the forest fingerprint)");
+  }
+  if (!util::process_isolation_supported() ||
+      (socket_transport && !util::net::supported())) {
     // No fork() on this platform: degrade to the in-process pipeline (same
     // answer — the whole point of the bit-identity contract).
     DetectionResult result = run_rid_on_forest(forest, config);
@@ -297,8 +323,43 @@ DetectionResult run_rid_sharded_on_forest(const CascadeForest& forest,
     return done;
   };
 
-  const util::SupervisorReport report =
-      util::supervise_shards(shards, sharded.supervisor, child_body, durable);
+  util::SupervisorReport report;
+  if (socket_transport) {
+    // Socket transport: workers are exec'd `<worker_command> worker`
+    // processes fed their assignment over the wire; the dispatcher appends
+    // their streamed records to the same per-attempt checkpoint files the
+    // durable() probe reads, so supervision semantics are unchanged.
+    WorkerAssignment assignment;
+    assignment.fingerprint = fingerprint;
+    assignment.graph_path = sharded.graph_path;
+    assignment.beta = config.beta;
+    assignment.dp = config.dp;
+    assignment.dp.budget = nullptr;
+    if (assignment.dp.num_threads == 0)
+      assignment.dp.num_threads = internal::intra_tree_threads(config, forest);
+    assignment.extraction = config.extraction;
+    assignment.extraction.budget = nullptr;
+    if (assignment.extraction.num_threads == 0)
+      assignment.extraction.num_threads = config.num_threads;
+    assignment.budget = config.budget;
+    assignment.budget.cancel = {};  // cancellation stays parent-side
+    const util::net::Endpoint endpoint =
+        sharded.worker_endpoint.empty()
+            ? util::net::Endpoint::unix_path(sharded.run_dir +
+                                             "/workers.sock")
+            : util::net::Endpoint::parse(sharded.worker_endpoint);
+    SocketDispatcher dispatcher(endpoint, sharded.run_dir,
+                                std::move(assignment));
+    report = util::supervise_shards(
+        shards, sharded.supervisor,
+        dispatcher.launcher(sharded.worker_command, sharded.supervisor),
+        durable);
+    for (std::string& event : dispatcher.take_events())
+      diagnostics.shard_events.push_back(std::move(event));
+  } else {
+    report =
+        util::supervise_shards(shards, sharded.supervisor, child_body, durable);
+  }
   diagnostics.shard_retries = report.retries;
   diagnostics.shard_crashes = report.crashes;
   for (const std::string& event : report.events)

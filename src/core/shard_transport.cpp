@@ -1,0 +1,510 @@
+#include "core/shard_transport.hpp"
+
+#include <atomic>
+#include <cstring>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "core/checkpoint.hpp"
+#include "core/rid_internal.hpp"
+#include "graph/columnar.hpp"
+#include "util/errors.hpp"
+#include "util/failpoint.hpp"
+#include "util/logging.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+#include "util/wire.hpp"
+
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
+
+namespace rid::core {
+
+namespace {
+
+namespace net = util::net;
+namespace wire = util::wire;
+
+/// Bumped on any change to the assignment body layout.
+constexpr std::uint32_t kAssignmentVersion = 1;
+
+constexpr double kHandshakeTimeoutSeconds = 30.0;
+constexpr double kDispatcherPollSeconds = 0.25;
+
+std::string message_frame(WireMessage type, std::string_view body) {
+  std::string payload;
+  payload.reserve(1 + body.size());
+  wire::put_u8(payload, static_cast<std::uint8_t>(type));
+  payload.append(body);
+  return payload;
+}
+
+struct TransportMetrics {
+  util::metrics::Counter& workers_launched =
+      util::metrics::global().counter("net.workers_launched");
+  util::metrics::Counter& records_streamed =
+      util::metrics::global().counter("net.records_streamed");
+  util::metrics::Counter& handshakes =
+      util::metrics::global().counter("net.handshakes");
+  util::metrics::Counter& rejected =
+      util::metrics::global().counter("net.handshakes_rejected");
+  util::metrics::Counter& dropped =
+      util::metrics::global().counter("net.connections_dropped");
+};
+
+TransportMetrics& transport_metrics() {
+  static TransportMetrics instance;
+  return instance;
+}
+
+std::uint64_t own_pid() {
+#if !defined(_WIN32)
+  return static_cast<std::uint64_t>(::getpid());
+#else
+  return 0;
+#endif
+}
+
+/// Same naming scheme as the fork path (rid_sharded.cpp): unique per
+/// (dispatcher pid, attempt), so resumed directories never collide.
+std::string attempt_file(const std::string& run_dir, std::size_t shard_id,
+                         std::uint32_t attempt) {
+  std::ostringstream name;
+  name << run_dir << "/shard-" << shard_id << "-p" << own_pid() << "-a"
+       << attempt << kCheckpointExtension;
+  return name.str();
+}
+
+}  // namespace
+
+std::string encode_assignment(const WorkerAssignment& assignment) {
+  std::string out;
+  wire::put_u32(out, kAssignmentVersion);
+  wire::put_u64(out, assignment.fingerprint);
+  wire::put_bytes(out, assignment.graph_path);
+  wire::put_f64(out, assignment.beta);
+  // TreeDpOptions (resolved; the budget pointer travels as the WorkBudget
+  // fields below and is re-armed worker-side).
+  wire::put_u32(out, assignment.dp.initial_k_cap);
+  wire::put_u32(out, assignment.dp.max_reach);
+  wire::put_u32(out, assignment.dp.hard_k_cap);
+  wire::put_u8(out, assignment.dp.greedy_stop ? 1 : 0);
+  wire::put_u8(out, assignment.dp.rank_initiators ? 1 : 0);
+  wire::put_u8(out, assignment.dp.force_root ? 1 : 0);
+  wire::put_u8(out, assignment.dp.incremental_growth ? 1 : 0);
+  wire::put_u64(out, assignment.dp.num_threads);
+  wire::put_u32(out, assignment.dp.parallel_grain);
+  wire::put_u64(out, assignment.dp.max_resident_table_entries);
+  // ExtractionConfig.
+  wire::put_u8(out, static_cast<std::uint8_t>(assignment.extraction.arc_score));
+  wire::put_f64(out, assignment.extraction.likelihood.alpha);
+  wire::put_f64(out, assignment.extraction.likelihood.inconsistent_value);
+  wire::put_u8(out, assignment.extraction.side_evidence ? 1 : 0);
+  wire::put_f64(out, assignment.extraction.score_floor);
+  wire::put_u8(out, assignment.extraction.use_fast_solver ? 1 : 0);
+  wire::put_u64(out, assignment.extraction.num_threads);
+  // WorkBudget (cancellation stays parent-side: the supervisor kills).
+  wire::put_f64(out, assignment.budget.deadline_seconds);
+  wire::put_u32(out, assignment.budget.max_tree_nodes);
+  wire::put_u32(out, assignment.budget.max_k);
+  // Items.
+  wire::put_u64(out, assignment.items.size());
+  for (const std::size_t item : assignment.items)
+    wire::put_u64(out, static_cast<std::uint64_t>(item));
+  return out;
+}
+
+WorkerAssignment decode_assignment(std::string_view body) {
+  wire::Reader in(body, "worker assignment");
+  const std::uint32_t version = in.u32();
+  if (version != kAssignmentVersion)
+    throw util::InputError("worker assignment: version " +
+                           std::to_string(version) + " (this build speaks " +
+                           std::to_string(kAssignmentVersion) + ")");
+  WorkerAssignment a;
+  a.fingerprint = in.u64();
+  a.graph_path = in.str();
+  a.beta = in.f64();
+  a.dp.initial_k_cap = in.u32();
+  a.dp.max_reach = in.u32();
+  a.dp.hard_k_cap = in.u32();
+  a.dp.greedy_stop = in.u8() != 0;
+  a.dp.rank_initiators = in.u8() != 0;
+  a.dp.force_root = in.u8() != 0;
+  a.dp.incremental_growth = in.u8() != 0;
+  a.dp.num_threads = static_cast<std::size_t>(in.u64());
+  a.dp.parallel_grain = in.u32();
+  a.dp.max_resident_table_entries = static_cast<std::size_t>(in.u64());
+  const std::uint8_t arc_score = in.u8();
+  if (arc_score > static_cast<std::uint8_t>(ArcScore::kGFactor))
+    throw util::InputError("worker assignment: invalid arc score byte " +
+                           std::to_string(arc_score));
+  a.extraction.arc_score = static_cast<ArcScore>(arc_score);
+  a.extraction.likelihood.alpha = in.f64();
+  a.extraction.likelihood.inconsistent_value = in.f64();
+  a.extraction.side_evidence = in.u8() != 0;
+  a.extraction.score_floor = in.f64();
+  a.extraction.use_fast_solver = in.u8() != 0;
+  a.extraction.num_threads = static_cast<std::size_t>(in.u64());
+  a.budget.deadline_seconds = in.f64();
+  a.budget.max_tree_nodes = in.u32();
+  a.budget.max_k = in.u32();
+  const std::uint64_t num_items = in.u64();
+  a.items.reserve(num_items);
+  for (std::uint64_t i = 0; i < num_items; ++i)
+    a.items.push_back(static_cast<std::size_t>(in.u64()));
+  in.expect_done();
+  return a;
+}
+
+#if !defined(_WIN32)
+
+struct SocketDispatcher::Impl {
+  std::string run_dir;
+  WorkerAssignment assignment_template;
+  net::Listener listener;
+
+  std::mutex mutex;
+  // shard_id -> items of the currently-launching attempt. A worker from a
+  // superseded attempt still finds its items here (same shard, items only
+  // shrink as records land), and its records are adopted first-wins anyway.
+  std::unordered_map<std::size_t, std::vector<std::size_t>> assignments;
+  std::vector<std::string> events;
+  std::vector<std::thread> handlers;
+
+  std::atomic<bool> stop{false};
+  std::thread acceptor;
+
+  void log_event(std::string text) {
+    std::lock_guard<std::mutex> lock(mutex);
+    events.push_back(std::move(text));
+  }
+
+  void accept_loop() {
+    while (!stop.load(std::memory_order_relaxed)) {
+      net::Socket socket;
+      try {
+        socket = listener.accept(kDispatcherPollSeconds);
+      } catch (const std::exception& e) {
+        // An armed net.accept failpoint (or a transient accept error):
+        // the worker sees a dead connection and exits; the supervisor
+        // requeues.
+        transport_metrics().dropped.add(1);
+        log_event(std::string("dispatcher: accept failed: ") + e.what());
+        continue;
+      }
+      if (!socket.valid()) continue;
+      std::lock_guard<std::mutex> lock(mutex);
+      handlers.emplace_back(&Impl::handle_connection, this,
+                            std::move(socket));
+    }
+  }
+
+  void handle_connection(net::Socket socket) {
+    TransportMetrics& tm = transport_metrics();
+    std::string payload;
+    try {
+      // Handshake: one Hello frame names the (shard, attempt) this
+      // connection carries.
+      const net::FrameStatus status =
+          socket.read_frame(payload, kHandshakeTimeoutSeconds);
+      if (status != net::FrameStatus::kOk || payload.empty() ||
+          static_cast<WireMessage>(payload[0]) != WireMessage::kHello) {
+        tm.rejected.add(1);
+        log_event("dispatcher: connection without a valid hello (" +
+                  std::string(net::to_string(status)) + ")");
+        return;
+      }
+      wire::Reader hello(std::string_view(payload).substr(1), "hello");
+      const std::size_t shard_id = hello.u32();
+      const std::uint32_t attempt = hello.u32();
+      hello.expect_done();
+
+      WorkerAssignment assignment;
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        const auto it = assignments.find(shard_id);
+        if (it == assignments.end()) {
+          tm.rejected.add(1);
+          events.push_back("dispatcher: hello for unknown shard " +
+                           std::to_string(shard_id) + " - dropping");
+          return;
+        }
+        assignment = assignment_template;
+        assignment.items = it->second;
+      }
+      tm.handshakes.add(1);
+      if (!socket.write_frame(
+              message_frame(WireMessage::kAssign,
+                            encode_assignment(assignment)))) {
+        tm.dropped.add(1);
+        log_event("dispatcher: worker for shard " + std::to_string(shard_id) +
+                  " vanished before assignment");
+        return;
+      }
+
+      // Stream phase: every record frame is appended (and flushed) to this
+      // attempt's checkpoint file immediately, so the supervisor's durable()
+      // probe and heartbeat see progress with per-tree granularity.
+      CheckpointWriter writer(attempt_file(run_dir, shard_id, attempt),
+                              assignment_template.fingerprint);
+      while (true) {
+        const net::FrameStatus frame =
+            socket.read_frame(payload, kDispatcherPollSeconds);
+        if (frame == net::FrameStatus::kTimeout) {
+          if (stop.load(std::memory_order_relaxed)) return;
+          continue;
+        }
+        if (frame == net::FrameStatus::kClosed) {
+          tm.dropped.add(1);
+          log_event("dispatcher: shard " + std::to_string(shard_id) +
+                    " attempt " + std::to_string(attempt) +
+                    ": connection lost mid-stream");
+          return;
+        }
+        if (frame == net::FrameStatus::kChecksumError) {
+          // Damage on the wire: drop the connection. The worker's next
+          // write fails (or the heartbeat kills it) and the shard requeues.
+          tm.dropped.add(1);
+          log_event("dispatcher: shard " + std::to_string(shard_id) +
+                    " attempt " + std::to_string(attempt) +
+                    ": damaged frame - dropping connection");
+          return;
+        }
+        if (payload.empty()) continue;
+        const auto type = static_cast<WireMessage>(payload[0]);
+        const std::string_view body = std::string_view(payload).substr(1);
+        if (type == WireMessage::kRecord) {
+          // Decode before append: a structurally-broken record must not
+          // reach the durable store (the frame checksum only covers
+          // transport damage).
+          writer.append(decode_record(body));
+          tm.records_streamed.add(1);
+          continue;
+        }
+        if (type == WireMessage::kDone) return;
+        if (type == WireMessage::kError) {
+          wire::Reader err(body, "worker error");
+          log_event("dispatcher: shard " + std::to_string(shard_id) +
+                    " attempt " + std::to_string(attempt) +
+                    ": worker error: " + err.str());
+          return;
+        }
+        log_event("dispatcher: shard " + std::to_string(shard_id) +
+                  ": unexpected message type " +
+                  std::to_string(static_cast<int>(type)) + " - dropping");
+        return;
+      }
+    } catch (const std::exception& e) {
+      tm.dropped.add(1);
+      log_event(std::string("dispatcher: connection handler failed: ") +
+                e.what());
+    }
+  }
+};
+
+SocketDispatcher::SocketDispatcher(const util::net::Endpoint& endpoint,
+                                   std::string run_dir,
+                                   WorkerAssignment assignment_template)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->run_dir = std::move(run_dir);
+  impl_->assignment_template = std::move(assignment_template);
+  impl_->listener = net::Listener::listen(endpoint);
+  impl_->acceptor = std::thread(&Impl::accept_loop, impl_.get());
+}
+
+SocketDispatcher::~SocketDispatcher() {
+  impl_->stop.store(true, std::memory_order_relaxed);
+  if (impl_->acceptor.joinable()) impl_->acceptor.join();
+  std::vector<std::thread> handlers;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    handlers.swap(impl_->handlers);
+  }
+  for (std::thread& handler : handlers)
+    if (handler.joinable()) handler.join();
+}
+
+const util::net::Endpoint& SocketDispatcher::endpoint() const {
+  return impl_->listener.endpoint();
+}
+
+util::ShardLauncher SocketDispatcher::launcher(
+    std::string worker_command, const util::SupervisorOptions& options) {
+  Impl* impl = impl_.get();
+  const std::string endpoint_text = impl->listener.endpoint().to_string();
+  util::ShardLauncher launcher;
+  launcher.launch = [impl, options,
+                     worker_command = std::move(worker_command),
+                     endpoint_text](std::size_t shard_id,
+                                    const std::vector<std::size_t>& items,
+                                    std::uint32_t attempt) -> pid_t {
+    try {
+      RID_FAILPOINT("net.worker_exec");
+      {
+        std::lock_guard<std::mutex> lock(impl->mutex);
+        impl->assignments[shard_id] = items;
+      }
+      const std::string shard_text = std::to_string(shard_id);
+      const std::string attempt_text = std::to_string(attempt);
+      const pid_t pid = fork();
+      if (pid == 0) {
+        util::apply_worker_rlimits(options);
+        const char* argv[] = {worker_command.c_str(),
+                              "worker",
+                              "--connect",
+                              endpoint_text.c_str(),
+                              "--shard",
+                              shard_text.c_str(),
+                              "--attempt",
+                              attempt_text.c_str(),
+                              nullptr};
+        ::execv(worker_command.c_str(), const_cast<char* const*>(argv));
+        _exit(127);  // exec failure = a crash to the supervisor
+      }
+      if (pid > 0) transport_metrics().workers_launched.add(1);
+      return pid;
+    } catch (const std::exception& e) {
+      impl->log_event(std::string("dispatcher: worker launch failed: ") +
+                      e.what());
+      return -1;
+    }
+  };
+  return launcher;
+}
+
+std::vector<std::string> SocketDispatcher::take_events() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return std::exchange(impl_->events, {});
+}
+
+namespace {
+
+/// Sends kError (best effort) and returns the worker exit code.
+int worker_fail(net::Socket& socket, const std::string& message, int code) {
+  std::string body;
+  wire::put_bytes(body, message);
+  socket.write_frame(message_frame(WireMessage::kError, body));
+  util::log_warn("socket worker: ", message);
+  return code;
+}
+
+}  // namespace
+
+int run_socket_worker(const std::string& endpoint_text, std::size_t shard_id,
+                      std::uint32_t attempt) {
+  try {
+    const net::Endpoint endpoint = net::Endpoint::parse(endpoint_text);
+    net::Socket socket = net::connect(endpoint, kHandshakeTimeoutSeconds);
+
+    std::string hello;
+    wire::put_u32(hello, static_cast<std::uint32_t>(shard_id));
+    wire::put_u32(hello, attempt);
+    if (!socket.write_frame(message_frame(WireMessage::kHello, hello)))
+      return 1;
+
+    std::string payload;
+    const net::FrameStatus status =
+        socket.read_frame(payload, kHandshakeTimeoutSeconds);
+    if (status != net::FrameStatus::kOk || payload.empty() ||
+        static_cast<WireMessage>(payload[0]) != WireMessage::kAssign) {
+      util::log_warn("socket worker: no assignment (",
+                     net::to_string(status), ")");
+      return 1;
+    }
+    const WorkerAssignment assignment =
+        decode_assignment(std::string_view(payload).substr(1));
+
+    // Re-create the parent's forest from the snapshot and refuse to compute
+    // against anything else: the fingerprint is the contract that this
+    // worker's answers merge bit-identically.
+    const graph::ColumnarGraphView view =
+        graph::ColumnarGraphView::open(assignment.graph_path);
+    if (!view.has_states())
+      return worker_fail(socket,
+                         assignment.graph_path +
+                             ": no embedded state snapshot; socket workers "
+                             "need states in the .ridg",
+                         3);
+    const CascadeForest forest =
+        extract_cascade_forest(view, view.states(), assignment.extraction);
+    if (forest_fingerprint(forest) != assignment.fingerprint)
+      return worker_fail(
+          socket,
+          "forest fingerprint mismatch: snapshot at " +
+              assignment.graph_path +
+              " does not reproduce the dispatcher's forest",
+          3);
+    view.advise_dontneed();  // solves only need the forest
+
+    const util::BudgetScope scope(assignment.budget);
+    TreeDpOptions dp = assignment.dp;
+    if (!assignment.budget.unlimited()) dp.budget = &scope;
+
+    std::uint64_t streamed = 0;
+    for (const std::size_t item : assignment.items) {
+      RID_FAILPOINT("shard.worker_tree");
+      if (item >= forest.trees.size())
+        return worker_fail(socket,
+                           "assigned tree " + std::to_string(item) +
+                               " out of range",
+                           3);
+      TreeCheckpointRecord record;
+      record.tree_index = item;
+      TreeDiagnostics tree;
+      const std::uint64_t start_ns = util::trace::now_ns();
+      internal::solve_tree_guarded(forest.trees[item], assignment.beta, dp,
+                                   record.solution, tree);
+      record.seconds =
+          static_cast<double>(util::trace::now_ns() - start_ns) * 1e-9;
+      record.status = tree.status;
+      record.budget_hit = tree.budget_hit;
+      record.fallback_root_only = tree.fallback_root_only;
+      record.error = std::move(tree.error);
+      if (!socket.write_frame(
+              message_frame(WireMessage::kRecord, encode_record(record))))
+        return 1;  // dispatcher gone; nothing durable happens without it
+      ++streamed;
+    }
+    std::string done;
+    wire::put_u64(done, streamed);
+    socket.write_frame(message_frame(WireMessage::kDone, done));
+    return 0;
+  } catch (const std::exception& e) {
+    util::log_warn("socket worker: ", e.what());
+    return 1;
+  } catch (...) {
+    return 1;
+  }
+}
+
+#else  // _WIN32
+
+struct SocketDispatcher::Impl {};
+
+SocketDispatcher::SocketDispatcher(const util::net::Endpoint&, std::string,
+                                   WorkerAssignment) {
+  throw util::InputError("socket transport unsupported on this platform");
+}
+SocketDispatcher::~SocketDispatcher() = default;
+const util::net::Endpoint& SocketDispatcher::endpoint() const {
+  static util::net::Endpoint endpoint;
+  return endpoint;
+}
+util::ShardLauncher SocketDispatcher::launcher(std::string,
+                                               const util::SupervisorOptions&) {
+  return {};
+}
+std::vector<std::string> SocketDispatcher::take_events() { return {}; }
+
+int run_socket_worker(const std::string&, std::size_t, std::uint32_t) {
+  return 1;
+}
+
+#endif
+
+}  // namespace rid::core

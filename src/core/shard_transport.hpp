@@ -1,0 +1,128 @@
+// Socket transport for sharded RID execution (DESIGN.md §13).
+//
+// The fork transport ships work to workers implicitly: a forked child
+// inherits the extracted forest copy-on-write. The socket transport makes
+// the worker a separate *program* — `ridnet_cli worker`, fork+exec'd by the
+// dispatcher's ShardLauncher — so shard execution no longer depends on
+// sharing an address space, which is the stepping stone to dispatching
+// shards across machines. A worker receives everything it needs over the
+// wire: the forest fingerprint, the `.ridg` snapshot path to re-map, the
+// resolved solve configuration, and its tree list. It re-extracts the
+// forest, *verifies the fingerprint* (a worker that would compute against a
+// different forest refuses instead of silently diverging), solves its trees
+// serially in shard order, and streams each finished tree back as a frame
+// whose payload is byte-for-byte a checkpoint record. The dispatcher
+// appends streamed records to per-attempt checkpoint files in the run
+// directory, so the supervisor's durability probe, heartbeat, resume, and
+// bit-identity contract work unchanged — the transport is invisible to
+// everything above it.
+//
+// Message grammar (each message is one util::net frame; first payload byte
+// is the type):
+//
+//   type          direction            body
+//   ----          ---------            ----
+//   kHello  = 1   worker -> dispatcher u32 shard_id, u32 attempt
+//   kAssign = 2   dispatcher -> worker WorkerAssignment (see encode_*)
+//   kRecord = 3   worker -> dispatcher checkpoint record payload (verbatim)
+//   kDone   = 4   worker -> dispatcher u64 records_streamed
+//   kError  = 5   worker -> dispatcher length-prefixed message
+//
+// Fault semantics: any damaged, torn, or missing frame ends the attempt —
+// the dispatcher drops the connection, the worker exits nonzero (or is
+// SIGKILLed by the supervisor's heartbeat), and the supervisor requeues the
+// shard with backoff exactly as it would a fork-worker crash. Records
+// already appended are durable; nothing is ever un-persisted.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/rid.hpp"
+#include "util/net.hpp"
+#include "util/proc_supervisor.hpp"
+
+namespace rid::core {
+
+enum class WireMessage : std::uint8_t {
+  kHello = 1,
+  kAssign = 2,
+  kRecord = 3,
+  kDone = 4,
+  kError = 5,
+};
+
+/// Everything a socket worker needs to reproduce the parent's solve
+/// bit-identically: the snapshot to re-map, the forest identity to verify,
+/// and the fully *resolved* solve configuration (thread counts already
+/// substituted — a worker must not re-derive anything from its own
+/// environment).
+struct WorkerAssignment {
+  std::uint64_t fingerprint = 0;
+  std::string graph_path;  // .ridg with an embedded state snapshot
+  double beta = 0.1;
+  TreeDpOptions dp;              // budget pointer not serialized
+  ExtractionConfig extraction;   // budget pointer not serialized
+  util::WorkBudget budget;       // cancel token not serialized
+  std::vector<std::size_t> items;
+};
+
+/// Assignment body (en/de)coding — the bytes after the kAssign type byte.
+/// decode throws util::InputError on truncation or version skew.
+std::string encode_assignment(const WorkerAssignment& assignment);
+WorkerAssignment decode_assignment(std::string_view body);
+
+/// Dispatcher side of the socket transport, owned by the sharded runner for
+/// the duration of one supervise_shards() call. Listens on `endpoint`,
+/// accepts worker connections on a background thread, and for each
+/// handshake streams the worker's records into a fresh per-attempt
+/// checkpoint file under `run_dir` (same naming scheme as the fork path).
+///
+/// Failpoints: `net.worker_exec` fires in the launcher before forking the
+/// worker (a `throw` action models exec failure — the supervisor sees
+/// launch failure and requeues); `net.accept`, `net.frame_read`,
+/// `net.frame_write`, `net.torn_frame` fire in util/net.
+class SocketDispatcher {
+ public:
+  /// Binds immediately (throws util::InputError when the endpoint cannot be
+  /// bound). `assignment_template` carries everything but the per-shard
+  /// item list, which launcher() fills in per attempt.
+  SocketDispatcher(const util::net::Endpoint& endpoint, std::string run_dir,
+                   WorkerAssignment assignment_template);
+  ~SocketDispatcher();
+  SocketDispatcher(const SocketDispatcher&) = delete;
+  SocketDispatcher& operator=(const SocketDispatcher&) = delete;
+
+  /// The endpoint actually bound (ephemeral tcp ports resolved).
+  const util::net::Endpoint& endpoint() const;
+
+  /// Launcher for supervise_shards: registers the attempt's items, then
+  /// fork+execs `worker_command worker --connect <endpoint> --shard <id>
+  /// --attempt <n>`. Returns -1 (launch failure) when the fork fails or the
+  /// `net.worker_exec` failpoint throws; exec failure inside the child
+  /// exits 127 (a crash to the supervisor). The returned launcher borrows
+  /// this dispatcher — it must not outlive it.
+  util::ShardLauncher launcher(std::string worker_command,
+                               const util::SupervisorOptions& options);
+
+  /// Human-readable transport events (handshake oddities, damaged frames,
+  /// refused workers) for RunDiagnostics::shard_events. Drains the log.
+  std::vector<std::string> take_events();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Worker side, implementing `ridnet_cli worker`: connect to the
+/// dispatcher, handshake, re-extract + verify the forest, solve, stream
+/// records. Returns the process exit code: 0 = every assigned tree was
+/// streamed; anything else is a worker loss the supervisor requeues.
+/// Never throws.
+int run_socket_worker(const std::string& endpoint_text, std::size_t shard_id,
+                      std::uint32_t attempt);
+
+}  // namespace rid::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <exception>
 #include <sstream>
 #include <thread>
@@ -45,10 +46,14 @@ struct ShardMetrics {
   metrics::Counter& retries = metrics::global().counter("shard.retries");
   metrics::Counter& kills = metrics::global().counter("shard.kills");
   metrics::Counter& poisoned = metrics::global().counter("shard.poison_trees");
-  /// High-water of any reaped worker's peak RSS (ru_maxrss, KiB). This is
-  /// the number that proves columnar workers run at O(shard trees) instead
-  /// of O(graph) — bench_columnar_load resets it between scenarios.
+  /// High-water of any reaped worker's peak RSS (ru_maxrss, KiB) — the max
+  /// across *all* worker attempts since the last reset (set_max), so one
+  /// small final shard cannot mask an earlier peak. This is the number that
+  /// proves columnar workers run at O(shard trees) instead of O(graph) —
+  /// bench_columnar_load resets it between scenarios.
   metrics::Gauge& rss_peak = metrics::global().gauge("shard.rss_peak_kb");
+  /// Full per-attempt RSS distribution backing the high-water gauge.
+  metrics::Histogram& rss = metrics::global().histogram("shard.rss_kb");
 };
 
 /// Per-child peak RSS via wait4's rusage (unlike RUSAGE_CHILDREN, which is
@@ -56,8 +61,10 @@ struct ShardMetrics {
 pid_t wait_child(pid_t pid, int* status, int flags, ShardMetrics& sm) {
   struct rusage usage {};
   const pid_t r = ::wait4(pid, status, flags, &usage);
-  if (r == pid && usage.ru_maxrss > 0)
+  if (r == pid && usage.ru_maxrss > 0) {
     sm.rss_peak.set_max(static_cast<double>(usage.ru_maxrss));
+    sm.rss.observe(static_cast<std::uint64_t>(usage.ru_maxrss));
+  }
   return r;
 }
 
@@ -75,11 +82,18 @@ struct ShardState {
   Phase phase = Phase::kReady;
   Clock::time_point ready_at{};  // backoff gate (kReady)
   pid_t pid = -1;
+  bool holds_slot = false;  // owns one WorkerSlots slot while running
   Clock::time_point attempt_start{};
   Clock::time_point last_progress{};
   std::size_t last_durable = 0;
   std::uint64_t span_start_ns = 0;
 };
+
+/// How an attempt becomes a process, transport-erased: returns the worker
+/// pid or -1 on launch failure.
+using LaunchFn = std::function<pid_t(std::size_t shard_id,
+                                     const std::vector<std::size_t>& items,
+                                     std::uint32_t attempt)>;
 
 double backoff_ms(const SupervisorOptions& options, std::uint32_t attempts) {
   double ms = options.backoff_initial_ms;
@@ -96,12 +110,13 @@ int encode_exit(int status) {
   return -1;
 }
 
-}  // namespace
-
-SupervisorReport supervise_shards(const std::vector<ShardWork>& shards,
-                                  const SupervisorOptions& options,
-                                  const ShardChildBody& child_body,
-                                  const ShardDurableItems& durable) {
+/// The transport-agnostic supervision loop: state machine, heartbeat,
+/// deadline, backoff, poison-pill, cancellation. Only launch() knows how a
+/// worker process comes to exist.
+SupervisorReport supervise_impl(const std::vector<ShardWork>& shards,
+                                const SupervisorOptions& options,
+                                const LaunchFn& launch,
+                                const ShardDurableItems& durable) {
   SupervisorReport report;
   ShardMetrics& sm = shard_metrics();
 
@@ -197,27 +212,30 @@ SupervisorReport supervise_shards(const std::vector<ShardWork>& shards,
     log_event(event.str());
   };
 
+  const auto release_slot = [&](ShardState& state) {
+    if (state.holds_slot) {
+      options.slots->release();
+      state.holds_slot = false;
+    }
+  };
+
   const auto spawn = [&](ShardState& state) {
+    if (options.slots != nullptr && !state.holds_slot) {
+      // Shared pool exhausted by other jobs: stay queued, no attempt burned.
+      if (!options.slots->try_acquire()) return;
+      state.holds_slot = true;
+    }
     ++state.attempts;
     state.span_start_ns = trace::now_ns();
-    const pid_t pid = fork();
-    if (pid == 0) {
-      // Worker. Never return into the parent's stack: convert exceptions to
-      // an exit code and leave via _exit (no atexit handlers, no flushing
-      // of streams duplicated from the parent).
-      try {
-        child_body(state.shard_id, state.remaining, state.attempts);
-      } catch (...) {
-        _exit(kChildExceptionExit);
-      }
-      _exit(0);
-    }
+    const pid_t pid = launch(state.shard_id, state.remaining, state.attempts);
     if (pid < 0) {
-      // fork failure (e.g. EAGAIN under load): same path as a crash, so the
-      // backoff gives the system room.
+      // Launch failure (fork EAGAIN under load, exec error, transport
+      // refusal): same path as a crash, so the backoff gives the system
+      // room.
+      release_slot(state);
       std::ostringstream event;
-      event << "shard " << state.shard_id << ": fork failed (errno " << errno
-            << ")";
+      event << "shard " << state.shard_id << ": worker launch failed (errno "
+            << errno << ")";
       log_event(event.str());
       ++report.crashes;
       sm.crashes.add(1);
@@ -238,6 +256,7 @@ SupervisorReport supervise_shards(const std::vector<ShardWork>& shards,
 
   const auto reap = [&](ShardState& state, int status) {
     state.pid = -1;
+    release_slot(state);
     const int exit_code = encode_exit(status);
     emit_attempt_span(state, exit_code);
     const std::size_t completed = drop_durable(state);
@@ -291,6 +310,7 @@ SupervisorReport supervise_shards(const std::vector<ShardWork>& shards,
         while (wait_child(state.pid, &status, 0, sm) < 0 && errno == EINTR) {
         }
         emit_attempt_span(state, encode_exit(status));
+        release_slot(state);
         drop_durable(state);
         state.phase = ShardState::Phase::kDone;
         std::ostringstream event;
@@ -328,6 +348,7 @@ SupervisorReport supervise_shards(const std::vector<ShardWork>& shards,
       if (r < 0 && errno != EINTR) {
         // Lost track of the child (should not happen) — treat as a crash.
         state.pid = -1;
+        release_slot(state);
         emit_attempt_span(state, -1);
         drop_durable(state);
         ++report.crashes;
@@ -370,17 +391,88 @@ SupervisorReport supervise_shards(const std::vector<ShardWork>& shards,
   return report;
 }
 
+}  // namespace
+
+void apply_worker_rlimits(const SupervisorOptions& options) noexcept {
+  if (options.mem_limit_bytes > 0) {
+    struct rlimit limit {};
+    limit.rlim_cur = limit.rlim_max =
+        static_cast<rlim_t>(options.mem_limit_bytes);
+    ::setrlimit(RLIMIT_AS, &limit);
+  }
+  if (options.cpu_limit_seconds > 0) {
+    struct rlimit limit {};
+    // Round up: RLIMIT_CPU is whole seconds. Soft limit delivers SIGXCPU
+    // (fatal by default); the hard limit one second later is the SIGKILL
+    // backstop for workers that catch SIGXCPU.
+    const auto seconds =
+        static_cast<rlim_t>(std::ceil(options.cpu_limit_seconds));
+    limit.rlim_cur = seconds == 0 ? 1 : seconds;
+    limit.rlim_max = limit.rlim_cur + 1;
+    ::setrlimit(RLIMIT_CPU, &limit);
+  }
+}
+
+SupervisorReport supervise_shards(const std::vector<ShardWork>& shards,
+                                  const SupervisorOptions& options,
+                                  const ShardChildBody& child_body,
+                                  const ShardDurableItems& durable) {
+  const LaunchFn launch = [&](std::size_t shard_id,
+                              const std::vector<std::size_t>& items,
+                              std::uint32_t attempt) -> pid_t {
+    const pid_t pid = fork();
+    if (pid == 0) {
+      // Worker. Never return into the parent's stack: convert exceptions to
+      // an exit code and leave via _exit (no atexit handlers, no flushing
+      // of streams duplicated from the parent).
+      apply_worker_rlimits(options);
+      try {
+        child_body(shard_id, items, attempt);
+      } catch (...) {
+        _exit(kChildExceptionExit);
+      }
+      _exit(0);
+    }
+    return pid;
+  };
+  return supervise_impl(shards, options, launch, durable);
+}
+
+SupervisorReport supervise_shards(const std::vector<ShardWork>& shards,
+                                  const SupervisorOptions& options,
+                                  const ShardLauncher& launcher,
+                                  const ShardDurableItems& durable) {
+  return supervise_impl(shards, options, launcher.launch, durable);
+}
+
 #else  // !RID_HAS_FORK
 
-SupervisorReport supervise_shards(const std::vector<ShardWork>&,
-                                  const SupervisorOptions&,
-                                  const ShardChildBody&,
-                                  const ShardDurableItems&) {
+void apply_worker_rlimits(const SupervisorOptions&) noexcept {}
+
+namespace {
+
+SupervisorReport unsupported_report() {
   SupervisorReport report;
   report.supported = false;
   report.events.emplace_back(
       "process isolation unsupported on this platform - run in-process");
   return report;
+}
+
+}  // namespace
+
+SupervisorReport supervise_shards(const std::vector<ShardWork>&,
+                                  const SupervisorOptions&,
+                                  const ShardChildBody&,
+                                  const ShardDurableItems&) {
+  return unsupported_report();
+}
+
+SupervisorReport supervise_shards(const std::vector<ShardWork>&,
+                                  const SupervisorOptions&,
+                                  const ShardLauncher&,
+                                  const ShardDurableItems&) {
+  return unsupported_report();
 }
 
 #endif

@@ -44,6 +44,7 @@
 // _exit, and catches exceptions escaping the body into exit code 99.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -58,6 +59,38 @@ namespace rid::util {
 struct ShardWork {
   std::size_t shard_id = 0;
   std::vector<std::size_t> items;
+};
+
+/// Optional cross-supervisor worker pool. When SupervisorOptions::slots
+/// points at one, every spawn first acquires a slot and every reap releases
+/// it, so several concurrent supervise_shards() calls — the serve daemon's
+/// jobs — share one global worker cap instead of each running max_parallel
+/// workers. A shard that cannot get a slot simply stays queued (no attempt
+/// is consumed). Thread-safe.
+class WorkerSlots {
+ public:
+  explicit WorkerSlots(std::size_t capacity) : capacity_(capacity) {}
+
+  bool try_acquire() noexcept {
+    std::size_t current = in_use_.load(std::memory_order_relaxed);
+    while (current < capacity_) {
+      if (in_use_.compare_exchange_weak(current, current + 1,
+                                        std::memory_order_relaxed))
+        return true;
+    }
+    return false;
+  }
+
+  void release() noexcept { in_use_.fetch_sub(1, std::memory_order_relaxed); }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t in_use() const noexcept {
+    return in_use_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::size_t> in_use_{0};
+  std::size_t capacity_;
 };
 
 struct SupervisorOptions {
@@ -79,6 +112,16 @@ struct SupervisorOptions {
   std::uint32_t poison_threshold = 2;
   /// Parent polling cadence (waitpid/heartbeat/backoff timers).
   double poll_interval_ms = 5.0;
+  /// Per-worker resource caps, applied in the child pre-exec via
+  /// setrlimit(RLIMIT_AS / RLIMIT_CPU). 0 = unlimited. A worker that blows
+  /// either cap dies (bad_alloc → exit 99, or SIGKILL/SIGXCPU) and follows
+  /// the normal crash → backoff → requeue path.
+  std::uint64_t mem_limit_bytes = 0;
+  double cpu_limit_seconds = 0.0;
+  /// Optional shared worker pool (see WorkerSlots). Not owned; must outlive
+  /// the supervise_shards() call. nullptr = this supervisor caps itself with
+  /// max_parallel only.
+  WorkerSlots* slots = nullptr;
   /// Cooperative cancellation: running workers are killed, nothing is
   /// requeued, and the report is marked cancelled.
   CancelToken cancel;
@@ -106,6 +149,25 @@ using ShardChildBody =
                        const std::vector<std::size_t>& items,
                        std::uint32_t attempt)>;
 
+/// Transport abstraction: how a shard attempt becomes a worker process.
+/// The launch function spawns a process for the attempt (e.g. fork+exec of
+/// `ridnet_cli worker` wired to a socket dispatcher) and returns its pid,
+/// or -1 on launch failure — which the supervisor treats exactly like a
+/// crash (backoff + requeue), so a missing binary or an exec error cannot
+/// wedge a run. A distinct struct (not a std::function alias) so the
+/// supervise_shards overloads stay unambiguous: a pid_t-returning lambda
+/// would also convert to ShardChildBody.
+///
+/// Launchers that fork themselves should call apply_worker_rlimits() in the
+/// child between fork and exec so SupervisorOptions resource caps apply to
+/// every transport.
+struct ShardLauncher {
+  std::function<pid_t(std::size_t shard_id,
+                      const std::vector<std::size_t>& items,
+                      std::uint32_t attempt)>
+      launch;
+};
+
 /// Parent-side durability probe: which of `shard`'s items are persisted
 /// right now. Called on worker exit (to decide completion vs requeue) and
 /// periodically while running (heartbeat).
@@ -114,10 +176,26 @@ using ShardDurableItems =
 
 /// Supervises the shards to completion (or cancellation). Blocking;
 /// single-threaded parent loop. See the file header for semantics.
+/// Workers are forked copies of this process running `child_body`.
 SupervisorReport supervise_shards(const std::vector<ShardWork>& shards,
                                   const SupervisorOptions& options,
                                   const ShardChildBody& child_body,
                                   const ShardDurableItems& durable);
+
+/// Same supervision semantics, but worker processes come from `launcher`
+/// (socket transport, exec'd workers, ...). The supervisor only ever sees
+/// pids — heartbeat, deadline, backoff, poison-pill, and cancellation work
+/// identically for any transport.
+SupervisorReport supervise_shards(const std::vector<ShardWork>& shards,
+                                  const SupervisorOptions& options,
+                                  const ShardLauncher& launcher,
+                                  const ShardDurableItems& durable);
+
+/// Applies SupervisorOptions::{mem_limit_bytes, cpu_limit_seconds} to the
+/// calling process (setrlimit RLIMIT_AS / RLIMIT_CPU; no-op for 0 / on
+/// non-POSIX builds). The built-in fork transport calls this in the child;
+/// custom launchers call it between fork and exec.
+void apply_worker_rlimits(const SupervisorOptions& options) noexcept;
 
 /// True when this platform can fork workers (POSIX).
 bool process_isolation_supported() noexcept;

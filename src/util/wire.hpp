@@ -1,0 +1,114 @@
+// Little-endian wire (de)serialization primitives shared by every framed
+// byte format in the tree: the checkpoint record stream (core/checkpoint),
+// the shard-worker socket protocol (core/shard_transport), and the serve
+// job journal (core/serve). One canonical implementation keeps the formats
+// byte-compatible with each other — a checkpoint record payload is valid as
+// a socket frame payload verbatim — and with the stdlib Python re-readers
+// under scripts/.
+//
+// Writers append to a std::string; the Reader is bounds-checked and throws
+// util::InputError on underflow, so a truncated or garbled payload can
+// never read out of bounds. Doubles travel as raw IEEE-754 bit patterns
+// (bit-identity across machines is part of the resume contract).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "util/errors.hpp"
+
+namespace rid::util::wire {
+
+inline void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+inline void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+inline void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+inline void put_f64(std::string& out, double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+/// Length-prefixed byte string (u32 length + raw bytes).
+inline void put_bytes(std::string& out, std::string_view bytes) {
+  put_u32(out, static_cast<std::uint32_t>(bytes.size()));
+  out.append(bytes);
+}
+
+/// Bounds-checked reader over a payload. `context` prefixes every error so
+/// the caller's format name survives into diagnostics ("checkpoint record:
+/// payload truncated", "serve journal: payload truncated", ...).
+class Reader {
+ public:
+  explicit Reader(std::string_view data,
+                  const char* context = "wire payload")
+      : data_(data), context_(context) {}
+
+  std::uint8_t u8() { return take(1)[0]; }
+
+  std::uint32_t u32() {
+    const auto* p = take(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    return v;
+  }
+
+  std::uint64_t u64() {
+    const auto* p = take(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+  }
+
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  std::string bytes(std::size_t n) {
+    const auto* p = take(n);
+    return std::string(reinterpret_cast<const char*>(p), n);
+  }
+
+  /// Length-prefixed byte string (inverse of put_bytes).
+  std::string str() { return bytes(u32()); }
+
+  bool done() const noexcept { return pos_ == data_.size(); }
+
+  /// Throws unless the payload was consumed exactly.
+  void expect_done() const {
+    if (!done())
+      throw InputError(std::string(context_) + ": trailing bytes in payload");
+  }
+
+ private:
+  const unsigned char* take(std::size_t n) {
+    if (data_.size() - pos_ < n)
+      throw InputError(std::string(context_) + ": payload truncated");
+    const auto* p =
+        reinterpret_cast<const unsigned char*>(data_.data()) + pos_;
+    pos_ += n;
+    return p;
+  }
+
+  std::string_view data_;
+  const char* context_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace rid::util::wire

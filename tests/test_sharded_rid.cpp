@@ -6,21 +6,38 @@
 // never simulated in-process.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/checkpoint.hpp"
 #include "core/rid.hpp"
+#include "core/snapshot_io.hpp"
 #include "diffusion/mfc.hpp"
 #include "gen/sign_assigner.hpp"
 #include "gen/topologies.hpp"
+#include "graph/columnar.hpp"
 #include "util/failpoint.hpp"
+#include "util/metrics.hpp"
 #include "util/proc_supervisor.hpp"
 #include "util/rng.hpp"
+
+#if !defined(_WIN32)
+#include <csignal>
+#include <cstdlib>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+#ifndef RIDNET_CLI_PATH
+#define RIDNET_CLI_PATH ""
+#endif
 
 namespace rid::core {
 namespace {
@@ -383,6 +400,169 @@ TEST_F(ShardedRidTest, InProcessFailuresKeepPerTreeErrorTexts) {
               std::string::npos);
   }
 }
+
+// --- worker resource limits & observability (SupervisorOptions rlimits) ---
+
+#if !defined(_WIN32)
+TEST_F(ShardedRidTest, WorkerRlimitsAreAppliedInTheChild) {
+  // The pre-exec hook must translate the options into real kernel limits:
+  // RLIMIT_AS at the byte cap, RLIMIT_CPU rounded up with a +1s hard-limit
+  // SIGKILL backstop. Checked in an actual forked child, like a worker.
+  util::SupervisorOptions options;
+  options.mem_limit_bytes = 512ull << 20;
+  options.cpu_limit_seconds = 2.5;
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    util::apply_worker_rlimits(options);
+    struct rlimit as {}, cpu {};
+    if (::getrlimit(RLIMIT_AS, &as) != 0 ||
+        ::getrlimit(RLIMIT_CPU, &cpu) != 0)
+      _exit(2);
+    if (as.rlim_cur != static_cast<rlim_t>(512ull << 20)) _exit(3);
+    if (cpu.rlim_cur != 3 || cpu.rlim_max != 4) _exit(4);
+    _exit(0);
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0) << "rlimit mismatch in worker child";
+}
+
+TEST_F(ShardedRidTest, GenerousLimitsLeaveHealthyRunsBitIdentical) {
+  // Caps far above real usage must be invisible: same answer, no crashes.
+  const Scenario& s = scenario();
+  const DetectionResult want = run_rid(s.graph, s.states, s.config);
+  ShardedConfig config = sharded(2, run_dir("limits_healthy"));
+  config.supervisor.mem_limit_bytes = 4ull << 30;
+  config.supervisor.cpu_limit_seconds = 60.0;
+  const DetectionResult got =
+      run_rid_sharded(s.graph, s.states, s.config, config);
+  expect_identical(got, want);
+  EXPECT_TRUE(got.diagnostics.all_ok());
+  EXPECT_EQ(got.diagnostics.shard_crashes, 0u);
+}
+
+TEST_F(ShardedRidTest, StarvedMemLimitKillsWorkersAndDegrades) {
+  if (std::string(RIDNET_CLI_PATH).empty())
+    GTEST_SKIP() << "ridnet_cli path not wired into this build";
+  // 1 MiB of address space cannot even exec the worker binary: every
+  // attempt dies at launch, the crash ladder runs dry, and the trees
+  // degrade instead of hanging or diverging.
+  const Scenario& s = scenario();
+  const std::string ridg =
+      (fs::path(::testing::TempDir()) / "memlimit.ridg").string();
+  graph::write_columnar_file(s.graph, s.states, ridg,
+                             graph::kRidgFlagDiffusion);
+  ShardedConfig config = sharded(2, run_dir("memlimit"));
+  config.transport = ShardTransport::kSocket;
+  config.worker_command = RIDNET_CLI_PATH;
+  config.graph_path = ridg;
+  config.supervisor.mem_limit_bytes = 1ull << 20;
+  config.supervisor.max_shard_attempts = 2;
+  const auto view = graph::ColumnarGraphView::open(ridg);
+  const DetectionResult got =
+      run_rid_sharded(view, view.states(), s.config, config);
+  EXPECT_GT(got.diagnostics.shard_crashes, 0u);
+  EXPECT_FALSE(got.diagnostics.all_ok());
+  EXPECT_EQ(got.diagnostics.trees.size(), got.num_trees)
+      << "every tree still needs a verdict";
+}
+
+TEST_F(ShardedRidTest, WorkerRssIsRecordedPerAttemptAndAsPeak) {
+  const Scenario& s = scenario();
+  run_rid_sharded(s.graph, s.states, s.config, sharded(2, run_dir("rss")));
+
+  // Every reaped attempt lands in the shard.rss_kb histogram; the
+  // shard.rss_peak_kb gauge is the max across attempts (set_max), so it can
+  // never sit below the histogram's observed maximum.
+  const util::metrics::MetricsSnapshot snapshot =
+      util::metrics::global().snapshot();
+  double peak = -1.0;
+  for (const auto& gauge : snapshot.gauges)
+    if (gauge.name == "shard.rss_peak_kb") peak = gauge.value;
+  ASSERT_GE(peak, 0.0) << "shard.rss_peak_kb gauge missing";
+  EXPECT_GT(peak, 0.0);
+  bool found = false;
+  for (const auto& histogram : snapshot.histograms) {
+    if (histogram.name != "shard.rss_kb") continue;
+    found = true;
+    EXPECT_GT(histogram.count, 0u);
+    EXPECT_GE(peak, static_cast<double>(histogram.max))
+        << "peak gauge must be the max across all attempts";
+  }
+  EXPECT_TRUE(found) << "shard.rss_kb histogram missing";
+}
+
+// --- SIGTERM of a real sharded CLI run ------------------------------------
+
+TEST_F(ShardedRidTest, SigtermMidCliRunExitsInterruptedAndResumesIdentical) {
+  if (std::string(RIDNET_CLI_PATH).empty())
+    GTEST_SKIP() << "ridnet_cli path not wired into this build";
+  const Scenario& s = scenario();
+  const std::string ridg =
+      (fs::path(::testing::TempDir()) / "sigterm.ridg").string();
+  graph::write_columnar_file(s.graph, s.states, ridg,
+                             graph::kRidgFlagDiffusion);
+  const std::string dir = run_dir("sigterm_cli");
+  const std::string out = dir + "_detected.txt";
+
+  const auto spawn_detect = [&](bool resume) -> pid_t {
+    std::vector<std::string> args = {RIDNET_CLI_PATH,
+                                     "detect",
+                                     "--graph=" + ridg,
+                                     "--method=rid",
+                                     "--beta=0.1",
+                                     "--threads=2",
+                                     "--shards=2",
+                                     "--run-dir=" + dir,
+                                     "--out=" + out};
+    if (resume) args.push_back("--resume");
+    const pid_t pid = fork();
+    if (pid == 0) {
+      std::vector<char*> argv;
+      for (std::string& arg : args) argv.push_back(arg.data());
+      argv.push_back(nullptr);
+      ::execv(RIDNET_CLI_PATH, argv.data());
+      _exit(127);
+    }
+    return pid;
+  };
+
+  // Phase 1: every tree stalls 300 ms (the CLI arms $RID_FAILPOINTS and its
+  // forked workers inherit it), so SIGTERM at ~600 ms lands mid-run. The
+  // first signal is cooperative cancellation and must map to exit 5.
+  ::setenv("RID_FAILPOINTS", "shard.worker_tree=sleep(300)", 1);
+  const pid_t pid = spawn_detect(false);
+  ASSERT_GT(pid, 0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(600));
+  ASSERT_EQ(::kill(pid, SIGTERM), 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ::unsetenv("RID_FAILPOINTS");
+  ASSERT_TRUE(WIFEXITED(status)) << "CLI must exit cleanly on SIGTERM";
+  EXPECT_EQ(WEXITSTATUS(status), 5) << "interrupted runs exit 5";
+
+  // Phase 2: --resume adopts whatever the interrupted run checkpointed,
+  // finishes the rest, and the written detection file is identical to an
+  // uninterrupted run's.
+  const pid_t resumed = spawn_detect(true);
+  ASSERT_GT(resumed, 0);
+  ASSERT_EQ(::waitpid(resumed, &status, 0), resumed);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+
+  const DetectionResult want = run_rid(s.graph, s.states, s.config);
+  std::vector<NodeState> expected(s.graph.num_nodes(),
+                                  NodeState::kInactive);
+  for (std::size_t i = 0; i < want.initiators.size(); ++i) {
+    expected[want.initiators[i]] = graph::is_opinion(want.states[i])
+                                       ? want.states[i]
+                                       : NodeState::kUnknown;
+  }
+  EXPECT_EQ(load_snapshot_file(out, s.graph.num_nodes()), expected);
+}
+#endif  // !_WIN32
 
 }  // namespace
 }  // namespace rid::core
