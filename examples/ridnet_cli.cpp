@@ -16,6 +16,8 @@
 //   ridnet_cli submit    --connect=ridnet-serve/serve.sock --graph=g.ridg
 //                        --beta=2.0 --shards=2 [--wait [--timeout=S]]
 //   ridnet_cli query     --connect=ridnet-serve/serve.sock --job=1
+//   ridnet_cli stats     --connect=ridnet-serve/serve.sock [--events]
+//                        [--metrics-format=json|prom]
 //   ridnet_cli worker    --connect=ENDPOINT --shard=N --attempt=N
 //
 // Graph files are the library's weighted signed edge-list format
@@ -87,7 +89,10 @@
 //                         Requires an RID_TRACING=ON build; otherwise a
 //                         warning is printed and no file is written.
 //   --metrics=FILE        write the metrics registry snapshot (counters/
-//                         gauges/histograms) as flat JSON on exit
+//                         gauges/histograms) on exit
+//   --metrics-format=F    json (default) or prom: the Prometheus text
+//                         exposition, scrapeable by a node_exporter-style
+//                         textfile collector
 //
 // Exit codes (documented contract, also in README.md):
 //   0  success, every tree solved exactly
@@ -107,8 +112,14 @@
 // results in <run-dir>/job-<id>/result.txt, byte-identical to what
 // `detect --out` writes for the same input. `serve --resume` after a crash
 // or restart re-queues every journal-incomplete job and keeps finished
-// results. `submit`/`query` are the matching clients; `worker` is the
-// subprocess entry point the socket transport exec's — not for direct use.
+// results. `submit`/`query` are the matching clients; `stats` fetches a
+// live daemon snapshot (job table, queue/slot occupancy, uptime, metrics;
+// `--events` dumps the in-daemon flight-recorder ring as JSONL); `worker`
+// is the subprocess entry point the socket transport exec's — not for
+// direct use. The serve daemon also keeps a crash-surviving flight
+// recorder: its event ring is dumped to <run-dir>/flight.jsonl on exit
+// (including SIGTERM) and, via an async-signal-safe path, on fatal
+// signals (see DESIGN.md §14).
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -141,6 +152,7 @@
 #include "util/errors.hpp"
 #include "util/failpoint.hpp"
 #include "util/flags.hpp"
+#include "util/flight_recorder.hpp"
 #include "util/logging.hpp"
 #include "util/metrics.hpp"
 #include "util/trace.hpp"
@@ -185,8 +197,8 @@ void install_signal_handlers() {
 int usage() {
   std::fprintf(stderr,
                "usage: ridnet_cli <generate|simulate|detect|evaluate|"
-               "pipeline|convert|checkpoints|serve|submit|query|worker> "
-               "[--flags]\n"
+               "pipeline|convert|checkpoints|serve|submit|query|stats|"
+               "worker> [--flags]\n"
                "run with a subcommand and no flags for its defaults; see the "
                "header of examples/ridnet_cli.cpp for details\n");
   return kExitUsage;
@@ -601,7 +613,13 @@ int cmd_serve(const util::Flags& flags) {
   options.on_listening = [](const std::string& endpoint) {
     std::cout << "serving on " << endpoint << std::endl;  // flush: readiness
   };
+  // The daemon's flight recorder outlives the daemon: a fatal signal dumps
+  // the event ring via the async-signal-safe path, and every orderly exit
+  // (including the cooperative SIGTERM unwind) rewrites the same file.
+  const std::string flight_path = options.run_dir + "/flight.jsonl";
+  util::flight::install_fatal_dump(flight_path);
   const core::ServeReport report = core::run_serve(options);
+  util::flight::dump_jsonl_file(flight_path);
   for (const std::string& event : report.events)
     std::fprintf(stderr, "ridnet_cli serve: %s\n", event.c_str());
   std::cout << "serve: accepted=" << report.jobs_accepted
@@ -684,11 +702,41 @@ int cmd_query(const util::Flags& flags) {
   const core::JobQueryResult result = core::query_job(endpoint, job_id);
   std::cout << result.message << "\n";
   if (result.phase == core::JobPhase::kDone) {
+    if (result.has_stats) {
+      std::printf("wall=%.3fs cpu=%.3fs rss_peak=%llu KiB\n",
+                  result.wall_seconds, result.cpu_seconds,
+                  static_cast<unsigned long long>(result.rss_peak_kb));
+    }
     std::cout << result.result_path << "\n";
     return result.ok ? 0 : (result.degraded ? kExitDegraded : kExitInternal);
   }
   return result.phase == core::JobPhase::kPending ? kExitRetryLater
                                                   : kExitBadInput;
+}
+
+// Live daemon introspection: prints the kStats snapshot as one JSON object
+// (machine-parseable — the CI drill pipes it straight into python), or,
+// with --events, the daemon's flight-recorder ring as JSONL.
+int cmd_stats(const util::Flags& flags) {
+  const std::string endpoint =
+      flags.get_string("connect", "ridnet-serve/serve.sock");
+  const std::string format = flags.get_string("metrics-format", "json");
+  if (format != "json" && format != "prom") {
+    std::fprintf(stderr,
+                 "ridnet_cli stats: unknown --metrics-format=%s "
+                 "(use json or prom)\n",
+                 format.c_str());
+    return kExitUsage;
+  }
+  const bool events = flags.get_bool("events", false);
+  const core::DaemonStats stats =
+      core::query_stats(endpoint, events, format == "prom");
+  if (events) {
+    std::cout << stats.events_jsonl;  // JSONL, already newline-terminated
+  } else {
+    std::cout << stats.stats_json << "\n";
+  }
+  return 0;
 }
 
 int dispatch(const std::string& command, const rid::util::Flags& flags) {
@@ -703,6 +751,7 @@ int dispatch(const std::string& command, const rid::util::Flags& flags) {
     if (command == "serve") return cmd_serve(flags);
     if (command == "submit") return cmd_submit(flags);
     if (command == "query") return cmd_query(flags);
+    if (command == "stats") return cmd_stats(flags);
     if (command == "worker") return cmd_worker(flags);
   } catch (const rid::util::InputError& error) {
     std::fprintf(stderr, "ridnet_cli %s: %s\n", command.c_str(), error.what());
@@ -721,7 +770,8 @@ int dispatch(const std::string& command, const rid::util::Flags& flags) {
 /// including degraded (exit 4) and failed attempts. Never changes the
 /// subcommand's exit code.
 void write_observability_artifacts(const std::string& trace_path,
-                                   const std::string& metrics_path) {
+                                   const std::string& metrics_path,
+                                   const std::string& metrics_format) {
   namespace trace = rid::util::trace;
   if (!trace_path.empty() && trace::compiled()) {
     trace::stop();
@@ -734,10 +784,15 @@ void write_observability_artifacts(const std::string& trace_path,
     }
   }
   if (!metrics_path.empty()) {
-    if (rid::util::metrics::write_metrics_json_file(metrics_path)) {
-      std::fprintf(stderr, "wrote metrics %s (%zu series)\n",
+    const bool ok =
+        metrics_format == "prom"
+            ? rid::util::metrics::write_metrics_prometheus_file(metrics_path)
+            : rid::util::metrics::write_metrics_json_file(metrics_path);
+    if (ok) {
+      std::fprintf(stderr, "wrote metrics %s (%zu series, %s)\n",
                    metrics_path.c_str(),
-                   rid::util::metrics::global().snapshot().num_series());
+                   rid::util::metrics::global().snapshot().num_series(),
+                   metrics_format.c_str());
     } else {
       std::fprintf(stderr, "ridnet_cli: cannot write metrics file %s\n",
                    metrics_path.c_str());
@@ -770,6 +825,13 @@ int main(int argc, char** argv) {
   }
   const std::string trace_path = flags.get_string("trace", "");
   const std::string metrics_path = flags.get_string("metrics", "");
+  const std::string metrics_format = flags.get_string("metrics-format", "json");
+  if (metrics_format != "json" && metrics_format != "prom") {
+    std::fprintf(stderr,
+                 "ridnet_cli: unknown --metrics-format=%s (use json or prom)\n",
+                 metrics_format.c_str());
+    return kExitUsage;
+  }
   if (!trace_path.empty()) {
     if (rid::util::trace::compiled()) {
       rid::util::trace::start();
@@ -782,7 +844,7 @@ int main(int argc, char** argv) {
   int code = dispatch(command, flags);
   // Artifacts flush even on an interrupted run — that is the whole point of
   // the cooperative first-signal path.
-  write_observability_artifacts(trace_path, metrics_path);
+  write_observability_artifacts(trace_path, metrics_path, metrics_format);
   if (g_signal.load() != 0) {
     std::fprintf(stderr, "ridnet_cli: interrupted by signal %d\n",
                  g_signal.load());

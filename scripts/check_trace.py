@@ -2,12 +2,22 @@
 """Validate ridnet_cli observability artifacts (CI gate).
 
 Usage: check_trace.py TRACE.json METRICS.json
+       check_trace.py --merged TRACE.json [METRICS.json]
 
-Checks that the Chrome trace-event file is valid JSON with the span set the
-RID pipeline promises (extraction, per-tree solves, DP computes), that every
-complete event is well-formed, and that the metrics snapshot carries at
-least 10 named series. Exits non-zero with a message on the first failure.
-Stdlib only — no third-party imports.
+Default mode checks a single-process trace: valid JSON with the span set the
+RID pipeline promises (extraction, per-tree solves, DP computes), every
+complete event well-formed, and a metrics snapshot carrying at least 10
+named series.
+
+--merged checks a multi-process trace from a sharded run (DESIGN.md §14):
+complete events from at least 2 distinct pids, a process_name metadata
+event for every pid, per-tree solve_tree spans with valid status tags, and
+at least one worker_shard span carrying a job tag. tree_index contiguity is
+NOT enforced — workers only solve their own shard's trees, and a crashed
+attempt's spans are legitimately absent.
+
+Exits non-zero with a message on the first failure. Stdlib only — no
+third-party imports.
 """
 import json
 import sys
@@ -18,7 +28,7 @@ def fail(msg: str) -> None:
     sys.exit(1)
 
 
-def check_trace(path: str) -> None:
+def load_spans(path: str):
     with open(path, "r", encoding="utf-8") as f:
         doc = json.load(f)  # raises on invalid JSON
     events = doc.get("traceEvents")
@@ -32,6 +42,17 @@ def check_trace(path: str) -> None:
                 fail(f"{path}: complete event missing '{key}': {e}")
         if e["dur"] < 0 or e["ts"] < 0:
             fail(f"{path}: negative ts/dur: {e}")
+    return events, spans
+
+
+def check_solve_statuses(path: str, solves) -> None:
+    for e in solves:
+        if e.get("args", {}).get("status") not in ("ok", "degraded", "failed"):
+            fail(f"{path}: solve_tree span without a valid status tag: {e}")
+
+
+def check_trace(path: str) -> None:
+    _, spans = load_spans(path)
 
     names = {e["name"] for e in spans}
     required = {"extract_forest", "solve_tree", "dp_compute", "run_rid"}
@@ -43,13 +64,48 @@ def check_trace(path: str) -> None:
     indices = sorted(e.get("args", {}).get("tree_index", -1) for e in solves)
     if indices != list(range(len(solves))):
         fail(f"{path}: solve_tree tree_index tags not 0..n-1: {indices}")
-    for e in solves:
-        if e.get("args", {}).get("status") not in ("ok", "degraded", "failed"):
-            fail(f"{path}: solve_tree span without a valid status tag: {e}")
+    check_solve_statuses(path, solves)
 
     print(
         f"check_trace: {path}: OK — {len(spans)} spans, "
         f"{len(solves)} trees, {len(names)} distinct stages"
+    )
+
+
+def check_merged_trace(path: str) -> None:
+    events, spans = load_spans(path)
+
+    pids = {e["pid"] for e in spans}
+    if len(pids) < 2:
+        fail(f"{path}: merged trace has spans from only {sorted(pids)}; "
+             "need >= 2 distinct pids (parent + worker)")
+
+    named_pids = {
+        e["pid"]
+        for e in events
+        if e.get("ph") == "M" and e.get("name") == "process_name"
+        and e.get("args", {}).get("name")
+    }
+    unnamed = pids - named_pids
+    if unnamed:
+        fail(f"{path}: pids without process_name metadata: {sorted(unnamed)}")
+
+    solves = [e for e in spans if e["name"] == "solve_tree"]
+    if not solves:
+        fail(f"{path}: merged trace has no solve_tree spans")
+    check_solve_statuses(path, solves)
+
+    shard_spans = [e for e in spans if e["name"] == "worker_shard"]
+    if not shard_spans:
+        fail(f"{path}: merged trace has no worker_shard spans")
+    for e in shard_spans:
+        if "job" not in e.get("args", {}):
+            fail(f"{path}: worker_shard span without a job tag: {e}")
+
+    print(
+        f"check_trace: {path}: OK (merged) — {len(spans)} spans across "
+        f"{len(pids)} pids, {len(solves)} tree solves, "
+        f"{len(shard_spans)} worker attempts"
     )
 
 
@@ -71,11 +127,21 @@ def check_metrics(path: str, min_series: int = 10) -> None:
 
 
 def main() -> None:
-    if len(sys.argv) != 3:
-        print(__doc__, file=sys.stderr)
-        sys.exit(2)
-    check_trace(sys.argv[1])
-    check_metrics(sys.argv[2])
+    args = sys.argv[1:]
+    merged = "--merged" in args
+    if merged:
+        args.remove("--merged")
+    if merged and len(args) in (1, 2):
+        check_merged_trace(args[0])
+        if len(args) == 2:
+            check_metrics(args[1])
+        return
+    if not merged and len(args) == 2:
+        check_trace(args[0])
+        check_metrics(args[1])
+        return
+    print(__doc__, file=sys.stderr)
+    sys.exit(2)
 
 
 if __name__ == "__main__":

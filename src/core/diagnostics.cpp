@@ -69,6 +69,10 @@ std::string RunDiagnostics::summary() const {
         << (stage.count == 1 ? " span, " : " spans, ") << stage.seconds
         << " s";
   }
+  if (spans_dropped > 0) {
+    out << "\n  trace: " << spans_dropped
+        << " spans dropped to ring wrap-around (stage totals undercount)";
+  }
   return out.str();
 }
 

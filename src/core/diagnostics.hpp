@@ -65,6 +65,11 @@ struct RunDiagnostics {
   /// Per-stage wall-time totals from the tracing layer (empty unless
   /// tracing was enabled during the run; see util/trace.hpp).
   std::vector<StageTotal> stages;
+  /// Spans silently lost to trace-ring wrap-around — this process plus any
+  /// worker processes whose telemetry was merged. Nonzero means the stage
+  /// totals above (and the exported trace) undercount; see the
+  /// "trace.spans_dropped" counter for the live view.
+  std::uint64_t spans_dropped = 0;
 
   // Sharded-run accounting (run_rid_sharded only; see DESIGN.md §11).
   /// Worker shards the run was partitioned into (0 = in-process run).

@@ -129,6 +129,8 @@ void attach_stage_totals(RunDiagnostics& diagnostics) {
   diagnostics.stages.clear();
   for (const trace::StageTotal& stage : trace::aggregate_stage_totals())
     diagnostics.stages.push_back({stage.name, stage.count, stage.seconds});
+  diagnostics.spans_dropped =
+      trace::snapshot().dropped + trace::remote_spans_dropped();
 }
 
 }  // namespace

@@ -125,6 +125,11 @@ struct ShardedConfig {
   /// kSocket: dispatcher endpoint in util::net::Endpoint::parse syntax.
   /// Empty = a Unix socket inside run_dir.
   std::string worker_endpoint;
+  /// Job/trace id stamped into worker assignments and echoed back in their
+  /// telemetry, so a merged trace (and a stale worker's late report) can be
+  /// attributed to the right job. The serve daemon sets this to the job id;
+  /// 0 = untagged batch run.
+  std::uint64_t trace_id = 0;
 };
 
 /// Deterministic size-balanced shard plan: trees sorted by (nodes desc,

@@ -21,6 +21,7 @@
 #include "util/failpoint.hpp"
 #include "util/logging.hpp"
 #include "util/metrics.hpp"
+#include "util/telemetry.hpp"
 #include "util/trace.hpp"
 
 #if !defined(_WIN32)
@@ -74,6 +75,20 @@ std::string attempt_file(const std::string& run_dir, std::size_t shard_id,
   return name.str();
 }
 
+/// Telemetry sidecar for one fork-worker attempt (the fork-transport
+/// counterpart of the socket kTelemetry frame). Named with the *parent*
+/// pid — the child writes it, the supervising parent harvests it after
+/// supervision, and stale sidecars from other runs fail the pid filter.
+std::string telemetry_sidecar_file(const std::string& run_dir,
+                                   std::size_t shard_id,
+                                   std::uint64_t parent_pid,
+                                   std::uint32_t attempt) {
+  std::ostringstream name;
+  name << run_dir << "/telemetry-" << shard_id << "-p" << parent_pid << "-a"
+       << attempt << util::telemetry::kSidecarExtension;
+  return name.str();
+}
+
 /// Size-balanced deterministic plan over an arbitrary subset of trees
 /// (resume plans only the trees missing from the checkpoint directory).
 std::vector<util::ShardWork> plan_over(const CascadeForest& forest,
@@ -118,11 +133,15 @@ void ensure_run_dir(const std::string& run_dir, bool resume,
   }
   if (resume) return;
   // Fresh run: stale checkpoint files would otherwise look durable to the
-  // supervisor and be merged back in.
+  // supervisor and be merged back in. Stale telemetry sidecars go too —
+  // they are per-run artifacts, not durable state.
   std::size_t removed = 0;
   for (const fs::directory_entry& entry : fs::directory_iterator(run_dir, ec)) {
     if (ec) break;
-    if (entry.path().extension() != kCheckpointExtension) continue;
+    const auto extension = entry.path().extension();
+    if (extension != kCheckpointExtension &&
+        extension != util::telemetry::kSidecarExtension)
+      continue;
     std::error_code remove_ec;
     if (fs::remove(entry.path(), remove_ec)) ++removed;
   }
@@ -165,6 +184,8 @@ void attach_stage_totals(RunDiagnostics& diagnostics) {
   diagnostics.stages.clear();
   for (const trace::StageTotal& stage : trace::aggregate_stage_totals())
     diagnostics.stages.push_back({stage.name, stage.count, stage.seconds});
+  diagnostics.spans_dropped =
+      trace::snapshot().dropped + trace::remote_spans_dropped();
 }
 
 }  // namespace
@@ -278,9 +299,18 @@ DetectionResult run_rid_sharded_on_forest(const CascadeForest& forest,
   // depends on it — with the exact per-tree isolation ladder of
   // run_rid_on_forest, and each finished tree is flushed before the next
   // starts so a crash loses at most the in-flight tree.
-  const auto child_body = [&](std::size_t shard_id,
-                              const std::vector<std::size_t>& items,
-                              std::uint32_t attempt) {
+  const std::uint64_t parent_pid = own_pid();  // captured pre-fork
+  const auto child_body = [&, parent_pid](std::size_t shard_id,
+                                          const std::vector<std::size_t>& items,
+                                          std::uint32_t attempt) {
+    // The forked child inherits the parent's metrics values and span rings
+    // copy-on-write; reset both so the telemetry sidecar carries only this
+    // attempt's deltas (the parent merging them back would otherwise
+    // double-count everything recorded before the fork).
+    util::metrics::global().reset();
+    const bool tracing = trace::enabled();
+    if (tracing) trace::start();
+    const std::uint64_t worker_start_ns = trace::now_ns();
     const util::BudgetScope scope(config.budget);
     TreeDpOptions dp = config.dp;
     if (!config.budget.unlimited()) dp.budget = &scope;
@@ -299,13 +329,40 @@ DetectionResult run_rid_sharded_on_forest(const CascadeForest& forest,
       const std::uint64_t start_ns = trace::now_ns();
       internal::solve_tree_guarded(forest.trees[item], config.beta, dp,
                                    record.solution, tree);
-      record.seconds =
-          static_cast<double>(trace::now_ns() - start_ns) * 1e-9;
+      const std::uint64_t end_ns = trace::now_ns();
+      record.seconds = static_cast<double>(end_ns - start_ns) * 1e-9;
       record.status = tree.status;
       record.budget_hit = tree.budget_hit;
       record.fallback_root_only = tree.fallback_root_only;
       record.error = std::move(tree.error);
+      const trace::TagValue tags[] = {
+          {"tree_index", nullptr, static_cast<std::int64_t>(item)},
+          {"nodes", nullptr,
+           static_cast<std::int64_t>(forest.trees[item].size())},
+          {"status", status_name(tree.status), 0},
+      };
+      trace::emit_span("solve_tree", start_ns, end_ns, trace::current_tid(),
+                       tags);
       writer.append(record);
+    }
+    // Telemetry sidecar (best-effort, after the last record is durable — a
+    // crash before this point loses observability, never results).
+    const trace::TagValue tags[] = {
+        {"shard", nullptr, static_cast<std::int64_t>(shard_id)},
+        {"attempt", nullptr, static_cast<std::int64_t>(attempt)},
+        {"job", nullptr, static_cast<std::int64_t>(sharded.trace_id)},
+    };
+    trace::emit_span("worker_shard", worker_start_ns, trace::now_ns(),
+                     trace::current_tid(), tags);
+    if (tracing) trace::stop();
+    try {
+      util::telemetry::write_sidecar_file(
+          telemetry_sidecar_file(sharded.run_dir, shard_id, parent_pid,
+                                 attempt),
+          util::telemetry::collect(
+              sharded.trace_id, "worker shard " + std::to_string(shard_id) +
+                                    " attempt " + std::to_string(attempt)));
+    } catch (const std::exception&) {
     }
   };
 
@@ -331,6 +388,10 @@ DetectionResult run_rid_sharded_on_forest(const CascadeForest& forest,
     // durable() probe reads, so supervision semantics are unchanged.
     WorkerAssignment assignment;
     assignment.fingerprint = fingerprint;
+    assignment.trace_id = sharded.trace_id;
+    // Workers record spans only when the parent is tracing; the telemetry
+    // frame itself always flows (the metrics half is always compiled).
+    assignment.collect_trace = trace::enabled();
     assignment.graph_path = sharded.graph_path;
     assignment.beta = config.beta;
     assignment.dp = config.dp;
@@ -359,6 +420,29 @@ DetectionResult run_rid_sharded_on_forest(const CascadeForest& forest,
   } else {
     report =
         util::supervise_shards(shards, sharded.supervisor, child_body, durable);
+    // Harvest the telemetry sidecars this run's workers left. The pid
+    // filter skips sidecars from other processes sharing a resumed
+    // directory; the trace-id check skips this process's earlier runs.
+    // Damage is counted inside read_sidecar_file, never fatal.
+    std::error_code ec;
+    std::vector<fs::path> sidecars;
+    const std::string pid_token = "-p" + std::to_string(parent_pid) + "-";
+    for (const fs::directory_entry& entry :
+         fs::directory_iterator(sharded.run_dir, ec)) {
+      if (ec) break;
+      const std::string name = entry.path().filename().string();
+      if (entry.path().extension() != util::telemetry::kSidecarExtension ||
+          name.rfind("telemetry-", 0) != 0 ||
+          name.find(pid_token) == std::string::npos)
+        continue;
+      sidecars.push_back(entry.path());
+    }
+    std::sort(sidecars.begin(), sidecars.end());  // deterministic merge order
+    for (const fs::path& sidecar : sidecars) {
+      auto telemetry = util::telemetry::read_sidecar_file(sidecar.string());
+      if (!telemetry || telemetry->trace_id != sharded.trace_id) continue;
+      util::telemetry::merge_into_process(std::move(*telemetry));
+    }
   }
   diagnostics.shard_retries = report.retries;
   diagnostics.shard_crashes = report.crashes;

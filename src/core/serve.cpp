@@ -10,17 +10,23 @@
 #include <map>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <sstream>
 #include <thread>
 #include <utility>
 
 #include "graph/columnar.hpp"
 #include "util/errors.hpp"
+#include "util/flight_recorder.hpp"
 #include "util/fnv.hpp"
 #include "util/metrics.hpp"
 #include "util/net.hpp"
 #include "util/trace.hpp"
 #include "util/wire.hpp"
+
+#if !defined(_WIN32)
+#include <sys/resource.h>
+#endif
 
 #include "core/snapshot_io.hpp"
 
@@ -40,12 +46,17 @@ namespace wire = util::wire;
 //                              | u64 shards)
 //          type 2 (completed): u64 job_id | u8 status (0 ok, 1 degraded,
 //                              2 failed)
+//          type 3 (job stats): u64 job_id | f64 wall_seconds
+//                              | f64 cpu_seconds | u64 rss_peak_kb
 // Read back as a valid prefix, exactly like a checkpoint file: a record
-// torn by a daemon crash hides nothing before it.
+// torn by a daemon crash hides nothing before it. Type 3 needed no version
+// bump: the reader has always skipped unknown record types, so old builds
+// replay a new journal losing only the stats.
 constexpr char kJournalMagic[8] = {'R', 'I', 'D', 'N', 'S', 'R', 'V', '1'};
 constexpr std::uint32_t kJournalVersion = 1;
 constexpr std::uint8_t kRecordSubmitted = 1;
 constexpr std::uint8_t kRecordCompleted = 2;
+constexpr std::uint8_t kRecordJobStats = 3;
 constexpr const char* kJournalName = "jobs.journal";
 
 // Control protocol over one request/reply frame pair per connection.
@@ -56,7 +67,11 @@ enum class ServeMessage : std::uint8_t {
   kQuery = 4,     // client->daemon: u64 job_id
   kPending = 5,   // (empty)
   kResult = 6,    // u8 status | str result_path | str message
+                  // | u8 has_stats | f64 wall | f64 cpu | u64 rss_kb
   kUnknown = 7,   // (empty)
+  kStats = 8,     // client->daemon: u8 include_events | u8 format (0 json,
+                  //                 1 prometheus)
+  kStatsReply = 9,  // str stats_json | str events_jsonl
 };
 
 constexpr double kClientReplyTimeoutSeconds = 30.0;
@@ -101,6 +116,15 @@ JobSpec decode_job_spec(wire::Reader& in) {
   return spec;
 }
 
+/// Per-job resource story, measured by the runner and journaled at
+/// completion so it survives a daemon restart (journal record type 3).
+struct JobStats {
+  bool has_stats = false;
+  double wall_seconds = 0.0;
+  double cpu_seconds = 0.0;
+  std::uint64_t rss_peak_kb = 0;
+};
+
 struct Job {
   std::uint64_t id = 0;
   JobSpec spec;
@@ -108,6 +132,7 @@ struct Job {
   bool done = false;
   JobStatus status = JobStatus::kOk;
   std::string message;
+  JobStats stats;
 };
 
 struct Daemon {
@@ -125,13 +150,19 @@ struct Daemon {
   std::size_t running_jobs = 0;
   std::FILE* journal = nullptr;
   std::optional<util::WorkerSlots> slots;
+  /// Daemon birth (monotonic): the uptime base for kStats.
+  std::uint64_t start_ns = trace::now_ns();
 
   std::string job_dir(std::uint64_t id) const {
     return options.run_dir + "/job-" + std::to_string(id);
   }
 };
 
+// Every daemon event — job lifecycle, admission rejections, journal and
+// frame damage — funnels through here, so one flight::record call makes
+// the whole control plane reconstructable from a post-mortem ring dump.
 void log_event_locked(Daemon& d, std::string message) {
+  util::flight::record("serve", message);
   d.report.events.push_back(std::move(message));
 }
 
@@ -175,9 +206,20 @@ void journal_completed_locked(Daemon& d, std::uint64_t id, JobStatus status) {
   append_journal_locked(d, payload);
 }
 
+void journal_stats_locked(Daemon& d, std::uint64_t id, const JobStats& stats) {
+  std::string payload;
+  wire::put_u8(payload, kRecordJobStats);
+  wire::put_u64(payload, id);
+  wire::put_f64(payload, stats.wall_seconds);
+  wire::put_f64(payload, stats.cpu_seconds);
+  wire::put_u64(payload, stats.rss_peak_kb);
+  append_journal_locked(d, payload);
+}
+
 struct JournalReplay {
   std::map<std::uint64_t, JobSpec> submitted;
   std::map<std::uint64_t, JobStatus> completed;
+  std::map<std::uint64_t, JobStats> stats;
   std::vector<std::string> notes;
 };
 
@@ -234,6 +276,15 @@ JournalReplay read_journal(const std::string& path) {
         record.expect_done();
         replay.completed[id] = static_cast<JobStatus>(
             std::min<std::uint8_t>(status, 2));
+      } else if (type == kRecordJobStats) {
+        const std::uint64_t id = record.u64();
+        JobStats stats;
+        stats.has_stats = true;
+        stats.wall_seconds = record.f64();
+        stats.cpu_seconds = record.f64();
+        stats.rss_peak_kb = record.u64();
+        record.expect_done();
+        replay.stats[id] = stats;
       } else {
         replay.notes.push_back(path + ": unknown record type " +
                                std::to_string(type) + " ignored");
@@ -308,6 +359,9 @@ JobOutcome execute_job(Daemon& d, const Job& job) {
   sharded.transport = d.options.transport;
   sharded.worker_command = d.options.worker_command;
   sharded.graph_path = job.spec.graph_path;
+  // Stamp the job id into worker assignments: their telemetry echoes it
+  // back, so merged traces and late reports attribute to the right job.
+  sharded.trace_id = job.id;
 
   const DetectionResult result =
       run_rid_sharded(view, view.states(), config, sharded);
@@ -345,15 +399,40 @@ JobOutcome execute_job(Daemon& d, const Job& job) {
   return outcome;
 }
 
-void finish_job_locked(Daemon& d, std::uint64_t id, const JobOutcome& outcome) {
+/// Daemon-process CPU consumed so far, self plus reaped worker children.
+/// A before/after delta bounds one job's CPU (an upper bound when jobs run
+/// concurrently — the journal keeps it honest by being per-job anyway).
+double process_cpu_seconds() {
+#if !defined(_WIN32)
+  const auto seconds = [](const timeval& t) {
+    return static_cast<double>(t.tv_sec) +
+           static_cast<double>(t.tv_usec) * 1e-6;
+  };
+  rusage self{};
+  rusage children{};
+  double total = 0.0;
+  if (getrusage(RUSAGE_SELF, &self) == 0)
+    total += seconds(self.ru_utime) + seconds(self.ru_stime);
+  if (getrusage(RUSAGE_CHILDREN, &children) == 0)
+    total += seconds(children.ru_utime) + seconds(children.ru_stime);
+  return total;
+#else
+  return 0.0;
+#endif
+}
+
+void finish_job_locked(Daemon& d, std::uint64_t id, const JobOutcome& outcome,
+                       const JobStats& stats) {
   auto it = d.jobs.find(id);
   if (it == d.jobs.end()) return;
   Job& job = it->second;
   job.done = true;
   job.status = outcome.status;
   job.message = outcome.message;
+  job.stats = stats;
   d.pending_nodes -= std::min(d.pending_nodes, job.num_nodes);
   journal_completed_locked(d, id, outcome.status);
+  if (stats.has_stats) journal_stats_locked(d, id, stats);
   d.report.jobs_completed++;
   serve_metrics().completed.add(1);
   if (outcome.status == JobStatus::kDegraded) serve_metrics().degraded.add(1);
@@ -384,7 +463,10 @@ void runner_loop(Daemon& d) {
     }
 
     JobOutcome outcome;
+    JobStats stats;
     bool cancelled = false;
+    const std::uint64_t wall_start_ns = trace::now_ns();
+    const double cpu_start = process_cpu_seconds();
     try {
       Job job;
       {
@@ -393,11 +475,19 @@ void runner_loop(Daemon& d) {
       }
       outcome = execute_job(d, job);
       cancelled = d.options.cancel.cancel_requested();
+      stats.has_stats = true;
     } catch (const std::exception& e) {
       cancelled = d.options.cancel.cancel_requested();
       outcome.status = JobStatus::kFailed;
       outcome.message = e.what();
     }
+    stats.wall_seconds =
+        static_cast<double>(trace::now_ns() - wall_start_ns) * 1e-9;
+    stats.cpu_seconds = std::max(0.0, process_cpu_seconds() - cpu_start);
+    // The supervisor's high-water gauge: peak worker RSS observed so far
+    // (daemon-wide, so with concurrent jobs it is the fleet's peak).
+    stats.rss_peak_kb = static_cast<std::uint64_t>(std::max(
+        0.0, util::metrics::global().gauge("shard.rss_peak_kb").value()));
 
     std::lock_guard<std::mutex> lock(d.mu);
     d.running_jobs--;
@@ -409,7 +499,7 @@ void runner_loop(Daemon& d) {
       update_queue_depth_locked(d);
       return;
     }
-    finish_job_locked(d, id, outcome);
+    finish_job_locked(d, id, outcome, stats);
     update_queue_depth_locked(d);
   }
 }
@@ -506,6 +596,135 @@ std::string handle_query(Daemon& d, std::uint64_t id) {
   wire::put_u8(reply, static_cast<std::uint8_t>(it->second.status));
   wire::put_bytes(reply, d.job_dir(id) + "/result.txt");
   wire::put_bytes(reply, it->second.message);
+  const JobStats& stats = it->second.stats;
+  wire::put_u8(reply, stats.has_stats ? 1 : 0);
+  wire::put_f64(reply, stats.wall_seconds);
+  wire::put_f64(reply, stats.cpu_seconds);
+  wire::put_u64(reply, stats.rss_peak_kb);
+  return reply;
+}
+
+// --- live introspection (kStats) ------------------------------------------
+
+void append_json_string(std::string& out, std::string_view text) {
+  out += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+std::string format_double(double value) {
+  std::ostringstream out;
+  out << value;
+  return out.str();
+}
+
+/// The whole daemon in one flat JSON object, assembled under d.mu so the
+/// job table, queue, and admission ledger are mutually consistent. The
+/// metrics snapshot is taken outside the lock — the registry has its own.
+std::string stats_json(Daemon& d, bool prometheus_metrics) {
+  const util::metrics::MetricsSnapshot metrics =
+      util::metrics::global().snapshot();
+  const double uptime =
+      static_cast<double>(trace::now_ns() - d.start_ns) * 1e-9;
+
+  std::string out;
+  out += '{';
+  std::lock_guard<std::mutex> lock(d.mu);
+  out += "\"uptime_seconds\": " + format_double(uptime);
+  out += ", \"jobs_accepted\": " + std::to_string(d.report.jobs_accepted);
+  out += ", \"jobs_rejected\": " + std::to_string(d.report.jobs_rejected);
+  out += ", \"jobs_completed\": " + std::to_string(d.report.jobs_completed);
+  out += ", \"jobs_recovered\": " + std::to_string(d.report.jobs_recovered);
+  out += ", \"queue_depth\": " + std::to_string(d.queue.size());
+  out += ", \"running_jobs\": " + std::to_string(d.running_jobs);
+  out += ", \"pending_nodes\": " + std::to_string(d.pending_nodes);
+  out += ", \"worker_slots\": " +
+         std::to_string(d.slots ? d.slots->capacity() : 0);
+  out += ", \"worker_slots_in_use\": " +
+         std::to_string(d.slots ? d.slots->in_use() : 0);
+  out += ", \"flight_events_recorded\": " +
+         std::to_string(util::flight::total_recorded());
+  out += ", \"flight_events_dropped\": " +
+         std::to_string(util::flight::dropped());
+
+  std::set<std::uint64_t> queued(d.queue.begin(), d.queue.end());
+  out += ", \"jobs\": [";
+  bool first = true;
+  for (const auto& [id, job] : d.jobs) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"id\": " + std::to_string(id);
+    out += ", \"state\": ";
+    append_json_string(out, job.done             ? "done"
+                            : queued.count(id) != 0 ? "queued"
+                                                    : "running");
+    out += ", \"graph\": ";
+    append_json_string(out, job.spec.graph_path);
+    out += ", \"beta\": " + format_double(job.spec.beta);
+    out += ", \"shards\": " + std::to_string(job.spec.num_shards);
+    out += ", \"nodes\": " + std::to_string(job.num_nodes);
+    if (job.done) {
+      out += ", \"status\": ";
+      append_json_string(out, job.status == JobStatus::kOk       ? "ok"
+                              : job.status == JobStatus::kDegraded
+                                  ? "degraded"
+                                  : "failed");
+      out += ", \"message\": ";
+      append_json_string(out, job.message);
+      if (job.stats.has_stats) {
+        out += ", \"wall_seconds\": " + format_double(job.stats.wall_seconds);
+        out += ", \"cpu_seconds\": " + format_double(job.stats.cpu_seconds);
+        out += ", \"rss_peak_kb\": " + std::to_string(job.stats.rss_peak_kb);
+      }
+    }
+    out += '}';
+  }
+  out += ']';
+
+  if (prometheus_metrics) {
+    out += ", \"metrics_prom\": ";
+    append_json_string(out, metrics.to_prometheus());
+  } else {
+    out += ", \"metrics\": " + metrics.to_json();
+  }
+  out += '}';
+  return out;
+}
+
+std::string handle_stats(Daemon& d, bool include_events,
+                         bool prometheus_metrics) {
+  std::string reply;
+  wire::put_u8(reply, static_cast<std::uint8_t>(ServeMessage::kStatsReply));
+  wire::put_bytes(reply, stats_json(d, prometheus_metrics));
+  wire::put_bytes(reply,
+                  include_events ? util::flight::to_jsonl() : std::string());
   return reply;
 }
 
@@ -530,6 +749,11 @@ void handle_client(Daemon& d, net::Socket socket) {
       const std::uint64_t id = in.u64();
       in.expect_done();
       reply = handle_query(d, id);
+    } else if (type == ServeMessage::kStats) {
+      const bool include_events = in.u8() != 0;
+      const bool prometheus_metrics = in.u8() != 0;
+      in.expect_done();
+      reply = handle_stats(d, include_events, prometheus_metrics);
     } else {
       log_event(d, "client: unexpected message type " +
                        std::to_string(static_cast<int>(type)));
@@ -568,6 +792,8 @@ void replay_journal(Daemon& d) {
       job.done = true;
       job.status = done->second;
       job.message = "recovered from journal";
+      const auto stats = replay.stats.find(id);
+      if (stats != replay.stats.end()) job.stats = stats->second;
       d.jobs[id] = job;
       continue;
     }
@@ -773,6 +999,10 @@ JobQueryResult query_job(const std::string& endpoint_text,
     const auto status = static_cast<JobStatus>(in.u8());
     result.result_path = in.str();
     result.message = in.str();
+    result.has_stats = in.u8() != 0;
+    result.wall_seconds = in.f64();
+    result.cpu_seconds = in.f64();
+    result.rss_peak_kb = in.u64();
     in.expect_done();
     result.phase = JobPhase::kDone;
     result.ok = status == JobStatus::kOk;
@@ -781,6 +1011,26 @@ JobQueryResult query_job(const std::string& endpoint_text,
   }
   throw util::InputError("query reply: unexpected message type " +
                          std::to_string(static_cast<int>(type)));
+}
+
+DaemonStats query_stats(const std::string& endpoint_text, bool include_events,
+                        bool prometheus_metrics) {
+  std::string request;
+  wire::put_u8(request, static_cast<std::uint8_t>(ServeMessage::kStats));
+  wire::put_u8(request, include_events ? 1 : 0);
+  wire::put_u8(request, prometheus_metrics ? 1 : 0);
+  const std::string reply = request_reply(endpoint_text, request);
+
+  wire::Reader in(reply, "stats reply");
+  const auto type = static_cast<ServeMessage>(in.u8());
+  if (type != ServeMessage::kStatsReply)
+    throw util::InputError("stats reply: unexpected message type " +
+                           std::to_string(static_cast<int>(type)));
+  DaemonStats stats;
+  stats.stats_json = in.str();
+  stats.events_jsonl = in.str();
+  in.expect_done();
+  return stats;
 }
 
 }  // namespace rid::core

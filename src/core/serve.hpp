@@ -30,6 +30,14 @@
 // size proxy WorkBudget::max_tree_nodes caps with), is *rejected with a
 // retry-after hint* rather than queued into an unbounded backlog. Malformed
 // submissions are rejected permanently (no retry-after).
+//
+// Introspection (DESIGN.md §14): a kStats request returns a live flat-JSON
+// snapshot of the daemon — job table, worker-slot occupancy, queue depth,
+// uptime, and the full metrics registry (JSON or Prometheus text) — plus,
+// on request, the flight-recorder ring as JSONL. Each finished job's
+// resource story (wall clock, CPU including worker children, peak worker
+// RSS) is journaled as a stats record, so `query` reports it even after a
+// daemon restart.
 #pragma once
 
 #include <cstdint>
@@ -127,11 +135,37 @@ struct JobQueryResult {
   bool degraded = false;  // done: some trees fell back / failed
   std::string result_path;  // done: server-side result file
   std::string message;
+  /// Per-job resource stats, journaled at completion (survive a daemon
+  /// restart). has_stats is false for jobs recovered from pre-stats
+  /// journals or failed before running.
+  bool has_stats = false;
+  double wall_seconds = 0.0;
+  /// Daemon CPU delta over the job (self + reaped worker children) — an
+  /// upper bound when jobs run concurrently.
+  double cpu_seconds = 0.0;
+  /// Peak worker RSS observed by the supervisor up to job completion.
+  std::uint64_t rss_peak_kb = 0;
 };
 
 /// Polls one job's state. Throws util::InputError when the daemon is
 /// unreachable or the reply is damaged.
 JobQueryResult query_job(const std::string& endpoint_text,
                          std::uint64_t job_id);
+
+struct DaemonStats {
+  /// Flat JSON object: uptime, job table, queue/slot occupancy, admission
+  /// ledger, and the metrics registry ("metrics" sub-object, or
+  /// "metrics_prom" text when Prometheus format was requested).
+  std::string stats_json;
+  /// Flight-recorder ring as JSONL (empty unless include_events was set).
+  std::string events_jsonl;
+};
+
+/// Fetches a live stats snapshot from the daemon (`ridnet_cli stats`).
+/// prometheus_metrics selects the text exposition for the metrics half.
+/// Throws util::InputError when the daemon is unreachable or the reply is
+/// damaged.
+DaemonStats query_stats(const std::string& endpoint_text, bool include_events,
+                        bool prometheus_metrics);
 
 }  // namespace rid::core

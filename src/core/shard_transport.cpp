@@ -13,8 +13,10 @@
 #include "graph/columnar.hpp"
 #include "util/errors.hpp"
 #include "util/failpoint.hpp"
+#include "util/flight_recorder.hpp"
 #include "util/logging.hpp"
 #include "util/metrics.hpp"
+#include "util/telemetry.hpp"
 #include "util/trace.hpp"
 #include "util/wire.hpp"
 
@@ -29,8 +31,11 @@ namespace {
 namespace net = util::net;
 namespace wire = util::wire;
 
-/// Bumped on any change to the assignment body layout.
-constexpr std::uint32_t kAssignmentVersion = 1;
+/// Bumped on any change to the assignment body layout. v2 added the
+/// trace id + collect_trace flag (and the hello frame gained the worker
+/// pid); decode refuses a version skew, which doubles as the
+/// binary-compatibility gate between dispatcher and worker.
+constexpr std::uint32_t kAssignmentVersion = 2;
 
 constexpr double kHandshakeTimeoutSeconds = 30.0;
 constexpr double kDispatcherPollSeconds = 0.25;
@@ -85,6 +90,8 @@ std::string encode_assignment(const WorkerAssignment& assignment) {
   std::string out;
   wire::put_u32(out, kAssignmentVersion);
   wire::put_u64(out, assignment.fingerprint);
+  wire::put_u64(out, assignment.trace_id);
+  wire::put_u8(out, assignment.collect_trace ? 1 : 0);
   wire::put_bytes(out, assignment.graph_path);
   wire::put_f64(out, assignment.beta);
   // TreeDpOptions (resolved; the budget pointer travels as the WorkBudget
@@ -127,6 +134,8 @@ WorkerAssignment decode_assignment(std::string_view body) {
                            std::to_string(kAssignmentVersion) + ")");
   WorkerAssignment a;
   a.fingerprint = in.u64();
+  a.trace_id = in.u64();
+  a.collect_trace = in.u8() != 0;
   a.graph_path = in.str();
   a.beta = in.f64();
   a.dp.initial_k_cap = in.u32();
@@ -222,6 +231,7 @@ struct SocketDispatcher::Impl {
       wire::Reader hello(std::string_view(payload).substr(1), "hello");
       const std::size_t shard_id = hello.u32();
       const std::uint32_t attempt = hello.u32();
+      const std::uint64_t worker_pid = hello.u64();
       hello.expect_done();
 
       WorkerAssignment assignment;
@@ -261,6 +271,11 @@ struct SocketDispatcher::Impl {
         }
         if (frame == net::FrameStatus::kClosed) {
           tm.dropped.add(1);
+          util::flight::record(
+              "net.conn", "shard " + std::to_string(shard_id) + " attempt " +
+                              std::to_string(attempt) + " pid " +
+                              std::to_string(worker_pid) +
+                              ": connection lost mid-stream");
           log_event("dispatcher: shard " + std::to_string(shard_id) +
                     " attempt " + std::to_string(attempt) +
                     ": connection lost mid-stream");
@@ -270,6 +285,10 @@ struct SocketDispatcher::Impl {
           // Damage on the wire: drop the connection. The worker's next
           // write fails (or the heartbeat kills it) and the shard requeues.
           tm.dropped.add(1);
+          util::flight::record(
+              "net.frame", "shard " + std::to_string(shard_id) + " attempt " +
+                               std::to_string(attempt) +
+                               ": damaged frame, dropping connection");
           log_event("dispatcher: shard " + std::to_string(shard_id) +
                     " attempt " + std::to_string(attempt) +
                     ": damaged frame - dropping connection");
@@ -284,6 +303,34 @@ struct SocketDispatcher::Impl {
           // transport damage).
           writer.append(decode_record(body));
           tm.records_streamed.add(1);
+          continue;
+        }
+        if (type == WireMessage::kTelemetry) {
+          // Best-effort observability: damage here must never end the
+          // attempt (the records already streamed are the result; spans
+          // and metrics are garnish). The failpoint models a frame that
+          // passed the transport checksum but carries a garbled payload.
+          try {
+            RID_FAILPOINT("net.telemetry_frame");
+            util::telemetry::WorkerTelemetry telemetry =
+                util::telemetry::decode(body);
+            if (telemetry.trace_id != assignment.trace_id)
+              throw util::InputError(
+                  "telemetry trace id " +
+                  std::to_string(telemetry.trace_id) +
+                  " does not match assignment " +
+                  std::to_string(assignment.trace_id));
+            util::telemetry::merge_into_process(std::move(telemetry));
+          } catch (const std::exception& e) {
+            util::metrics::global().counter("telemetry.damaged").add(1);
+            util::flight::record(
+                "net.frame", "telemetry damaged: shard " +
+                                 std::to_string(shard_id) + " attempt " +
+                                 std::to_string(attempt) + ": " + e.what());
+            log_event("dispatcher: shard " + std::to_string(shard_id) +
+                      " attempt " + std::to_string(attempt) +
+                      ": telemetry damaged (ignored): " + e.what());
+          }
           continue;
         }
         if (type == WireMessage::kDone) return;
@@ -404,6 +451,7 @@ int run_socket_worker(const std::string& endpoint_text, std::size_t shard_id,
     std::string hello;
     wire::put_u32(hello, static_cast<std::uint32_t>(shard_id));
     wire::put_u32(hello, attempt);
+    wire::put_u64(hello, own_pid());
     if (!socket.write_frame(message_frame(WireMessage::kHello, hello)))
       return 1;
 
@@ -418,6 +466,14 @@ int run_socket_worker(const std::string& endpoint_text, std::size_t shard_id,
     }
     const WorkerAssignment assignment =
         decode_assignment(std::string_view(payload).substr(1));
+
+    // The worker's own observability: span recording starts here (before
+    // extraction, so extract_forest lands in the trace too) and drains back
+    // to the dispatcher as one kTelemetry frame before kDone. A
+    // RID_TRACING=OFF worker records nothing; the metrics half still flows.
+    if (assignment.collect_trace && util::trace::compiled())
+      util::trace::start();
+    const std::uint64_t worker_start_ns = util::trace::now_ns();
 
     // Re-create the parent's forest from the snapshot and refuse to compute
     // against anything else: the fingerprint is the contract that this
@@ -459,16 +515,56 @@ int run_socket_worker(const std::string& endpoint_text, std::size_t shard_id,
       const std::uint64_t start_ns = util::trace::now_ns();
       internal::solve_tree_guarded(forest.trees[item], assignment.beta, dp,
                                    record.solution, tree);
-      record.seconds =
-          static_cast<double>(util::trace::now_ns() - start_ns) * 1e-9;
+      const std::uint64_t end_ns = util::trace::now_ns();
+      record.seconds = static_cast<double>(end_ns - start_ns) * 1e-9;
       record.status = tree.status;
       record.budget_hit = tree.budget_hit;
       record.fallback_root_only = tree.fallback_root_only;
       record.error = std::move(tree.error);
+      {
+        // Same span shape as the in-process path (rid.cpp) so merged
+        // traces read uniformly.
+        const util::trace::TagValue tags[] = {
+            {"tree_index", nullptr, static_cast<std::int64_t>(item)},
+            {"nodes", nullptr,
+             static_cast<std::int64_t>(forest.trees[item].size())},
+            {"status", status_name(tree.status), 0},
+        };
+        util::trace::emit_span("solve_tree", start_ns, end_ns,
+                               util::trace::current_tid(), tags);
+      }
       if (!socket.write_frame(
               message_frame(WireMessage::kRecord, encode_record(record))))
         return 1;  // dispatcher gone; nothing durable happens without it
       ++streamed;
+    }
+    {
+      const util::trace::TagValue tags[] = {
+          {"shard", nullptr, static_cast<std::int64_t>(shard_id)},
+          {"attempt", nullptr, static_cast<std::int64_t>(attempt)},
+          {"job", nullptr, static_cast<std::int64_t>(assignment.trace_id)},
+      };
+      util::trace::emit_span("worker_shard", worker_start_ns,
+                             util::trace::now_ns(),
+                             util::trace::current_tid(), tags);
+    }
+    {
+      // Telemetry before kDone, strictly best-effort: a failed send is the
+      // dispatcher's loss to count, never the worker's failure. The frame
+      // always flows (the metrics half is always compiled); span content
+      // rides along only when the dispatcher asked for a trace.
+      try {
+        if (assignment.collect_trace && util::trace::compiled())
+          util::trace::stop();
+        const util::telemetry::WorkerTelemetry telemetry =
+            util::telemetry::collect(
+                assignment.trace_id,
+                "worker shard " + std::to_string(shard_id) + " attempt " +
+                    std::to_string(attempt));
+        socket.write_frame(message_frame(
+            WireMessage::kTelemetry, util::telemetry::encode(telemetry)));
+      } catch (const std::exception&) {
+      }
     }
     std::string done;
     wire::put_u64(done, streamed);

@@ -20,19 +20,29 @@
 // Message grammar (each message is one util::net frame; first payload byte
 // is the type):
 //
-//   type          direction            body
-//   ----          ---------            ----
-//   kHello  = 1   worker -> dispatcher u32 shard_id, u32 attempt
-//   kAssign = 2   dispatcher -> worker WorkerAssignment (see encode_*)
-//   kRecord = 3   worker -> dispatcher checkpoint record payload (verbatim)
-//   kDone   = 4   worker -> dispatcher u64 records_streamed
-//   kError  = 5   worker -> dispatcher length-prefixed message
+//   type              direction            body
+//   ----              ---------            ----
+//   kHello      = 1   worker -> dispatcher u32 shard_id, u32 attempt,
+//                                          u64 worker_pid
+//   kAssign     = 2   dispatcher -> worker WorkerAssignment (see encode_*)
+//   kRecord     = 3   worker -> dispatcher checkpoint record payload
+//                                          (verbatim)
+//   kDone       = 4   worker -> dispatcher u64 records_streamed
+//   kError      = 5   worker -> dispatcher length-prefixed message
+//   kTelemetry  = 6   worker -> dispatcher util::telemetry payload (spans +
+//                                          metrics; see util/telemetry.hpp)
 //
 // Fault semantics: any damaged, torn, or missing frame ends the attempt —
 // the dispatcher drops the connection, the worker exits nonzero (or is
 // SIGKILLed by the supervisor's heartbeat), and the supervisor requeues the
 // shard with backoff exactly as it would a fork-worker crash. Records
 // already appended are durable; nothing is ever un-persisted.
+//
+// The one exception is kTelemetry (sent once, right before kDone): it is
+// best-effort observability, never part of the result. A damaged or
+// mismatched telemetry payload bumps "telemetry.damaged", logs an event,
+// and the stream continues — detection output is bit-identical with
+// telemetry present, absent, or damaged (DESIGN.md §14).
 #pragma once
 
 #include <cstdint>
@@ -53,6 +63,7 @@ enum class WireMessage : std::uint8_t {
   kRecord = 3,
   kDone = 4,
   kError = 5,
+  kTelemetry = 6,
 };
 
 /// Everything a socket worker needs to reproduce the parent's solve
@@ -62,6 +73,14 @@ enum class WireMessage : std::uint8_t {
 /// environment).
 struct WorkerAssignment {
   std::uint64_t fingerprint = 0;
+  /// Job/trace id stamped by the dispatcher and echoed back in the worker's
+  /// kTelemetry frame (a stale worker's telemetry must not pollute another
+  /// job's trace). 0 = untagged batch run.
+  std::uint64_t trace_id = 0;
+  /// Whether the worker should record spans and report telemetry (set when
+  /// the parent itself is tracing; always safe to leave on — a
+  /// RID_TRACING=OFF worker just reports metrics only).
+  bool collect_trace = false;
   std::string graph_path;  // .ridg with an embedded state snapshot
   double beta = 0.1;
   TreeDpOptions dp;              // budget pointer not serialized

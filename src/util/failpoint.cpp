@@ -7,6 +7,8 @@
 #include <new>
 #include <thread>
 
+#include "util/flight_recorder.hpp"
+
 namespace rid::util::failpoint {
 
 namespace detail {
@@ -120,7 +122,22 @@ void hit_slow(const char* name) {
     arg = entry.arg;
   }
   // The action runs outside the registry lock: sleep must not serialize
-  // other failpoints, and throw/abort must not leave the mutex held.
+  // other failpoints, and throw/abort must not leave the mutex held. The
+  // flight-recorder event lands before abort so the injected kill is
+  // visible in a post-mortem dump.
+  switch (action) {
+    case Action::kThrow:
+      flight::record("failpoint", std::string(name) + ": throw");
+      break;
+    case Action::kAbort:
+      flight::record("failpoint", std::string(name) + ": abort");
+      break;
+    case Action::kOom:
+      flight::record("failpoint", std::string(name) + ": oom");
+      break;
+    case Action::kSleep:
+      break;  // sleeps fire per tree — too chatty for the event ring
+  }
   switch (action) {
     case Action::kThrow:
       throw FailpointError(std::string("failpoint '") + name + "' hit");

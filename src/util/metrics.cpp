@@ -114,6 +114,35 @@ MetricsSnapshot Registry::snapshot() const {
   return out;
 }
 
+void Registry::merge(const MetricsSnapshot& delta) {
+  for (const CounterSample& c : delta.counters) {
+    if (c.value > 0) counter(c.name).add(c.value);
+  }
+  // Every current gauge is a high-water mark (rss_peak_kb) or a last-seen
+  // size where the maximum is the useful cross-process merge; a plain set()
+  // would let a small worker overwrite a larger parent value.
+  for (const GaugeSample& g : delta.gauges) gauge(g.name).set_max(g.value);
+  for (const HistogramSample& h : delta.histograms) {
+    if (h.count == 0) continue;
+    Histogram& dst = histogram(h.name);
+    for (const auto& [le, n] : h.buckets) {
+      // Boundaries are fixed powers of two in every process, so the
+      // inclusive upper bound identifies the source bucket exactly.
+      dst.buckets_[Histogram::bucket_index(le)].fetch_add(
+          n, std::memory_order_relaxed);
+    }
+    dst.sum_.fetch_add(h.sum, std::memory_order_relaxed);
+    std::uint64_t seen = dst.min_.load(std::memory_order_relaxed);
+    while (h.min < seen && !dst.min_.compare_exchange_weak(
+                               seen, h.min, std::memory_order_relaxed)) {
+    }
+    seen = dst.max_.load(std::memory_order_relaxed);
+    while (h.max > seen && !dst.max_.compare_exchange_weak(
+                               seen, h.max, std::memory_order_relaxed)) {
+    }
+  }
+}
+
 void Registry::reset() {
   const std::lock_guard<std::mutex> lock(impl_->mutex);
   for (const auto& [name, counter] : impl_->counters) counter->reset();
@@ -184,6 +213,53 @@ std::string MetricsSnapshot::to_json() const {
   return out.str();
 }
 
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; our dot-separated names
+/// mangle 1:1 by turning every other character into '_'.
+std::string prometheus_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::to_prometheus() const {
+  std::ostringstream out;
+  for (const CounterSample& c : counters) {
+    const std::string name = prometheus_name(c.name);
+    out << "# TYPE " << name << " counter\n" << name << " " << c.value << "\n";
+  }
+  for (const GaugeSample& g : gauges) {
+    const std::string name = prometheus_name(g.name);
+    out << "# TYPE " << name << " gauge\n" << name << " " << g.value << "\n";
+  }
+  for (const HistogramSample& h : histograms) {
+    const std::string name = prometheus_name(h.name);
+    out << "# TYPE " << name << " histogram\n";
+    // Buckets arrive as per-bucket counts with inclusive upper bounds,
+    // ascending; Prometheus wants cumulative counts. The top log2 bucket
+    // (le == 2^64-1) is indistinguishable from +Inf, so it only feeds the
+    // +Inf line.
+    std::uint64_t cumulative = 0;
+    for (const auto& [le, n] : h.buckets) {
+      cumulative += n;
+      if (le == ~0ull) continue;
+      out << name << "_bucket{le=\"" << le << "\"} " << cumulative << "\n";
+    }
+    out << name << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+    out << name << "_sum " << h.sum << "\n";
+    out << name << "_count " << h.count << "\n";
+  }
+  return out.str();
+}
+
 Registry& global() {
   static Registry registry;
   return registry;
@@ -194,6 +270,15 @@ bool write_metrics_json_file(const std::string& path) {
   if (!file) return false;
   const std::string json = global().snapshot().to_json();
   std::fwrite(json.data(), 1, json.size(), file);
+  std::fclose(file);
+  return true;
+}
+
+bool write_metrics_prometheus_file(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (!file) return false;
+  const std::string body = global().snapshot().to_prometheus();
+  std::fwrite(body.data(), 1, body.size(), file);
   std::fclose(file);
   return true;
 }

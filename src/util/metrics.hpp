@@ -134,6 +134,12 @@ struct MetricsSnapshot {
   /// Flat JSON document: {"counters": {...}, "gauges": {...},
   /// "histograms": {...}} — the format scripts/check_trace.py validates.
   std::string to_json() const;
+
+  /// Prometheus text exposition (version 0.0.4): counters as `_total`-less
+  /// monotonic series, gauges as gauges, histograms as cumulative
+  /// `_bucket{le="..."}` series plus `_sum`/`_count`. Dots in series names
+  /// become underscores ("rid.trees_ok" -> "rid_trees_ok").
+  std::string to_prometheus() const;
 };
 
 /// Named-series registry. Series are created on first access and never
@@ -154,6 +160,14 @@ class Registry {
 
   MetricsSnapshot snapshot() const;
 
+  /// Folds a snapshot taken in another process into this registry (worker
+  /// telemetry): counters and histogram buckets/sums add, gauges keep the
+  /// running maximum (every current gauge is a high-water mark or a
+  /// last-seen size where max is the useful merge). Histogram buckets map
+  /// back exactly — bucket boundaries are fixed powers of two, so
+  /// bucket_index(le) recovers the source bucket.
+  void merge(const MetricsSnapshot& delta);
+
   /// Zeroes every series in place (registrations survive).
   void reset();
 
@@ -168,5 +182,9 @@ Registry& global();
 /// Writes global().snapshot().to_json() to `path`. Returns false (and
 /// writes nothing) when the file cannot be opened.
 bool write_metrics_json_file(const std::string& path);
+
+/// Writes global().snapshot().to_prometheus() to `path` (for
+/// `--metrics-format=prom`). Returns false when the file cannot be opened.
+bool write_metrics_prometheus_file(const std::string& path);
 
 }  // namespace rid::util::metrics

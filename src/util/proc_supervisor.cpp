@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "util/flight_recorder.hpp"
 #include "util/metrics.hpp"
 #include "util/trace.hpp"
 
@@ -142,6 +143,10 @@ SupervisorReport supervise_impl(const std::vector<ShardWork>& shards,
       options.shard_deadline_seconds != kUnlimitedSeconds;
 
   const auto log_event = [&](const std::string& text) {
+    // Every supervisor event (spawn, crash, kill, requeue, poison,
+    // abandon, cancel) also lands in the flight recorder, so a crashed or
+    // killed parent still leaves the worker history on disk.
+    flight::record("shard.worker", text);
     report.events.push_back(text);
   };
 

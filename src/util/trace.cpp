@@ -7,7 +7,15 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <sstream>
+#include <utility>
+
+#include "util/metrics.hpp"
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
 
 namespace rid::util::trace {
 
@@ -59,8 +67,46 @@ ThreadRing& local_ring() {
 void push_record(const SpanRecord& record) {
   ThreadRing& ring = local_ring();
   const std::uint64_t n = ring.count.load(std::memory_order_relaxed);
+  if (n >= kRingCapacity) {
+    // The slot being written over holds the ring's oldest span: wrap-around
+    // loss. Counted here (not just derived at snapshot time) so the drop is
+    // visible live in the metrics registry and in RunDiagnostics.
+    static metrics::Counter& drops =
+        metrics::global().counter("trace.spans_dropped");
+    drops.add(1);
+  }
   ring.slots[n % kRingCapacity] = record;
   ring.count.store(n + 1, std::memory_order_release);
+}
+
+/// Spans merged in from other processes (worker telemetry). Guarded by its
+/// own mutex — recorded on dispatcher/supervisor threads while local
+/// tracing continues.
+struct RemoteStore {
+  std::mutex mutex;
+  std::vector<ProcessSpans> processes;
+  std::uint64_t evicted_dropped = 0;  // spans lost with evicted processes
+};
+
+RemoteStore& remote_store() {
+  static RemoteStore instance;
+  return instance;
+}
+
+std::uint64_t local_pid() {
+#ifndef _WIN32
+  return static_cast<std::uint64_t>(::getpid());
+#else
+  return 1;
+#endif
+}
+
+double rel_us(std::uint64_t t, std::uint64_t base) {
+  // Workers share the host monotonic clock, but a clock read racing the
+  // parent's start() can land a hair early — keep the sign instead of
+  // wrapping the unsigned difference.
+  return t >= base ? static_cast<double>(t - base) * 1e-3
+                   : -static_cast<double>(base - t) * 1e-3;
 }
 
 void append_json_string(std::ostringstream& out, std::string_view s) {
@@ -93,6 +139,7 @@ bool enabled() noexcept {
 }
 
 void start() {
+  clear_remote_processes();
   Collector& c = collector();
   const std::lock_guard<std::mutex> lock(c.mutex);
   for (const auto& ring : c.rings)
@@ -176,8 +223,13 @@ std::vector<StageTotal> aggregate_stage_totals() {
   return out;
 }
 
-std::string chrome_trace_json() {
-  const TraceSnapshot snap = snapshot();
+namespace {
+
+/// Single-process format, unchanged from earlier releases: every event on
+/// pid 1, no process metadata. Kept byte-identical so existing trace
+/// consumers (and the untagged check_trace.py mode) see no difference when
+/// no worker telemetry was merged.
+std::string chrome_trace_json_single(const TraceSnapshot& snap) {
   std::ostringstream out;
   out << "{\"traceEvents\": [\n";
   // Thread-name metadata so Perfetto labels the lanes.
@@ -224,6 +276,146 @@ std::string chrome_trace_json() {
   if (snap.dropped > 0) out << ", \"droppedSpans\": " << snap.dropped;
   out << "}\n";
   return out.str();
+}
+
+/// Merged multi-process format: each process gets its real pid, a
+/// process_name metadata event, and per-(pid, tid) thread_name lanes.
+/// Worker timestamps share the host CLOCK_MONOTONIC, so every ts is simply
+/// relative to the parent's start() — no clock translation.
+std::string chrome_trace_json_merged(const TraceSnapshot& snap,
+                                     const std::vector<ProcessSpans>& remote,
+                                     std::uint64_t remote_dropped) {
+  const std::uint64_t pid = local_pid();
+  std::ostringstream out;
+  out << "{\"traceEvents\": [\n";
+  bool first = true;
+  const auto meta = [&](const char* what, std::uint64_t p, std::int64_t tid,
+                        const std::string& name) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "  {\"name\": \"" << what << "\", \"ph\": \"M\", \"pid\": " << p;
+    if (tid >= 0) out << ", \"tid\": " << tid;
+    out << ", \"args\": {\"name\": ";
+    append_json_string(out, name);
+    out << "}}";
+  };
+  meta("process_name", pid, -1, "parent");
+  for (const ProcessSpans& p : remote) meta("process_name", p.pid, -1, p.name);
+  std::set<std::pair<std::uint64_t, std::uint32_t>> lanes;
+  for (const SpanRecord& span : snap.spans) lanes.emplace(pid, span.tid);
+  for (const ProcessSpans& p : remote)
+    for (const RemoteSpan& span : p.spans) lanes.emplace(p.pid, span.tid);
+  for (const auto& [lane_pid, tid] : lanes) {
+    const bool local = lane_pid == pid;
+    meta("thread_name", lane_pid, static_cast<std::int64_t>(tid),
+         tid == 0 ? std::string(local ? "main" : "worker-main")
+                  : "worker-" + std::to_string(tid));
+  }
+  const auto event = [&](std::string_view name, std::uint64_t start_ns,
+                         std::uint64_t end_ns, std::uint64_t p,
+                         std::uint32_t tid) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "  {\"name\": ";
+    append_json_string(out, name);
+    out << ", \"cat\": \"rid\", \"ph\": \"X\", \"ts\": "
+        << rel_us(start_ns, snap.start_ns)
+        << ", \"dur\": " << static_cast<double>(end_ns - start_ns) * 1e-3
+        << ", \"pid\": " << p << ", \"tid\": " << tid;
+  };
+  for (const SpanRecord& span : snap.spans) {
+    event(span.name, span.start_ns, span.end_ns, pid, span.tid);
+    if (span.num_tags > 0) {
+      out << ", \"args\": {";
+      for (std::size_t i = 0; i < span.num_tags; ++i) {
+        if (i) out << ", ";
+        append_json_string(out, span.tags[i].key);
+        out << ": ";
+        if (span.tags[i].sval) {
+          append_json_string(out, span.tags[i].sval);
+        } else {
+          out << span.tags[i].ival;
+        }
+      }
+      out << "}";
+    }
+    out << "}";
+  }
+  for (const ProcessSpans& p : remote) {
+    for (const RemoteSpan& span : p.spans) {
+      event(span.name, span.start_ns, span.end_ns, p.pid, span.tid);
+      if (!span.tags.empty()) {
+        out << ", \"args\": {";
+        for (std::size_t i = 0; i < span.tags.size(); ++i) {
+          if (i) out << ", ";
+          append_json_string(out, span.tags[i].key);
+          out << ": ";
+          if (span.tags[i].is_string) {
+            append_json_string(out, span.tags[i].sval);
+          } else {
+            out << span.tags[i].ival;
+          }
+        }
+        out << "}";
+      }
+      out << "}";
+    }
+  }
+  out << "\n], \"displayTimeUnit\": \"ms\"";
+  const std::uint64_t dropped = snap.dropped + remote_dropped;
+  if (dropped > 0) out << ", \"droppedSpans\": " << dropped;
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace
+
+std::string chrome_trace_json() {
+  const TraceSnapshot snap = snapshot();
+  std::vector<ProcessSpans> remote;
+  std::uint64_t remote_dropped = 0;
+  {
+    RemoteStore& store = remote_store();
+    const std::lock_guard<std::mutex> lock(store.mutex);
+    remote = store.processes;
+    remote_dropped = store.evicted_dropped;
+    for (const ProcessSpans& p : store.processes)
+      remote_dropped += p.spans_dropped;
+  }
+  if (remote.empty()) return chrome_trace_json_single(snap);
+  return chrome_trace_json_merged(snap, remote, remote_dropped);
+}
+
+void add_remote_process(ProcessSpans process) {
+  RemoteStore& store = remote_store();
+  const std::lock_guard<std::mutex> lock(store.mutex);
+  if (store.processes.size() >= kMaxRemoteProcesses) {
+    const ProcessSpans& oldest = store.processes.front();
+    store.evicted_dropped += oldest.spans_dropped + oldest.spans.size();
+    store.processes.erase(store.processes.begin());
+  }
+  store.processes.push_back(std::move(process));
+}
+
+std::vector<ProcessSpans> remote_processes() {
+  RemoteStore& store = remote_store();
+  const std::lock_guard<std::mutex> lock(store.mutex);
+  return store.processes;
+}
+
+std::uint64_t remote_spans_dropped() noexcept {
+  RemoteStore& store = remote_store();
+  const std::lock_guard<std::mutex> lock(store.mutex);
+  std::uint64_t total = store.evicted_dropped;
+  for (const ProcessSpans& p : store.processes) total += p.spans_dropped;
+  return total;
+}
+
+void clear_remote_processes() {
+  RemoteStore& store = remote_store();
+  const std::lock_guard<std::mutex> lock(store.mutex);
+  store.processes.clear();
+  store.evicted_dropped = 0;
 }
 
 bool write_chrome_trace_file(const std::string& path) {

@@ -92,6 +92,45 @@ struct StageTotal {
   double seconds = 0.0;
 };
 
+// --- Cross-process span merging (DESIGN.md §14) ---------------------------
+//
+// Shard workers run in their own processes; their spans arrive back at the
+// parent over kTelemetry frames (socket transport) or .tele sidecar files
+// (fork transport) and are staged here so chrome_trace_json() can emit one
+// merged trace with correct pid/tid process metadata. Remote span strings
+// are owned (they come off the wire, not from static literals). These
+// structs stay available in RID_TRACING=OFF builds so the telemetry codec
+// always compiles; the store functions below collapse to no-ops there.
+
+/// One tag on a remote span (owned strings).
+struct RemoteTag {
+  std::string key;
+  bool is_string = false;
+  std::string sval;
+  std::int64_t ival = 0;
+};
+
+/// One completed span from another process.
+struct RemoteSpan {
+  std::string name;
+  std::uint64_t start_ns = 0;  // same CLOCK_MONOTONIC domain as now_ns():
+  std::uint64_t end_ns = 0;    // workers share the host clock, no translation
+  std::uint32_t tid = 0;
+  std::vector<RemoteTag> tags;
+};
+
+/// All spans reported by one remote process (one worker attempt).
+struct ProcessSpans {
+  std::uint64_t pid = 0;
+  std::string name;  // process_name label, e.g. "worker shard 2 attempt 1"
+  std::uint64_t spans_dropped = 0;
+  std::vector<RemoteSpan> spans;
+};
+
+/// Remote processes kept before the oldest is evicted (bounds daemon
+/// memory across many jobs).
+inline constexpr std::size_t kMaxRemoteProcesses = 128;
+
 #if defined(RID_TRACING_ENABLED)
 
 /// True between start() and stop().
@@ -119,12 +158,31 @@ TraceSnapshot snapshot();
 /// Per-name {count, total seconds} over the current snapshot, name-sorted.
 std::vector<StageTotal> aggregate_stage_totals();
 
-/// Chrome trace-event JSON ("traceEvents" array of complete events).
+/// Chrome trace-event JSON ("traceEvents" array of complete events). With
+/// remote processes staged (add_remote_process), the output is a merged
+/// multi-process trace: real pids, process_name/thread_name metadata per
+/// process, remote spans on their own pid lanes, droppedSpans summed
+/// across processes. With none staged it is byte-identical to the
+/// single-process format of earlier releases (pid 1).
 std::string chrome_trace_json();
 
 /// Writes chrome_trace_json() to `path`; false when the file cannot be
 /// opened. (The RID_TRACING=OFF overload never creates the file.)
 bool write_chrome_trace_file(const std::string& path);
+
+/// Stages spans from another process for the next chrome_trace_json().
+/// Keeps at most kMaxRemoteProcesses entries (oldest evicted, its dropped
+/// count folded into the survivor accounting). Cleared by start().
+void add_remote_process(ProcessSpans process);
+
+/// Copies of the staged remote processes (merge order).
+std::vector<ProcessSpans> remote_processes();
+
+/// Spans lost remotely: sum of per-process spans_dropped plus spans lost
+/// with evicted processes.
+std::uint64_t remote_spans_dropped() noexcept;
+
+void clear_remote_processes();
 
 /// RAII span: times a scope and records it on destruction when tracing is
 /// enabled. Construction snapshots the clock unconditionally so seconds()
@@ -180,6 +238,10 @@ inline TraceSnapshot snapshot() { return {}; }
 inline std::vector<StageTotal> aggregate_stage_totals() { return {}; }
 inline std::string chrome_trace_json() { return {}; }
 inline bool write_chrome_trace_file(const std::string&) { return false; }
+inline void add_remote_process(ProcessSpans) {}
+inline std::vector<ProcessSpans> remote_processes() { return {}; }
+inline std::uint64_t remote_spans_dropped() noexcept { return 0; }
+inline void clear_remote_processes() {}
 
 class TraceSpan {
  public:

@@ -33,6 +33,12 @@ inline void put_u64(std::string& out, std::uint64_t v) {
   for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
 }
 
+/// Signed 64-bit as its two's-complement bit pattern (span tag values can
+/// legitimately be negative).
+inline void put_i64(std::string& out, std::int64_t v) {
+  put_u64(out, static_cast<std::uint64_t>(v));
+}
+
 inline void put_f64(std::string& out, double v) {
   std::uint64_t bits;
   static_assert(sizeof(bits) == sizeof(v));
@@ -72,6 +78,8 @@ class Reader {
       v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
     return v;
   }
+
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
 
   double f64() {
     const std::uint64_t bits = u64();

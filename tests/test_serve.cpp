@@ -13,6 +13,7 @@
 //    unboundedly, and rejects unusable submissions permanently.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
@@ -591,6 +592,120 @@ TEST_F(ServeTest, CrashStormSoakEveryJobTerminatesAndMatches) {
   }
   const ServeReport report = daemon.stop();
   EXPECT_EQ(report.jobs_completed, 3u);
+}
+
+// --- live introspection (kStats) ------------------------------------------
+
+TEST_F(ServeTest, StatsSnapshotStaysConsistentUnderRacingJobs) {
+  const Scenario& s = scenario();
+  DaemonHandle daemon(serve_options(run_dir("stats_race")));
+  ASSERT_FALSE(daemon.endpoint().empty()) << daemon.startup_error();
+
+  // 3 jobs race against a stats poller; every snapshot the poller sees
+  // must be internally coherent (valid reply, job counts within bounds).
+  constexpr std::size_t kJobs = 3;
+  std::vector<std::uint64_t> ids;
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    JobSpec spec;
+    spec.graph_path = s.ridg_path;
+    spec.beta = 0.1;
+    spec.num_shards = 2;
+    const SubmitOutcome outcome = submit_job(daemon.endpoint(), spec);
+    ASSERT_TRUE(outcome.accepted) << outcome.reason;
+    ids.push_back(outcome.job_id);
+  }
+
+  std::atomic<bool> all_done{false};
+  std::thread poller([&] {
+    while (!all_done.load()) {
+      const DaemonStats stats = query_stats(daemon.endpoint(),
+                                            /*include_events=*/false,
+                                            /*prometheus_metrics=*/false);
+      EXPECT_EQ(stats.stats_json.front(), '{');
+      EXPECT_EQ(stats.stats_json.back(), '}');
+      EXPECT_NE(stats.stats_json.find("\"uptime_seconds\": "),
+                std::string::npos);
+      EXPECT_NE(stats.stats_json.find("\"jobs_accepted\": "),
+                std::string::npos);
+      EXPECT_NE(stats.stats_json.find("\"metrics\": {"), std::string::npos);
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+
+  for (const std::uint64_t id : ids) {
+    const JobQueryResult done = wait_done(daemon.endpoint(), id);
+    ASSERT_EQ(done.phase, JobPhase::kDone) << done.message;
+    EXPECT_TRUE(done.ok) << done.message;
+    // The per-job resource stats ride the query reply.
+    EXPECT_TRUE(done.has_stats);
+    EXPECT_GT(done.wall_seconds, 0.0);
+    EXPECT_GE(done.cpu_seconds, 0.0);
+  }
+  all_done.store(true);
+  poller.join();
+
+  // Settled state: every job shows as done with stats, both formats work,
+  // and the flight ring rode along when asked for.
+  const DaemonStats settled = query_stats(daemon.endpoint(),
+                                          /*include_events=*/true,
+                                          /*prometheus_metrics=*/false);
+  EXPECT_NE(settled.stats_json.find("\"jobs_accepted\": 3"),
+            std::string::npos);
+  EXPECT_NE(settled.stats_json.find("\"queue_depth\": 0"), std::string::npos);
+  EXPECT_NE(settled.stats_json.find("\"running_jobs\": 0"), std::string::npos);
+  for (const std::uint64_t id : ids)
+    EXPECT_NE(settled.stats_json.find("{\"id\": " + std::to_string(id)),
+              std::string::npos);
+  EXPECT_NE(settled.stats_json.find("\"state\": \"done\""), std::string::npos);
+  EXPECT_NE(settled.stats_json.find("\"wall_seconds\": "), std::string::npos);
+  EXPECT_NE(settled.events_jsonl.find("\"category\": \"serve\""),
+            std::string::npos);
+  EXPECT_NE(settled.events_jsonl.find("accepted"), std::string::npos);
+
+  const DaemonStats prom = query_stats(daemon.endpoint(),
+                                       /*include_events=*/false,
+                                       /*prometheus_metrics=*/true);
+  EXPECT_NE(prom.stats_json.find("\"metrics_prom\": \""), std::string::npos);
+  EXPECT_NE(prom.stats_json.find("# TYPE serve_jobs_submitted counter"),
+            std::string::npos);
+
+  daemon.stop();
+}
+
+TEST_F(ServeTest, JobStatsSurviveDaemonRestartViaJournal) {
+  const Scenario& s = scenario();
+  const std::string dir = run_dir("stats_restart");
+
+  std::uint64_t job_id = 0;
+  double wall_before = 0.0;
+  {
+    DaemonHandle daemon(serve_options(dir));
+    ASSERT_FALSE(daemon.endpoint().empty()) << daemon.startup_error();
+    JobSpec spec;
+    spec.graph_path = s.ridg_path;
+    spec.beta = 0.1;
+    spec.num_shards = 2;
+    const SubmitOutcome outcome = submit_job(daemon.endpoint(), spec);
+    ASSERT_TRUE(outcome.accepted) << outcome.reason;
+    job_id = outcome.job_id;
+    const JobQueryResult done = wait_done(daemon.endpoint(), job_id);
+    ASSERT_EQ(done.phase, JobPhase::kDone) << done.message;
+    ASSERT_TRUE(done.has_stats);
+    wall_before = done.wall_seconds;
+    daemon.stop();
+  }
+
+  // The restarted daemon replays the type-3 journal record: the same
+  // wall-clock figure comes back without re-running anything.
+  ServeOptions resumed = serve_options(dir);
+  resumed.resume = true;
+  DaemonHandle daemon(std::move(resumed));
+  ASSERT_FALSE(daemon.endpoint().empty()) << daemon.startup_error();
+  const JobQueryResult recovered = query_job(daemon.endpoint(), job_id);
+  ASSERT_EQ(recovered.phase, JobPhase::kDone);
+  EXPECT_TRUE(recovered.has_stats);
+  EXPECT_EQ(recovered.wall_seconds, wall_before);
+  daemon.stop();
 }
 
 }  // namespace
