@@ -9,7 +9,8 @@
 //                        --truth=truth.txt
 //   ridnet_cli pipeline  --profile=slashdot --scale=0.05 --n=50 --beta=2.0
 //   ridnet_cli convert   --graph=graph.txt --out=graph.ridg ...
-//                        [--snapshot=snap.txt] [--social]
+//                        [--snapshot=snap.txt] [--social] [--in-ram]
+//                        [--chunk-edges=N] [--expect-fingerprint=HEX]
 //   ridnet_cli checkpoints --run-dir=ridnet-run [--verify] [--gc]
 //   ridnet_cli serve     --run-dir=ridnet-serve [--endpoint=unix:PATH|tcp:P]
 //                        [--resume] [--transport=socket] [--max-queued=8] ...
@@ -26,14 +27,23 @@
 // (core/snapshot_io.hpp). `generate` already applies Jaccard weighting, so
 // `simulate`/`detect` only reverse into the diffusion network.
 //
-// Columnar storage (graph/columnar.hpp, DESIGN.md §12): `convert` writes the
-// binary .ridg format — by default the *diffusion* reversal of the input
+// Columnar storage (graph/columnar.hpp, DESIGN.md §12/§15): `convert` writes
+// the binary .ridg format — by default the *diffusion* reversal of the input
 // (what detect consumes), with `--social` the graph as-is; `--snapshot`
 // embeds the observed states so one file carries the whole detection input.
-// Conversion is byte-deterministic: converting the same input twice yields
-// identical files. `detect` auto-detects .ridg inputs by magic and mmaps
-// them zero-copy (method=rid only; baselines and --early need the in-RAM
-// graph); `--snapshot` then overrides any embedded state column.
+// Conversion streams by default (graph/columnar_stream.hpp): two passes over
+// the text plus tmpfile chunk spills keep peak memory O(nodes + chunk) for
+// arbitrarily many edges; `--chunk-edges=N` tunes the chunk, `--in-ram`
+// forces the original load-everything writer. Both paths are
+// byte-deterministic AND byte-identical to each other: converting the same
+// input any way yields the same file, whose data fingerprint convert prints.
+// `--expect-fingerprint=HEX` re-checks that print and exits 2 on mismatch
+// (for scripted reproducibility gates). `detect` auto-detects .ridg inputs
+// by magic and mmaps them zero-copy (method=rid only; baselines and --early
+// need the in-RAM graph); `--snapshot` then overrides any embedded state
+// column. `--arc-gather=auto|copy|streamed` (detect/pipeline, method=rid)
+// picks how per-component candidate arcs are materialized — `auto` streams
+// edge windows on .ridg inputs; results are bit-identical either way.
 //
 // `checkpoints` inspects a --run-dir of sharded-run checkpoint files (path,
 // version, forest fingerprint, valid record prefix, damage); `--verify`
@@ -125,6 +135,7 @@
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <iostream>
 #include <string>
@@ -143,6 +154,7 @@
 #include "diffusion/mfc.hpp"
 #include "gen/profiles.hpp"
 #include "graph/columnar.hpp"
+#include "graph/columnar_stream.hpp"
 #include "graph/diffusion_network.hpp"
 #include "graph/graph_io.hpp"
 #include "graph/jaccard.hpp"
@@ -299,6 +311,15 @@ core::RidConfig rid_config_from_flags(const util::Flags& flags) {
   config.budget.cancel = cli_cancel_token();
   if (flags.get_bool("repair", false))
     config.repair_policy = core::RepairPolicy::kRepair;
+  const std::string gather = flags.get_string("arc-gather", "auto");
+  if (gather == "copy") {
+    config.extraction.arc_gather = core::ArcGather::kCopy;
+  } else if (gather == "streamed") {
+    config.extraction.arc_gather = core::ArcGather::kStreamed;
+  } else if (gather != "auto") {
+    throw std::invalid_argument("unknown arc-gather: " + gather +
+                                " (auto|copy|streamed)");
+  }
   return config;
 }
 
@@ -518,24 +539,74 @@ int cmd_pipeline(const util::Flags& flags) {
 int cmd_convert(const util::Flags& flags) {
   const std::string in_path = flags.get_string("graph", "graph.txt");
   const std::string out_path = flags.get_string("out", "graph.ridg");
-  auto loaded = graph::load_weighted_file(in_path);
   const bool social = flags.get_bool("social", false);
   // Store the diffusion reversal by default: that is the graph detect runs
   // on, and reversing at convert time is what lets detect mmap the file
   // without materializing anything.
-  const graph::SignedGraph converted =
-      social ? std::move(loaded.graph)
-             : graph::make_diffusion_network(loaded.graph);
-  std::uint32_t ridg_flags = social ? 0u : graph::kRidgFlagDiffusion;
-  std::vector<graph::NodeState> states;
+  const std::uint32_t ridg_flags = social ? 0u : graph::kRidgFlagDiffusion;
+
+  // Parse the snapshot rows before touching the graph: a malformed snapshot
+  // fails with its line-numbered error before conversion spends any work.
+  // Range checking happens once the node count is known.
   const std::string snapshot_path = flags.get_string("snapshot", "");
+  std::vector<core::SnapshotEntry> snapshot_entries;
   if (!snapshot_path.empty())
-    states = core::load_snapshot_file(snapshot_path, converted.num_nodes());
-  graph::write_columnar_file(converted, states, out_path, ridg_flags);
-  std::cout << "wrote " << out_path << " (" << converted.num_nodes()
-            << " nodes, " << converted.num_edges() << " edges, "
+    snapshot_entries = core::load_snapshot_entries_file(snapshot_path);
+  const auto make_states =
+      [&](graph::NodeId num_nodes) -> std::vector<graph::NodeState> {
+    if (snapshot_path.empty()) return {};
+    return core::apply_snapshot_entries(snapshot_entries, num_nodes);
+  };
+
+  graph::StreamConvertResult result;
+  if (flags.get_bool("in-ram", false)) {
+    // Oracle path: materialize the whole graph and serialize in one shot.
+    // Kept so tests (and suspicious users) can cmp it against the default
+    // streaming path — the two are byte-identical by contract.
+    auto loaded = graph::load_weighted_file(in_path);
+    const graph::SignedGraph converted =
+        social ? std::move(loaded.graph)
+               : graph::make_diffusion_network(loaded.graph);
+    graph::write_columnar_file(converted, make_states(converted.num_nodes()),
+                               out_path, ridg_flags);
+    const auto view = graph::ColumnarGraphView::open(out_path);
+    result.num_nodes = view.num_nodes();
+    result.num_edges = view.num_edges();
+    result.fingerprint = view.fingerprint();
+  } else {
+    // Default: two-pass bounded-memory streaming conversion — peak RSS is
+    // O(nodes + chunk) no matter how many edges the input holds.
+    graph::TextEdgeSource source(in_path);
+    graph::StreamConvertOptions options;
+    options.social = social;
+    options.flags = ridg_flags;
+    options.chunk_edges =
+        static_cast<std::size_t>(flags.get_int("chunk-edges", 1 << 20));
+    options.make_states = make_states;
+    result = graph::stream_convert_to_columnar(source, out_path, options);
+  }
+
+  char fp[32];
+  std::snprintf(fp, sizeof(fp), "%016llx",
+                static_cast<unsigned long long>(result.fingerprint));
+  std::cout << "wrote " << out_path << " (" << result.num_nodes << " nodes, "
+            << result.num_edges << " edges, "
             << (social ? "social" : "diffusion")
-            << (states.empty() ? "" : ", embedded snapshot") << ")\n";
+            << (snapshot_path.empty() ? "" : ", embedded snapshot")
+            << ", fingerprint " << fp << ")\n";
+
+  const std::string expect = flags.get_string("expect-fingerprint", "");
+  if (!expect.empty()) {
+    char* end = nullptr;
+    const std::uint64_t want = std::strtoull(expect.c_str(), &end, 16);
+    if (end == expect.c_str() || *end != '\0' || want != result.fingerprint) {
+      std::fprintf(stderr,
+                   "ridnet_cli convert: fingerprint mismatch: wrote %s, "
+                   "expected %s\n",
+                   fp, expect.c_str());
+      return kExitUsage;
+    }
+  }
   return 0;
 }
 

@@ -14,6 +14,13 @@ Dispatches on the report's "benchmark" tag:
                    additionally show >= 10x load speedup on every row, a
                    >= 1M-edge row, and sharded worker peak RSS on .ridg
                    below the in-RAM baseline.
+  oocore         — streaming convert + out-of-core detect: every measured
+                   row's convert/detect peak RSS must sit under the report's
+                   rss_cap_kb ceiling, one row must prove byte-identity to
+                   the in-RAM writer and ArcGather bit-identity; full
+                   reports must additionally grow the .ridg >= 10x across
+                   rows with a flat (<= 1.5x spread) converter RSS, and the
+                   largest file must be >= 4x the RSS ceiling.
 
 Exits non-zero with a message on the first failure. Stdlib only — no
 third-party imports.
@@ -126,9 +133,83 @@ def check_columnar_load(path: str, doc: dict) -> None:
           f"edge counts {sizes}, all bit-identical across backends")
 
 
+OOCORE_KEYS = (
+    "nodes", "edges_in", "edges", "ridg_bytes", "convert_s", "edges_per_s",
+    "convert_rss_kb", "detect_s", "detect_rss_kb", "measured", "oracle",
+    "gather_match",
+)
+
+OOCORE_MIN_GROWTH = 10.0       # largest/smallest ridg_bytes, full mode
+OOCORE_MIN_CAP_RATIO = 4.0     # largest ridg_bytes vs the RSS ceiling
+OOCORE_MAX_RSS_SPREAD = 1.5    # converter RSS flatness across rows
+
+
+def check_oocore(path: str, doc: dict) -> None:
+    rows = check_shape(path, doc, "edges/s")
+    full = not doc["smoke"]
+    cap_kb = doc.get("rss_cap_kb")
+    if not isinstance(cap_kb, (int, float)) or cap_kb <= 0:
+        fail(f"{path}: rss_cap_kb missing or not positive")
+
+    for i, row in enumerate(rows):
+        for key in OOCORE_KEYS:
+            if key not in row:
+                fail(f"{path}: results[{i}] missing '{key}': {row}")
+        if row["convert_s"] <= 0 or row["detect_s"] <= 0:
+            fail(f"{path}: results[{i}]: non-positive timing: {row}")
+        ratio = row["edges_in"] / row["convert_s"]
+        if abs(ratio - row["edges_per_s"]) > 0.05 * ratio + 1.0:
+            fail(f"{path}: results[{i}]: edges_per_s {row['edges_per_s']} "
+                 f"inconsistent with edges_in/convert_s {ratio:.0f}")
+        if row["edges"] <= 0 or row["edges"] > row["edges_in"]:
+            fail(f"{path}: results[{i}]: kept edges {row['edges']} outside "
+                 f"(0, edges_in={row['edges_in']}]")
+        if row["measured"]:
+            for key in ("convert_rss_kb", "detect_rss_kb"):
+                if row[key] <= 0:
+                    fail(f"{path}: results[{i}]: measured but {key} not "
+                         f"positive: {row}")
+                if row[key] > cap_kb:
+                    fail(f"{path}: results[{i}] ({row['edges_in']} edges): "
+                         f"{key} {row[key]} KiB over the {cap_kb} KiB "
+                         f"ceiling")
+        elif full:
+            fail(f"{path}: results[{i}]: full report without RSS "
+                 f"measurements (fork unavailable?)")
+
+    if not any(r["oracle"] for r in rows):
+        fail(f"{path}: no row checked byte-identity against the in-RAM "
+             f"writer")
+    if not any(r["gather_match"] for r in rows):
+        fail(f"{path}: no row checked ArcGather streamed-vs-copy "
+             f"bit-identity")
+
+    if full:
+        smallest = min(r["ridg_bytes"] for r in rows)
+        largest = max(r["ridg_bytes"] for r in rows)
+        if smallest <= 0 or largest < OOCORE_MIN_GROWTH * smallest:
+            fail(f"{path}: .ridg growth {largest}/{smallest} below the "
+                 f"{OOCORE_MIN_GROWTH}x bar")
+        if largest < OOCORE_MIN_CAP_RATIO * cap_kb * 1024:
+            fail(f"{path}: largest .ridg ({largest} bytes) below "
+                 f"{OOCORE_MIN_CAP_RATIO}x the RSS ceiling "
+                 f"({cap_kb} KiB) — the out-of-core claim is untested")
+        rss = [r["convert_rss_kb"] for r in rows]
+        if max(rss) > OOCORE_MAX_RSS_SPREAD * min(rss):
+            fail(f"{path}: converter RSS not flat: {rss} KiB spread exceeds "
+                 f"{OOCORE_MAX_RSS_SPREAD}x while the graph grew "
+                 f">= {OOCORE_MIN_GROWTH}x")
+
+    sizes = sorted({row["edges_in"] for row in rows})
+    kind = "smoke" if doc["smoke"] else "full"
+    print(f"check_bench: {path}: OK — {len(rows)} rows ({kind}), "
+          f"edge streams {sizes}, RSS under {cap_kb} KiB, identities hold")
+
+
 CHECKERS = {
     "tree_dp": check_tree_dp,
     "columnar_load": check_columnar_load,
+    "oocore": check_oocore,
 }
 
 

@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Download and cache the real SNAP signed-network dumps.
+
+Usage: fetch_datasets.py [--dir=DIR] [--require] [NAME...]
+
+Names (default: all):
+
+  epinions  — soc-sign-epinions.txt.gz  (~131k nodes, ~841k signed edges)
+  slashdot  — soc-sign-Slashdot090221.txt.gz (~82k nodes, ~549k edges)
+
+Each dataset is downloaded once into DIR (default: ./datasets), gunzipped
+to <name>.txt (the library's 3-column "src dst sign" SNAP format), and
+checksum-pinned: the sha256 of the first successful download is recorded
+in <name>.sha256 and every later fetch must reproduce it (trust on first
+use — the upstream files are static archives, so any change is either
+corruption or tampering and fails loudly).
+
+Prints one "<name> <path>" line per ready dataset. Offline or failed
+downloads are skipped with a warning (exit 0) so schedule jobs degrade to
+the synthetic generators; --require turns a missing dataset into exit 1.
+
+Stdlib only — no third-party imports, no pip.
+"""
+import gzip
+import hashlib
+import os
+import sys
+import urllib.error
+import urllib.request
+
+DATASETS = {
+    "epinions": "https://snap.stanford.edu/data/soc-sign-epinions.txt.gz",
+    "slashdot": "https://snap.stanford.edu/data/soc-sign-Slashdot090221.txt.gz",
+}
+
+TIMEOUT_SECONDS = 60
+
+
+def sha256_file(path: str) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as f:
+        for block in iter(lambda: f.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
+def fetch(name: str, url: str, directory: str) -> str | None:
+    """Returns the path of the ready .txt dump, or None if unavailable."""
+    text_path = os.path.join(directory, f"{name}.txt")
+    pin_path = os.path.join(directory, f"{name}.sha256")
+
+    if os.path.exists(text_path) and os.path.exists(pin_path):
+        with open(pin_path, "r", encoding="utf-8") as f:
+            want = f.read().strip()
+        got = sha256_file(text_path)
+        if got != want:
+            print(f"fetch_datasets: {text_path}: sha256 {got} does not match "
+                  f"the pinned {want} — delete both files to re-fetch",
+                  file=sys.stderr)
+            return None
+        return text_path
+
+    gz_path = text_path + ".gz.part"
+    try:
+        with urllib.request.urlopen(url, timeout=TIMEOUT_SECONDS) as response:
+            with open(gz_path, "wb") as out:
+                while True:
+                    block = response.read(1 << 20)
+                    if not block:
+                        break
+                    out.write(block)
+    except (urllib.error.URLError, OSError, TimeoutError) as e:
+        print(f"fetch_datasets: {name}: download failed ({e}); "
+              f"falling back to synthetic data", file=sys.stderr)
+        if os.path.exists(gz_path):
+            os.remove(gz_path)
+        return None
+
+    tmp_txt = text_path + ".part"
+    try:
+        with gzip.open(gz_path, "rb") as gz, open(tmp_txt, "wb") as out:
+            while True:
+                block = gz.read(1 << 20)
+                if not block:
+                    break
+                out.write(block)
+    except OSError as e:
+        print(f"fetch_datasets: {name}: bad gzip payload ({e})",
+              file=sys.stderr)
+        for path in (gz_path, tmp_txt):
+            if os.path.exists(path):
+                os.remove(path)
+        return None
+    os.remove(gz_path)
+
+    digest = sha256_file(tmp_txt)
+    if os.path.exists(pin_path):
+        with open(pin_path, "r", encoding="utf-8") as f:
+            want = f.read().strip()
+        if digest != want:
+            print(f"fetch_datasets: {name}: fresh download sha256 {digest} "
+                  f"does not match the pinned {want}", file=sys.stderr)
+            os.remove(tmp_txt)
+            return None
+    else:
+        with open(pin_path, "w", encoding="utf-8") as f:
+            f.write(digest + "\n")
+        print(f"fetch_datasets: {name}: pinned sha256 {digest}",
+              file=sys.stderr)
+
+    os.replace(tmp_txt, text_path)
+    return text_path
+
+
+def main() -> int:
+    directory = "datasets"
+    require = False
+    names = []
+    for arg in sys.argv[1:]:
+        if arg.startswith("--dir="):
+            directory = arg[len("--dir="):]
+        elif arg == "--require":
+            require = True
+        elif arg in ("-h", "--help"):
+            print(__doc__)
+            return 0
+        elif arg in DATASETS:
+            names.append(arg)
+        else:
+            print(f"fetch_datasets: unknown argument {arg!r} "
+                  f"(datasets: {sorted(DATASETS)})", file=sys.stderr)
+            return 2
+    if not names:
+        names = sorted(DATASETS)
+
+    os.makedirs(directory, exist_ok=True)
+    missing = []
+    for name in names:
+        path = fetch(name, DATASETS[name], directory)
+        if path is None:
+            missing.append(name)
+        else:
+            print(f"{name} {path}")
+    if missing and require:
+        print(f"fetch_datasets: missing required datasets: {missing}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

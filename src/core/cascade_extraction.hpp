@@ -64,8 +64,25 @@ enum class ArcScore {
   kGFactor,
 };
 
+/// How candidate arcs are materialized for the per-component Edmonds solves.
+enum class ArcGather {
+  /// Streamed on the columnar backend (one ascending edge-window sweep
+  /// scatters arcs into a per-component spillable arena, resident set
+  /// O(window)); per-component adjacency-walk copies on the in-RAM backend.
+  kAuto,
+  /// Force per-component adjacency-walk copies on either backend — the
+  /// original path, kept as the oracle the streamed gather is verified
+  /// against. Arc sequences (and hence forests) are bit-identical either
+  /// way; only the paging pattern and budget poll cadence differ.
+  kCopy,
+  /// Force the streamed gather (columnar only; the in-RAM backend has no
+  /// edge windows and falls back to copies).
+  kStreamed,
+};
+
 struct ExtractionConfig {
   ArcScore arc_score = ArcScore::kRawWeight;
+  ArcGather arc_gather = ArcGather::kAuto;
   diffusion::LikelihoodConfig likelihood;
   /// Fill CascadeTree::side_q from the non-tree consistent infected
   /// in-edges (see CascadeTree::side_q). When false, side_q is all 1.0 and
@@ -103,8 +120,11 @@ struct CascadeForest {
 
 /// Runs steps 1-4 for the whole snapshot. The two overloads share one
 /// template body and produce bit-identical forests for the same graph
-/// content; the columnar variant streams component discovery over the
-/// mmap-ed edge array (algo/components) under ExtractionConfig::budget.
+/// content; the columnar variant streams component discovery *and* (under
+/// ArcGather::kAuto) candidate-arc gathering over the mmap-ed edge array in
+/// windows, dropping pages behind the cursor, and runs tree assembly and
+/// side evidence through per-component PartialGraphView windows — no
+/// per-component graph copies, resident set O(window + forest).
 CascadeForest extract_cascade_forest(const graph::SignedGraph& diffusion,
                                      std::span<const graph::NodeState> states,
                                      const ExtractionConfig& config);

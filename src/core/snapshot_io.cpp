@@ -32,10 +32,8 @@ void save_snapshot_file(std::span<const graph::NodeState> states,
   save_snapshot(states, out);
 }
 
-std::vector<graph::NodeState> load_snapshot(std::istream& in,
-                                            graph::NodeId num_nodes) {
-  std::vector<graph::NodeState> states(num_nodes,
-                                       graph::NodeState::kInactive);
+std::vector<SnapshotEntry> parse_snapshot_entries(std::istream& in) {
+  std::vector<SnapshotEntry> entries;
   std::string line;
   std::size_t line_no = 0;
   while (std::getline(in, line)) {
@@ -47,28 +45,50 @@ std::vector<graph::NodeState> load_snapshot(std::istream& in,
     if (id_token[0] == '#' || id_token[0] == '%') continue;
     if (!(row >> state_token)) fail(line_no, "missing state column");
 
-    std::uint64_t id = 0;
+    SnapshotEntry entry;
+    entry.line_no = line_no;
     const auto res = std::from_chars(
-        id_token.data(), id_token.data() + id_token.size(), id);
+        id_token.data(), id_token.data() + id_token.size(), entry.node);
     if (res.ec != std::errc{} || res.ptr != id_token.data() + id_token.size())
       fail(line_no, "bad node id '" + id_token + "'");
-    if (id >= num_nodes) fail(line_no, "node id out of range");
 
-    graph::NodeState state;
     if (state_token == "+1" || state_token == "1") {
-      state = graph::NodeState::kPositive;
+      entry.state = graph::NodeState::kPositive;
     } else if (state_token == "-1") {
-      state = graph::NodeState::kNegative;
+      entry.state = graph::NodeState::kNegative;
     } else if (state_token == "?") {
-      state = graph::NodeState::kUnknown;
+      entry.state = graph::NodeState::kUnknown;
     } else if (state_token == "0") {
-      state = graph::NodeState::kInactive;
+      entry.state = graph::NodeState::kInactive;
     } else {
       fail(line_no, "bad state '" + state_token + "'");
     }
-    states[static_cast<std::size_t>(id)] = state;
+    entries.push_back(entry);
+  }
+  return entries;
+}
+
+std::vector<SnapshotEntry> load_snapshot_entries_file(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw util::InputError("snapshot_io: cannot open " + path);
+  return parse_snapshot_entries(in);
+}
+
+std::vector<graph::NodeState> apply_snapshot_entries(
+    std::span<const SnapshotEntry> entries, graph::NodeId num_nodes) {
+  std::vector<graph::NodeState> states(num_nodes,
+                                       graph::NodeState::kInactive);
+  for (const SnapshotEntry& entry : entries) {
+    if (entry.node >= num_nodes) fail(entry.line_no, "node id out of range");
+    states[static_cast<std::size_t>(entry.node)] = entry.state;
   }
   return states;
+}
+
+std::vector<graph::NodeState> load_snapshot(std::istream& in,
+                                            graph::NodeId num_nodes) {
+  return apply_snapshot_entries(parse_snapshot_entries(in), num_nodes);
 }
 
 std::vector<graph::NodeState> load_snapshot_file(const std::string& path,

@@ -29,4 +29,24 @@ std::vector<graph::NodeState> load_snapshot(std::istream& in,
 std::vector<graph::NodeState> load_snapshot_file(const std::string& path,
                                                  graph::NodeId num_nodes);
 
+/// One "node state" row, syntax-checked but not yet range-checked against a
+/// graph. `line_no` is kept so apply_snapshot_entries can report the original
+/// file line when the id turns out to be out of range.
+struct SnapshotEntry {
+  std::uint64_t node = 0;
+  graph::NodeState state = graph::NodeState::kInactive;
+  std::size_t line_no = 0;
+};
+
+/// Parses all rows of a snapshot stream without needing the graph. Lets
+/// callers validate a --snapshot file before committing to an expensive
+/// graph parse; load_snapshot == parse + apply.
+std::vector<SnapshotEntry> parse_snapshot_entries(std::istream& in);
+std::vector<SnapshotEntry> load_snapshot_entries_file(const std::string& path);
+
+/// Range-checks parsed entries against `num_nodes` (same line-numbered
+/// error as load_snapshot) and expands them to a dense state vector.
+std::vector<graph::NodeState> apply_snapshot_entries(
+    std::span<const SnapshotEntry> entries, graph::NodeId num_nodes);
+
 }  // namespace rid::core

@@ -234,6 +234,32 @@ ColumnarGraphView ColumnarGraphView::open(const std::string& path,
   return view;
 }
 
+void ColumnarGraphView::drop_edge_pages(EdgeId first,
+                                        EdgeId last) const noexcept {
+  if (first >= last || last > num_edges_) return;
+  const auto* base = file_.data();
+  const std::size_t count = last - first;
+  const auto drop = [&](const void* column, std::size_t elt) {
+    const std::size_t off =
+        static_cast<std::size_t>(static_cast<const std::byte*>(column) - base) +
+        static_cast<std::size_t>(first) * elt;
+    file_.advise_dontneed(off, count * elt);
+  };
+  drop(dst_.data(), sizeof(NodeId));
+  drop(src_.data(), sizeof(NodeId));
+  drop(sign_.data(), sizeof(Sign));
+  drop(weight_.data(), sizeof(double));
+}
+
+void ColumnarGraphView::drop_all_edge_pages() const noexcept {
+  drop_edge_pages(0, static_cast<EdgeId>(num_edges_));
+  if (num_edges_ == 0) return;
+  const auto* base = file_.data();
+  const std::size_t off = static_cast<std::size_t>(
+      reinterpret_cast<const std::byte*>(in_edge_.data()) - base);
+  file_.advise_dontneed(off, num_edges_ * sizeof(EdgeId));
+}
+
 PartialGraphView ColumnarGraphView::node_range(NodeId first,
                                                NodeId last) const {
   if (first > last || last > num_nodes_)

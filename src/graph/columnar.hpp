@@ -248,6 +248,26 @@ class ColumnarGraphView {
   /// inherit O(graph) resident pages.
   void advise_dontneed() const noexcept { file_.advise_dontneed(); }
 
+  /// Readahead hints for linear edge sweeps (WCC, streamed arc gathering);
+  /// advise_normal() restores default paging before random-access phases.
+  void advise_sequential() const noexcept { file_.advise_sequential(); }
+  void advise_normal() const noexcept { file_.advise_normal(); }
+  /// Minimal readahead/fault-around for scattered per-arc lookups (the
+  /// extraction finish phase); advise_normal() undoes it.
+  void advise_random() const noexcept { file_.advise_random(); }
+
+  /// Drops the resident pages of the four edge columns (dst/src/sign/weight)
+  /// for edges [first, last) — streaming sweeps call this behind their
+  /// cursor so resident set stays O(window) even on multi-GB files.
+  void drop_edge_pages(EdgeId first, EdgeId last) const noexcept;
+
+  /// Drops every per-edge column (dst/src/sign/weight + the in_edge
+  /// permutation) but leaves the hot per-node structures (offsets, states)
+  /// resident. Random-access phases that look up arcs by global EdgeId
+  /// (side evidence, g-factor annotation) call this periodically so the
+  /// pages they fault in do not accumulate to O(file) resident set.
+  void drop_all_edge_pages() const noexcept;
+
   /// Bytes of the underlying file (0 when default-constructed).
   std::size_t file_bytes() const noexcept { return file_.size(); }
 
@@ -287,6 +307,15 @@ class PartialGraphView {
   }
   std::span<const NodeId> out_neighbors(NodeId u) const noexcept {
     return parent_->out_neighbors(u);
+  }
+  std::span<const EdgeId> in_edge_ids(NodeId v) const noexcept {
+    return parent_->in_edge_ids(v);
+  }
+  std::size_t out_degree(NodeId u) const noexcept {
+    return parent_->out_degree(u);
+  }
+  std::size_t in_degree(NodeId v) const noexcept {
+    return parent_->in_degree(v);
   }
   NodeId edge_src(EdgeId e) const noexcept { return parent_->edge_src(e); }
   NodeId edge_dst(EdgeId e) const noexcept { return parent_->edge_dst(e); }

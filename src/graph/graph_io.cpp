@@ -14,13 +14,6 @@ namespace rid::graph {
 
 namespace {
 
-struct RawEdge {
-  std::uint64_t src;
-  std::uint64_t dst;
-  int sign;
-  double weight;
-};
-
 [[noreturn]] void fail(std::size_t line_no, const std::string& what) {
   throw util::InputError("graph_io: line " + std::to_string(line_no) + ": " +
                          what);
@@ -66,10 +59,43 @@ T parse_number(std::string_view token, std::size_t line_no) {
   return value;
 }
 
-LoadedGraph assemble(const std::vector<RawEdge>& raw) {
+LoadedGraph load_impl(std::istream& in, bool weighted) {
+  std::vector<ParsedEdge> raw;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    ParsedEdge e;
+    if (parse_edge_line(line, line_no, weighted, e)) raw.push_back(e);
+  }
+  return assemble_edges(raw);
+}
+
+}  // namespace
+
+bool parse_edge_line(std::string_view line, std::size_t line_no, bool weighted,
+                     ParsedEdge& out) {
+  thread_local std::vector<std::string_view> tokens;
+  if (!tokenize(line, tokens)) return false;
+  const std::size_t expected = weighted ? 4 : 3;
+  if (tokens.size() < expected)
+    fail(line_no, "expected " + std::to_string(expected) + " columns, got " +
+                      std::to_string(tokens.size()));
+  out.src = parse_number<std::uint64_t>(tokens[0], line_no);
+  out.dst = parse_number<std::uint64_t>(tokens[1], line_no);
+  out.sign = parse_number<int>(tokens[2], line_no);
+  if (out.sign != 1 && out.sign != -1)
+    fail(line_no, "sign must be +1 or -1, got " + std::to_string(out.sign));
+  out.weight = weighted ? parse_number<double>(tokens[3], line_no) : 1.0;
+  if (!(out.weight >= 0.0 && out.weight <= 1.0))
+    fail(line_no, "weight outside [0, 1]");
+  return true;
+}
+
+LoadedGraph assemble_edges(std::span<const ParsedEdge> edges) {
   LoadedGraph out;
   std::unordered_map<std::uint64_t, NodeId> compact;
-  compact.reserve(raw.size());
+  compact.reserve(edges.size());
   const auto id_of = [&](std::uint64_t label) {
     const auto [it, inserted] =
         compact.emplace(label, static_cast<NodeId>(out.original_label.size()));
@@ -80,49 +106,21 @@ LoadedGraph assemble(const std::vector<RawEdge>& raw) {
   // destinations within each line; explicit sequencing because function
   // argument evaluation order is unspecified).
   std::vector<std::pair<NodeId, NodeId>> endpoints;
-  endpoints.reserve(raw.size());
-  for (const RawEdge& e : raw) {
+  endpoints.reserve(edges.size());
+  for (const ParsedEdge& e : edges) {
     const NodeId src = id_of(e.src);
     const NodeId dst = id_of(e.dst);
     endpoints.emplace_back(src, dst);
   }
 
   SignedGraphBuilder builder(static_cast<NodeId>(out.original_label.size()));
-  for (std::size_t i = 0; i < raw.size(); ++i) {
+  for (std::size_t i = 0; i < edges.size(); ++i) {
     builder.add_edge(endpoints[i].first, endpoints[i].second,
-                     sign_from_value(raw[i].sign), raw[i].weight);
+                     sign_from_value(edges[i].sign), edges[i].weight);
   }
   out.graph = builder.build();
   return out;
 }
-
-LoadedGraph load_impl(std::istream& in, bool weighted) {
-  std::vector<RawEdge> raw;
-  std::string line;
-  std::vector<std::string_view> tokens;
-  std::size_t line_no = 0;
-  while (std::getline(in, line)) {
-    ++line_no;
-    if (!tokenize(line, tokens)) continue;
-    const std::size_t expected = weighted ? 4 : 3;
-    if (tokens.size() < expected)
-      fail(line_no, "expected " + std::to_string(expected) + " columns, got " +
-                        std::to_string(tokens.size()));
-    RawEdge e{};
-    e.src = parse_number<std::uint64_t>(tokens[0], line_no);
-    e.dst = parse_number<std::uint64_t>(tokens[1], line_no);
-    e.sign = parse_number<int>(tokens[2], line_no);
-    if (e.sign != 1 && e.sign != -1)
-      fail(line_no, "sign must be +1 or -1, got " + std::to_string(e.sign));
-    e.weight = weighted ? parse_number<double>(tokens[3], line_no) : 1.0;
-    if (!(e.weight >= 0.0 && e.weight <= 1.0))
-      fail(line_no, "weight outside [0, 1]");
-    raw.push_back(e);
-  }
-  return assemble(raw);
-}
-
-}  // namespace
 
 LoadedGraph load_snap(std::istream& in) { return load_impl(in, false); }
 

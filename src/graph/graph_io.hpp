@@ -12,7 +12,9 @@
 #pragma once
 
 #include <iosfwd>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "graph/signed_graph.hpp"
@@ -24,6 +26,29 @@ struct LoadedGraph {
   /// original_label[i] is the file's node id for library node i.
   std::vector<std::uint64_t> original_label;
 };
+
+/// One syntactically valid edge row, still in the file's raw (possibly
+/// sparse) node ids.
+struct ParsedEdge {
+  std::uint64_t src = 0;
+  std::uint64_t dst = 0;
+  int sign = 1;
+  double weight = 1.0;
+};
+
+/// Parses one edge-list line. Returns false for blank/comment lines, true
+/// with `out` filled for edge rows; throws util::InputError carrying
+/// `line_no` on malformed rows. Shared by the whole-file loaders below and
+/// the streaming converter (graph/columnar_stream.hpp) so both paths report
+/// identical diagnostics.
+bool parse_edge_line(std::string_view line, std::size_t line_no, bool weighted,
+                     ParsedEdge& out);
+
+/// Compacts raw node ids in order of appearance (sources before destinations
+/// within each edge) and builds the normalized graph — the exact semantics of
+/// load_snap/load_weighted, exposed so alternative edge producers (the
+/// streaming converter's oracle, synthetic benches) can share them.
+LoadedGraph assemble_edges(std::span<const ParsedEdge> edges);
 
 /// Parses a SNAP-style signed edge list from a stream.
 /// Throws std::runtime_error with the line number on malformed input.

@@ -1,5 +1,6 @@
 #include "util/mmap_buffer.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <new>
@@ -111,6 +112,45 @@ void MappedFile::advise_dontneed() const noexcept {
 #if defined(RID_HAVE_MMAP)
   if (mapped_ && data_ != nullptr)
     ::madvise(const_cast<std::byte*>(data_), size_, MADV_DONTNEED);
+#endif
+}
+
+void MappedFile::advise_dontneed(std::size_t offset,
+                                 std::size_t length) const noexcept {
+#if defined(RID_HAVE_MMAP)
+  if (!mapped_ || data_ == nullptr) return;
+  if (offset >= size_) return;
+  length = std::min(length, size_ - offset);
+  const auto page = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  const std::size_t first = (offset + page - 1) & ~(page - 1);
+  const std::size_t last = (offset + length) & ~(page - 1);
+  if (first >= last) return;  // range does not cover a whole page
+  ::madvise(const_cast<std::byte*>(data_) + first, last - first,
+            MADV_DONTNEED);
+#else
+  (void)offset;
+  (void)length;
+#endif
+}
+
+void MappedFile::advise_sequential() const noexcept {
+#if defined(RID_HAVE_MMAP)
+  if (mapped_ && data_ != nullptr)
+    ::madvise(const_cast<std::byte*>(data_), size_, MADV_SEQUENTIAL);
+#endif
+}
+
+void MappedFile::advise_normal() const noexcept {
+#if defined(RID_HAVE_MMAP)
+  if (mapped_ && data_ != nullptr)
+    ::madvise(const_cast<std::byte*>(data_), size_, MADV_NORMAL);
+#endif
+}
+
+void MappedFile::advise_random() const noexcept {
+#if defined(RID_HAVE_MMAP)
+  if (mapped_ && data_ != nullptr)
+    ::madvise(const_cast<std::byte*>(data_), size_, MADV_RANDOM);
 #endif
 }
 
