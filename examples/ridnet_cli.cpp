@@ -20,6 +20,8 @@
 //   ridnet_cli stats     --connect=ridnet-serve/serve.sock [--events]
 //                        [--metrics-format=json|prom]
 //   ridnet_cli worker    --connect=ENDPOINT --shard=N --attempt=N
+//                        [--graph-cache-dir=DIR]   ($RID_AUTH_TOKEN,
+//                        $RID_GRAPH_DELIVERY=auto|shared|stream)
 //
 // Graph files are the library's weighted signed edge-list format
 // ("src dst sign weight"; see graph/graph_io.hpp) holding the *social*
@@ -75,6 +77,11 @@
 //                         worker that blows it dies and is requeued like a
 //                         crash
 //   --shard-cpu-limit=S   cap each worker's CPU seconds (setrlimit)
+//   --shard-poison-threshold=N
+//                         demote a tree after N worker deaths implicate it
+//                         (default 2). Raise it for chaos drills where
+//                         injected transport faults kill attempts that
+//                         contain perfectly healthy trees.
 //   --transport=MODE      fork (default) or socket: fork+exec
 //                         "<worker-command> worker" per shard and dispatch
 //                         assignments over a local socket (.ridg input
@@ -83,6 +90,23 @@
 //                         ridnet_cli binary itself)
 //   --worker-endpoint=EP  dispatcher endpoint (default: a unix socket in
 //                         --run-dir)
+//   --auth-token=SECRET   shared secret for the worker handshake's HMAC
+//                         challenge (socket transport). Prefer exporting
+//                         $RID_AUTH_TOKEN instead — argv is world-readable
+//                         via ps; workers always receive the secret through
+//                         the environment, never argv. Empty = workers are
+//                         not challenged.
+//   --graph-cache-dir=DIR content-addressed worker-side graph cache:
+//                         enables the streamed graph-delivery mode, so a
+//                         worker without the .ridg on a shared filesystem
+//                         fetches it over the wire once and re-verifies it
+//                         by fingerprint on every reuse
+//   --remote-grace=S      fall back to the fork transport when no socket
+//                         worker completes a handshake (and nothing turns
+//                         durable) within S seconds; the result stays
+//                         bit-identical and the switch is surfaced as a
+//                         degraded-transport diagnostic. 0 (default) =
+//                         never fall back
 //   --failpoints=SPEC     arm deterministic fault injection, e.g.
 //                         "tree_dp.compute=throw@2;checkpoint.append=abort"
 //                         (also read from $RID_FAILPOINTS; see
@@ -115,6 +139,11 @@
 //      artifacts were flushed before exiting
 //   6  try again later (submit rejected over the admission budget with a
 //      retry-after hint; query/--wait on a still-pending job)
+//   7  handshake rejected (worker subcommand only): the dispatcher refused
+//      this worker with a typed reject frame — protocol version skew,
+//      binary fingerprint skew, failed auth challenge, or no common graph
+//      delivery mode. Deliberate and terminal: retrying the same binary
+//      with the same credentials cannot succeed
 //
 // Service mode (DESIGN.md §13): `serve` runs the long-lived daemon —
 // submissions land in a crash-safe journal under --run-dir, run as sharded
@@ -340,12 +369,22 @@ core::ShardedConfig sharded_config_from_flags(const util::Flags& flags,
       static_cast<std::uint64_t>(flags.get_int("shard-mem-limit", 0)) << 20;
   sharded.supervisor.cpu_limit_seconds =
       flags.get_double("shard-cpu-limit", 0.0);
+  sharded.supervisor.poison_threshold =
+      static_cast<std::uint32_t>(flags.get_int("shard-poison-threshold", 2));
   sharded.supervisor.cancel = cli_cancel_token();
   const std::string transport = flags.get_string("transport", "fork");
   if (transport == "socket") {
     sharded.transport = core::ShardTransport::kSocket;
     sharded.worker_command = flags.get_string("worker-command", g_self_path);
     sharded.worker_endpoint = flags.get_string("worker-endpoint", "");
+    // Handshake shared secret: $RID_AUTH_TOKEN is the recommended channel
+    // (argv is world-readable via ps); --auth-token overrides it for
+    // drills. Workers always receive it via the environment, never argv.
+    const char* env_token = std::getenv("RID_AUTH_TOKEN");
+    sharded.auth_token =
+        flags.get_string("auth-token", env_token ? env_token : "");
+    sharded.graph_cache_dir = flags.get_string("graph-cache-dir", "");
+    sharded.remote_grace_seconds = flags.get_double("remote-grace", 0.0);
     // Empty for text-graph inputs; the core rejects that combination with
     // an explanation (socket workers re-map the .ridg, there is no file to
     // point them at otherwise).
@@ -656,10 +695,18 @@ int cmd_checkpoints(const util::Flags& flags) {
 // returns the process exit code (its failures must look like worker
 // crashes to the supervisor, never like CLI usage errors).
 int cmd_worker(const util::Flags& flags) {
+  core::WorkerOptions options;
+  // The shared secret only ever arrives via the environment (the launcher
+  // exports RID_AUTH_TOKEN between fork and exec) — a --auth-token flag
+  // here would leak it through /proc/<pid>/cmdline. run_socket_worker
+  // reads the variable itself when this stays empty.
+  options.graph_cache_dir = flags.get_string("graph-cache-dir", "");
+  if (const char* delivery = std::getenv("RID_GRAPH_DELIVERY"))
+    options.delivery = delivery;
   return core::run_socket_worker(
       flags.get_string("connect", ""),
       static_cast<std::size_t>(flags.get_int("shard", 0)),
-      static_cast<std::uint32_t>(flags.get_int("attempt", 1)));
+      static_cast<std::uint32_t>(flags.get_int("attempt", 1)), options);
 }
 
 int cmd_serve(const util::Flags& flags) {
@@ -680,6 +727,9 @@ int cmd_serve(const util::Flags& flags) {
   options.supervisor = sharded.supervisor;
   options.transport = sharded.transport;
   options.worker_command = sharded.worker_command;
+  options.auth_token = sharded.auth_token;
+  options.graph_cache_dir = sharded.graph_cache_dir;
+  options.remote_grace_seconds = sharded.remote_grace_seconds;
   options.cancel = cli_cancel_token();
   options.on_listening = [](const std::string& endpoint) {
     std::cout << "serving on " << endpoint << std::endl;  // flush: readiness

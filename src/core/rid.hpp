@@ -130,6 +130,21 @@ struct ShardedConfig {
   /// attributed to the right job. The serve daemon sets this to the job id;
   /// 0 = untagged batch run.
   std::uint64_t trace_id = 0;
+  /// kSocket: shared secret for the handshake's HMAC challenge
+  /// (core/shard_transport.hpp). Empty = workers are not challenged.
+  /// Reaches fork+exec'd workers through the RID_AUTH_TOKEN environment
+  /// variable, never argv.
+  std::string auth_token;
+  /// kSocket: content-addressed graph cache directory handed to launched
+  /// workers (`--graph-cache-dir`), enabling the streamed graph delivery
+  /// mode. Empty = workers only offer the shared-filesystem mode.
+  std::string graph_cache_dir;
+  /// kSocket: grace budget (seconds) before the runner concludes the
+  /// socket transport is unreachable — no completed handshake and no
+  /// durable progress by then — cancels it, and re-runs the remaining
+  /// trees over the fork transport (bit-identical; surfaced as a
+  /// degraded-transport diagnostic event). 0 = never fall back.
+  double remote_grace_seconds = 0.0;
 };
 
 /// Deterministic size-balanced shard plan: trees sorted by (nodes desc,

@@ -5,9 +5,12 @@
 // bit-identical to run_rid for any shard count — including a resume after a
 // mid-run crash. See DESIGN.md §11.
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <numeric>
 #include <sstream>
+#include <thread>
 #include <type_traits>
 #include <unordered_set>
 #include <utility>
@@ -48,6 +51,8 @@ struct ShardedRidMetrics {
       util::metrics::global().counter("rid.trees_failed");
   util::metrics::Counter& resumed =
       util::metrics::global().counter("rid.trees_resumed");
+  util::metrics::Counter& transport_fallbacks =
+      util::metrics::global().counter("net.transport_fallbacks");
 };
 
 ShardedRidMetrics& sharded_metrics() {
@@ -380,6 +385,33 @@ DetectionResult run_rid_sharded_on_forest(const CascadeForest& forest,
     return done;
   };
 
+  // Telemetry sidecar harvest for fork-transport children (the fork branch
+  // proper and the degraded-transport fallback below). The pid filter skips
+  // sidecars from other processes sharing a resumed directory; the trace-id
+  // check skips this process's earlier runs. Damage is counted inside
+  // read_sidecar_file, never fatal.
+  const auto harvest_sidecars = [&] {
+    std::error_code ec;
+    std::vector<fs::path> sidecars;
+    const std::string pid_token = "-p" + std::to_string(parent_pid) + "-";
+    for (const fs::directory_entry& entry :
+         fs::directory_iterator(sharded.run_dir, ec)) {
+      if (ec) break;
+      const std::string name = entry.path().filename().string();
+      if (entry.path().extension() != util::telemetry::kSidecarExtension ||
+          name.rfind("telemetry-", 0) != 0 ||
+          name.find(pid_token) == std::string::npos)
+        continue;
+      sidecars.push_back(entry.path());
+    }
+    std::sort(sidecars.begin(), sidecars.end());  // deterministic merge order
+    for (const fs::path& sidecar : sidecars) {
+      auto telemetry = util::telemetry::read_sidecar_file(sidecar.string());
+      if (!telemetry || telemetry->trace_id != sharded.trace_id) continue;
+      util::telemetry::merge_into_process(std::move(*telemetry));
+    }
+  };
+
   util::SupervisorReport report;
   if (socket_transport) {
     // Socket transport: workers are exec'd `<worker_command> worker`
@@ -409,40 +441,111 @@ DetectionResult run_rid_sharded_on_forest(const CascadeForest& forest,
             ? util::net::Endpoint::unix_path(sharded.run_dir +
                                              "/workers.sock")
             : util::net::Endpoint::parse(sharded.worker_endpoint);
+    DispatcherOptions dispatcher_options;
+    dispatcher_options.auth_token = sharded.auth_token;
+    dispatcher_options.graph_cache_dir = sharded.graph_cache_dir;
     SocketDispatcher dispatcher(endpoint, sharded.run_dir,
-                                std::move(assignment));
+                                std::move(assignment), dispatcher_options);
+
+    // Grace watchdog (remote_grace_seconds > 0): a derived cancel token
+    // trips when the user cancels, or when the grace budget elapses with no
+    // worker having ever completed a handshake — the transport is treated
+    // as unreachable and the remaining trees re-run over the fork transport
+    // below. The watchdog retires permanently after the first handshake:
+    // from then on connection losses follow the normal retry/requeue
+    // ladder, not the fallback.
+    util::SupervisorOptions socket_supervisor = sharded.supervisor;
+    util::CancelToken grace_cancel;
+    std::atomic<bool> watchdog_stop{false};
+    std::thread watchdog;
+    if (sharded.remote_grace_seconds > 0) {
+      grace_cancel = util::CancelToken::create();
+      socket_supervisor.cancel = grace_cancel;
+      const util::CancelToken user_cancel = sharded.supervisor.cancel;
+      const double grace = sharded.remote_grace_seconds;
+      watchdog = std::thread([&dispatcher, &watchdog_stop, grace_cancel,
+                              user_cancel, grace] {
+        const auto start = std::chrono::steady_clock::now();
+        while (!watchdog_stop.load(std::memory_order_relaxed)) {
+          if (user_cancel.cancel_requested()) {
+            grace_cancel.request_cancel();
+            return;
+          }
+          if (dispatcher.handshakes_completed() > 0) return;
+          const double elapsed =
+              std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            start)
+                  .count();
+          if (elapsed >= grace) {
+            grace_cancel.request_cancel();
+            return;
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        }
+      });
+    }
     report = util::supervise_shards(
-        shards, sharded.supervisor,
-        dispatcher.launcher(sharded.worker_command, sharded.supervisor),
+        shards, socket_supervisor,
+        dispatcher.launcher(sharded.worker_command, socket_supervisor),
         durable);
+    if (watchdog.joinable()) {
+      watchdog_stop.store(true, std::memory_order_relaxed);
+      watchdog.join();
+    }
     for (std::string& event : dispatcher.take_events())
       diagnostics.shard_events.push_back(std::move(event));
+
+    // Degraded-transport fallback: the socket phase ended (grace-cancelled
+    // or attempts exhausted) without a single completed handshake, and
+    // trees remain. Re-plan the non-durable remainder and run it over the
+    // fork transport under the *user's* cancel token. The socket phase's
+    // poison/abandon verdicts are transport artifacts — no worker ever held
+    // those trees — so the fallback's verdicts replace them; its crash and
+    // retry counts merge for observability. Results stay bit-identical:
+    // records adopt first-wins and both transports run the same solver.
+    if (sharded.remote_grace_seconds > 0 &&
+        !sharded.supervisor.cancel.cancel_requested() &&
+        (report.cancelled || dispatcher.handshakes_completed() == 0)) {
+      CheckpointLoad probe = load_checkpoint_dir(sharded.run_dir, fingerprint);
+      std::unordered_set<std::size_t> done;
+      for (const TreeCheckpointRecord& record : probe.records)
+        if (record.tree_index < n)
+          done.insert(static_cast<std::size_t>(record.tree_index));
+      std::vector<std::size_t> remaining;
+      for (const std::size_t t : pending)
+        if (!done.count(t) && !have[t]) remaining.push_back(t);
+      if (!remaining.empty()) {
+        sharded_metrics().transport_fallbacks.add(1);
+        std::ostringstream event;
+        event << "degraded transport: no socket worker completed a handshake"
+              << " within the " << sharded.remote_grace_seconds
+              << "s grace budget; re-running " << remaining.size()
+              << " trees over the fork transport";
+        diagnostics.shard_events.push_back(event.str());
+        const std::vector<util::ShardWork> fb_shards =
+            plan_over(forest, remaining, sharded.num_shards);
+        shard_items.assign(fb_shards.size(), {});
+        for (const util::ShardWork& shard : fb_shards)
+          shard_items[shard.shard_id].insert(shard.items.begin(),
+                                             shard.items.end());
+        util::SupervisorReport fallback = util::supervise_shards(
+            fb_shards, sharded.supervisor, child_body, durable);
+        harvest_sidecars();
+        report.cancelled = fallback.cancelled;
+        report.workers_spawned += fallback.workers_spawned;
+        report.crashes += fallback.crashes;
+        report.kills += fallback.kills;
+        report.retries += fallback.retries;
+        report.poisoned_items = std::move(fallback.poisoned_items);
+        report.abandoned_items = std::move(fallback.abandoned_items);
+        for (std::string& fb_event : fallback.events)
+          report.events.push_back(std::move(fb_event));
+      }
+    }
   } else {
     report =
         util::supervise_shards(shards, sharded.supervisor, child_body, durable);
-    // Harvest the telemetry sidecars this run's workers left. The pid
-    // filter skips sidecars from other processes sharing a resumed
-    // directory; the trace-id check skips this process's earlier runs.
-    // Damage is counted inside read_sidecar_file, never fatal.
-    std::error_code ec;
-    std::vector<fs::path> sidecars;
-    const std::string pid_token = "-p" + std::to_string(parent_pid) + "-";
-    for (const fs::directory_entry& entry :
-         fs::directory_iterator(sharded.run_dir, ec)) {
-      if (ec) break;
-      const std::string name = entry.path().filename().string();
-      if (entry.path().extension() != util::telemetry::kSidecarExtension ||
-          name.rfind("telemetry-", 0) != 0 ||
-          name.find(pid_token) == std::string::npos)
-        continue;
-      sidecars.push_back(entry.path());
-    }
-    std::sort(sidecars.begin(), sidecars.end());  // deterministic merge order
-    for (const fs::path& sidecar : sidecars) {
-      auto telemetry = util::telemetry::read_sidecar_file(sidecar.string());
-      if (!telemetry || telemetry->trace_id != sharded.trace_id) continue;
-      util::telemetry::merge_into_process(std::move(*telemetry));
-    }
+    harvest_sidecars();
   }
   diagnostics.shard_retries = report.retries;
   diagnostics.shard_crashes = report.crashes;

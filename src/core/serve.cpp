@@ -1,6 +1,7 @@
 #include "core/serve.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <condition_variable>
 #include <cstdio>
@@ -358,6 +359,9 @@ JobOutcome execute_job(Daemon& d, const Job& job) {
   if (d.slots) sharded.supervisor.slots = &*d.slots;
   sharded.transport = d.options.transport;
   sharded.worker_command = d.options.worker_command;
+  sharded.auth_token = d.options.auth_token;
+  sharded.graph_cache_dir = d.options.graph_cache_dir;
+  sharded.remote_grace_seconds = d.options.remote_grace_seconds;
   sharded.graph_path = job.spec.graph_path;
   // Stamp the job id into worker assignments: their telemetry echoes it
   // back, so merged traces and late reports attribute to the right job.
@@ -674,6 +678,37 @@ std::string stats_json(Daemon& d, bool prometheus_metrics) {
   out += ", \"flight_events_dropped\": " +
          std::to_string(util::flight::dropped());
 
+  // Wire health at a glance: the transport-robustness counters operators
+  // alert on, pulled out of the flat metrics dump (which still carries
+  // them — and their Prometheus form — in full).
+  const auto wire_counter = [](const char* name) {
+    return util::metrics::global().counter(name).value();
+  };
+  out += ", \"wire\": {";
+  out += "\"torn_frames\": " + std::to_string(wire_counter("net.torn_frame"));
+  out += ", \"checksum_errors\": " +
+         std::to_string(wire_counter("net.checksum_error"));
+  out += ", \"frames_dropped\": " +
+         std::to_string(wire_counter("net.frames_dropped"));
+  out += ", \"partition_faults\": " +
+         std::to_string(wire_counter("net.partition_faults"));
+  out += ", \"connect_retries\": " +
+         std::to_string(wire_counter("net.connect_retries"));
+  out += ", \"client_connect_retries\": " +
+         std::to_string(wire_counter("net.client_connect_retries"));
+  out += ", \"handshakes\": " + std::to_string(wire_counter("net.handshakes"));
+  out += ", \"handshakes_rejected\": " +
+         std::to_string(wire_counter("net.handshakes_rejected"));
+  out += ", \"graph_ship_requests\": " +
+         std::to_string(wire_counter("net.graph_ship_requests"));
+  out += ", \"graph_bytes_shipped\": " +
+         std::to_string(wire_counter("net.graph_bytes_shipped"));
+  out += ", \"graph_cache_hits\": " +
+         std::to_string(wire_counter("net.graph_cache_hits"));
+  out += ", \"transport_fallbacks\": " +
+         std::to_string(wire_counter("net.transport_fallbacks"));
+  out += '}';
+
   std::set<std::uint64_t> queued(d.queue.begin(), d.queue.end());
   out += ", \"jobs\": [";
   bool first = true;
@@ -926,12 +961,31 @@ ServeReport run_serve(const ServeOptions& options) {
 
 namespace {
 
-/// One request/reply exchange with the daemon. Throws util::InputError on
-/// connection failure, loss, or a damaged reply.
+/// One request/reply exchange with the daemon. Transient connect()
+/// failures (daemon restarting, listen backlog overflow, injected
+/// partition) are retried a few times with short bounded backoff — enough
+/// to ride out a blip, far too little to hang a script; exhaustion throws
+/// the same util::InputError a single failure used to, so the CLI's
+/// bad-input exit code is unchanged. Connection loss *after* connecting is
+/// not retried: the request may have been acted on.
 std::string request_reply(const std::string& endpoint_text,
                      const std::string& request) {
   const net::Endpoint endpoint = net::Endpoint::parse(endpoint_text);
-  net::Socket socket = net::connect(endpoint, kClientReplyTimeoutSeconds);
+  constexpr int kConnectAttempts = 5;
+  net::Socket socket;
+  double backoff_ms = 50.0;
+  for (int attempt = 1;; ++attempt) {
+    try {
+      socket = net::connect(endpoint, kClientReplyTimeoutSeconds);
+      break;
+    } catch (const util::InputError&) {
+      if (attempt >= kConnectAttempts) throw;
+      util::metrics::global().counter("net.client_connect_retries").add(1);
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          backoff_ms));
+      backoff_ms = std::min(backoff_ms * 2.0, 800.0);
+    }
+  }
   if (!socket.write_frame(request))
     throw util::InputError(endpoint_text + ": connection lost mid-request");
   std::string reply;

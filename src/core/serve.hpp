@@ -82,6 +82,17 @@ struct ServeOptions {
   /// Worker transport for job execution. kSocket requires worker_command.
   ShardTransport transport = ShardTransport::kFork;
   std::string worker_command;
+  /// kSocket: shared secret for the worker handshake's HMAC challenge
+  /// (ShardedConfig::auth_token — reaches workers via RID_AUTH_TOKEN,
+  /// never argv). Empty = workers are not challenged.
+  std::string auth_token;
+  /// kSocket: content-addressed graph cache directory for streamed graph
+  /// delivery (ShardedConfig::graph_cache_dir). Empty = shared-filesystem
+  /// delivery only.
+  std::string graph_cache_dir;
+  /// kSocket: per-job grace budget before falling back to the fork
+  /// transport (ShardedConfig::remote_grace_seconds). 0 = never.
+  double remote_grace_seconds = 0.0;
   /// Per-job solve configuration; JobSpec::beta overrides base_config.beta.
   RidConfig base_config;
   /// Per-job worker lifecycle policy (slots/cancel are wired internally).

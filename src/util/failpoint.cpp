@@ -17,13 +17,19 @@ std::atomic<int> g_armed_count{0};
 
 namespace {
 
-enum class Action : std::uint8_t { kThrow, kAbort, kOom, kSleep };
+enum class Action : std::uint8_t { kThrow, kAbort, kOom, kSleep, kWindow,
+                                   kDrop };
 
 struct Entry {
   Action action = Action::kThrow;
-  std::uint64_t arg = 0;          // sleep milliseconds
+  std::uint64_t arg = 0;          // sleep/window milliseconds, drop percent
   std::uint64_t trigger_hit = 0;  // 0 = every hit; N = only the Nth
   std::uint64_t hits = 0;
+  // window(MS) state: the outage opens at the triggering hit and heals
+  // arg milliseconds later — hits inside it throw, hits after it pass.
+  bool window_opened = false;
+  bool window_closed = false;
+  std::chrono::steady_clock::time_point window_start{};
 };
 
 struct Registry {
@@ -89,10 +95,19 @@ void arm_one(const std::string& clause) {
   } else if (action.rfind("sleep(", 0) == 0 && action.back() == ')') {
     entry.action = Action::kSleep;
     entry.arg = parse_u64(trim(action.substr(6, action.size() - 7)), clause);
+  } else if (action.rfind("window(", 0) == 0 && action.back() == ')') {
+    entry.action = Action::kWindow;
+    entry.arg = parse_u64(trim(action.substr(7, action.size() - 8)), clause);
+  } else if (action.rfind("drop(", 0) == 0 && action.back() == ')') {
+    entry.action = Action::kDrop;
+    entry.arg = parse_u64(trim(action.substr(5, action.size() - 6)), clause);
+    if (entry.arg > 100)
+      throw std::invalid_argument(
+          "failpoint spec: drop(PCT) takes 0..100 in '" + clause + "'");
   } else {
     throw std::invalid_argument(
         "failpoint spec: unknown action '" + action + "' in '" + clause +
-        "' (throw|abort|oom|sleep(MS))");
+        "' (throw|abort|oom|sleep(MS)|window(MS)|drop(PCT))");
   }
 
   Registry& reg = registry();
@@ -117,9 +132,30 @@ void hit_slow(const char* name) {
     if (it == reg.entries.end()) return;
     Entry& entry = it->second;
     ++entry.hits;
-    if (entry.trigger_hit != 0 && entry.hits != entry.trigger_hit) return;
-    action = entry.action;
-    arg = entry.arg;
+    if (entry.action == Action::kWindow) {
+      // A partition: opens at the triggering hit, heals arg ms later.
+      // Unlike the one-shot actions, every hit inside the window throws.
+      if (entry.window_closed) return;
+      const auto now = std::chrono::steady_clock::now();
+      if (!entry.window_opened) {
+        if (entry.trigger_hit != 0 && entry.hits < entry.trigger_hit) return;
+        entry.window_opened = true;
+        entry.window_start = now;
+      }
+      if (now - entry.window_start >=
+          std::chrono::milliseconds(entry.arg)) {
+        entry.window_closed = true;
+        return;
+      }
+      action = Action::kThrow;
+      arg = 0;
+    } else if (entry.action == Action::kDrop) {
+      return;  // drop is queried via should_drop(), never thrown
+    } else {
+      if (entry.trigger_hit != 0 && entry.hits != entry.trigger_hit) return;
+      action = entry.action;
+      arg = entry.arg;
+    }
   }
   // The action runs outside the registry lock: sleep must not serialize
   // other failpoints, and throw/abort must not leave the mutex held. The
@@ -137,6 +173,9 @@ void hit_slow(const char* name) {
       break;
     case Action::kSleep:
       break;  // sleeps fire per tree — too chatty for the event ring
+    case Action::kWindow:
+    case Action::kDrop:
+      break;  // rewritten to kThrow / handled in-lock above
   }
   switch (action) {
     case Action::kThrow:
@@ -148,7 +187,25 @@ void hit_slow(const char* name) {
     case Action::kSleep:
       std::this_thread::sleep_for(std::chrono::milliseconds(arg));
       return;
+    case Action::kWindow:
+    case Action::kDrop:
+      return;  // unreachable: rewritten/handled under the lock
   }
+}
+
+bool should_drop_slow(const char* name) {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  const auto it = reg.entries.find(name);
+  if (it == reg.entries.end()) return false;
+  Entry& entry = it->second;
+  if (entry.action != Action::kDrop) return false;
+  ++entry.hits;
+  if (entry.trigger_hit != 0 && entry.hits < entry.trigger_hit) return false;
+  // Deterministic PCT% selection by hit index (Knuth multiplicative hash):
+  // no RNG state, so a replayed chaos schedule drops the same frames.
+  const std::uint64_t mixed = (entry.hits * 2654435761ull) >> 13;
+  return mixed % 100 < entry.arg;
 }
 
 }  // namespace detail

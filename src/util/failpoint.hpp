@@ -17,12 +17,20 @@
 //     abort        std::abort() — a crash the process cannot catch
 //     oom          throw std::bad_alloc (allocation-failure simulation)
 //     sleep(MS)    block the hitting thread for MS milliseconds (hangs)
+//     window(MS)   throw for MS milliseconds starting at the triggering
+//                  hit, then pass forever (a network partition that heals)
+//     drop(PCT)    no throw/abort — marks PCT% of hits as "dropped"; the
+//                  hook site queries should_drop() and swallows the
+//                  operation itself (lossy-link simulation)
 //   @N: trigger only on the Nth hit of this process (counting from 1);
-//       omitted = trigger on every hit.
+//       omitted = trigger on every hit (for window: the window opens at
+//       the Nth hit).
 // Examples:
 //     "tree_dp.compute=throw"              every DP compute throws
 //     "shard.worker_tree=abort@2"          worker dies at its 2nd tree
 //     "checkpoint.append=sleep(500)@1"     first record write stalls 500 ms
+//     "net.partition=window(400)@3"        3rd net op opens a 400 ms outage
+//     "net.drop_rate=drop(25)"             25% of frames vanish silently
 //
 // Cost when nothing is armed: one relaxed atomic load and a predictable
 // branch per RID_FAILPOINT — cheap enough for per-solve/per-component
@@ -51,6 +59,7 @@ class FailpointError : public std::runtime_error {
 namespace detail {
 extern std::atomic<int> g_armed_count;  // armed failpoints in this process
 void hit_slow(const char* name);
+bool should_drop_slow(const char* name);
 }  // namespace detail
 
 /// True when at least one failpoint is armed (relaxed load; the fast path
@@ -64,6 +73,15 @@ inline bool any_armed() noexcept {
 /// armed anywhere, or this name is not armed.
 inline void hit(const char* name) {
   if (any_armed()) detail::hit_slow(name);
+}
+
+/// Non-throwing query for `drop(PCT)` failpoints: true when this hit falls
+/// in the armed drop percentage (deterministic per hit index — no RNG, so
+/// chaos schedules replay identically). False when the name is unarmed, is
+/// armed with a non-drop action, or nothing is armed at all. The hook site
+/// owns the semantics of "dropped" (swallow a frame, skip a write, ...).
+inline bool should_drop(const char* name) {
+  return any_armed() && detail::should_drop_slow(name);
 }
 
 /// Arms failpoints from a spec string (see the grammar above). Merges into

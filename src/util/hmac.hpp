@@ -1,0 +1,38 @@
+// Self-contained SHA-256 / HMAC-SHA256 for wire authenticity.
+//
+// FNV-1a (util/fnv.hpp) guards the wire against *accidental* damage; it is
+// trivially forgeable, so the remote-worker handshake needs a keyed MAC for
+// *authenticity*. This is a from-scratch FIPS 180-4 SHA-256 plus RFC 2104
+// HMAC — no external crypto dependency, verified against the RFC 4231 test
+// vectors in test_remote_transport.cpp.
+//
+// Scope note: this authenticates the handshake challenge only (proof of a
+// shared secret); the payload stream stays FNV-checksummed. It is not a
+// transport-encryption layer.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace rid::util {
+
+inline constexpr std::size_t kSha256DigestSize = 32;
+
+/// SHA-256 of `data` (FIPS 180-4).
+std::array<std::uint8_t, kSha256DigestSize> sha256(std::string_view data);
+
+/// HMAC-SHA256 over `message` with `key` (RFC 2104).
+std::array<std::uint8_t, kSha256DigestSize> hmac_sha256(
+    std::string_view key, std::string_view message);
+
+/// Lower-case hex of a digest.
+std::string digest_hex(const std::array<std::uint8_t, kSha256DigestSize>& d);
+
+/// Constant-time equality: runtime independent of where the inputs differ
+/// (length mismatch still short-circuits — lengths are public here).
+bool constant_time_equal(std::string_view a, std::string_view b);
+
+}  // namespace rid::util

@@ -108,7 +108,13 @@ struct NetMetrics {
   metrics::Counter& bytes_received =
       metrics::global().counter("net.bytes_received");
   metrics::Counter& checksum_errors =
-      metrics::global().counter("net.checksum_errors");
+      metrics::global().counter("net.checksum_error");
+  metrics::Counter& torn_frames =
+      metrics::global().counter("net.torn_frame");
+  metrics::Counter& frames_dropped =
+      metrics::global().counter("net.frames_dropped");
+  metrics::Counter& partition_faults =
+      metrics::global().counter("net.partition_faults");
   metrics::Counter& accepted =
       metrics::global().counter("net.connections_accepted");
   metrics::Counter& connected =
@@ -118,6 +124,21 @@ struct NetMetrics {
 NetMetrics& net_metrics() {
   static NetMetrics instance;
   return instance;
+}
+
+/// The `net.partition` chaos hook. Armed with `window(MS)` it models a
+/// network partition: every socket operation inside the window fails with
+/// the transport's normal failure shape (timeout/closed/unreachable) instead
+/// of an exception, so recovery runs through the exact production paths.
+bool partition_active() {
+  if (!failpoint::any_armed()) return false;
+  try {
+    RID_FAILPOINT("net.partition");
+  } catch (const failpoint::FailpointError&) {
+    net_metrics().partition_faults.add(1);
+    return true;
+  }
+  return false;
 }
 
 /// poll() for readability with a deadline. Returns false on timeout or a
@@ -144,8 +165,9 @@ bool wait_readable(int fd, std::chrono::steady_clock::time_point deadline,
 }
 
 /// Reads exactly `n` bytes (looping over short reads) under the shared
-/// whole-frame deadline. 1 = ok, 0 = peer closed / torn stream, -1 =
-/// timeout.
+/// whole-frame deadline. 1 = ok, 0 = peer closed cleanly before the first
+/// byte, -1 = timeout, -2 = torn (the stream died after consuming part of
+/// the read — distinguishable wire damage, counted by the caller).
 int read_exact(int fd, char* out, std::size_t n,
                std::chrono::steady_clock::time_point deadline,
                bool unlimited) {
@@ -157,9 +179,9 @@ int read_exact(int fd, char* out, std::size_t n,
       got += static_cast<std::size_t>(r);
       continue;
     }
-    if (r == 0) return 0;
+    if (r == 0) return got == 0 ? 0 : -2;
     if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
-    return 0;  // connection error = loss
+    return got == 0 ? 0 : -2;  // connection error = loss
   }
   net_metrics().bytes_received.add(n);
   return 1;
@@ -209,6 +231,8 @@ void Socket::close() noexcept {
 
 FrameStatus Socket::read_frame(std::string& payload, double timeout_seconds) {
   RID_FAILPOINT("net.frame_read");
+  RID_FAILPOINT("net.delay");  // arm with sleep(MS) for latency injection
+  if (partition_active()) return FrameStatus::kTimeout;
   if (fd_ < 0) return FrameStatus::kClosed;
   const bool unlimited = timeout_seconds == kUnlimitedSeconds;
   const auto deadline =
@@ -218,6 +242,10 @@ FrameStatus Socket::read_frame(std::string& payload, double timeout_seconds) {
 
   char header[8];
   const int h = read_exact(fd_, header, sizeof(header), deadline, unlimited);
+  if (h == -2) {
+    net_metrics().torn_frames.add(1);  // header torn mid-read
+    return FrameStatus::kClosed;
+  }
   if (h <= 0) return h == 0 ? FrameStatus::kClosed : FrameStatus::kTimeout;
   wire::Reader frame(std::string_view(header, sizeof(header)), "net frame");
   const std::uint32_t length = frame.u32();
@@ -228,7 +256,12 @@ FrameStatus Socket::read_frame(std::string& payload, double timeout_seconds) {
   }
   payload.resize(length);
   const int p = read_exact(fd_, payload.data(), length, deadline, unlimited);
-  if (p <= 0) return p == 0 ? FrameStatus::kClosed : FrameStatus::kTimeout;
+  if (p == 0 || p == -2) {
+    // The header arrived but the payload never fully did: a torn frame.
+    net_metrics().torn_frames.add(1);
+    return FrameStatus::kClosed;
+  }
+  if (p < 0) return FrameStatus::kTimeout;
   if (fnv1a32(payload) != checksum) {
     net_metrics().checksum_errors.add(1);
     return FrameStatus::kChecksumError;
@@ -239,6 +272,15 @@ FrameStatus Socket::read_frame(std::string& payload, double timeout_seconds) {
 
 bool Socket::write_frame(std::string_view payload) {
   RID_FAILPOINT("net.frame_write");
+  RID_FAILPOINT("net.delay");  // arm with sleep(MS) for latency injection
+  if (partition_active()) return false;
+  if (failpoint::should_drop("net.drop_rate")) {
+    // A lossy link: the frame vanishes but the writer sees success, exactly
+    // like a send() that landed in a buffer the network then ate. The
+    // reader's deadline/requeue ladder has to absorb the loss.
+    net_metrics().frames_dropped.add(1);
+    return true;
+  }
   if (fd_ < 0) return false;
   std::string frame;
   frame.reserve(8 + payload.size());
@@ -352,6 +394,7 @@ Socket Listener::accept(double timeout_seconds) {
       std::chrono::steady_clock::now() +
       std::chrono::duration_cast<std::chrono::steady_clock::duration>(
           std::chrono::duration<double>(unlimited ? 0.0 : timeout_seconds));
+  if (partition_active()) return Socket();
   if (!wait_readable(fd_, deadline, unlimited)) return Socket();
   const int fd = ::accept(fd_, nullptr, nullptr);
   if (fd < 0) return Socket();
@@ -366,6 +409,9 @@ Socket Listener::accept(double timeout_seconds) {
 
 Socket connect(const Endpoint& endpoint, double timeout_seconds) {
   RID_FAILPOINT("net.connect");
+  if (partition_active())
+    throw InputError("connect: cannot reach " + endpoint.to_string() +
+                     ": network partition (injected)");
   int fd = -1;
   if (endpoint.kind == Endpoint::Kind::kUnix) {
     sockaddr_un addr{};

@@ -21,6 +21,19 @@
 // `net.connect`) let tests inject torn frames, stalled reads, dropped
 // connections, and connect/accept failures on demand (util/failpoint.hpp).
 //
+// The network chaos shapes layer on top of the same hooks and always fail
+// through the transport's *normal* failure statuses, never exceptions:
+//   net.partition=window(MS)   every read/write/connect/accept inside the
+//                              window fails (timeout/false/unreachable),
+//                              then the partition heals
+//   net.delay=sleep(MS)        every frame read/write stalls MS ms first
+//   net.drop_rate=drop(PCT)    PCT% of written frames silently vanish (the
+//                              writer sees success; the reader must absorb
+//                              the loss via deadlines + requeue)
+// Torn frames (stream death mid-frame) are counted under `net.torn_frame`,
+// checksum damage under `net.checksum_error`, injected drops under
+// `net.frames_dropped` — all visible in `ridnet_cli stats` and Prometheus.
+//
 // POSIX only, mirroring util/proc_supervisor: on non-POSIX builds
 // net::supported() is false and every operation fails cleanly; callers fall
 // back to in-process execution.

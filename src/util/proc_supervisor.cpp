@@ -10,6 +10,7 @@
 #include <unordered_set>
 
 #include "util/flight_recorder.hpp"
+#include "util/fnv.hpp"
 #include "util/metrics.hpp"
 #include "util/trace.hpp"
 
@@ -96,11 +97,18 @@ using LaunchFn = std::function<pid_t(std::size_t shard_id,
                                      const std::vector<std::size_t>& items,
                                      std::uint32_t attempt)>;
 
-double backoff_ms(const SupervisorOptions& options, std::uint32_t attempts) {
+double backoff_ms(const SupervisorOptions& options, std::size_t shard_id,
+                  std::uint32_t attempts) {
   double ms = options.backoff_initial_ms;
   for (std::uint32_t i = 1; i < attempts && ms < options.backoff_max_ms; ++i)
     ms *= 2.0;
-  return std::min(ms, options.backoff_max_ms);
+  ms = std::min(ms, options.backoff_max_ms);
+  // Deterministic decorrelation jitter (0-25% of the base, keyed by shard
+  // and attempt): shards knocked over by the same event — a dispatcher
+  // restart, a healed partition — fan out instead of retrying in lockstep.
+  const std::uint64_t mix =
+      fnv1a64_step(fnv1a64_step(kFnv64Basis, shard_id), attempts);
+  return ms * (1.0 + 0.25 * static_cast<double>((mix >> 13) % 1024) / 1024.0);
 }
 
 /// Encodes an attempt's end for the trace span: exit code, or 128+signal
@@ -203,7 +211,8 @@ SupervisorReport supervise_impl(const std::vector<ShardWork>& shards,
       state.phase = ShardState::Phase::kDone;
       return;
     }
-    const double wait_ms = backoff_ms(options, state.attempts);
+    const double wait_ms =
+        backoff_ms(options, state.shard_id, state.attempts);
     ++report.retries;
     sm.retries.add(1);
     state.phase = ShardState::Phase::kReady;
